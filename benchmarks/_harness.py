@@ -1,0 +1,118 @@
+"""Shared benchmark harness: method factories scaled by REPRO_BENCH_SCALE.
+
+Every ``bench_*.py`` regenerates one table or figure of the paper. The
+harness centralizes how each method is instantiated at the active scale so
+all benches agree on hyperparameters. Set ``REPRO_BENCH_SCALE=smoke`` for a
+fast pass (2 datasets, few epochs) or ``paper`` (default) for the full
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.baselines import (
+    BertMatcher, Dader, DeepMatcher, Ditto, Matcher, Rotom, SentenceBert,
+    TDmatch, TDmatchConfig, TDmatchStar,
+)
+from repro.core import PromptEM, PromptEMConfig
+from repro.eval.protocol import BenchScale
+
+MODEL_NAME = "minilm-base"
+
+
+class PromptEMMatcher(Matcher):
+    """Adapter exposing the PromptEM facade through the Matcher interface."""
+
+    def __init__(self, config: PromptEMConfig, name: str = "PromptEM") -> None:
+        self.name = name
+        self._facade = PromptEM(config)
+
+    def fit(self, view):
+        self._facade.fit(view)
+        return self
+
+    def predict(self, pairs):
+        return self._facade.predict(pairs)
+
+    def memory_bytes(self):
+        model = self._facade.model
+        if model is None:
+            return 0
+        return model.num_parameters() * 4 * 4
+
+    @property
+    def report(self):
+        return self._facade.report
+
+
+def promptem_config(scale: BenchScale, **overrides) -> PromptEMConfig:
+    """PromptEM hyperparameters at the given scale."""
+    base = dict(
+        teacher_epochs=scale.teacher_epochs,
+        student_epochs=scale.student_epochs,
+        mc_passes=scale.mc_passes,
+        unlabeled_cap=scale.unlabeled_cap,
+        model_name=MODEL_NAME,
+    )
+    base.update(overrides)
+    return PromptEMConfig(**base)
+
+
+def tdmatch_config(scale: BenchScale) -> TDmatchConfig:
+    if scale.name == "smoke":
+        return TDmatchConfig(num_walks=6, walk_length=10, dimensions=24)
+    return TDmatchConfig(num_walks=20, walk_length=20, dimensions=48)
+
+
+def method_factories(scale: BenchScale) -> Dict[str, Callable[[], Matcher]]:
+    """All nine Table 2 methods, in paper row order."""
+    lm_epochs = scale.lm_epochs
+    return {
+        "DeepMatcher": lambda: DeepMatcher(epochs=lm_epochs),
+        "BERT": lambda: BertMatcher(epochs=lm_epochs, model_name=MODEL_NAME),
+        "SentenceBERT": lambda: SentenceBert(epochs=lm_epochs,
+                                             model_name=MODEL_NAME),
+        "Ditto": lambda: Ditto(epochs=lm_epochs, model_name=MODEL_NAME),
+        "DADER": lambda: Dader(epochs=max(lm_epochs // 2, 4),
+                               model_name=MODEL_NAME),
+        "Rotom": lambda: Rotom(epochs=max(lm_epochs // 2, 4),
+                               model_name=MODEL_NAME),
+        "TDmatch": lambda: TDmatch(tdmatch_config(scale)),
+        "TDmatch*": lambda: TDmatchStar(tdmatch_config(scale)),
+        "PromptEM": lambda: PromptEMMatcher(promptem_config(scale)),
+    }
+
+
+def ablation_factories(scale: BenchScale) -> Dict[str, Callable[[], Matcher]]:
+    """The three Table 2 ablation rows."""
+    return {
+        "PromptEM w/o PT": lambda: PromptEMMatcher(
+            promptem_config(scale).without_prompt_tuning(), "PromptEM w/o PT"),
+        "PromptEM w/o LST": lambda: PromptEMMatcher(
+            promptem_config(scale).without_self_training(), "PromptEM w/o LST"),
+        "PromptEM w/o DDP": lambda: PromptEMMatcher(
+            promptem_config(scale).without_pruning(), "PromptEM w/o DDP"),
+    }
+
+
+def warm_backbone() -> None:
+    """Force the pre-trained checkpoint to exist before timing anything."""
+    from repro.lm import load_pretrained
+
+    load_pretrained(MODEL_NAME)
+
+
+def emit(table: str, name: str) -> str:
+    """Print a result table and persist it under benchmarks/results/.
+
+    pytest captures stdout by default, so the persisted copy is what the
+    EXPERIMENTS.md write-up references.
+    """
+    from pathlib import Path
+
+    results = Path(__file__).resolve().parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / f"{name}.txt").write_text(table + "\n")
+    print("\n" + table)
+    return table

@@ -1,0 +1,105 @@
+"""Extra ablations for the design choices DESIGN.md calls out.
+
+(a) pruning fraction e_r sweep -- how much can DDP prune before F1 drops;
+(b) MC-Dropout pass count -- pseudo-label quality vs the number of
+    stochastic passes (paper default 10);
+(c) pseudo-label ratio u_r sweep (the paper's grid {0.05..0.25}).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from _harness import PromptEMMatcher, emit, promptem_config  # noqa: E402
+from repro.core import Trainer, TrainerConfig, select_pseudo_labels  # noqa: E402
+from repro.core.matcher import PromptEM  # noqa: E402
+from repro.eval import ExperimentRunner, bench_scale, render_table  # noqa: E402
+from repro.eval.metrics import pseudo_label_quality  # noqa: E402
+
+DATASET = "REL-HETER"
+
+
+def _teacher_and_view(scale):
+    runner = ExperimentRunner(scale)
+    view = runner.view_for(DATASET, seed=scale.seeds[0])
+    config = promptem_config(scale)
+    facade = PromptEM(config)
+    facade._ensure_backbone()
+    facade._fit_summarizer(view.labeled)
+    teacher = facade._make_model()
+    Trainer(teacher, TrainerConfig(epochs=config.teacher_epochs,
+                                   batch_size=config.batch_size,
+                                   lr=config.lr)).fit(view.labeled,
+                                                      valid=view.valid)
+    return teacher, view
+
+
+def run_prune_ratio_sweep() -> str:
+    scale = bench_scale()
+    runner = ExperimentRunner(scale)
+    rows = []
+    for e_r in (0.0, 0.1, 0.2, 0.3, 0.4, 0.5):
+        config = promptem_config(
+            scale, prune_ratio=e_r,
+            use_dynamic_pruning=e_r > 0,
+            prune_frequency=max(scale.student_epochs // 3, 2))
+        result = runner.run(
+            f"e_r={e_r}", lambda c=config: PromptEMMatcher(c), DATASET,
+            seed=scale.seeds[0], measure_resources=True)
+        rows.append([f"{e_r:.1f}", round(result.prf.f1, 1),
+                     result.resources.formatted_time])
+    return render_table(["e_r", "F1", "train time"], rows,
+                        title=f"Ablation: DDP prune ratio on {DATASET}")
+
+
+def run_mc_passes_sweep() -> str:
+    scale = bench_scale()
+    teacher, view = _teacher_and_view(scale)
+    pool = view.unlabeled[: scale.unlabeled_cap]
+    truth = np.array(view.unlabeled_true_labels[: scale.unlabeled_cap])
+    rows = []
+    for passes in (2, 5, 10, 20):
+        selection = select_pseudo_labels(teacher, pool, ratio=0.1,
+                                         passes=passes,
+                                         strategy="uncertainty")
+        tpr, tnr = pseudo_label_quality(truth[selection.indices],
+                                        selection.pseudo_labels)
+        rows.append([passes, round(tpr, 3), round(tnr, 3)])
+    return render_table(["MC passes", "TPR", "TNR"], rows, decimals=3,
+                        title=f"Ablation: MC-Dropout passes on {DATASET}")
+
+
+def run_pseudo_ratio_sweep() -> str:
+    scale = bench_scale()
+    teacher, view = _teacher_and_view(scale)
+    pool = view.unlabeled[: scale.unlabeled_cap]
+    truth = np.array(view.unlabeled_true_labels[: scale.unlabeled_cap])
+    rows = []
+    for u_r in (0.05, 0.10, 0.15, 0.20, 0.25):
+        selection = select_pseudo_labels(teacher, pool, ratio=u_r,
+                                         passes=scale.mc_passes,
+                                         strategy="uncertainty")
+        tpr, tnr = pseudo_label_quality(truth[selection.indices],
+                                        selection.pseudo_labels)
+        rows.append([f"{u_r:.2f}", len(selection.indices),
+                     round(tpr, 3), round(tnr, 3)])
+    return render_table(["u_r", "N_P", "TPR", "TNR"], rows, decimals=3,
+                        title=f"Ablation: pseudo-label ratio u_r on {DATASET}")
+
+
+def test_ablation_prune_ratio(benchmark):
+    table = benchmark.pedantic(run_prune_ratio_sweep, rounds=1, iterations=1)
+    emit(table, "ablation_prune_ratio")
+
+
+def test_ablation_mc_passes(benchmark):
+    table = benchmark.pedantic(run_mc_passes_sweep, rounds=1, iterations=1)
+    emit(table, "ablation_mc_passes")
+
+
+def test_ablation_pseudo_ratio(benchmark):
+    table = benchmark.pedantic(run_pseudo_ratio_sweep, rounds=1, iterations=1)
+    emit(table, "ablation_pseudo_ratio")

@@ -1,0 +1,56 @@
+"""Challenge II check: is the low-resource teacher poorly calibrated?
+
+The paper motivates uncertainty-based pseudo-label selection by the claim
+that confident predictions are often wrong in poorly calibrated networks.
+This bench measures it directly: train a teacher per dataset, compute ECE
+and the overconfidence rate (error rate among confidence >= 0.9
+predictions) on the unlabeled pool -- exactly the noise a confidence-based
+selector would import as pseudo-labels.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from _harness import emit, promptem_config  # noqa: E402
+from repro.core import Trainer, TrainerConfig  # noqa: E402
+from repro.core.matcher import PromptEM  # noqa: E402
+from repro.core.trainer import predict_proba  # noqa: E402
+from repro.eval import (  # noqa: E402
+    bench_scale, calibration_report, overconfidence_rate, render_table,
+)
+from repro.eval.protocol import ExperimentRunner  # noqa: E402
+
+
+def run_calibration() -> str:
+    scale = bench_scale()
+    runner = ExperimentRunner(scale)
+    rows = []
+    for dataset in scale.datasets:
+        view = runner.view_for(dataset, seed=scale.seeds[0])
+        config = promptem_config(scale)
+        facade = PromptEM(config)
+        facade._ensure_backbone()
+        facade._fit_summarizer(view.labeled)
+        teacher = facade._make_model()
+        Trainer(teacher, TrainerConfig(
+            epochs=config.teacher_epochs, batch_size=config.batch_size,
+            lr=config.lr, seed=config.seed)).fit(view.labeled,
+                                                 valid=view.valid)
+        pool = view.unlabeled[: scale.unlabeled_cap]
+        truth = np.array(view.unlabeled_true_labels[: scale.unlabeled_cap])
+        probs = predict_proba(teacher, pool, batch_size=config.batch_size)
+        report = calibration_report(probs, truth, num_bins=10)
+        rows.append([dataset, round(report.ece, 3), round(report.mce, 3),
+                     round(overconfidence_rate(probs, truth, 0.9), 3)])
+    return render_table(
+        ["Dataset", "ECE", "MCE", "overconf. error@0.9"], rows, decimals=3,
+        title=f"Calibration of the low-resource teacher (scale={scale.name})")
+
+
+def test_calibration_of_teacher(benchmark):
+    table = benchmark.pedantic(run_calibration, rounds=1, iterations=1)
+    emit(table, "calibration")

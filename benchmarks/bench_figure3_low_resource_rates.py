@@ -1,0 +1,47 @@
+"""Figure 3: F1 versus training rate, 5% .. 25%.
+
+Sweeps the labeled fraction for the main methods. Shape to check:
+PromptEM dominates at the low end and converges with the fine-tuning
+baselines as the rate grows; TDmatch (unsupervised) is a flat line.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import emit, method_factories  # noqa: E402
+from repro.eval import ExperimentRunner, bench_scale, render_series  # noqa: E402
+
+RATES = (0.05, 0.15, 0.25)
+#: methods plotted in Figure 3 (a representative subset to bound runtime)
+FIGURE3_METHODS = ("BERT", "Ditto", "TDmatch", "PromptEM")
+
+
+#: paper-scale Figure 3 uses a representative dataset subset for runtime
+FIGURE3_DATASETS = ("REL-HETER", "SEMI-HOMO", "SEMI-TEXT-c", "REL-TEXT")
+
+
+def run_figure3() -> str:
+    scale = bench_scale()
+    factories = method_factories(scale)
+    rates = RATES
+    datasets = [d for d in FIGURE3_DATASETS if d in scale.datasets] or list(scale.datasets)
+    blocks = []
+    for dataset in datasets:
+        series = {m: [] for m in FIGURE3_METHODS}
+        runner = ExperimentRunner(scale)
+        for rate in rates:
+            for method in FIGURE3_METHODS:
+                result = runner.run(method, factories[method], dataset,
+                                    rate=rate, seed=scale.seeds[0])
+                series[method].append(result.prf.f1)
+        blocks.append(render_series(
+            f"Figure 3 [{dataset}]: F1 vs training rate (scale={scale.name})",
+            "rate", [f"{r:.0%}" for r in rates], series))
+    return "\n\n".join(blocks)
+
+
+def test_figure3_low_resource_rates(benchmark):
+    table = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    emit(table, "figure3")

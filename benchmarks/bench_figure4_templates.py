@@ -1,0 +1,50 @@
+"""Figure 4 (+ Section 5.5): effect of template choices.
+
+Four variants: continuous/hard x T1/T2, without self-training so the
+template effect is isolated. Shapes to check: continuous > hard for the
+same layout; T2 better than T1 overall (the paper's finding).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from _harness import PromptEMMatcher, emit, promptem_config  # noqa: E402
+from repro.eval import ExperimentRunner, bench_scale, render_table  # noqa: E402
+
+VARIANTS = {
+    "continuous T1": dict(template="t1", continuous=True),
+    "hard T1": dict(template="t1", continuous=False),
+    "continuous T2": dict(template="t2", continuous=True),
+    "hard T2": dict(template="t2", continuous=False),
+}
+
+
+def run_figure4() -> str:
+    scale = bench_scale()
+    runner = ExperimentRunner(scale)
+    grid = {}
+    for variant, overrides in VARIANTS.items():
+        config = promptem_config(scale, use_self_training=False, **overrides)
+        for dataset in scale.datasets:
+            result = runner.run(
+                variant,
+                lambda c=config, v=variant: PromptEMMatcher(c, v),
+                dataset, seed=scale.seeds[0])
+            grid.setdefault(variant, {})[dataset] = result.prf.f1
+
+    rows = []
+    for variant in VARIANTS:
+        f1s = [grid[variant][d] for d in scale.datasets]
+        rows.append([variant, *[round(f, 1) for f in f1s],
+                     round(float(np.mean(f1s)), 1)])
+    return render_table(["Template", *scale.datasets, "avg F1"], rows,
+                        title=f"Figure 4: template choices (scale={scale.name})")
+
+
+def test_figure4_template_choices(benchmark):
+    table = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    emit(table, "figure4")

@@ -1,0 +1,52 @@
+"""Figure 5 (+ Section 5.5): effect of label-word choices.
+
+Designed label words (matched/similar/relevant vs mismatched/different/
+irrelevant) against the simple pair (matched vs mismatched), for both
+continuous templates. Shape to check: designed words win on average --
+the general-relationship verbalizer transfers better, especially on the
+relevance-style datasets (REL-TEXT).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from _harness import PromptEMMatcher, emit, promptem_config  # noqa: E402
+from repro.eval import ExperimentRunner, bench_scale, render_table  # noqa: E402
+
+VARIANTS = {
+    "T1 designed": dict(template="t1", label_words="designed"),
+    "T1 simple": dict(template="t1", label_words="simple"),
+    "T2 designed": dict(template="t2", label_words="designed"),
+    "T2 simple": dict(template="t2", label_words="simple"),
+}
+
+
+def run_figure5() -> str:
+    scale = bench_scale()
+    runner = ExperimentRunner(scale)
+    grid = {}
+    for variant, overrides in VARIANTS.items():
+        config = promptem_config(scale, use_self_training=False, **overrides)
+        for dataset in scale.datasets:
+            result = runner.run(
+                variant,
+                lambda c=config, v=variant: PromptEMMatcher(c, v),
+                dataset, seed=scale.seeds[0])
+            grid.setdefault(variant, {})[dataset] = result.prf.f1
+
+    rows = []
+    for variant in VARIANTS:
+        f1s = [grid[variant][d] for d in scale.datasets]
+        rows.append([variant, *[round(f, 1) for f in f1s],
+                     round(float(np.mean(f1s)), 1)])
+    return render_table(["Label words", *scale.datasets, "avg F1"], rows,
+                        title=f"Figure 5: label-word choices (scale={scale.name})")
+
+
+def test_figure5_label_word_choices(benchmark):
+    table = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    emit(table, "figure5")

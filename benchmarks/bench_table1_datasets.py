@@ -1,0 +1,32 @@
+"""Table 1: statistics of the eight benchmark datasets.
+
+Regenerates the dataset-statistics table (rows, attrs, labeled examples,
+low-resource rate and train size) for our scaled-down synthetic versions.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import emit  # noqa: E402
+from repro.data import DATASET_NAMES, load_dataset  # noqa: E402
+from repro.eval import render_table
+
+
+def build_table1() -> str:
+    rows = []
+    for name in DATASET_NAMES:
+        s = load_dataset(name).statistics()
+        rows.append([s.name, s.domain, s.left_rows, f"{s.left_attrs:.2f}",
+                     s.right_rows, f"{s.right_attrs:.2f}", s.labeled,
+                     f"{s.rate:.0%}", s.train_low_resource])
+    return render_table(
+        ["Dataset", "Domain", "L#row", "L#attr", "R#row", "R#attr",
+         "All", "rate", "Train"],
+        rows, title="Table 1: dataset statistics (scaled-down synthetic)")
+
+
+def test_table1_dataset_statistics(benchmark):
+    table = benchmark(build_table1)
+    emit(table, "table1")

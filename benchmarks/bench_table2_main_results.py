@@ -1,0 +1,32 @@
+"""Table 2: main results under the default low-resource setting.
+
+All nine methods plus the three PromptEM ablations, across the benchmark
+datasets at the active scale, reporting P/R/F1 on the test split. The
+paper's headline shape to check: PromptEM best or near-best everywhere;
+TDmatch strong on digit-heavy SEMI-HETER; DeepMatcher weakest.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import ablation_factories, emit, method_factories  # noqa: E402
+from repro.eval import ExperimentRunner, bench_scale, render_prf_table  # noqa: E402
+
+
+def run_table2() -> str:
+    scale = bench_scale()
+    runner = ExperimentRunner(scale)
+    factories = {**method_factories(scale), **ablation_factories(scale)}
+    for dataset in scale.datasets:
+        for method, factory in factories.items():
+            runner.run(method, factory, dataset, seed=scale.seeds[0])
+    return render_prf_table(
+        f"Table 2: default low-resource results (scale={scale.name})",
+        list(scale.datasets), runner.as_prf_grid())
+
+
+def test_table2_main_results(benchmark):
+    table = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    emit(table, "table2")

@@ -1,0 +1,56 @@
+"""Table 4: efficiency -- training time and memory.
+
+Compares the best baselines per category (SBERT, Rotom, TDmatch) against
+PromptEM- (no dynamic pruning) and full PromptEM, reporting wall-clock
+training time and tracked memory. Shapes to check: TDmatch is by far the
+most expensive in time and memory on the larger datasets; DDP cuts
+PromptEM's time versus PromptEM-; the LM methods have similar memory.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import (  # noqa: E402
+    MODEL_NAME, PromptEMMatcher, emit, promptem_config, tdmatch_config,
+)
+from repro.baselines import Rotom, SentenceBert, TDmatch  # noqa: E402
+from repro.eval import (  # noqa: E402
+    ExperimentRunner, bench_scale, render_table,
+)
+
+
+def run_table4() -> str:
+    scale = bench_scale()
+    methods = {
+        "SBERT": lambda: SentenceBert(epochs=scale.lm_epochs,
+                                      model_name=MODEL_NAME),
+        "Rotom": lambda: Rotom(epochs=max(scale.lm_epochs // 2, 4),
+                               model_name=MODEL_NAME),
+        "TDmatch": lambda: TDmatch(tdmatch_config(scale)),
+        "PromptEM-": lambda: PromptEMMatcher(
+            promptem_config(scale).without_pruning(), "PromptEM-"),
+        "PromptEM": lambda: PromptEMMatcher(promptem_config(scale)),
+    }
+    runner = ExperimentRunner(scale)
+    rows = []
+    for dataset in scale.datasets:
+        row = [dataset]
+        for method, factory in methods.items():
+            result = runner.run(method, factory, dataset,
+                                seed=scale.seeds[0], measure_resources=True)
+            row.append(result.resources.formatted_time)
+            row.append(result.resources.formatted_memory)
+        rows.append(row)
+
+    headers = ["Dataset"]
+    for method in methods:
+        headers += [f"{method}:T", f"{method}:M"]
+    return render_table(headers, rows,
+                        title=f"Table 4: efficiency (scale={scale.name})")
+
+
+def test_table4_efficiency(benchmark):
+    table = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    emit(table, "table4")

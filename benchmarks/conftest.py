@@ -1,0 +1,16 @@
+"""Benchmark configuration: make sure the checkpoint exists up front."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import warm_backbone  # noqa: E402
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_backbone():
+    """Pre-train (or load) the MiniLM once, outside any timed region."""
+    warm_backbone()

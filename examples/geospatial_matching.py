@@ -1,0 +1,41 @@
+"""Geospatial entity resolution on GEO-HETER.
+
+Points of interest from two gazetteers: the left source keeps latitude and
+longitude as separate attributes, the right merges them into one "position"
+string -- a heterogeneous-schema case built exactly like the paper's
+Appendix E. The example also demonstrates the blocking stage of the classic
+EM workflow (Section 2.1) before matching.
+
+Run:  python examples/geospatial_matching.py
+"""
+
+from repro import PromptEM, PromptEMConfig, load_dataset
+from repro.data import OverlapBlocker, blocking_recall
+
+
+def main() -> None:
+    dataset = load_dataset("GEO-HETER")
+
+    # Stage 1 of the EM workflow: blocking.
+    blocker = OverlapBlocker(threshold=0.2)
+    result = blocker.block(dataset.left_table, dataset.right_table)
+    truth = [(p.left.record_id, p.right.record_id)
+             for split in (dataset.train, dataset.valid, dataset.test)
+             for p in split if p.label == 1]
+    print(f"blocking: {result.total_pairs} possible pairs -> "
+          f"{len(result.candidates)} candidates "
+          f"(reduction {result.reduction_ratio:.1%}, "
+          f"recall {blocking_recall(result, truth):.1%})")
+
+    # Stage 2: matching with PromptEM on the low-resource view.
+    view = dataset.low_resource(seed=0)
+    config = PromptEMConfig(teacher_epochs=10, student_epochs=12,
+                            mc_passes=6, unlabeled_cap=80)
+    matcher = PromptEM(config).fit(view)
+    prf = matcher.evaluate(view.test)
+    print(f"\nGEO-HETER test: P={prf.precision:.1f} R={prf.recall:.1f} "
+          f"F1={prf.f1:.1f}")
+
+
+if __name__ == "__main__":
+    main()

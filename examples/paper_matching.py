@@ -1,0 +1,48 @@
+"""The paper's Figure 1 scenario: match textual abstracts to paper metadata.
+
+REL-TEXT pairs a free-text abstract (left) with a relational metadata row
+(right). No schema matching can bridge the two formats -- this is exactly
+the Generalized EM setting PromptEM was designed for. The example also
+shows the serialization (Section 2.2) each side receives.
+
+Run:  python examples/paper_matching.py
+"""
+
+from repro import PromptEM, PromptEMConfig, load_dataset, serialize
+
+
+def main() -> None:
+    dataset = load_dataset("REL-TEXT")
+    view = dataset.low_resource(seed=0)
+
+    sample = next(p for p in view.test if p.label == 1)
+    print("A matched pair, as the model sees it after serialization:")
+    print(f"  abstract (text):   {serialize(sample.left)[:100]}...")
+    print(f"  metadata (table):  {serialize(sample.right)[:100]}...")
+    print()
+
+    config = PromptEMConfig(
+        template="t1",                # "<e> <e'> They are [MASK]"
+        label_words="designed",       # relevant/irrelevant matter here:
+                                      # abstract vs metadata is a *relevance*
+                                      # relationship, not string equality
+        teacher_epochs=10,
+        student_epochs=12,
+        mc_passes=6,
+        unlabeled_cap=80,
+        summarize_long_text=True,     # Appendix F TF-IDF summarization
+        summary_tokens=40,
+    )
+    matcher = PromptEM(config).fit(view)
+    prf = matcher.evaluate(view.test)
+    print(f"REL-TEXT test: P={prf.precision:.1f} R={prf.recall:.1f} "
+          f"F1={prf.f1:.1f}")
+
+    probs = matcher.predict_proba(view.test[:6])
+    print("\nper-pair match probabilities (first six test pairs):")
+    for pair, p in zip(view.test[:6], probs[:, 1]):
+        print(f"  label={pair.label}  P(match)={p:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Product matching: structured spec sheets vs noisy marketing text.
+
+SEMI-TEXT-c pairs a 10-attribute spec record with a free-text description
+that mentions only some attributes, corrupted. This example compares
+PromptEM against the fine-tuning ablation (w/o PT) on one of the hardest
+cross-format tasks -- at this reproduction's tiny-model scale either
+variant can win here (see EXPERIMENTS.md), which is itself informative:
+the prompt-tuning advantage concentrates where the pre-trained cloze
+pattern transfers cleanly.
+
+Run:  python examples/product_matching.py
+"""
+
+from repro import PromptEM, PromptEMConfig, load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("SEMI-TEXT-c")
+    view = dataset.low_resource(seed=0)
+    print(f"SEMI-TEXT-c: {len(view.labeled)} labeled / "
+          f"{len(view.unlabeled)} unlabeled training pairs")
+
+    base = PromptEMConfig(
+        template="t2",
+        teacher_epochs=10,
+        student_epochs=12,
+        mc_passes=6,
+        unlabeled_cap=80,
+        summary_tokens=40,
+    )
+
+    print("\ntraining PromptEM (prompt-tuning)...")
+    prompt_matcher = PromptEM(base).fit(view)
+    prompt_prf = prompt_matcher.evaluate(view.test)
+
+    print("training PromptEM w/o PT (vanilla fine-tuning)...")
+    finetune_matcher = PromptEM(base.without_prompt_tuning()).fit(view)
+    finetune_prf = finetune_matcher.evaluate(view.test)
+
+    print(f"\n{'variant':24s} {'P':>6s} {'R':>6s} {'F1':>6s}")
+    for name, prf in (("PromptEM", prompt_prf),
+                      ("PromptEM w/o PT", finetune_prf)):
+        print(f"{name:24s} {prf.precision:6.1f} {prf.recall:6.1f} {prf.f1:6.1f}")
+
+
+if __name__ == "__main__":
+    main()

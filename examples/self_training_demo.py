@@ -1,0 +1,67 @@
+"""Anatomy of lightweight self-training (Algorithm 1).
+
+Runs the teacher -> pseudo-label -> student loop step by step on SEMI-HOMO,
+printing what the uncertainty-aware selector picks and how good the
+pseudo-labels actually are (the Table 5 quality measurement), then what
+dynamic data pruning removes.
+
+Run:  python examples/self_training_demo.py
+"""
+
+import numpy as np
+
+from repro import load_dataset
+from repro.core import (
+    PromptEMConfig, Trainer, TrainerConfig, evaluate_f1, mc_dropout,
+    prune_dataset, select_by_uncertainty, top_n_count,
+)
+from repro.core.matcher import PromptEM
+from repro.eval.metrics import pseudo_label_quality
+
+
+def main() -> None:
+    dataset = load_dataset("SEMI-HOMO")
+    view = dataset.low_resource(seed=0)
+    print(f"SEMI-HOMO low-resource: {len(view.labeled)} labeled, "
+          f"{len(view.unlabeled)} unlabeled")
+
+    # Build the prompt model through the facade so we reuse its plumbing.
+    config = PromptEMConfig(teacher_epochs=10, mc_passes=6, unlabeled_cap=60)
+    facade = PromptEM(config)
+    facade._ensure_backbone()
+    facade._fit_summarizer(view.labeled)
+
+    print("\n[1] training the teacher on the labeled seed set...")
+    teacher = facade._make_model()
+    Trainer(teacher, TrainerConfig(epochs=config.teacher_epochs,
+                                   lr=config.lr,
+                                   batch_size=config.batch_size)).fit(
+        view.labeled, valid=view.valid)
+    print(f"    teacher valid F1: {evaluate_f1(teacher, view.valid):.3f}")
+
+    print("\n[2] MC-Dropout over the unlabeled pool "
+          f"({config.mc_passes} stochastic passes)...")
+    pool = view.unlabeled[:60]
+    truth = np.array(view.unlabeled_true_labels[:60])
+    result = mc_dropout(teacher, pool, passes=config.mc_passes)
+    count = top_n_count(len(pool), config.pseudo_label_ratio)
+    chosen = select_by_uncertainty(result, count)
+    print(f"    pool uncertainty: min={result.uncertainty.min():.4f} "
+          f"median={np.median(result.uncertainty):.4f} "
+          f"max={result.uncertainty.max():.4f}")
+    print(f"    selected the {count} least-uncertain samples")
+
+    tpr, tnr = pseudo_label_quality(truth[chosen], result.labels[chosen])
+    print(f"    pseudo-label quality: TPR={tpr:.3f} TNR={tnr:.3f}")
+
+    print("\n[3] dynamic data pruning with MC-EL2N...")
+    augmented = list(view.labeled) + [
+        pool[i].with_label(int(result.labels[i])) for i in chosen]
+    kept = prune_dataset(teacher, augmented, ratio=config.prune_ratio,
+                         passes=config.mc_passes)
+    print(f"    train set {len(augmented)} -> {len(kept)} "
+          f"after pruning e_r={config.prune_ratio:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Experiment: architecture / epochs until the comparison circuit emerges.
+
+Trains a candidate MiniLM and reports held-out cloze accuracy on phrase
+statements (easy: topic-level) and record statements (hard: value-swap),
+plus downstream zero-shot AUC on REL-HETER, every two epochs.
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.lm import LMConfig, MiniLM, PretrainConfig
+from repro.lm.pretrain import pretrain
+from repro.lm.zoo import _build_vocabulary, _specs
+from repro.text import Tokenizer, build_corpus, lexicon
+
+
+def cloze_accuracy(lm, tok, kind, seed=999, n=200):
+    from repro.text.corpus import relation_statement
+
+    vocab = tok.vocab
+    pos_ids = [vocab.id_of(w) for w in lexicon.POSITIVE_LABEL_WORDS]
+    neg_ids = [vocab.id_of(w) for w in lexicon.NEGATIVE_LABEL_WORDS]
+    rng = np.random.default_rng(seed)
+    correct = total = 0
+    attempts = 0
+    while total < n and attempts < 20 * n:
+        attempts += 1
+        positive = bool(attempts % 2)
+        text = relation_statement(rng, "restaurant", positive)
+        is_record = "[COL]" in text
+        if (kind == "record") != is_record:
+            continue
+        words = text.split()
+        lw = [w for w in words
+              if w in lexicon.POSITIVE_LABEL_WORDS + lexicon.NEGATIVE_LABEL_WORDS]
+        if not lw:
+            continue
+        masked = " ".join("[MASK]" if w == lw[0] else w for w in words)
+        enc = tok.encode(masked, max_len=96)
+        if "[MASK]" not in enc.tokens:
+            continue
+        pos = enc.tokens.index("[MASK]")
+        with no_grad():
+            logits = lm.mlm_logits(lm.encode(np.array([enc.ids]))).numpy()[0, pos]
+        p = np.exp(logits - logits.max())
+        p /= p.sum()
+        pred_pos = p[pos_ids].sum() > p[neg_ids].sum()
+        correct += pred_pos == positive
+        total += 1
+    return correct / max(total, 1)
+
+
+def zero_shot_auc(lm, tok):
+    from repro.core import PromptModel, Verbalizer, make_template
+    from repro.core.trainer import predict_proba
+    from repro.data import load_dataset
+
+    ds = load_dataset("REL-HETER")
+    labels = np.array([p.label for p in ds.test])
+    template = make_template("t2", tok, continuous=False, max_len=96)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+    probs = predict_proba(model, ds.test)
+    return (probs[labels == 1, 1][:, None] > probs[labels == 0, 1][None, :]).mean()
+
+
+def main():
+    num_layers = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    rounds = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    spec = _specs()["minilm-base"]
+    vocab = _build_vocabulary(spec)
+    tok = Tokenizer(vocab)
+    config = LMConfig(**{**spec.lm.to_dict(), "vocab_size": len(vocab),
+                         "num_layers": num_layers})
+    model = MiniLM(config)
+    corpus = build_corpus(spec.corpus_sentences, seed=spec.corpus_seed)
+    label_words = tuple(lexicon.POSITIVE_LABEL_WORDS + lexicon.NEGATIVE_LABEL_WORDS)
+
+    for round_idx in range(rounds):
+        t0 = time.time()
+        result = pretrain(model, tok, corpus, PretrainConfig(
+            epochs=2, batch_size=32, lr=1e-3, max_len=96,
+            seed=round_idx, focus_tokens=label_words))
+        easy = cloze_accuracy(model, tok, "phrase")
+        hard = cloze_accuracy(model, tok, "record")
+        auc = zero_shot_auc(model, tok)
+        print(f"L={num_layers} epochs={2 * (round_idx + 1):3d} "
+              f"loss={result.final_loss:.3f} phrase_acc={easy:.3f} "
+              f"record_acc={hard:.3f} zshot_auc={auc:.3f} "
+              f"({time.time() - t0:.0f}s)", flush=True)
+
+
+if __name__ == "__main__":
+    main()

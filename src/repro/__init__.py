@@ -1,0 +1,31 @@
+"""PromptEM reproduction: prompt-tuning for low-resource generalized
+entity matching (Wang et al., VLDB 2022), rebuilt from scratch on a numpy
+autodiff substrate.
+
+Quickstart::
+
+    from repro import PromptEM, load_dataset
+
+    dataset = load_dataset("REL-HETER")
+    matcher = PromptEM().fit(dataset.low_resource())
+    print(matcher.evaluate(dataset.test))
+"""
+
+from .core import PromptEM, PromptEMConfig
+from .data import (
+    DATASET_NAMES, CandidatePair, EntityRecord, GEMDataset, Table,
+    load_all, load_dataset, serialize,
+)
+from .eval import PRF, ConfusionMatrix
+from .lm import load_pretrained
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PromptEM", "PromptEMConfig",
+    "load_dataset", "load_all", "DATASET_NAMES",
+    "GEMDataset", "CandidatePair", "EntityRecord", "Table", "serialize",
+    "PRF", "ConfusionMatrix",
+    "load_pretrained",
+    "__version__",
+]

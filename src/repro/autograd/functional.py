@@ -1,0 +1,132 @@
+"""Neural-network functional operations built on :class:`~repro.autograd.tensor.Tensor`.
+
+These are the activation, normalization and loss primitives that the MiniLM
+encoder, the prompt verbalizer and every baseline matcher share.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, where
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as used by BERT)."""
+    inner = (x + (x ** 3) * 0.044715) * _SQRT_2_OVER_PI
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Replace positions where ``mask`` is True with ``value``."""
+    return where(np.asarray(mask, dtype=bool), Tensor(np.full(x.shape, value)), x)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: Optional[int] = None,
+                  sample_weights: Optional[np.ndarray] = None) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,).
+
+    ``ignore_index`` positions contribute zero loss (used by MLM pre-training
+    where unmasked positions carry a sentinel target). ``sample_weights``
+    rescales per-sample losses (used by Rotom's meta-weighting).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2-d logits, got shape {logits.shape}")
+    n = logits.shape[0]
+    log_probs = log_softmax(logits, axis=-1)
+
+    if ignore_index is not None:
+        keep = targets != ignore_index
+    else:
+        keep = np.ones(n, dtype=bool)
+    if not keep.any():
+        return Tensor(0.0, requires_grad=logits.requires_grad)
+
+    rows = np.nonzero(keep)[0]
+    picked = log_probs[rows, targets[rows]]
+    if sample_weights is not None:
+        weights = np.asarray(sample_weights, dtype=np.float64)[rows]
+        total = weights.sum()
+        if total <= 0:
+            return Tensor(0.0, requires_grad=logits.requires_grad)
+        return -(picked * Tensor(weights)).sum() / total
+    return -picked.sum() / len(rows)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer targets under ``log_probs``."""
+    targets = np.asarray(targets, dtype=np.int64)
+    rows = np.arange(log_probs.shape[0])
+    return -log_probs[rows, targets].mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean BCE between scalar logits (N,) and binary targets (N,)."""
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    # log(1 + exp(-|x|)) + max(x, 0) - x*y, the numerically stable form.
+    abs_logits = logits.abs()
+    loss = (1.0 + (-abs_logits).exp()).log() + logits.relu() - logits * targets_t
+    return loss.mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not ``training`` or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` (V, D) according to integer ``indices``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    return weight[indices]
+
+
+def attention_scores_mask(pad_mask: np.ndarray) -> np.ndarray:
+    """Expand a (B, T) padding mask to a (B, 1, 1, T) attention mask.
+
+    True marks *padding* positions that must not be attended to.
+    """
+    pad_mask = np.asarray(pad_mask, dtype=bool)
+    return pad_mask[:, None, None, :]

@@ -1,0 +1,45 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for (fan_in, fan_out) weights."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator,
+                  gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.standard_normal(shape) * std
+
+
+def normal(shape: Tuple[int, ...], rng: np.random.Generator,
+           std: float = 0.02) -> np.ndarray:
+    """BERT-style truncated-ish normal initialization."""
+    return np.clip(rng.standard_normal(shape) * std, -2 * std, 2 * std)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return shape[0] * receptive, shape[1] * receptive

@@ -1,0 +1,139 @@
+"""Core layers: Linear, Embedding, LayerNorm, Dropout, Sequential, MLP."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with W of shape (in_features, out_features)."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None, bias: bool = True) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: Optional[np.random.Generator] = None,
+                 padding_idx: Optional[int] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        table = init.normal((num_embeddings, embedding_dim), rng)
+        if padding_idx is not None:
+            table[padding_idx] = 0.0
+        self.weight = Parameter(table)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return F.embedding_lookup(self.weight, indices)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init.ones((dim,)))
+        self.beta = Parameter(init.zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normed = (x - mu) / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout driven by the module's training flag.
+
+    The per-module ``rng`` makes stochastic forward passes reproducible,
+    which matters for MC-Dropout uncertainty estimates (paper Section 4.2).
+    """
+
+    def __init__(self, p: float, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, rng=self.rng)
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            self.register_module(f"layer{i}", layer)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class Activation(Module):
+    """Wrap a functional activation as a module (for Sequential)."""
+
+    def __init__(self, fn: Callable[[Tensor], Tensor]) -> None:
+        super().__init__()
+        self.fn = fn
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fn(x)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes and dropout.
+
+    Used by the TDmatch* supervised head (paper Appendix D) and DADER's
+    domain discriminator.
+    """
+
+    def __init__(self, in_features: int, hidden: Sequence[int], out_features: int,
+                 rng: Optional[np.random.Generator] = None,
+                 activation: Callable[[Tensor], Tensor] = F.relu,
+                 dropout: float = 0.0) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        dims = [in_features, *hidden, out_features]
+        layers: list[Module] = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(d_in, d_out, rng=rng))
+            if i < len(dims) - 2:
+                layers.append(Activation(activation))
+                if dropout > 0:
+                    layers.append(Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31))))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

@@ -1,0 +1,42 @@
+"""Checkpoint save/load for modules (npz-based)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, Path]
+
+
+def save_checkpoint(module: Module, path: PathLike,
+                    metadata: Optional[Dict[str, Any]] = None) -> None:
+    """Persist a module's state dict (and optional JSON metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    payload = dict(state)
+    if metadata is not None:
+        payload["__metadata__"] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(module: Module, path: PathLike, strict: bool = True) -> Dict[str, Any]:
+    """Load parameters saved by :func:`save_checkpoint`; returns metadata."""
+    path = Path(path)
+    with np.load(path) as archive:
+        metadata: Dict[str, Any] = {}
+        state: Dict[str, np.ndarray] = {}
+        for key in archive.files:
+            if key == "__metadata__":
+                metadata = json.loads(archive[key].tobytes().decode("utf-8"))
+            else:
+                state[key] = archive[key]
+    module.load_state_dict(state, strict=strict)
+    return metadata

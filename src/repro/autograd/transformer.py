@@ -1,0 +1,72 @@
+"""Transformer encoder stack (post-norm, BERT-style)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .attention import MultiHeadAttention
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module
+from .tensor import Tensor
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward block with GELU."""
+
+    def __init__(self, d_model: int, d_ff: int,
+                 rng: Optional[np.random.Generator] = None,
+                 dropout: float = 0.1) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.fc1 = Linear(d_model, d_ff, rng=rng)
+        self.fc2 = Linear(d_ff, d_model, rng=rng)
+        self.dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.fc2(F.gelu(self.fc1(x))))
+
+
+class TransformerEncoderLayer(Module):
+    """Self-attention + FFN with residual connections and post-layer-norm."""
+
+    def __init__(self, d_model: int, num_heads: int, d_ff: int,
+                 rng: Optional[np.random.Generator] = None,
+                 dropout: float = 0.1, matched_heads: int = 0) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.attention = MultiHeadAttention(d_model, num_heads, rng=rng, dropout=dropout,
+                                            matched_heads=matched_heads)
+        self.ffn = FeedForward(d_model, d_ff, rng=rng, dropout=dropout)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+
+    def forward(self, x: Tensor, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = self.norm1(x + self.dropout(self.attention(x, pad_mask=pad_mask)))
+        x = self.norm2(x + self.ffn(x))
+        return x
+
+
+class TransformerEncoder(Module):
+    """A stack of encoder layers."""
+
+    def __init__(self, num_layers: int, d_model: int, num_heads: int, d_ff: int,
+                 rng: Optional[np.random.Generator] = None,
+                 dropout: float = 0.1, matched_heads: int = 0) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_layers = num_layers
+        self.layers = []
+        for i in range(num_layers):
+            layer = TransformerEncoderLayer(d_model, num_heads, d_ff, rng=rng, dropout=dropout,
+                                            matched_heads=matched_heads)
+            self.register_module(f"layer{i}", layer)
+            self.layers.append(layer)
+
+    def forward(self, x: Tensor, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, pad_mask=pad_mask)
+        return x

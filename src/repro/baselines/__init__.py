@@ -1,0 +1,20 @@
+"""The eight baseline matchers evaluated against PromptEM."""
+
+from .augment import ALL_OPERATORS, Augmenter
+from .base import Matcher
+from .bert_ft import BertMatcher
+from .dader import SOURCE_FOR, Dader
+from .deepmatcher import DeepMatcher
+from .ditto import Ditto, inject_domain_knowledge
+from .registry import BASELINE_NAMES, make_baseline
+from .rotom import Rotom
+from .sentencebert import SentenceBert
+from .tdmatch import TDmatch, TDmatchConfig, TDmatchEmbedder, TDmatchStar
+
+__all__ = [
+    "Matcher",
+    "DeepMatcher", "BertMatcher", "SentenceBert", "Ditto", "Rotom", "Dader",
+    "TDmatch", "TDmatchStar", "TDmatchConfig", "TDmatchEmbedder",
+    "Augmenter", "ALL_OPERATORS", "inject_domain_knowledge", "SOURCE_FOR",
+    "BASELINE_NAMES", "make_baseline",
+]

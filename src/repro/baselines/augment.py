@@ -1,0 +1,104 @@
+"""Data-augmentation operators for serialized entity pairs (Ditto / Rotom).
+
+Ditto's DA suite operates on the serialized sequence: span deletion, span
+shuffling, attribute deletion, attribute shuffling, and whole-entry swap.
+Rotom composes the same operator pool and learns which augmented examples
+to trust.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_ATTR_RE = re.compile(r"\[COL\] .*?(?=\[COL\]|$)")
+
+PairAug = Callable[[np.random.Generator, str, str], Tuple[str, str]]
+
+
+def _split_attrs(text: str) -> List[str]:
+    """Split a serialized entity into its [COL]-delimited attribute chunks."""
+    chunks = [m.group(0).strip() for m in _ATTR_RE.finditer(text)]
+    return chunks if chunks else [text]
+
+
+def del_span(rng: np.random.Generator, left: str, right: str,
+             max_span: int = 4) -> Tuple[str, str]:
+    """Delete a short random token span from one side."""
+    side = int(rng.integers(2))
+    texts = [left, right]
+    words = texts[side].split()
+    if len(words) > max_span + 1:
+        start = int(rng.integers(len(words) - max_span))
+        length = int(rng.integers(1, max_span + 1))
+        del words[start:start + length]
+        texts[side] = " ".join(words)
+    return texts[0], texts[1]
+
+
+def shuffle_span(rng: np.random.Generator, left: str, right: str,
+                 span: int = 4) -> Tuple[str, str]:
+    """Shuffle the tokens inside a short random span of one side."""
+    side = int(rng.integers(2))
+    texts = [left, right]
+    words = texts[side].split()
+    if len(words) > span:
+        start = int(rng.integers(len(words) - span))
+        segment = words[start:start + span]
+        rng.shuffle(segment)
+        words[start:start + span] = segment
+        texts[side] = " ".join(words)
+    return texts[0], texts[1]
+
+
+def del_attr(rng: np.random.Generator, left: str, right: str) -> Tuple[str, str]:
+    """Drop one whole attribute ([COL]...[VAL]... chunk) from one side."""
+    side = int(rng.integers(2))
+    texts = [left, right]
+    attrs = _split_attrs(texts[side])
+    if len(attrs) > 1:
+        del attrs[int(rng.integers(len(attrs)))]
+        texts[side] = " ".join(attrs)
+    return texts[0], texts[1]
+
+
+def shuffle_attrs(rng: np.random.Generator, left: str, right: str) -> Tuple[str, str]:
+    """Permute attribute order of one side (order should not matter)."""
+    side = int(rng.integers(2))
+    texts = [left, right]
+    attrs = _split_attrs(texts[side])
+    rng.shuffle(attrs)
+    texts[side] = " ".join(attrs)
+    return texts[0], texts[1]
+
+
+def swap_entities(rng: np.random.Generator, left: str, right: str) -> Tuple[str, str]:
+    """Swap the two entries (matching is symmetric)."""
+    return right, left
+
+
+ALL_OPERATORS: Tuple[PairAug, ...] = (
+    del_span, shuffle_span, del_attr, shuffle_attrs, swap_entities,
+)
+
+
+class Augmenter:
+    """Applies a random operator from a pool, with probability ``p``."""
+
+    def __init__(self, operators: Sequence[PairAug] = ALL_OPERATORS,
+                 p: float = 0.5, seed: int = 0) -> None:
+        if not operators:
+            raise ValueError("need at least one operator")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.operators = list(operators)
+        self.p = p
+        self.rng = np.random.default_rng(seed)
+
+    def __call__(self, left: str, right: str) -> Tuple[str, str]:
+        if self.rng.random() >= self.p:
+            return left, right
+        op = self.operators[int(self.rng.integers(len(self.operators)))]
+        return op(self.rng, left, right)

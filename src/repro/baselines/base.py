@@ -1,0 +1,45 @@
+"""Common matcher interface implemented by every baseline and by PromptEM."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..data.dataset import CandidatePair, LowResourceView
+from ..eval.metrics import PRF
+
+
+class Matcher(ABC):
+    """fit / predict / evaluate over candidate pairs."""
+
+    #: human-readable method name used in benchmark tables
+    name: str = "matcher"
+
+    @abstractmethod
+    def fit(self, view: LowResourceView) -> "Matcher":
+        """Train on a low-resource view."""
+
+    @abstractmethod
+    def predict(self, pairs: Sequence[CandidatePair]) -> np.ndarray:
+        """Hard 0/1 match decisions."""
+
+    def evaluate(self, pairs: Sequence[CandidatePair]) -> PRF:
+        truth = np.array([p.label for p in pairs], dtype=np.int64)
+        return PRF.from_labels(truth, self.predict(pairs))
+
+    def memory_bytes(self) -> int:
+        """Deterministic training-memory estimate (Table 4's memory column).
+
+        Default: every Module attribute's parameters, times four (weights +
+        gradients + two AdamW moments), in float32. Matchers with other
+        dominant structures (TDmatch's dense co-occurrence matrix) override.
+        """
+        from ..autograd import Module
+
+        total_params = 0
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                total_params += value.num_parameters()
+        return total_params * 4 * 4

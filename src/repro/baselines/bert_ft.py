@@ -1,0 +1,57 @@
+"""BERT baseline: vanilla fine-tuning for sequence-pair classification.
+
+Exactly paper Section 2.3: serialize, [CLS]-pool, train a fresh softmax
+head. The contrast with PromptEM isolates the objective-form gap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.finetune import SequenceClassifier
+from ..core.trainer import Trainer, TrainerConfig, predict as predict_fn
+from ..data.dataset import CandidatePair, LowResourceView
+from ..lm.model import MiniLM
+from ..text import Tokenizer
+from .base import Matcher
+from .lm_common import BackboneMixin
+
+
+class BertMatcher(BackboneMixin, Matcher):
+    """Fine-tuned LM classifier."""
+
+    name = "BERT"
+
+    def __init__(self, epochs: int = 20, lr: float = 1e-3,
+                 batch_size: int = 16, max_len: int = 96,
+                 model_name: str = "minilm-base",
+                 lm: Optional[MiniLM] = None,
+                 tokenizer: Optional[Tokenizer] = None,
+                 seed: int = 0) -> None:
+        BackboneMixin.__init__(self, model_name=model_name, lm=lm,
+                               tokenizer=tokenizer)
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.max_len = max_len
+        self.seed = seed
+        self.model: Optional[SequenceClassifier] = None
+
+    def _make_model(self) -> SequenceClassifier:
+        lm, tokenizer = self.backbone()
+        return SequenceClassifier(lm, tokenizer, max_len=self.max_len,
+                                  seed=self.seed)
+
+    def fit(self, view: LowResourceView) -> "BertMatcher":
+        self.model = self._make_model()
+        Trainer(self.model, TrainerConfig(
+            epochs=self.epochs, batch_size=self.batch_size, lr=self.lr,
+            seed=self.seed)).fit(view.labeled, valid=view.valid)
+        return self
+
+    def predict(self, pairs: Sequence[CandidatePair]) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("fit() first")
+        return predict_fn(self.model, pairs, batch_size=self.batch_size)

@@ -1,0 +1,113 @@
+"""DeepMatcher [Mudgal et al., SIGMOD 2018], hybrid-model style.
+
+Per paper Appendix D, GEM inputs are flattened to a single attribute whose
+value is the concatenation of all attribute values; an RNN aggregates each
+side, and an MLP classifies the comparison vector ``(u, v, |u-v|, u*v)``.
+No pre-training is involved -- embeddings are learned from scratch on the
+labeled pairs alone, which is why DeepMatcher collapses under low-resource
+settings (Table 2's worst row).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import (
+    MLP, BiLSTM, Embedding, Module, Tensor, concatenate, functional as F,
+)
+from ..data.dataset import CandidatePair, LowResourceView
+from ..data.records import EntityRecord
+from ..data.serialize import serialize
+from ..text.tokenizer import basic_tokenize
+from ..text.vocab import Vocabulary
+from .base import Matcher
+
+
+def flatten_record(record: EntityRecord) -> str:
+    """One-attribute flattening: all values, no [COL]/[VAL] structure."""
+    tokens = [t for t in basic_tokenize(serialize(record))
+              if t not in ("[COL]", "[VAL]")]
+    return " ".join(tokens)
+
+
+class _DeepMatcherNet(Module):
+    """Embedding + BiLSTM aggregation + comparison MLP."""
+
+    def __init__(self, vocab: Vocabulary, dim: int = 32, hidden: int = 32,
+                 max_len: int = 48, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab = vocab
+        self.max_len = max_len
+        self.embedding = Embedding(len(vocab), dim, rng=rng, padding_idx=0)
+        self.rnn = BiLSTM(dim, hidden, rng=rng)
+        self.classifier = MLP(4 * self.rnn.output_size, [64], 2,
+                              rng=rng, dropout=0.1)
+
+    def _encode_side(self, texts: Sequence[str]) -> Tensor:
+        ids = np.zeros((len(texts), self.max_len), dtype=np.int64)
+        for i, text in enumerate(texts):
+            seq = self.vocab.encode(basic_tokenize(text))[: self.max_len]
+            ids[i, : len(seq)] = seq
+        states = self.rnn(self.embedding(ids))       # (B, T, H)
+        return states.mean(axis=1)                   # mean-pool aggregation
+
+    def _compare(self, pairs: Sequence[CandidatePair]) -> Tensor:
+        u = self._encode_side([flatten_record(p.left) for p in pairs])
+        v = self._encode_side([flatten_record(p.right) for p in pairs])
+        feats = concatenate([u, v, (u - v).abs(), u * v], axis=1)
+        return self.classifier(feats)
+
+    def forward(self, pairs: Sequence[CandidatePair]) -> Tensor:
+        return F.softmax(self._compare(pairs), axis=-1)
+
+    def loss(self, pairs, labels, sample_weights=None) -> Tensor:
+        return F.cross_entropy(self._compare(pairs),
+                               np.asarray(labels, dtype=np.int64),
+                               sample_weights=sample_weights)
+
+
+class DeepMatcher(Matcher):
+    """The from-scratch RNN baseline."""
+
+    name = "DeepMatcher"
+
+    def __init__(self, dim: int = 32, hidden: int = 32, epochs: int = 30,
+                 lr: float = 2e-3, batch_size: int = 16, max_len: int = 48,
+                 seed: int = 0) -> None:
+        self.dim = dim
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.max_len = max_len
+        self.seed = seed
+        self.model: Optional[_DeepMatcherNet] = None
+
+    def _build_vocab(self, pairs: Sequence[CandidatePair]) -> Vocabulary:
+        vocab = Vocabulary()
+        for pair in pairs:
+            for record in (pair.left, pair.right):
+                for token in basic_tokenize(flatten_record(record)):
+                    vocab.add(token)
+        return vocab
+
+    def fit(self, view: LowResourceView) -> "DeepMatcher":
+        from ..core.trainer import Trainer, TrainerConfig
+
+        vocab = self._build_vocab(list(view.labeled) + list(view.valid))
+        self.model = _DeepMatcherNet(vocab, dim=self.dim, hidden=self.hidden,
+                                     max_len=self.max_len, seed=self.seed)
+        Trainer(self.model, TrainerConfig(
+            epochs=self.epochs, batch_size=self.batch_size, lr=self.lr,
+            seed=self.seed)).fit(view.labeled, valid=view.valid)
+        return self
+
+    def predict(self, pairs: Sequence[CandidatePair]) -> np.ndarray:
+        from ..core.trainer import predict as predict_fn
+
+        if self.model is None:
+            raise RuntimeError("fit() first")
+        return predict_fn(self.model, pairs, batch_size=self.batch_size)

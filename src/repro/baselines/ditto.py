@@ -1,0 +1,91 @@
+"""Ditto [Li et al., VLDB 2020]: fine-tuning + its three optimizations.
+
+1. **Domain knowledge** -- value normalization and type tagging: numbers
+   get a ``num`` type marker so the LM can at least see "this is a number
+   of the same length" even when digit semantics elude it;
+2. **TF-IDF summarization** -- long entries keep only high-TF-IDF tokens
+   (shared with PromptEM via Appendix F);
+3. **Data augmentation** -- the operator suite in :mod:`.augment` applied
+   on-the-fly during training (MixDA's "apply one random op" scheme).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.finetune import SequenceClassifier
+from ..core.trainer import Trainer, TrainerConfig, predict as predict_fn
+from ..data.dataset import CandidatePair, LowResourceView
+from ..data.serialize import serialize
+from ..lm.model import MiniLM
+from ..text import Tokenizer
+from ..text.tfidf import TfIdfSummarizer
+from .augment import Augmenter
+from .base import Matcher
+from .lm_common import BackboneMixin
+
+_NUMBER_RE = re.compile(r"\b\d+\b")
+
+
+def inject_domain_knowledge(text: str) -> str:
+    """Tag standalone numbers with a ``num`` marker (Ditto's DK module)."""
+    return _NUMBER_RE.sub(lambda m: f"num {m.group(0)}", text)
+
+
+class _DittoClassifier(SequenceClassifier):
+    """SequenceClassifier whose serialization adds DK tags."""
+
+    def _texts(self, pair: CandidatePair) -> tuple:
+        left = inject_domain_knowledge(
+            serialize(pair.left, summarizer=self.summarizer))
+        right = inject_domain_knowledge(
+            serialize(pair.right, summarizer=self.summarizer))
+        return left, right
+
+
+class Ditto(BackboneMixin, Matcher):
+    """The SOTA fine-tuning EM system."""
+
+    name = "Ditto"
+
+    def __init__(self, epochs: int = 20, lr: float = 1e-3,
+                 batch_size: int = 16, max_len: int = 96,
+                 summary_tokens: int = 48, augment_p: float = 0.5,
+                 model_name: str = "minilm-base",
+                 lm: Optional[MiniLM] = None,
+                 tokenizer: Optional[Tokenizer] = None,
+                 seed: int = 0) -> None:
+        BackboneMixin.__init__(self, model_name=model_name, lm=lm,
+                               tokenizer=tokenizer)
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.max_len = max_len
+        self.summary_tokens = summary_tokens
+        self.augment_p = augment_p
+        self.seed = seed
+        self.model: Optional[_DittoClassifier] = None
+
+    def fit(self, view: LowResourceView) -> "Ditto":
+        lm, tokenizer = self.backbone()
+        texts: List[str] = []
+        for pair in list(view.labeled) + list(view.valid):
+            texts.append(serialize(pair.left))
+            texts.append(serialize(pair.right))
+        summarizer = TfIdfSummarizer(max_tokens=self.summary_tokens).fit(texts)
+        self.model = _DittoClassifier(
+            lm, tokenizer, max_len=self.max_len, summarizer=summarizer,
+            seed=self.seed,
+            augmenter=Augmenter(p=self.augment_p, seed=self.seed))
+        Trainer(self.model, TrainerConfig(
+            epochs=self.epochs, batch_size=self.batch_size, lr=self.lr,
+            seed=self.seed)).fit(view.labeled, valid=view.valid)
+        return self
+
+    def predict(self, pairs: Sequence[CandidatePair]) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("fit() first")
+        return predict_fn(self.model, pairs, batch_size=self.batch_size)

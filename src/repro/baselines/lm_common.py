@@ -1,0 +1,37 @@
+"""Shared plumbing for LM-backed baselines: pristine backbone copies."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..lm import load_pretrained
+from ..lm.model import MiniLM
+from ..text import Tokenizer
+
+
+class BackboneMixin:
+    """Lazily loads the pre-trained LM and hands out fresh copies.
+
+    Every baseline fine-tunes its *own* copy of the checkpoint, exactly as
+    each paper baseline starts from the same pre-trained weights.
+    """
+
+    def __init__(self, model_name: str = "minilm-base",
+                 lm: Optional[MiniLM] = None,
+                 tokenizer: Optional[Tokenizer] = None) -> None:
+        if (lm is None) != (tokenizer is None):
+            raise ValueError("provide both lm and tokenizer, or neither")
+        self.model_name = model_name
+        self._lm = lm
+        self._tokenizer = tokenizer
+        self._pristine_state = None
+
+    def backbone(self) -> Tuple[MiniLM, Tokenizer]:
+        """A fresh MiniLM initialized from the pre-trained checkpoint."""
+        if self._lm is None:
+            self._lm, self._tokenizer = load_pretrained(self.model_name)
+        if self._pristine_state is None:
+            self._pristine_state = self._lm.state_dict()
+        fresh = MiniLM(self._lm.config)
+        fresh.load_state_dict(self._pristine_state)
+        return fresh, self._tokenizer

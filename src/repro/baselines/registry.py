@@ -1,0 +1,34 @@
+"""Baseline registry: name -> factory, used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import Matcher
+from .bert_ft import BertMatcher
+from .dader import Dader
+from .deepmatcher import DeepMatcher
+from .ditto import Ditto
+from .rotom import Rotom
+from .sentencebert import SentenceBert
+from .tdmatch import TDmatch, TDmatchStar
+
+_FACTORIES: Dict[str, Callable[..., Matcher]] = {
+    "DeepMatcher": DeepMatcher,
+    "BERT": BertMatcher,
+    "SentenceBERT": SentenceBert,
+    "Ditto": Ditto,
+    "DADER": Dader,
+    "Rotom": Rotom,
+    "TDmatch": TDmatch,
+    "TDmatch*": TDmatchStar,
+}
+
+#: Row order used by the paper's tables.
+BASELINE_NAMES: List[str] = list(_FACTORIES)
+
+
+def make_baseline(name: str, **kwargs) -> Matcher:
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown baseline {name!r}; available: {BASELINE_NAMES}")
+    return _FACTORIES[name](**kwargs)

@@ -1,0 +1,121 @@
+"""Rotom [Miao et al., SIGMOD 2021]: meta-learned augmentation selection.
+
+Rotom generates augmented examples with multiple operators and learns to
+*select and weight* them so that only helpful augmentations influence
+fine-tuning. We reproduce the selection mechanism with its practical core
+(two-stage training, Table 4's "Rotom requires two-stage training" cost):
+
+* stage 1 trains a seed model on the original labeled data;
+* stage 2 generates K augmentations per example, weights each by the seed
+  model's agreement with the original label (disagreeing augmentations get
+  down-weighted toward zero -- the filter-and-weight role of Rotom's
+  meta-learner), and trains the final model on the weighted union.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.finetune import SequenceClassifier
+from ..core.trainer import (
+    Trainer, TrainerConfig, predict as predict_fn, predict_proba,
+)
+from ..data.dataset import CandidatePair, LowResourceView
+from ..data.records import EntityRecord
+from ..data.serialize import serialize
+from ..lm.model import MiniLM
+from ..text import Tokenizer
+from .augment import ALL_OPERATORS
+from .base import Matcher
+from .lm_common import BackboneMixin
+
+
+def _as_text_pair(pair: CandidatePair) -> CandidatePair:
+    """Freeze a pair's serialization into text records so augmented string
+    variants can flow through the same classifier."""
+    return CandidatePair(
+        EntityRecord.text_record(pair.left.record_id, serialize(pair.left)),
+        EntityRecord.text_record(pair.right.record_id, serialize(pair.right)),
+        pair.label)
+
+
+class Rotom(BackboneMixin, Matcher):
+    """Meta-weighted augmentation baseline."""
+
+    name = "Rotom"
+
+    def __init__(self, epochs: int = 14, lr: float = 1e-3,
+                 batch_size: int = 16, max_len: int = 96,
+                 augmentations_per_example: int = 2,
+                 agreement_floor: float = 0.1,
+                 model_name: str = "minilm-base",
+                 lm: Optional[MiniLM] = None,
+                 tokenizer: Optional[Tokenizer] = None,
+                 seed: int = 0) -> None:
+        BackboneMixin.__init__(self, model_name=model_name, lm=lm,
+                               tokenizer=tokenizer)
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.max_len = max_len
+        self.augmentations_per_example = augmentations_per_example
+        self.agreement_floor = agreement_floor
+        self.seed = seed
+        self.model: Optional[SequenceClassifier] = None
+
+    def _make_model(self) -> SequenceClassifier:
+        lm, tokenizer = self.backbone()
+        return SequenceClassifier(lm, tokenizer, max_len=self.max_len,
+                                  seed=self.seed)
+
+    def _augment(self, pairs: Sequence[CandidatePair],
+                 rng: np.random.Generator) -> List[CandidatePair]:
+        out: List[CandidatePair] = []
+        for pair in pairs:
+            left, right = serialize(pair.left), serialize(pair.right)
+            for k in range(self.augmentations_per_example):
+                op = ALL_OPERATORS[int(rng.integers(len(ALL_OPERATORS)))]
+                new_left, new_right = op(rng, left, right)
+                out.append(CandidatePair(
+                    EntityRecord.text_record(f"{pair.left.record_id}-aug{k}",
+                                             new_left),
+                    EntityRecord.text_record(f"{pair.right.record_id}-aug{k}",
+                                             new_right),
+                    pair.label))
+        return out
+
+    def fit(self, view: LowResourceView) -> "Rotom":
+        rng = np.random.default_rng(self.seed)
+
+        # Stage 1: seed model on the original data.
+        seed_model = self._make_model()
+        Trainer(seed_model, TrainerConfig(
+            epochs=self.epochs, batch_size=self.batch_size, lr=self.lr,
+            seed=self.seed)).fit(view.labeled, valid=view.valid)
+
+        # Stage 2: weight augmentations by seed-model agreement.
+        originals = [_as_text_pair(p) for p in view.labeled]
+        augmented = self._augment(view.labeled, rng)
+        probs = predict_proba(seed_model, augmented,
+                              batch_size=self.batch_size)
+        labels = np.array([p.label for p in augmented])
+        agreement = probs[np.arange(len(labels)), labels]
+        weights = np.concatenate([
+            np.ones(len(originals)),
+            np.maximum(agreement, self.agreement_floor),
+        ])
+
+        self.model = self._make_model()
+        Trainer(self.model, TrainerConfig(
+            epochs=self.epochs, batch_size=self.batch_size, lr=self.lr,
+            seed=self.seed + 1)).fit(
+            originals + augmented, valid=view.valid, sample_weights=weights)
+        return self
+
+    def predict(self, pairs: Sequence[CandidatePair]) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("fit() first")
+        return predict_fn(self.model, [_as_text_pair(p) for p in pairs],
+                          batch_size=self.batch_size)

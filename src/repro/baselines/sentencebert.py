@@ -1,0 +1,93 @@
+"""SentenceBERT [Reimers & Gurevych 2019]: siamese bi-encoder baseline.
+
+Each entity is encoded *independently* by the shared LM; the classifier
+sees ``(u, v, |u - v|)``. Cheaper than a cross-encoder (Table 4's fastest
+LM row) but blind to token-level interactions between the two entities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Dropout, Linear, Module, Tensor, concatenate, functional as F
+from ..core.trainer import Trainer, TrainerConfig, predict as predict_fn
+from ..data.dataset import CandidatePair, LowResourceView
+from ..data.serialize import serialize
+from ..lm.model import MiniLM, pad_batch
+from ..text import Tokenizer
+from .base import Matcher
+from .lm_common import BackboneMixin
+
+
+class _SiameseNet(Module):
+    def __init__(self, lm: MiniLM, tokenizer: Tokenizer, max_len: int,
+                 seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.lm = lm
+        self.tokenizer = tokenizer
+        self.max_len = min(max_len, lm.config.max_len)
+        self.head = Linear(3 * lm.config.d_model, 2, rng=rng)
+        self.head_dropout = Dropout(0.1, rng=np.random.default_rng(seed + 1))
+
+    def _embed(self, texts: Sequence[str]) -> Tensor:
+        encodings = [self.tokenizer.encode(t, max_len=self.max_len).ids
+                     for t in texts]
+        ids, pad_mask = pad_batch(encodings, pad_id=self.tokenizer.vocab.pad_id)
+        hidden = self.lm.encode(ids, pad_mask=pad_mask)
+        # Mean pooling over non-pad tokens (the SBERT default).
+        keep = (~pad_mask).astype(np.float64)[:, :, None]
+        summed = (hidden * Tensor(keep)).sum(axis=1)
+        counts = Tensor(np.maximum(keep.sum(axis=1), 1.0))
+        return summed / counts
+
+    def _logits(self, pairs: Sequence[CandidatePair]) -> Tensor:
+        u = self._embed([serialize(p.left) for p in pairs])
+        v = self._embed([serialize(p.right) for p in pairs])
+        feats = concatenate([u, v, (u - v).abs()], axis=1)
+        return self.head(self.head_dropout(feats))
+
+    def forward(self, pairs: Sequence[CandidatePair]) -> Tensor:
+        return F.softmax(self._logits(pairs), axis=-1)
+
+    def loss(self, pairs, labels, sample_weights=None) -> Tensor:
+        return F.cross_entropy(self._logits(pairs),
+                               np.asarray(labels, dtype=np.int64),
+                               sample_weights=sample_weights)
+
+
+class SentenceBert(BackboneMixin, Matcher):
+    """Siamese bi-encoder matcher."""
+
+    name = "SentenceBERT"
+
+    def __init__(self, epochs: int = 20, lr: float = 1e-3,
+                 batch_size: int = 16, max_len: int = 64,
+                 model_name: str = "minilm-base",
+                 lm: Optional[MiniLM] = None,
+                 tokenizer: Optional[Tokenizer] = None,
+                 seed: int = 0) -> None:
+        BackboneMixin.__init__(self, model_name=model_name, lm=lm,
+                               tokenizer=tokenizer)
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.max_len = max_len
+        self.seed = seed
+        self.model: Optional[_SiameseNet] = None
+
+    def fit(self, view: LowResourceView) -> "SentenceBert":
+        lm, tokenizer = self.backbone()
+        self.model = _SiameseNet(lm, tokenizer, max_len=self.max_len,
+                                 seed=self.seed)
+        Trainer(self.model, TrainerConfig(
+            epochs=self.epochs, batch_size=self.batch_size, lr=self.lr,
+            seed=self.seed)).fit(view.labeled, valid=view.valid)
+        return self
+
+    def predict(self, pairs: Sequence[CandidatePair]) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("fit() first")
+        return predict_fn(self.model, pairs, batch_size=self.batch_size)

@@ -1,0 +1,310 @@
+"""TDmatch [Ahmadi et al., ICDE 2022]: unsupervised matching of data & text.
+
+Pipeline (faithful to the original's structure):
+
+1. **Graph creation** -- a bipartite graph between record nodes (both
+   tables) and token nodes from their serialized content;
+2. **Random walks** -- many fixed-length walks from every node produce
+   co-occurrence statistics (this is the step whose cost explodes with
+   table size: walks x length x nodes, plus a dense |V| x |V| co-occurrence
+   matrix -- reproducing the paper's scalability complaint in Section 5.4);
+3. **Embeddings** -- PPMI of the walk co-occurrences factorized with
+   truncated SVD (the classic equivalence of skip-gram-style walk
+   embeddings);
+4. **Matching** -- unsupervised mutual-top-1 with a similarity margin.
+
+``TDmatchStar`` adds the supervised MLP head of paper Appendix D, fed with
+``(u, v, |u - v|, u * v)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy.cluster.vq import kmeans2
+from scipy.sparse.linalg import svds
+
+from ..autograd import MLP, Module, Tensor, functional as F
+from ..data.dataset import CandidatePair, LowResourceView
+from ..data.records import EntityRecord
+from ..data.serialize import serialize
+from ..eval.metrics import PRF
+from ..text.tokenizer import basic_tokenize
+from .base import Matcher
+
+
+@dataclass
+class TDmatchConfig:
+    """Walk / embedding hyperparameters (generous, like the original)."""
+
+    num_walks: int = 20
+    walk_length: int = 20
+    window: int = 3
+    dimensions: int = 48
+    seed: int = 0
+    #: mutual-top-1 similarity margin for the unsupervised decision
+    margin: float = 0.05
+
+
+def record_key(record: EntityRecord, side: str) -> str:
+    return f"{side}::{record.record_id}"
+
+
+class TDmatchEmbedder:
+    """Graph construction + random walks + PPMI/SVD embeddings."""
+
+    def __init__(self, config: Optional[TDmatchConfig] = None) -> None:
+        self.config = config if config is not None else TDmatchConfig()
+        self.embeddings: Dict[str, np.ndarray] = {}
+        self.walk_steps = 0
+
+    @staticmethod
+    def _tokens(record: EntityRecord) -> List[str]:
+        """Word tokens plus whole-cell value tokens.
+
+        The original TDmatch graph links records to their attribute *values*
+        as well as to words; whole-value nodes let exact identifiers (ISBNs,
+        phone numbers, ids) connect matching records directly -- the source
+        of TDmatch's advantage on digit-heavy data (paper Section 5.2).
+        """
+        tokens = [t for t in basic_tokenize(serialize(record))
+                  if t not in ("[COL]", "[VAL]")]
+        for value in record.flat_values():
+            text = str(value).strip().lower()
+            if text and len(text) > 2:
+                tokens.append(f"val::{text}")
+        return tokens
+
+    #: extra edge weight for whole-value nodes: exact identifier matches
+    #: (ISBN, phone) should pull matched records together much harder than
+    #: a shared common word.
+    VALUE_EDGE_WEIGHT = 4.0
+
+    def build_graph(self, records: Sequence[Tuple[str, EntityRecord]]) -> nx.Graph:
+        graph = nx.Graph()
+        for key, record in records:
+            graph.add_node(key, kind="record")
+            for token in self._tokens(record):
+                token_key = f"tok::{token}"
+                weight = (self.VALUE_EDGE_WEIGHT if token.startswith("val::")
+                          else 1.0)
+                if not graph.has_node(token_key):
+                    graph.add_node(token_key, kind="token")
+                if graph.has_edge(key, token_key):
+                    graph[key][token_key]["weight"] += weight
+                else:
+                    graph.add_edge(key, token_key, weight=weight)
+        return graph
+
+    def _walks(self, graph: nx.Graph, rng: np.random.Generator):
+        nodes = list(graph.nodes)
+        index = {n: i for i, n in enumerate(nodes)}
+        # Edge-weighted transition distributions per node.
+        neighbors = {}
+        for node in nodes:
+            nbrs = list(graph.neighbors(node))
+            if nbrs:
+                weights = np.array([graph[node][n]["weight"] for n in nbrs])
+                neighbors[node] = (nbrs, np.cumsum(weights / weights.sum()))
+            else:
+                neighbors[node] = ([], None)
+        walks = []
+        for _ in range(self.config.num_walks):
+            for start in nodes:
+                walk = [start]
+                current = start
+                for _ in range(self.config.walk_length - 1):
+                    nbrs, cumulative = neighbors[current]
+                    if not nbrs:
+                        break
+                    current = nbrs[int(np.searchsorted(cumulative, rng.random()))]
+                    walk.append(current)
+                self.walk_steps += len(walk)
+                walks.append([index[n] for n in walk])
+        return nodes, walks
+
+    def fit(self, records: Sequence[Tuple[str, EntityRecord]]) -> "TDmatchEmbedder":
+        rng = np.random.default_rng(self.config.seed)
+        graph = self.build_graph(records)
+        nodes, walks = self._walks(graph, rng)
+        n = len(nodes)
+
+        # Dense co-occurrence within the walk window -- deliberately the
+        # memory hog the original suffers from on large inputs.
+        cooc = np.zeros((n, n), dtype=np.float64)
+        w = self.config.window
+        for walk in walks:
+            for i, a in enumerate(walk):
+                for j in range(max(0, i - w), min(len(walk), i + w + 1)):
+                    if i != j:
+                        cooc[a, walk[j]] += 1.0
+        self.matrix_bytes = cooc.nbytes
+
+        total = cooc.sum()
+        if total == 0:
+            raise ValueError("empty co-occurrence matrix; graph had no edges")
+        row = cooc.sum(axis=1, keepdims=True)
+        col = cooc.sum(axis=0, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pmi = np.log((cooc * total) / (row @ col))
+        ppmi = np.where(np.isfinite(pmi) & (pmi > 0), pmi, 0.0)
+
+        k = min(self.config.dimensions, n - 2)
+        u, s, _ = svds(ppmi, k=k)
+        vectors = u * np.sqrt(np.maximum(s, 0.0))
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        vectors = vectors / np.maximum(norms, 1e-12)
+        self.embeddings = {node: vectors[i] for i, node in enumerate(nodes)}
+        return self
+
+    def vector(self, record: EntityRecord, side: str) -> np.ndarray:
+        return self.embeddings[record_key(record, side)]
+
+
+def _collect_records(pairs: Sequence[CandidatePair]):
+    """Unique (key, record) list over both sides of all pairs."""
+    seen: Dict[str, EntityRecord] = {}
+    for pair in pairs:
+        seen.setdefault(record_key(pair.left, "L"), pair.left)
+        seen.setdefault(record_key(pair.right, "R"), pair.right)
+    return list(seen.items())
+
+
+class TDmatch(Matcher):
+    """Fully unsupervised matcher (ignores labels entirely)."""
+
+    name = "TDmatch"
+
+    def __init__(self, config: Optional[TDmatchConfig] = None) -> None:
+        self.config = config if config is not None else TDmatchConfig()
+        self.embedder: Optional[TDmatchEmbedder] = None
+        self._pool: List[CandidatePair] = []
+
+    def fit(self, view: LowResourceView) -> "TDmatch":
+        # Unsupervised: embed every record reachable from any split. Labels
+        # are never read.
+        self._pool = (list(view.labeled) + list(view.unlabeled)
+                      + list(view.valid) + list(view.test))
+        self.embedder = TDmatchEmbedder(self.config).fit(
+            _collect_records(self._pool))
+        return self
+
+    def _similarity(self, pair: CandidatePair) -> float:
+        u = self.embedder.vector(pair.left, "L")
+        v = self.embedder.vector(pair.right, "R")
+        return float(u @ v)
+
+    @staticmethod
+    def _bimodal_threshold(sims: np.ndarray) -> float:
+        """Unsupervised cutoff: midpoint of a 2-means split of the scores."""
+        if len(sims) < 4 or np.allclose(sims, sims[0]):
+            return float(np.median(sims))
+        centroids, _ = kmeans2(sims.reshape(-1, 1).astype(np.float64), 2,
+                               minit="points", seed=0)
+        return float(centroids.mean())
+
+    def memory_bytes(self) -> int:
+        """Dominated by the dense co-occurrence matrix plus embeddings."""
+        if self.embedder is None:
+            return 0
+        embed_bytes = sum(v.nbytes for v in self.embedder.embeddings.values())
+        return int(getattr(self.embedder, "matrix_bytes", 0)) + embed_bytes
+
+    def predict(self, pairs: Sequence[CandidatePair]) -> np.ndarray:
+        if self.embedder is None:
+            raise RuntimeError("fit() first")
+        # Mutual-top-1 within the candidate set plus a bimodal similarity
+        # cutoff: a pair matches when each side is the other's best-scoring
+        # partner (by a margin) and the similarity is in the high mode.
+        sims = np.array([self._similarity(p) for p in pairs])
+        cutoff = self._bimodal_threshold(sims)
+        best_left: Dict[str, float] = {}
+        best_right: Dict[str, float] = {}
+        for sim, pair in zip(sims, pairs):
+            lid, rid = pair.left.record_id, pair.right.record_id
+            best_left[lid] = max(best_left.get(lid, -np.inf), sim)
+            best_right[rid] = max(best_right.get(rid, -np.inf), sim)
+        margin = self.config.margin
+        preds = np.zeros(len(pairs), dtype=np.int64)
+        for i, (sim, pair) in enumerate(zip(sims, pairs)):
+            lid, rid = pair.left.record_id, pair.right.record_id
+            mutual = (sim >= best_left[lid] - margin
+                      and sim >= best_right[rid] - margin)
+            if mutual and sim >= cutoff:
+                preds[i] = 1
+        return preds
+
+
+class _PairMLP(Module):
+    """MLP over (u, v, |u-v|, u*v) feature vectors."""
+
+    def __init__(self, dim: int, seed: int = 0) -> None:
+        super().__init__()
+        self.mlp = MLP(4 * dim, [64], 2,
+                       rng=np.random.default_rng(seed), dropout=0.1)
+        self._features = None  # bound by TDmatchStar
+
+    def forward(self, pairs: Sequence[CandidatePair]) -> Tensor:
+        feats = np.stack([self._features(p) for p in pairs])
+        return F.softmax(self.mlp(Tensor(feats)), axis=-1)
+
+    def loss(self, pairs, labels, sample_weights=None) -> Tensor:
+        feats = np.stack([self._features(p) for p in pairs])
+        logits = self.mlp(Tensor(feats))
+        return F.cross_entropy(logits, np.asarray(labels, dtype=np.int64),
+                               sample_weights=sample_weights)
+
+
+class TDmatchStar(Matcher):
+    """TDmatch* -- a supervised MLP over TDmatch embeddings (Appendix D)."""
+
+    name = "TDmatch*"
+
+    def __init__(self, config: Optional[TDmatchConfig] = None,
+                 epochs: int = 60, lr: float = 5e-3, batch_size: int = 64,
+                 seed: int = 0) -> None:
+        self.config = config if config is not None else TDmatchConfig()
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self.embedder: Optional[TDmatchEmbedder] = None
+        self.model: Optional[_PairMLP] = None
+
+    def _pair_features(self, pair: CandidatePair) -> np.ndarray:
+        u = self.embedder.vector(pair.left, "L")
+        v = self.embedder.vector(pair.right, "R")
+        return np.concatenate([u, v, np.abs(u - v), u * v])
+
+    def fit(self, view: LowResourceView) -> "TDmatchStar":
+        from ..core.trainer import Trainer, TrainerConfig
+
+        pool = (list(view.labeled) + list(view.unlabeled)
+                + list(view.valid) + list(view.test))
+        self.embedder = TDmatchEmbedder(self.config).fit(_collect_records(pool))
+        self.model = _PairMLP(self.config.dimensions, seed=self.seed)
+        self.model._features = self._pair_features
+        Trainer(self.model, TrainerConfig(
+            epochs=self.epochs, batch_size=self.batch_size, lr=self.lr,
+            seed=self.seed)).fit(view.labeled, valid=view.valid)
+        return self
+
+    def predict(self, pairs: Sequence[CandidatePair]) -> np.ndarray:
+        from ..core.trainer import predict as predict_fn
+
+        if self.model is None:
+            raise RuntimeError("fit() first")
+        return predict_fn(self.model, pairs, batch_size=self.batch_size)
+
+    def memory_bytes(self) -> int:
+        """Co-occurrence matrix + embeddings + the MLP head."""
+        total = 0
+        if self.embedder is not None:
+            total += int(getattr(self.embedder, "matrix_bytes", 0))
+            total += sum(v.nbytes for v in self.embedder.embeddings.values())
+        if self.model is not None:
+            total += self.model.num_parameters() * 4 * 4
+        return total

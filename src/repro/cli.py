@@ -1,0 +1,151 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli datasets                   # list benchmarks + stats
+    python -m repro.cli export REL-HETER out.json  # export a benchmark
+    python -m repro.cli pretrain --model minilm-base
+    python -m repro.cli run --dataset REL-HETER --method PromptEM
+    python -m repro.cli run --dataset SEMI-HETER --method TDmatch --rate 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from .data import DATASET_NAMES, load_dataset
+    from .eval import render_table
+
+    rows = []
+    for name in DATASET_NAMES:
+        s = load_dataset(name).statistics()
+        rows.append([s.name, s.domain, s.left_rows, s.right_rows,
+                     s.labeled, f"{s.rate:.0%}", s.train_low_resource])
+    print(render_table(
+        ["Dataset", "Domain", "L rows", "R rows", "Labeled", "rate", "Train"],
+        rows, title="Available benchmarks"))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .data import load_dataset, save_dataset, save_machamp_dir
+
+    dataset = load_dataset(args.dataset)
+    if args.machamp:
+        save_machamp_dir(dataset, args.output)
+    else:
+        save_dataset(dataset, args.output)
+    print(f"wrote {args.dataset} to {args.output}")
+    return 0
+
+
+def _cmd_pretrain(args: argparse.Namespace) -> int:
+    from .lm import load_pretrained
+
+    start = time.time()
+    model, tokenizer = load_pretrained(args.model, force_retrain=args.force,
+                                       verbose=True)
+    print(f"{args.model}: {model.num_parameters()} parameters, "
+          f"vocab {len(tokenizer.vocab)}, ready in {time.time() - start:.1f}s")
+    return 0
+
+
+def _make_matcher(method: str, model_name: str):
+    from .baselines import BASELINE_NAMES, make_baseline
+    from .core import PromptEM, PromptEMConfig
+
+    if method == "PromptEM":
+        return PromptEM(PromptEMConfig(model_name=model_name))
+    if method in BASELINE_NAMES:
+        kwargs = {}
+        if method not in ("DeepMatcher", "TDmatch", "TDmatch*"):
+            kwargs["model_name"] = model_name
+        return make_baseline(method, **kwargs)
+    raise SystemExit(
+        f"unknown method {method!r}; choose PromptEM or one of {BASELINE_NAMES}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .data import load_dataset, load_dataset_file, load_machamp_dir
+
+    if args.from_file:
+        dataset = load_dataset_file(args.from_file)
+    elif args.from_dir:
+        dataset = load_machamp_dir(args.from_dir)
+    else:
+        dataset = load_dataset(args.dataset)
+
+    if args.count:
+        view = dataset.low_resource_count(args.count, seed=args.seed)
+    else:
+        view = dataset.low_resource(rate=args.rate, seed=args.seed)
+    print(f"{dataset.name}: {len(view.labeled)} labeled / "
+          f"{len(view.unlabeled)} unlabeled / {len(view.test)} test")
+
+    matcher = _make_matcher(args.method, args.model)
+    start = time.time()
+    matcher.fit(view)
+    elapsed = time.time() - start
+    prf = matcher.evaluate(view.test)
+    print(f"{args.method} on {dataset.name}: "
+          f"P={prf.precision:.1f} R={prf.recall:.1f} F1={prf.f1:.1f} "
+          f"(trained in {elapsed:.1f}s)")
+    if args.save and hasattr(matcher, "save"):
+        matcher.save(args.save)
+        print(f"saved matcher to {args.save}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PromptEM reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list benchmark datasets")
+
+    export = sub.add_parser("export", help="export a benchmark to disk")
+    export.add_argument("dataset")
+    export.add_argument("output")
+    export.add_argument("--machamp", action="store_true",
+                        help="write a Machamp-style directory instead of JSON")
+
+    pretrain = sub.add_parser("pretrain", help="build/refresh an LM checkpoint")
+    pretrain.add_argument("--model", default="minilm-base")
+    pretrain.add_argument("--force", action="store_true",
+                          help="retrain even if cached")
+
+    run = sub.add_parser("run", help="train + evaluate a matcher")
+    run.add_argument("--dataset", default="REL-HETER")
+    run.add_argument("--from-file", help="load a dataset bundle JSON instead")
+    run.add_argument("--from-dir", help="load a Machamp-style directory instead")
+    run.add_argument("--method", default="PromptEM")
+    run.add_argument("--model", default="minilm-base")
+    run.add_argument("--rate", type=float, default=None,
+                     help="labeled fraction (default: dataset's rate)")
+    run.add_argument("--count", type=int, default=None,
+                     help="exact number of labels (overrides --rate)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--save", help="save the fitted matcher to this path")
+    return parser
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "export": _cmd_export,
+    "pretrain": _cmd_pretrain,
+    "run": _cmd_run,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

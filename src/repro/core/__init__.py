@@ -1,0 +1,44 @@
+"""PromptEM core: prompt-tuning, uncertainty-aware LST, dynamic pruning."""
+
+from .active import (
+    ActiveLearner, ActiveLearningConfig, ActiveLearningReport, oracle_from_view,
+)
+from .config import PromptEMConfig
+from .el2n import el2n_scores, mc_el2n_scores, prune_dataset, select_prunable
+from .finetune import SequenceClassifier
+from .matcher import PromptEM
+from .prompt_model import PromptModel
+from .self_training import (
+    LightweightSelfTrainer, SelfTrainingConfig, SelfTrainingReport,
+)
+from .templates import (
+    PROMPT_PLACEHOLDER, ContinuousTemplate, HardTemplateT1, HardTemplateT2,
+    PromptEncoder, Template, TemplateInstance, make_template,
+)
+from .trainer import (
+    Trainer, TrainerConfig, TrainHistory, evaluate_f1, predict, predict_proba,
+    stochastic_proba,
+)
+from .uncertainty import (
+    McDropoutResult, PseudoLabelSelection, mc_dropout, select_by_clustering,
+    select_by_confidence, select_by_uncertainty, select_pseudo_labels,
+    top_n_count,
+)
+from .verbalizer import Verbalizer
+
+__all__ = [
+    "PromptEM", "PromptEMConfig",
+    "ActiveLearner", "ActiveLearningConfig", "ActiveLearningReport",
+    "oracle_from_view",
+    "PromptModel", "SequenceClassifier",
+    "Template", "TemplateInstance", "HardTemplateT1", "HardTemplateT2",
+    "ContinuousTemplate", "PromptEncoder", "make_template", "PROMPT_PLACEHOLDER",
+    "Verbalizer",
+    "Trainer", "TrainerConfig", "TrainHistory",
+    "predict", "predict_proba", "stochastic_proba", "evaluate_f1",
+    "mc_dropout", "McDropoutResult", "select_pseudo_labels",
+    "PseudoLabelSelection", "select_by_uncertainty", "select_by_confidence",
+    "select_by_clustering", "top_n_count",
+    "el2n_scores", "mc_el2n_scores", "select_prunable", "prune_dataset",
+    "LightweightSelfTrainer", "SelfTrainingConfig", "SelfTrainingReport",
+]

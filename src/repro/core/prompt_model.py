@@ -1,0 +1,131 @@
+"""PromptModel: MiniLM + template + verbalizer = GEM as a cloze task.
+
+This is the paper's core idea (Section 3): instead of a randomly initialized
+classification head over [CLS], the *pre-trained MLM head* predicts the
+[MASK] token of a GEM-specific template, and the verbalizer turns label-word
+probabilities into class scores. No new output parameters are introduced
+(beyond optional continuous prompts), so the objective form matches
+pre-training exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Module, Tensor, functional as F, where
+from ..data.dataset import CandidatePair
+from ..data.serialize import serialize
+from ..lm.model import MiniLM
+from ..text import Tokenizer
+from ..text.tfidf import TfIdfSummarizer
+from .templates import PROMPT_PLACEHOLDER, PromptEncoder, Template
+from .verbalizer import Verbalizer
+
+_EPS = 1e-12
+
+
+class PromptModel(Module):
+    """Scores candidate pairs via masked-language-model cloze prediction."""
+
+    def __init__(self, lm: MiniLM, tokenizer: Tokenizer, template: Template,
+                 verbalizer: Verbalizer,
+                 summarizer: Optional[TfIdfSummarizer] = None,
+                 seed: int = 0) -> None:
+        super().__init__()
+        self.lm = lm
+        self.tokenizer = tokenizer
+        self.template = template
+        self.verbalizer = verbalizer
+        self.summarizer = summarizer
+        if template.num_prompt_tokens > 0:
+            self.prompt_encoder = PromptEncoder(
+                template.num_prompt_tokens, lm.config.d_model,
+                rng=np.random.default_rng(seed))
+        else:
+            self.prompt_encoder = None
+
+    # ------------------------------------------------------------------
+    def _render(self, pair: CandidatePair):
+        left = serialize(pair.left, summarizer=self.summarizer)
+        right = serialize(pair.right, summarizer=self.summarizer)
+        return self.template.render(left, right)
+
+    def _assemble(self, pairs: Sequence[CandidatePair]):
+        """Render and pad a batch; returns numpy bookkeeping arrays."""
+        instances = [self._render(p) for p in pairs]
+        batch = len(instances)
+        longest = max(len(inst.ids) for inst in instances)
+        pad_id = self.tokenizer.vocab.pad_id
+
+        ids = np.full((batch, longest), pad_id, dtype=np.int64)
+        pad_mask = np.ones((batch, longest), dtype=bool)
+        is_prompt = np.zeros((batch, longest), dtype=bool)
+        prompt_idx = np.zeros((batch, longest), dtype=np.int64)
+        mask_positions = np.zeros(batch, dtype=np.int64)
+
+        for i, inst in enumerate(instances):
+            seq = np.asarray(inst.ids, dtype=np.int64)
+            slots = seq == PROMPT_PLACEHOLDER
+            clean = np.where(slots, pad_id, seq)
+            n = len(seq)
+            ids[i, :n] = clean
+            pad_mask[i, :n] = False
+            is_prompt[i, :n] = slots
+            prompt_idx[i, :n][slots] = np.arange(slots.sum())
+            mask_positions[i] = inst.mask_position
+        return ids, pad_mask, is_prompt, prompt_idx, mask_positions
+
+    # ------------------------------------------------------------------
+    def mask_logits(self, pairs: Sequence[CandidatePair]) -> Tensor:
+        """(B, V) vocabulary logits at each instance's [MASK] position."""
+        ids, pad_mask, is_prompt, prompt_idx, mask_positions = self._assemble(pairs)
+        batch, longest = ids.shape
+
+        token_vecs = self.lm.token_embedding(ids)
+        if self.prompt_encoder is not None and is_prompt.any():
+            prompt_vecs = self.prompt_encoder()  # (P, D)
+            gathered = prompt_vecs[prompt_idx.reshape(-1)].reshape(
+                batch, longest, self.lm.config.d_model)
+            condition = np.broadcast_to(
+                is_prompt[:, :, None],
+                (batch, longest, self.lm.config.d_model))
+            token_vecs = where(condition, gathered, token_vecs)
+
+        positions = np.broadcast_to(np.arange(longest), ids.shape)
+        embeds = self.lm.embed_from_vectors(token_vecs, positions,
+                                            token_ids=ids)
+        hidden = self.lm.encode(ids, pad_mask=pad_mask, inputs_embeds=embeds)
+        logits = self.lm.mlm_logits(hidden)
+        return logits[(np.arange(batch), mask_positions)]
+
+    def forward(self, pairs: Sequence[CandidatePair]) -> Tensor:
+        """(B, 2) normalized class probabilities.
+
+        Eq. 1 produces unnormalized class scores (mean label-word
+        probability); we normalize over the two classes so downstream
+        consumers (loss, MC-Dropout statistics, EL2N) can treat the output
+        as a proper distribution. Normalization is monotone, so argmax
+        predictions match the paper's Eq. 1 inference rule exactly.
+        """
+        probs = F.softmax(self.mask_logits(pairs), axis=-1)
+        scores = self.verbalizer.class_probs(probs)
+        total = scores.sum(axis=1, keepdims=True)
+        return scores / (total + _EPS)
+
+    def loss(self, pairs: Sequence[CandidatePair],
+             labels: np.ndarray,
+             sample_weights: Optional[np.ndarray] = None) -> Tensor:
+        """Cross-entropy over verbalized class probabilities."""
+        probs = self.forward(pairs)
+        labels = np.asarray(labels, dtype=np.int64)
+        picked = probs[(np.arange(len(labels)), labels)]
+        logs = (picked + _EPS).log()
+        if sample_weights is not None:
+            weights = np.asarray(sample_weights, dtype=np.float64)
+            total = weights.sum()
+            if total <= 0:
+                return Tensor(0.0)
+            return -(logs * Tensor(weights)).sum() / total
+        return -logs.mean()

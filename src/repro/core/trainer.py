@@ -1,0 +1,221 @@
+"""Generic supervised trainer shared by PromptEM and the LM baselines.
+
+Implements the paper's training protocol (Section 5.1): AdamW, mini-batches,
+a fixed epoch budget, and *best-epoch selection on validation F1* ("we
+select the epoch with the highest F1-score on the validation set").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import AdamW, Module, Tensor, clip_grad_norm, no_grad
+from ..data.dataset import CandidatePair
+from ..eval.metrics import ConfusionMatrix
+
+
+@dataclass
+class TrainerConfig:
+    """Optimization hyperparameters."""
+
+    epochs: int = 10
+    batch_size: int = 16
+    lr: float = 5e-4
+    weight_decay: float = 0.01
+    grad_clip: float = 1.0
+    seed: int = 0
+    select_best_on_valid: bool = True
+    #: reweight classes to equal mass -- tiny low-resource samples are
+    #: heavily negative-skewed and otherwise collapse to the majority class
+    balance_classes: bool = True
+    #: after training, tune the decision threshold on the validation set
+    #: (stored as ``model.decision_threshold`` and honoured by predict())
+    calibrate_threshold: bool = True
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch loss and validation F1."""
+
+    losses: List[float] = field(default_factory=list)
+    valid_f1: List[float] = field(default_factory=list)
+    best_epoch: int = -1
+    steps: int = 0
+
+
+def predict_proba(model: Module, pairs: Sequence[CandidatePair],
+                  batch_size: int = 32) -> np.ndarray:
+    """(N, 2) class probabilities in eval mode, without building a graph."""
+    if not pairs:
+        return np.zeros((0, 2))
+    was_training = model.training
+    model.eval()
+    rows = []
+    with no_grad():
+        for start in range(0, len(pairs), batch_size):
+            batch = list(pairs[start:start + batch_size])
+            rows.append(model(batch).numpy())
+    if was_training:
+        model.train()
+    return np.concatenate(rows, axis=0)
+
+
+def predict(model: Module, pairs: Sequence[CandidatePair],
+            batch_size: int = 32) -> np.ndarray:
+    """Hard 0/1 predictions.
+
+    Honours a calibrated ``model.decision_threshold`` when present
+    (set by :class:`Trainer` from validation F1); argmax otherwise.
+    """
+    probs = predict_proba(model, pairs, batch_size=batch_size)
+    threshold = getattr(model, "decision_threshold", None)
+    if threshold is None:
+        return probs.argmax(axis=1)
+    return (probs[:, 1] > threshold).astype(np.int64)
+
+
+def tune_threshold(probs: np.ndarray, labels: np.ndarray) -> float:
+    """The positive-probability cutoff maximizing F1 on (probs, labels)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    scores = probs[:, 1]
+    best_threshold, best_f1 = 0.5, -1.0
+    candidates = np.unique(scores)
+    # midpoints between consecutive scores + 0.5 as a fallback
+    cuts = np.concatenate([[0.5], (candidates[:-1] + candidates[1:]) / 2.0]) \
+        if len(candidates) > 1 else np.array([0.5])
+    for cut in cuts:
+        cm = ConfusionMatrix.from_labels(labels, (scores > cut).astype(int))
+        if cm.f1 > best_f1:
+            best_f1, best_threshold = cm.f1, float(cut)
+    return best_threshold
+
+
+def stochastic_proba(model: Module, pairs: Sequence[CandidatePair],
+                     batch_size: int = 32) -> np.ndarray:
+    """One stochastic forward pass (dropout active) -- MC-Dropout's core."""
+    if not pairs:
+        return np.zeros((0, 2))
+    was_training = model.training
+    model.train()
+    rows = []
+    with no_grad():
+        for start in range(0, len(pairs), batch_size):
+            batch = list(pairs[start:start + batch_size])
+            rows.append(model(batch).numpy())
+    if not was_training:
+        model.eval()
+    return np.concatenate(rows, axis=0)
+
+
+def evaluate_f1(model: Module, pairs: Sequence[CandidatePair],
+                batch_size: int = 32) -> float:
+    if not pairs:
+        return 0.0
+    preds = predict(model, pairs, batch_size=batch_size)
+    truth = np.array([p.label for p in pairs])
+    return ConfusionMatrix.from_labels(truth, preds).f1
+
+
+class Trainer:
+    """Epoch loop with shuffling, clipping and best-on-valid checkpointing."""
+
+    def __init__(self, model: Module, config: Optional[TrainerConfig] = None) -> None:
+        self.model = model
+        self.config = config if config is not None else TrainerConfig()
+        self.optimizer = AdamW(model.parameters(), lr=self.config.lr,
+                               weight_decay=self.config.weight_decay)
+
+    def fit(self, train: Sequence[CandidatePair],
+            valid: Optional[Sequence[CandidatePair]] = None,
+            sample_weights: Optional[np.ndarray] = None,
+            epoch_callback: Optional[Callable[[int, "Trainer"], Sequence[CandidatePair]]] = None,
+            ) -> TrainHistory:
+        """Train on labeled pairs; returns the history.
+
+        ``epoch_callback(epoch, trainer)`` runs after each epoch and may
+        return a *replacement training set* -- the hook dynamic data pruning
+        uses to shrink ``train`` mid-run (Algorithm 1, lines 12-15).
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        train = list(train)
+        if not train:
+            raise ValueError("empty training set")
+        weights = (np.asarray(sample_weights, dtype=np.float64)
+                   if sample_weights is not None else None)
+        if weights is not None and len(weights) != len(train):
+            raise ValueError("sample_weights length mismatch")
+        if cfg.balance_classes:
+            balance = _class_balance_weights(train)
+            weights = balance if weights is None else weights * balance
+
+        history = TrainHistory()
+        best_f1 = -1.0
+        best_state = None
+        best_threshold = None
+
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(len(train))
+            self.model.train()
+            epoch_losses = []
+            for start in range(0, len(order), cfg.batch_size):
+                idx = order[start:start + cfg.batch_size]
+                batch = [train[i] for i in idx]
+                labels = np.array([p.label for p in batch], dtype=np.int64)
+                batch_weights = weights[idx] if weights is not None else None
+                loss = self.model.loss(batch, labels, sample_weights=batch_weights)
+                self.optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+                history.steps += 1
+            history.losses.append(float(np.mean(epoch_losses)))
+
+            if valid:
+                probs = predict_proba(self.model, valid,
+                                      batch_size=cfg.batch_size)
+                truth = np.array([p.label for p in valid], dtype=np.int64)
+                threshold = (tune_threshold(probs, truth)
+                             if cfg.calibrate_threshold else None)
+                if threshold is None:
+                    preds = probs.argmax(axis=1)
+                else:
+                    preds = (probs[:, 1] > threshold).astype(np.int64)
+                f1 = ConfusionMatrix.from_labels(truth, preds).f1
+                history.valid_f1.append(f1)
+                if cfg.select_best_on_valid and f1 > best_f1:
+                    best_f1 = f1
+                    best_state = self.model.state_dict()
+                    best_threshold = threshold
+                    history.best_epoch = epoch
+
+            if epoch_callback is not None:
+                replacement = epoch_callback(epoch, self)
+                if replacement is not None:
+                    train = list(replacement)
+                    if not train:
+                        break
+                    if weights is not None and len(weights) != len(train):
+                        weights = (_class_balance_weights(train)
+                                   if cfg.balance_classes else None)
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        if cfg.calibrate_threshold:
+            self.model.decision_threshold = best_threshold \
+                if best_threshold is not None else 0.5
+        self.model.eval()
+        return history
+
+
+def _class_balance_weights(train: Sequence[CandidatePair]) -> np.ndarray:
+    """Inverse-frequency class weights normalized to mean 1."""
+    labels = np.array([p.label for p in train], dtype=np.int64)
+    counts = np.bincount(labels, minlength=2).astype(np.float64)
+    counts[counts == 0] = 1.0
+    per_class = len(labels) / (2.0 * counts)
+    return per_class[labels]

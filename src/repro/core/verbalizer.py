@@ -1,0 +1,67 @@
+"""Label-word verbalizer (paper Section 3.1 + Eq. 1).
+
+GEM's binary decision is expressed as a *general* relationship: ``yes`` maps
+to {matched, similar, relevant} and ``no`` to {mismatched, different,
+irrelevant}. The class score is the mean [MASK] probability over the class's
+label words (Eq. 1). Figure 5 compares against the "simple" single-word sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor, stack
+from ..text import Vocabulary
+from ..text.lexicon import (
+    NEGATIVE_LABEL_WORDS, POSITIVE_LABEL_WORDS,
+    SIMPLE_NEGATIVE_LABEL_WORDS, SIMPLE_POSITIVE_LABEL_WORDS,
+)
+
+
+class Verbalizer:
+    """Maps binary classes to label-word id sets and scores them."""
+
+    def __init__(self, vocab: Vocabulary,
+                 positive_words: Sequence[str],
+                 negative_words: Sequence[str]) -> None:
+        if not positive_words or not negative_words:
+            raise ValueError("both classes need at least one label word")
+        self.vocab = vocab
+        self.words: Dict[int, List[str]] = {
+            0: list(negative_words), 1: list(positive_words)}
+        self.ids: Dict[int, np.ndarray] = {}
+        for label, words in self.words.items():
+            missing = [w for w in words if w not in vocab]
+            if missing:
+                raise ValueError(
+                    f"label words {missing} are out of vocabulary; the LM "
+                    "cannot predict words it has never seen")
+            self.ids[label] = np.array([vocab.id_of(w) for w in words],
+                                       dtype=np.int64)
+        overlap = set(self.ids[0]) & set(self.ids[1])
+        if overlap:
+            raise ValueError(f"label-word sets overlap on ids {sorted(overlap)}")
+
+    @classmethod
+    def designed(cls, vocab: Vocabulary) -> "Verbalizer":
+        """The paper's GEM label words (general binary relationship)."""
+        return cls(vocab, POSITIVE_LABEL_WORDS, NEGATIVE_LABEL_WORDS)
+
+    @classmethod
+    def simple(cls, vocab: Vocabulary) -> "Verbalizer":
+        """matched / mismatched only (the Figure 5 baseline)."""
+        return cls(vocab, SIMPLE_POSITIVE_LABEL_WORDS, SIMPLE_NEGATIVE_LABEL_WORDS)
+
+    def class_probs(self, mask_probs: Tensor) -> Tensor:
+        """Eq. 1: (B, V) mask-token probabilities -> (B, 2) class scores.
+
+        ``P(y | x) = (1/m) * sum_j P([MASK] = w_j | T(x))`` -- the returned
+        columns are ordered [negative, positive] and do *not* sum to one.
+        """
+        cols = []
+        for label in (0, 1):
+            ids = self.ids[label]
+            cols.append(mask_probs[:, ids].mean(axis=1))
+        return stack(cols, axis=1)

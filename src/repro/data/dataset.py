@@ -1,0 +1,197 @@
+"""GEM dataset container: candidate pairs, splits, low-resource sampling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .records import EntityRecord, Table
+
+
+@dataclass
+class CandidatePair:
+    """A candidate (left, right) pair with an optional binary label."""
+
+    left: EntityRecord
+    right: EntityRecord
+    label: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.label is not None and self.label not in (0, 1):
+            raise ValueError(f"label must be 0, 1 or None, got {self.label!r}")
+
+    def with_label(self, label: Optional[int]) -> "CandidatePair":
+        return CandidatePair(self.left, self.right, label)
+
+
+@dataclass
+class DatasetStatistics:
+    """The per-dataset numbers reported in the paper's Table 1."""
+
+    name: str
+    domain: str
+    left_rows: int
+    left_attrs: float
+    right_rows: int
+    right_attrs: float
+    labeled: int
+    rate: float
+    train_low_resource: int
+
+
+@dataclass
+class GEMDataset:
+    """A GEM benchmark: two tables plus labeled candidate-pair splits.
+
+    ``train`` / ``valid`` / ``test`` are fully labeled. Low-resource
+    experiments call :meth:`low_resource`, which keeps ``rate`` of the train
+    pairs as labeled data and exposes the rest as the unlabeled pool that
+    self-training consumes.
+    """
+
+    name: str
+    domain: str
+    left_table: Table
+    right_table: Table
+    train: List[CandidatePair] = field(default_factory=list)
+    valid: List[CandidatePair] = field(default_factory=list)
+    test: List[CandidatePair] = field(default_factory=list)
+    default_rate: float = 0.10
+
+    def __post_init__(self) -> None:
+        for split_name, split in (("train", self.train), ("valid", self.valid),
+                                  ("test", self.test)):
+            for pair in split:
+                if pair.label is None:
+                    raise ValueError(f"{split_name} pair without a label in {self.name}")
+
+    # ------------------------------------------------------------------
+    @property
+    def all_labeled(self) -> int:
+        return len(self.train) + len(self.valid) + len(self.test)
+
+    def positive_rate(self, split: str = "train") -> float:
+        pairs = getattr(self, split)
+        if not pairs:
+            return 0.0
+        return sum(p.label for p in pairs) / len(pairs)
+
+    def statistics(self) -> DatasetStatistics:
+        return DatasetStatistics(
+            name=self.name,
+            domain=self.domain,
+            left_rows=len(self.left_table),
+            left_attrs=round(self.left_table.avg_attributes(), 2),
+            right_rows=len(self.right_table),
+            right_attrs=round(self.right_table.avg_attributes(), 2),
+            labeled=self.all_labeled,
+            rate=self.default_rate,
+            train_low_resource=self.low_resource_size(),
+        )
+
+    def low_resource_size(self, rate: Optional[float] = None) -> int:
+        rate = rate if rate is not None else self.default_rate
+        return max(2, int(round(len(self.train) * rate)))
+
+    # ------------------------------------------------------------------
+    def low_resource(self, rate: Optional[float] = None,
+                     seed: int = 0) -> "LowResourceView":
+        """Stratified subsample of the train split.
+
+        Returns a view with ``labeled`` (size = rate * |train|, at least one
+        pair per class when available) and ``unlabeled`` (the remaining train
+        pairs with labels hidden; their true labels are retained separately
+        for pseudo-label quality evaluation, Table 5).
+        """
+        rate = rate if rate is not None else self.default_rate
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        return self.low_resource_count(self.low_resource_size(rate), seed=seed)
+
+    def low_resource_count(self, count: int, seed: int = 0) -> "LowResourceView":
+        """Low-resource view with an explicit labeled-budget (paper Table 3)."""
+        count = min(count, len(self.train))
+        if count < 2:
+            raise ValueError("need at least 2 labeled pairs")
+        rng = np.random.default_rng(seed)
+        positives = [i for i, p in enumerate(self.train) if p.label == 1]
+        negatives = [i for i, p in enumerate(self.train) if p.label == 0]
+        rng.shuffle(positives)
+        rng.shuffle(negatives)
+
+        # Stratified allocation, guaranteeing >= 1 of each class if present.
+        n_pos = int(round(count * len(positives) / max(len(self.train), 1)))
+        n_pos = min(max(n_pos, 1 if positives else 0), len(positives))
+        n_neg = min(count - n_pos, len(negatives))
+        chosen = sorted(positives[:n_pos] + negatives[:n_neg])
+        chosen_set = set(chosen)
+        labeled = [self.train[i] for i in chosen]
+        hidden = [self.train[i] for i in range(len(self.train))
+                  if i not in chosen_set]
+        unlabeled = [p.with_label(None) for p in hidden]
+        true_labels = [p.label for p in hidden]
+        return LowResourceView(
+            dataset=self, rate=count / max(len(self.train), 1), seed=seed,
+            labeled=labeled, unlabeled=unlabeled,
+            unlabeled_true_labels=true_labels)
+
+
+@dataclass
+class LowResourceView:
+    """A low-resource training configuration over a parent dataset."""
+
+    dataset: GEMDataset
+    rate: float
+    seed: int
+    labeled: List[CandidatePair]
+    unlabeled: List[CandidatePair]
+    unlabeled_true_labels: List[int]
+
+    @property
+    def valid(self) -> List[CandidatePair]:
+        return self.dataset.valid
+
+    @property
+    def test(self) -> List[CandidatePair]:
+        return self.dataset.test
+
+    @property
+    def name(self) -> str:
+        return self.dataset.name
+
+
+def split_pairs(pairs: Sequence[CandidatePair], seed: int = 0,
+                fractions: Tuple[float, float, float] = (0.6, 0.2, 0.2)):
+    """Shuffle and split labeled pairs into (train, valid, test).
+
+    Stratified by label so every split sees both classes.
+    """
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError("split fractions must sum to 1")
+    rng = np.random.default_rng(seed)
+    by_label: Dict[int, List[CandidatePair]] = {0: [], 1: []}
+    for pair in pairs:
+        if pair.label is None:
+            raise ValueError("cannot split unlabeled pairs")
+        by_label[pair.label].append(pair)
+    train: List[CandidatePair] = []
+    valid: List[CandidatePair] = []
+    test: List[CandidatePair] = []
+    for label_pairs in by_label.values():
+        idx = rng.permutation(len(label_pairs))
+        n = len(label_pairs)
+        n_train = int(round(n * fractions[0]))
+        n_valid = int(round(n * fractions[1]))
+        for j, i in enumerate(idx):
+            if j < n_train:
+                train.append(label_pairs[i])
+            elif j < n_train + n_valid:
+                valid.append(label_pairs[i])
+            else:
+                test.append(label_pairs[i])
+    rng.shuffle(train)
+    rng.shuffle(valid)
+    rng.shuffle(test)
+    return train, valid, test

@@ -1,0 +1,18 @@
+"""The eight paper benchmarks as deterministic synthetic generators."""
+
+from .base import BenchmarkGenerator, GeneratorConfig
+from .books import SemiHeterGenerator
+from .citations import RelTextGenerator, SemiHomoGenerator
+from .geo import GeoHeterGenerator
+from .movies import SemiRelGenerator
+from .products import SemiTextCGenerator, SemiTextWGenerator
+from .registry import DATASET_NAMES, load_all, load_dataset, make_generator
+from .restaurants import RelHeterGenerator
+
+__all__ = [
+    "BenchmarkGenerator", "GeneratorConfig",
+    "RelHeterGenerator", "SemiHomoGenerator", "SemiHeterGenerator",
+    "SemiRelGenerator", "SemiTextWGenerator", "SemiTextCGenerator",
+    "RelTextGenerator", "GeoHeterGenerator",
+    "DATASET_NAMES", "load_dataset", "load_all", "make_generator",
+]

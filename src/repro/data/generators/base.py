@@ -1,0 +1,143 @@
+"""Shared benchmark-generation machinery.
+
+Every synthetic benchmark follows the same recipe, mirroring how the Machamp
+datasets were assembled:
+
+1. sample ``num_entities`` base entities from the domain;
+2. for a fraction of them, synthesize a *sibling*: a different real-world
+   entity that shares most surface text (book editions, restaurant chains,
+   paper revisions) -- these become the hard negatives that make matching
+   non-trivial;
+3. emit the left table (one record per entity, left format) and the right
+   table (a corrupted variant per entity, right format, plus unmatched
+   distractor rows so the two tables differ in size);
+4. label candidate pairs: (i, i) positives, (i, sibling(i)) hard negatives,
+   plus random negatives;
+5. split 60/20/20 stratified by label.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dataset import CandidatePair, GEMDataset, split_pairs
+from ..records import EntityRecord, Table
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size / difficulty knobs shared by all benchmark generators."""
+
+    num_entities: int = 120
+    sibling_fraction: float = 0.5
+    hard_negatives_per_entity: int = 1
+    random_negatives_per_entity: int = 2
+    extra_right_rows: int = 40
+    corruption_strength: float = 0.5
+    seed: int = 0
+
+
+class BenchmarkGenerator(ABC):
+    """Base class: subclasses define the domain and the two record formats."""
+
+    name: str = ""
+    domain: str = ""
+    default_rate: float = 0.10
+    left_kind: str = "relational"
+    right_kind: str = "relational"
+
+    def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
+        self.config = config if config is not None else GeneratorConfig()
+
+    # ------------------------------------------------------------------
+    # Domain hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def make_entity(self, rng: np.random.Generator, index: int) -> Dict[str, Any]:
+        """Sample the canonical attribute dict of one real-world entity."""
+
+    @abstractmethod
+    def make_sibling(self, rng: np.random.Generator,
+                     base: Dict[str, Any]) -> Dict[str, Any]:
+        """A *different* entity that looks confusingly similar to ``base``."""
+
+    @abstractmethod
+    def left_record(self, rng: np.random.Generator, entity: Dict[str, Any],
+                    record_id: str) -> EntityRecord:
+        """Render an entity in the left table's format (clean)."""
+
+    @abstractmethod
+    def right_record(self, rng: np.random.Generator, entity: Dict[str, Any],
+                     record_id: str, corrupt: bool) -> EntityRecord:
+        """Render an entity in the right table's format.
+
+        ``corrupt=True`` for matched counterparts (dirty duplicates);
+        ``corrupt=False`` for distractor rows.
+        """
+
+    # ------------------------------------------------------------------
+    def build(self, seed: Optional[int] = None) -> GEMDataset:
+        """Generate the full benchmark deterministically."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed if seed is None else seed)
+
+        entities = [self.make_entity(rng, i) for i in range(cfg.num_entities)]
+        sibling_of: Dict[int, int] = {}
+        for i in range(cfg.num_entities):
+            if rng.random() < cfg.sibling_fraction:
+                sibling = self.make_sibling(rng, entities[i])
+                sibling_of[i] = len(entities)
+                entities.append(sibling)
+
+        n = len(entities)
+        left_records = [self.left_record(rng, e, f"l{i}") for i, e in enumerate(entities)]
+        right_records = [self.right_record(rng, e, f"r{i}", corrupt=True)
+                         for i, e in enumerate(entities)]
+        # Distractor rows make the right table larger, as in every Machamp
+        # dataset (Table 1 row counts differ between sides).
+        offset = len(right_records)
+        for j in range(cfg.extra_right_rows):
+            extra = self.make_entity(rng, cfg.num_entities + j)
+            right_records.append(
+                self.right_record(rng, extra, f"r{offset + j}", corrupt=False))
+
+        left_table = Table(name=f"{self.name}-left", kind=self.left_kind,
+                           records=left_records)
+        right_table = Table(name=f"{self.name}-right", kind=self.right_kind,
+                            records=right_records)
+
+        pairs: List[CandidatePair] = []
+        seen: set = set()
+
+        def add(li: int, ri: int, label: int) -> None:
+            key = (li, ri)
+            if key in seen:
+                return
+            seen.add(key)
+            pairs.append(CandidatePair(left_records[li], right_records[ri], label))
+
+        for i in range(n):
+            add(i, i, 1)
+            for _ in range(cfg.hard_negatives_per_entity):
+                if i in sibling_of:
+                    # Both directions: the base paired with the sibling's
+                    # right-side rendering, and vice versa.
+                    add(i, sibling_of[i], 0)
+                    add(sibling_of[i], i, 0)
+                elif i > 0:
+                    add(i, int(rng.integers(i)), 0)
+            for _ in range(cfg.random_negatives_per_entity):
+                j = int(rng.integers(len(right_records)))
+                if j != i:
+                    add(i, j, 0)
+
+        train, valid, test = split_pairs(pairs, seed=rng.integers(2**31))
+        return GEMDataset(
+            name=self.name, domain=self.domain,
+            left_table=left_table, right_table=right_table,
+            train=train, valid=valid, test=test,
+            default_rate=self.default_rate)

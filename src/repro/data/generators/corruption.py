@@ -1,0 +1,98 @@
+"""Textual corruption operators used to create realistic duplicate variants.
+
+Matching datasets are hard because the same real-world entity is written
+differently in each source: words dropped, typos, abbreviations, reordered
+fields, jittered numbers. These operators synthesize exactly those artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def drop_words(rng: np.random.Generator, text: str, p: float = 0.2) -> str:
+    """Randomly drop words (never all of them)."""
+    words = text.split()
+    if len(words) <= 1:
+        return text
+    kept = [w for w in words if rng.random() >= p]
+    if not kept:
+        kept = [words[int(rng.integers(len(words)))]]
+    return " ".join(kept)
+
+
+def swap_adjacent_words(rng: np.random.Generator, text: str) -> str:
+    words = text.split()
+    if len(words) < 2:
+        return text
+    i = int(rng.integers(len(words) - 1))
+    words[i], words[i + 1] = words[i + 1], words[i]
+    return " ".join(words)
+
+
+def typo(rng: np.random.Generator, text: str) -> str:
+    """One character-level edit: substitution, deletion, or transposition."""
+    if len(text) < 2:
+        return text
+    chars = list(text)
+    i = int(rng.integers(len(chars) - 1))
+    kind = rng.random()
+    if kind < 0.34:
+        chars[i] = chr(ord("a") + int(rng.integers(26)))
+    elif kind < 0.67:
+        del chars[i]
+    else:
+        chars[i], chars[i + 1] = chars[i + 1], chars[i]
+    return "".join(chars)
+
+
+def abbreviate(rng: np.random.Generator, text: str) -> str:
+    """Abbreviate one multi-letter word to its initial."""
+    words = text.split()
+    candidates = [i for i, w in enumerate(words) if len(w) > 3]
+    if not candidates:
+        return text
+    i = candidates[int(rng.integers(len(candidates)))]
+    words[i] = words[i][0]
+    return " ".join(words)
+
+
+def corrupt_text(rng: np.random.Generator, text: str,
+                 strength: float = 0.5) -> str:
+    """Compose a random subset of the operators, scaled by ``strength``."""
+    out = text
+    if rng.random() < strength:
+        out = drop_words(rng, out, p=0.15 * strength + 0.05)
+    if rng.random() < strength * 0.6:
+        out = swap_adjacent_words(rng, out)
+    if rng.random() < strength * 0.5:
+        out = typo(rng, out)
+    if rng.random() < strength * 0.3:
+        out = abbreviate(rng, out)
+    return out if out.strip() else text
+
+
+def jitter_int(rng: np.random.Generator, value: int, spread: int = 1) -> int:
+    """Shift an integer by up to ±spread (e.g. off-by-one years, page counts)."""
+    return int(value + rng.integers(-spread, spread + 1))
+
+
+def digit_string(rng: np.random.Generator, length: int) -> str:
+    """A random fixed-length digit string (ISBNs, phone numbers, ids)."""
+    return "".join(str(d) for d in rng.integers(0, 10, size=length))
+
+
+def pick(rng: np.random.Generator, pool: Sequence[str], n: int = 1,
+         distinct: bool = True) -> List[str]:
+    """Sample ``n`` words from a pool."""
+    n = min(n, len(pool)) if distinct else n
+    chosen = rng.choice(pool, size=n, replace=not distinct)
+    return [str(c) for c in chosen]
+
+
+def phrase(rng: np.random.Generator, pool: Sequence[str], low: int, high: int) -> str:
+    """A space-joined phrase of ``low``..``high`` distinct pool words."""
+    n = int(rng.integers(low, high + 1))
+    return " ".join(pick(rng, pool, n=n))

@@ -1,0 +1,70 @@
+"""Registry of the eight paper benchmarks with their default sizes.
+
+Sizes are scaled down from Machamp (Table 1) so the full evaluation runs on
+a CPU, preserving the *relative* proportions: SEMI-HOMO and SEMI-TEXT-c are
+the largest and use a 5% rate; REL-HETER is the smallest; the right table is
+always larger than the left.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..dataset import GEMDataset
+from .base import BenchmarkGenerator, GeneratorConfig
+from .books import SemiHeterGenerator
+from .citations import RelTextGenerator, SemiHomoGenerator
+from .geo import GeoHeterGenerator
+from .movies import SemiRelGenerator
+from .products import SemiTextCGenerator, SemiTextWGenerator
+from .restaurants import RelHeterGenerator
+
+_REGISTRY: Dict[str, Tuple[type, GeneratorConfig]] = {
+    "REL-HETER": (RelHeterGenerator, GeneratorConfig(
+        num_entities=40, extra_right_rows=16, seed=101)),
+    "SEMI-HOMO": (SemiHomoGenerator, GeneratorConfig(
+        num_entities=110, extra_right_rows=60, seed=102)),
+    "SEMI-HETER": (SemiHeterGenerator, GeneratorConfig(
+        num_entities=80, extra_right_rows=30, seed=103,
+        sibling_fraction=0.7, random_negatives_per_entity=1)),
+    "SEMI-REL": (SemiRelGenerator, GeneratorConfig(
+        num_entities=85, extra_right_rows=35, seed=104)),
+    "SEMI-TEXT-w": (SemiTextWGenerator, GeneratorConfig(
+        num_entities=90, extra_right_rows=30, seed=105,
+        corruption_strength=0.8)),
+    "SEMI-TEXT-c": (SemiTextCGenerator, GeneratorConfig(
+        num_entities=120, extra_right_rows=45, seed=106,
+        corruption_strength=0.6)),
+    "REL-TEXT": (RelTextGenerator, GeneratorConfig(
+        num_entities=95, extra_right_rows=35, seed=107,
+        corruption_strength=0.6)),
+    "GEO-HETER": (GeoHeterGenerator, GeneratorConfig(
+        num_entities=65, extra_right_rows=25, seed=108)),
+}
+
+#: Order used by every table in the paper.
+DATASET_NAMES: List[str] = list(_REGISTRY)
+
+_CACHE: Dict[str, GEMDataset] = {}
+
+
+def make_generator(name: str) -> BenchmarkGenerator:
+    """Instantiate the generator for a named benchmark."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; available: {DATASET_NAMES}")
+    cls, config = _REGISTRY[name]
+    return cls(config)
+
+
+def load_dataset(name: str, cache: bool = True) -> GEMDataset:
+    """Build (or fetch from the in-process cache) a named benchmark."""
+    if cache and name in _CACHE:
+        return _CACHE[name]
+    dataset = make_generator(name).build()
+    if cache:
+        _CACHE[name] = dataset
+    return dataset
+
+
+def load_all(cache: bool = True) -> Dict[str, GEMDataset]:
+    return {name: load_dataset(name, cache=cache) for name in DATASET_NAMES}

@@ -1,0 +1,215 @@
+"""Dataset persistence and interchange.
+
+Two formats:
+
+* **Bundle JSON** -- one self-contained file per dataset (tables + labeled
+  splits). This is how the synthetic benchmarks can be exported, diffed,
+  and shared, and how users can hand-author small datasets.
+* **Machamp-style directory** -- the layout the paper's benchmarks ship
+  in: ``left.json`` / ``right.json`` (one record per line) plus
+  ``train.csv`` / ``valid.csv`` / ``test.csv`` with ``ltable_id,rtable_id,
+  label`` rows. Users holding the real Machamp data can load it directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .dataset import CandidatePair, GEMDataset
+from .records import KINDS, TEXT, EntityRecord, Table
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def _record_to_dict(record: EntityRecord) -> Dict[str, Any]:
+    return {"id": record.record_id, "kind": record.kind,
+            "values": record.values}
+
+
+def _record_from_dict(data: Dict[str, Any]) -> EntityRecord:
+    return EntityRecord(record_id=str(data["id"]), kind=data["kind"],
+                        values=data["values"])
+
+
+def _pair_to_dict(pair: CandidatePair) -> Dict[str, Any]:
+    return {"left": pair.left.record_id, "right": pair.right.record_id,
+            "label": pair.label}
+
+
+def save_dataset(dataset: GEMDataset, path: PathLike) -> None:
+    """Write a dataset as one self-contained JSON bundle."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "domain": dataset.domain,
+        "default_rate": dataset.default_rate,
+        "left_table": {
+            "name": dataset.left_table.name,
+            "kind": dataset.left_table.kind,
+            "records": [_record_to_dict(r) for r in dataset.left_table],
+        },
+        "right_table": {
+            "name": dataset.right_table.name,
+            "kind": dataset.right_table.kind,
+            "records": [_record_to_dict(r) for r in dataset.right_table],
+        },
+        "splits": {
+            split: [_pair_to_dict(p) for p in getattr(dataset, split)]
+            for split in ("train", "valid", "test")
+        },
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f)
+
+
+def load_dataset_file(path: PathLike) -> GEMDataset:
+    """Load a dataset bundle written by :func:`save_dataset`."""
+    with open(path) as f:
+        payload = json.load(f)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version {version!r}")
+
+    tables = {}
+    for side in ("left_table", "right_table"):
+        spec = payload[side]
+        tables[side] = Table(
+            name=spec["name"], kind=spec["kind"],
+            records=[_record_from_dict(r) for r in spec["records"]])
+
+    left_by_id = {r.record_id: r for r in tables["left_table"]}
+    right_by_id = {r.record_id: r for r in tables["right_table"]}
+
+    def build_pairs(rows: List[Dict[str, Any]]) -> List[CandidatePair]:
+        pairs = []
+        for row in rows:
+            try:
+                left = left_by_id[row["left"]]
+                right = right_by_id[row["right"]]
+            except KeyError as exc:
+                raise ValueError(f"pair references unknown record {exc}") from exc
+            pairs.append(CandidatePair(left, right, row["label"]))
+        return pairs
+
+    return GEMDataset(
+        name=payload["name"], domain=payload["domain"],
+        left_table=tables["left_table"], right_table=tables["right_table"],
+        train=build_pairs(payload["splits"]["train"]),
+        valid=build_pairs(payload["splits"]["valid"]),
+        test=build_pairs(payload["splits"]["test"]),
+        default_rate=payload.get("default_rate", 0.10))
+
+
+# ----------------------------------------------------------------------
+# Machamp-style directory format
+# ----------------------------------------------------------------------
+def _infer_kind(values: Dict[str, Any]) -> str:
+    if set(values) == {"text"}:
+        return TEXT
+    if any(isinstance(v, (dict, list)) for v in values.values()):
+        return "semi"
+    return "relational"
+
+
+def _load_jsonl_table(path: Path, name: str) -> Table:
+    """One JSON object per line; ``id`` column optional (line index used)."""
+    records: List[EntityRecord] = []
+    kinds = set()
+    with open(path) as f:
+        for i, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            values = json.loads(line)
+            if not isinstance(values, dict):
+                raise ValueError(f"{path}:{i}: expected a JSON object per line")
+            record_id = str(values.pop("id", i))
+            if set(values) == {"text"} or "content" in values and len(values) == 1:
+                if "content" in values:
+                    values = {"text": values["content"]}
+                record = EntityRecord(record_id, TEXT, values)
+            else:
+                record = EntityRecord(record_id, _infer_kind(values), values)
+            kinds.add(record.kind)
+            records.append(record)
+    if not records:
+        raise ValueError(f"{path}: empty table")
+    if len(kinds) > 1:
+        # Promote to the most general kind present.
+        kind = "semi" if "semi" in kinds else next(iter(kinds))
+        records = [EntityRecord(r.record_id, kind, r.values)
+                   if r.kind != kind and kind == "semi" else r
+                   for r in records]
+        kinds = {r.kind for r in records}
+        if len(kinds) > 1:
+            raise ValueError(f"{path}: mixed record kinds {sorted(kinds)}")
+    return Table(name=name, kind=records[0].kind, records=records)
+
+
+def _load_pairs_csv(path: Path, left: Table, right: Table) -> List[CandidatePair]:
+    left_by_id = {r.record_id: r for r in left}
+    right_by_id = {r.record_id: r for r in right}
+    pairs: List[CandidatePair] = []
+    with open(path) as f:
+        reader = csv.DictReader(f)
+        required = {"ltable_id", "rtable_id", "label"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValueError(
+                f"{path}: expected columns {sorted(required)}, "
+                f"got {reader.fieldnames}")
+        for row in reader:
+            try:
+                pair = CandidatePair(left_by_id[str(row["ltable_id"])],
+                                     right_by_id[str(row["rtable_id"])],
+                                     int(row["label"]))
+            except KeyError as exc:
+                raise ValueError(f"{path}: unknown record id {exc}") from exc
+            pairs.append(pair)
+    return pairs
+
+
+def load_machamp_dir(directory: PathLike, name: Optional[str] = None,
+                     domain: str = "unknown",
+                     default_rate: float = 0.10) -> GEMDataset:
+    """Load a Machamp-layout directory.
+
+    Expected files: ``left.json``, ``right.json`` (JSON-lines tables) and
+    ``train.csv`` / ``valid.csv`` / ``test.csv`` pair files.
+    """
+    directory = Path(directory)
+    left = _load_jsonl_table(directory / "left.json", name="left")
+    right = _load_jsonl_table(directory / "right.json", name="right")
+    splits = {}
+    for split in ("train", "valid", "test"):
+        splits[split] = _load_pairs_csv(directory / f"{split}.csv", left, right)
+    return GEMDataset(
+        name=name or directory.name, domain=domain,
+        left_table=left, right_table=right,
+        train=splits["train"], valid=splits["valid"], test=splits["test"],
+        default_rate=default_rate)
+
+
+def save_machamp_dir(dataset: GEMDataset, directory: PathLike) -> None:
+    """Write a dataset in the Machamp directory layout."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for side, table in (("left", dataset.left_table),
+                        ("right", dataset.right_table)):
+        with open(directory / f"{side}.json", "w") as f:
+            for record in table:
+                f.write(json.dumps({"id": record.record_id, **record.values}))
+                f.write("\n")
+    for split in ("train", "valid", "test"):
+        with open(directory / f"{split}.csv", "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["ltable_id", "rtable_id", "label"])
+            for pair in getattr(dataset, split):
+                writer.writerow([pair.left.record_id, pair.right.record_id,
+                                 pair.label])

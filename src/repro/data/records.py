@@ -1,0 +1,122 @@
+"""Entity record and table model for Generalized Entity Matching.
+
+GEM (paper Problem 1) matches entities across *formats*: relational rows,
+semi-structured (nested JSON-like) objects, and unstructured text. A single
+:class:`EntityRecord` type covers all three via its ``kind`` tag, which the
+serializer dispatches on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+RELATIONAL = "relational"
+SEMI = "semi"
+TEXT = "text"
+KINDS = (RELATIONAL, SEMI, TEXT)
+
+
+@dataclass
+class EntityRecord:
+    """One entity in one of the three GEM formats.
+
+    * ``relational`` -- ``values`` is a flat attr -> scalar mapping;
+    * ``semi`` -- ``values`` may nest dicts and lists;
+    * ``text`` -- ``values`` holds a single ``{"text": <str>}`` entry.
+    """
+
+    record_id: str
+    kind: str
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown record kind {self.kind!r}; expected one of {KINDS}")
+        if self.kind == TEXT:
+            if set(self.values) != {"text"}:
+                raise ValueError("text records must have exactly one 'text' value")
+        if self.kind == RELATIONAL:
+            for attr, value in self.values.items():
+                if isinstance(value, (dict, list)):
+                    raise ValueError(
+                        f"relational attribute {attr!r} holds nested value {value!r}; "
+                        "use kind='semi' for nested data")
+
+    @classmethod
+    def text_record(cls, record_id: str, text: str) -> "EntityRecord":
+        return cls(record_id=record_id, kind=TEXT, values={"text": text})
+
+    @property
+    def text(self) -> str:
+        if self.kind != TEXT:
+            raise AttributeError("only text records expose .text")
+        return str(self.values["text"])
+
+    def num_attributes(self) -> int:
+        """Leaf-attribute count (nested attrs each count once)."""
+        if self.kind == TEXT:
+            return 1
+
+        def count(value: Any) -> int:
+            if isinstance(value, dict):
+                return sum(count(v) for v in value.values())
+            return 1
+
+        return sum(count(v) for v in self.values.values())
+
+    def flat_values(self) -> List[Any]:
+        """All leaf values in definition order (lists kept as one leaf)."""
+        out: List[Any] = []
+
+        def walk(value: Any) -> None:
+            if isinstance(value, dict):
+                for v in value.values():
+                    walk(v)
+            else:
+                out.append(value)
+
+        for v in self.values.values():
+            walk(v)
+        return out
+
+
+@dataclass
+class Table:
+    """A named collection of same-kind entity records."""
+
+    name: str
+    kind: str
+    records: List[EntityRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown table kind {self.kind!r}")
+        for record in self.records:
+            if record.kind != self.kind:
+                raise ValueError(
+                    f"record {record.record_id} has kind {record.kind}, "
+                    f"table expects {self.kind}")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[EntityRecord]:
+        return iter(self.records)
+
+    def add(self, record: EntityRecord) -> None:
+        if record.kind != self.kind:
+            raise ValueError(f"cannot add {record.kind} record to {self.kind} table")
+        self.records.append(record)
+
+    def by_id(self, record_id: str) -> EntityRecord:
+        for record in self.records:
+            if record.record_id == record_id:
+                return record
+        raise KeyError(record_id)
+
+    def avg_attributes(self) -> float:
+        """Average leaf-attribute count (the '#attr' column of Table 1)."""
+        if not self.records:
+            return 0.0
+        return sum(r.num_attributes() for r in self.records) / len(self.records)

@@ -1,0 +1,60 @@
+"""Entity serialization (paper Section 2.2).
+
+Structured entities become ``[COL] attr [VAL] value`` sequences; nested
+attributes recursively repeat the tags at each level; list attributes are
+flattened by concatenating their elements into one string; text entities are
+already sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..text.tfidf import TfIdfSummarizer
+from .records import RELATIONAL, SEMI, TEXT, EntityRecord
+
+
+def _value_to_string(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    if isinstance(value, list):
+        return " ".join(_value_to_string(v) for v in value)
+    return str(value)
+
+
+def _serialize_mapping(values: dict, parts: List[str]) -> None:
+    for attr, value in values.items():
+        if isinstance(value, dict):
+            # Nested attribute: emit the parent tag, then recurse one level
+            # deeper (paper: "recursively add the [COL] and [VAL] tags ...
+            # in each level of nests").
+            parts.append(f"[COL] {attr}")
+            _serialize_mapping(value, parts)
+        else:
+            parts.append(f"[COL] {attr} [VAL] {_value_to_string(value)}".rstrip())
+
+
+def serialize(record: EntityRecord,
+              summarizer: Optional[TfIdfSummarizer] = None) -> str:
+    """Serialize a record of any kind to a flat token sequence.
+
+    ``summarizer`` optionally applies the Appendix F TF-IDF summarization to
+    long textual entities (and to textual attribute values is unnecessary --
+    structured values are short by construction).
+    """
+    if record.kind == TEXT:
+        text = record.text
+        if summarizer is not None:
+            text = summarizer.summarize(text)
+        return text
+    parts: List[str] = []
+    _serialize_mapping(record.values, parts)
+    return " ".join(parts)
+
+
+def serialize_pair(left: EntityRecord, right: EntityRecord,
+                   summarizer: Optional[TfIdfSummarizer] = None) -> tuple:
+    """Serialize both sides of a candidate pair."""
+    return serialize(left, summarizer), serialize(right, summarizer)

@@ -1,0 +1,110 @@
+"""Confidence-calibration diagnostics.
+
+Challenge II of the paper rests on a claim: *"incorrect predictions can
+have high confidence scores in poorly calibrated networks"*. This module
+quantifies that claim for any matcher -- expected calibration error (ECE),
+maximum calibration error, and a reliability table -- so the choice of
+uncertainty over confidence for pseudo-label selection can be justified
+empirically rather than by citation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CalibrationBin:
+    """One confidence bucket of a reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    accuracy: float
+
+    @property
+    def gap(self) -> float:
+        """|confidence - accuracy|; zero for a perfectly calibrated bin."""
+        return abs(self.mean_confidence - self.accuracy)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """ECE / MCE plus the per-bin breakdown."""
+
+    ece: float
+    mce: float
+    bins: List[CalibrationBin]
+
+    def as_rows(self) -> List[list]:
+        """Rows for :func:`repro.eval.render_table`."""
+        return [[f"({b.lower:.2f}, {b.upper:.2f}]", b.count,
+                 round(b.mean_confidence, 3), round(b.accuracy, 3),
+                 round(b.gap, 3)] for b in self.bins if b.count]
+
+
+def calibration_report(probs: np.ndarray, labels: Sequence[int],
+                       num_bins: int = 10) -> CalibrationReport:
+    """Measure calibration of (N, 2) class probabilities against labels.
+
+    ECE = sum_b (n_b / N) * |acc_b - conf_b| over equal-width confidence
+    bins; MCE is the worst bin gap.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if probs.ndim != 2 or probs.shape[1] != 2:
+        raise ValueError(f"expected (N, 2) probabilities, got {probs.shape}")
+    if len(probs) != len(labels):
+        raise ValueError("probs / labels length mismatch")
+    if num_bins <= 0:
+        raise ValueError("num_bins must be positive")
+
+    confidence = probs.max(axis=1)
+    predictions = probs.argmax(axis=1)
+    correct = (predictions == labels).astype(np.float64)
+
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bins: List[CalibrationBin] = []
+    ece = 0.0
+    mce = 0.0
+    total = len(labels)
+    for lower, upper in zip(edges[:-1], edges[1:]):
+        if upper == 1.0:
+            mask = (confidence > lower) & (confidence <= upper + 1e-12)
+        else:
+            mask = (confidence > lower) & (confidence <= upper)
+        count = int(mask.sum())
+        if count:
+            mean_conf = float(confidence[mask].mean())
+            accuracy = float(correct[mask].mean())
+            gap = abs(mean_conf - accuracy)
+            ece += (count / total) * gap
+            mce = max(mce, gap)
+        else:
+            mean_conf = accuracy = 0.0
+        bins.append(CalibrationBin(lower=float(lower), upper=float(upper),
+                                   count=count, mean_confidence=mean_conf,
+                                   accuracy=accuracy))
+    return CalibrationReport(ece=float(ece), mce=float(mce), bins=bins)
+
+
+def overconfidence_rate(probs: np.ndarray, labels: Sequence[int],
+                        threshold: float = 0.9) -> float:
+    """Fraction of *high-confidence* predictions that are wrong.
+
+    This is the paper's Challenge II failure mode in one number: if a
+    teacher selects pseudo-labels by confidence > ``threshold``, this is
+    the noise rate it imports into the student's training set.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    confidence = probs.max(axis=1)
+    predictions = probs.argmax(axis=1)
+    high = confidence >= threshold
+    if not high.any():
+        return 0.0
+    return float((predictions[high] != labels[high]).mean())

@@ -1,0 +1,102 @@
+"""Classification metrics: P/R/F1 (Tables 2/3/6) and TPR/TNR (Table 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @classmethod
+    def from_labels(cls, y_true: Sequence[int],
+                    y_pred: Sequence[int]) -> "ConfusionMatrix":
+        y_true = np.asarray(y_true, dtype=np.int64)
+        y_pred = np.asarray(y_pred, dtype=np.int64)
+        if y_true.shape != y_pred.shape:
+            raise ValueError(
+                f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+        bad = set(np.unique(y_true)) | set(np.unique(y_pred))
+        if not bad <= {0, 1}:
+            raise ValueError(f"labels must be binary, got values {sorted(bad)}")
+        return cls(
+            tp=int(((y_true == 1) & (y_pred == 1)).sum()),
+            fp=int(((y_true == 0) & (y_pred == 1)).sum()),
+            tn=int(((y_true == 0) & (y_pred == 0)).sum()),
+            fn=int(((y_true == 1) & (y_pred == 0)).sum()),
+        )
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def tpr(self) -> float:
+        """True-positive rate (same as recall; Table 5 terminology)."""
+        return self.recall
+
+    @property
+    def tnr(self) -> float:
+        """True-negative rate: TN / (TN + FP)."""
+        denom = self.tn + self.fp
+        return self.tn / denom if denom else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.fp + self.tn + self.fn
+        return (self.tp + self.tn) / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 triple as percentages (paper table format)."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    @classmethod
+    def from_confusion(cls, cm: ConfusionMatrix) -> "PRF":
+        return cls(precision=100 * cm.precision, recall=100 * cm.recall,
+                   f1=100 * cm.f1)
+
+    @classmethod
+    def from_labels(cls, y_true: Sequence[int], y_pred: Sequence[int]) -> "PRF":
+        return cls.from_confusion(ConfusionMatrix.from_labels(y_true, y_pred))
+
+    def as_row(self) -> tuple:
+        return (round(self.precision, 1), round(self.recall, 1), round(self.f1, 1))
+
+
+def precision_recall_f1(y_true: Sequence[int],
+                        y_pred: Sequence[int]) -> tuple:
+    """Convenience: (P, R, F1) as fractions in [0, 1]."""
+    cm = ConfusionMatrix.from_labels(y_true, y_pred)
+    return cm.precision, cm.recall, cm.f1
+
+
+def pseudo_label_quality(y_true: Sequence[int],
+                         y_pseudo: Sequence[int]) -> tuple:
+    """(TPR, TNR) of pseudo-labels against ground truth (paper Table 5)."""
+    cm = ConfusionMatrix.from_labels(y_true, y_pseudo)
+    return cm.tpr, cm.tnr

@@ -1,0 +1,81 @@
+"""Aligned-text table rendering used by every benchmark harness.
+
+Each bench regenerates one paper table/figure and prints it via these
+helpers, so the console output visually mirrors the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+
+def _format_cell(value: Cell, decimals: int = 1) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 title: Optional[str] = None, decimals: int = 1) -> str:
+    """Render a monospace table with a header rule."""
+    cells = [[_format_cell(c, decimals) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(values: Sequence[str]) -> str:
+        return "  ".join(v.ljust(w) for v, w in zip(values, widths)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_prf_table(title: str, dataset_names: Sequence[str],
+                     results: Dict[str, Dict[str, tuple]],
+                     decimals: int = 1) -> str:
+    """Render a paper-style methods x datasets P/R/F table.
+
+    ``results[method][dataset]`` is a (P, R, F) tuple in percent.
+    """
+    headers = ["Method"]
+    for name in dataset_names:
+        headers += [f"{name}:P", f"{name}:R", f"{name}:F"]
+    rows = []
+    for method, per_dataset in results.items():
+        row: List[Cell] = [method]
+        for name in dataset_names:
+            prf = per_dataset.get(name)
+            row += list(prf) if prf is not None else [None, None, None]
+        rows.append(row)
+    return render_table(headers, rows, title=title, decimals=decimals)
+
+
+def render_series(title: str, x_label: str, x_values: Sequence,
+                  series: Dict[str, Sequence[float]],
+                  decimals: int = 1) -> str:
+    """Render a figure as a table: one row per x value, one column per line."""
+    headers = [x_label, *series]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[Cell] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else None)
+        rows.append(row)
+    return render_table(headers, rows, title=title, decimals=decimals)

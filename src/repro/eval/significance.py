@@ -1,0 +1,89 @@
+"""Bootstrap confidence intervals for matcher comparisons.
+
+Single-seed F1 values on test splits of 50-150 pairs carry several points
+of noise; these helpers quantify it. ``bootstrap_f1`` resamples the test
+set with replacement; ``paired_bootstrap_delta`` answers "is matcher A
+really better than matcher B on this test set?" with a paired resampling
+test (the standard protocol for comparing classifiers on one split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .metrics import ConfusionMatrix
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """Point estimate and (lower, upper) percentile interval, in percent."""
+
+    point: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def _f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return ConfusionMatrix.from_labels(y_true, y_pred).f1
+
+
+def bootstrap_f1(y_true: Sequence[int], y_pred: Sequence[int],
+                 num_samples: int = 1000, confidence: float = 0.95,
+                 seed: int = 0) -> BootstrapInterval:
+    """Percentile-bootstrap interval of F1 (values in percent)."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if len(y_true) != len(y_pred) or len(y_true) == 0:
+        raise ValueError("need equal-length, non-empty label arrays")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = len(y_true)
+    scores = np.empty(num_samples)
+    for i in range(num_samples):
+        idx = rng.integers(0, n, size=n)
+        scores[i] = _f1(y_true[idx], y_pred[idx])
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapInterval(
+        point=100 * _f1(y_true, y_pred),
+        lower=100 * float(np.quantile(scores, alpha)),
+        upper=100 * float(np.quantile(scores, 1.0 - alpha)),
+        confidence=confidence)
+
+
+def paired_bootstrap_delta(y_true: Sequence[int],
+                           pred_a: Sequence[int],
+                           pred_b: Sequence[int],
+                           num_samples: int = 1000,
+                           seed: int = 0) -> Tuple[float, float]:
+    """Paired bootstrap of F1(A) - F1(B).
+
+    Returns ``(delta_in_percent, p_value)`` where the (one-sided) p-value
+    is the fraction of resamples on which A does *not* beat B.
+    """
+    y_true = np.asarray(y_true, dtype=np.int64)
+    pred_a = np.asarray(pred_a, dtype=np.int64)
+    pred_b = np.asarray(pred_b, dtype=np.int64)
+    if not (len(y_true) == len(pred_a) == len(pred_b)) or len(y_true) == 0:
+        raise ValueError("need three equal-length, non-empty label arrays")
+    rng = np.random.default_rng(seed)
+    n = len(y_true)
+    wins = 0
+    for _ in range(num_samples):
+        idx = rng.integers(0, n, size=n)
+        if _f1(y_true[idx], pred_a[idx]) > _f1(y_true[idx], pred_b[idx]):
+            wins += 1
+    delta = 100 * (_f1(y_true, pred_a) - _f1(y_true, pred_b))
+    p_value = 1.0 - wins / num_samples
+    return delta, p_value

@@ -1,0 +1,12 @@
+"""MiniLM: the pre-trained masked language model substrate."""
+
+from .config import LMConfig
+from .model import MiniLM, pad_batch
+from .pretrain import IGNORE_INDEX, PretrainConfig, PretrainResult, mask_tokens, pretrain
+from .zoo import available_models, default_cache_dir, load_pretrained
+
+__all__ = [
+    "LMConfig", "MiniLM", "pad_batch",
+    "PretrainConfig", "PretrainResult", "pretrain", "mask_tokens", "IGNORE_INDEX",
+    "load_pretrained", "available_models", "default_cache_dir",
+]

@@ -1,0 +1,44 @@
+"""MiniLM configuration."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class LMConfig:
+    """Architecture hyperparameters of the MiniLM encoder.
+
+    The defaults are a scaled-down RoBERTa: the layer structure (learned
+    positional embeddings, post-norm encoder blocks, GELU FFN, tied MLM
+    decoder) matches the paper's backbone; only the widths are small enough
+    to train on a CPU in seconds.
+    """
+
+    vocab_size: int = 1000
+    d_model: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    d_ff: int = 128
+    max_len: int = 128
+    dropout: float = 0.1
+    #: number of attention heads per layer initialized as content-matching
+    #: (identical Q/K projections) -- seeds the duplicate-detection circuit
+    matched_heads: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        if self.vocab_size <= 0 or self.max_len <= 0:
+            raise ValueError("vocab_size and max_len must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LMConfig":
+        return cls(**data)

@@ -1,0 +1,140 @@
+"""Masked-language-model pre-training (the RoBERTa recipe, scaled down).
+
+Dynamic masking: each epoch re-samples which 15% of (non-special) positions
+are masked; of those, 80% become [MASK], 10% a random token, 10% stay
+unchanged. The loss is cross-entropy on masked positions only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import AdamW, clip_grad_norm, functional as F
+from ..text import Tokenizer
+from .model import MiniLM, pad_batch
+
+IGNORE_INDEX = -100
+
+
+@dataclass
+class PretrainConfig:
+    """Hyperparameters of the MLM pre-training run."""
+
+    epochs: int = 3
+    batch_size: int = 32
+    lr: float = 1e-3
+    weight_decay: float = 0.01
+    mask_prob: float = 0.15
+    #: extra masking probability for ``focus_tokens`` (label words): the
+    #: corpus's relation statements are only useful if the decisive word is
+    #: actually masked often enough to be learned as a cloze target.
+    focus_mask_prob: float = 0.6
+    focus_tokens: tuple = ()
+    max_len: int = 64
+    grad_clip: float = 1.0
+    seed: int = 0
+
+
+@dataclass
+class PretrainResult:
+    """Loss trajectory of a pre-training run."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+def mask_tokens(ids: np.ndarray, pad_mask: np.ndarray, vocab_size: int,
+                mask_id: int, special_ids: Sequence[int],
+                rng: np.random.Generator, mask_prob: float = 0.15,
+                focus_ids: Sequence[int] = (),
+                focus_mask_prob: float = 0.6):
+    """Apply BERT-style dynamic masking.
+
+    Returns (masked_ids, labels) where labels hold the original token at
+    masked positions and IGNORE_INDEX elsewhere. Tokens in ``focus_ids``
+    are masked with ``focus_mask_prob`` instead of ``mask_prob``.
+    """
+    ids = ids.copy()
+    labels = np.full_like(ids, IGNORE_INDEX)
+
+    eligible = ~pad_mask
+    for sid in special_ids:
+        eligible &= ids != sid
+
+    threshold = np.full(ids.shape, mask_prob)
+    if len(focus_ids):
+        focused = np.isin(ids, np.asarray(list(focus_ids), dtype=np.int64))
+        threshold[focused] = focus_mask_prob
+    lottery = rng.random(ids.shape) < threshold
+    chosen = eligible & lottery
+    labels[chosen] = ids[chosen]
+
+    action = rng.random(ids.shape)
+    to_mask = chosen & (action < 0.8)
+    to_random = chosen & (action >= 0.8) & (action < 0.9)
+    ids[to_mask] = mask_id
+    n_random = int(to_random.sum())
+    if n_random:
+        ids[to_random] = rng.integers(len(special_ids), vocab_size, size=n_random)
+    return ids, labels
+
+
+def pretrain(model: MiniLM, tokenizer: Tokenizer, corpus: Sequence[str],
+             config: Optional[PretrainConfig] = None,
+             verbose: bool = False) -> PretrainResult:
+    """Pre-train ``model`` in place on ``corpus``; returns the loss trace."""
+    config = config if config is not None else PretrainConfig()
+    rng = np.random.default_rng(config.seed)
+    vocab = tokenizer.vocab
+
+    encoded = [
+        tokenizer.encode(text, max_len=min(config.max_len, model.config.max_len)).ids
+        for text in corpus
+    ]
+    encoded = [ids for ids in encoded if len(ids) > 2]
+    if not encoded:
+        raise ValueError("corpus produced no usable sequences")
+
+    optimizer = AdamW(model.parameters(), lr=config.lr,
+                      weight_decay=config.weight_decay)
+    result = PretrainResult()
+    model.train()
+
+    for epoch in range(config.epochs):
+        order = rng.permutation(len(encoded))
+        losses: List[float] = []
+        for start in range(0, len(order), config.batch_size):
+            batch = [encoded[i] for i in order[start:start + config.batch_size]]
+            ids, pad_mask = pad_batch(batch, pad_id=vocab.pad_id)
+            masked, labels = mask_tokens(
+                ids, pad_mask, vocab_size=len(vocab), mask_id=vocab.mask_id,
+                special_ids=vocab.special_ids, rng=rng,
+                mask_prob=config.mask_prob,
+                focus_ids=[vocab.id_of(t) for t in config.focus_tokens
+                           if t in vocab],
+                focus_mask_prob=config.focus_mask_prob)
+            if (labels == IGNORE_INDEX).all():
+                continue
+            hidden = model.encode(masked, pad_mask=pad_mask)
+            logits = model.mlm_logits(hidden)
+            flat_logits = logits.reshape(-1, len(vocab))
+            loss = F.cross_entropy(flat_logits, labels.reshape(-1),
+                                   ignore_index=IGNORE_INDEX)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            losses.append(loss.item())
+        epoch_loss = float(np.mean(losses)) if losses else float("nan")
+        result.epoch_losses.append(epoch_loss)
+        if verbose:
+            print(f"[pretrain] epoch {epoch + 1}/{config.epochs} mlm_loss={epoch_loss:.4f}")
+
+    model.eval()
+    return result

@@ -1,0 +1,124 @@
+"""Named pre-trained checkpoints with a disk cache.
+
+``load_pretrained("minilm-base")`` plays the role of
+``AutoModel.from_pretrained("roberta-base")`` in the paper's stack: the first
+call builds the synthetic corpus, trains the MLM, and caches the checkpoint;
+later calls (and other processes) reload it in milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..text import Tokenizer, Vocabulary, build_corpus, build_vocab
+from ..text.lexicon import (
+    NEGATIVE_LABEL_WORDS, POSITIVE_LABEL_WORDS, all_domain_words,
+)
+from .config import LMConfig
+from .model import MiniLM
+from .pretrain import PretrainConfig, pretrain
+from ..autograd import load_checkpoint, save_checkpoint
+
+
+_LABEL_WORDS = tuple(POSITIVE_LABEL_WORDS + NEGATIVE_LABEL_WORDS)
+
+
+@dataclass(frozen=True)
+class ZooSpec:
+    """Recipe for a named checkpoint: architecture + pre-training budget."""
+
+    lm: LMConfig
+    pretrain: PretrainConfig
+    corpus_sentences: int
+    corpus_seed: int = 0
+
+
+def _specs() -> Dict[str, ZooSpec]:
+    # vocab_size=1 is a placeholder; the real size is substituted once the
+    # vocabulary has been built from the corpus.
+    return {
+        # The workhorse checkpoint used by benches and examples.
+        "minilm-base": ZooSpec(
+            lm=LMConfig(vocab_size=1, d_model=64, num_layers=2, num_heads=4,
+                        d_ff=128, max_len=160, dropout=0.1, seed=0),
+            pretrain=PretrainConfig(epochs=6, batch_size=32, lr=1e-3,
+                                    max_len=96, seed=0,
+                                    focus_tokens=_LABEL_WORDS),
+            corpus_sentences=6000,
+        ),
+        # A very small checkpoint for fast unit tests.
+        "minilm-tiny": ZooSpec(
+            lm=LMConfig(vocab_size=1, d_model=32, num_layers=1, num_heads=2,
+                        d_ff=64, max_len=128, dropout=0.1, seed=0),
+            pretrain=PretrainConfig(epochs=3, batch_size=32, lr=1.5e-3,
+                                    max_len=64, seed=0,
+                                    focus_tokens=_LABEL_WORDS),
+            corpus_sentences=2000,
+        ),
+    }
+
+
+def available_models() -> Tuple[str, ...]:
+    return tuple(_specs())
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-promptem"
+
+
+def _build_vocabulary(spec: ZooSpec) -> Vocabulary:
+    corpus = build_corpus(spec.corpus_sentences, seed=spec.corpus_seed)
+    # Seed the vocab with every domain word so downstream datasets never
+    # depend on corpus sampling luck.
+    return build_vocab(corpus + [" ".join(all_domain_words())], max_words=3000)
+
+
+def load_pretrained(name: str = "minilm-base",
+                    cache_dir: Optional[Path] = None,
+                    force_retrain: bool = False,
+                    verbose: bool = False) -> Tuple[MiniLM, Tokenizer]:
+    """Return a pre-trained (model, tokenizer) pair, training if not cached."""
+    specs = _specs()
+    if name not in specs:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(specs)}")
+    spec = specs[name]
+    cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    model_path = cache_dir / f"{name}.npz"
+    vocab_path = cache_dir / f"{name}.vocab.json"
+
+    if not force_retrain and model_path.exists() and vocab_path.exists():
+        with open(vocab_path) as f:
+            payload = json.load(f)
+        vocab = Vocabulary()
+        from ..text.vocab import SPECIAL_TOKENS
+
+        for token in payload["tokens"][len(SPECIAL_TOKENS):]:
+            vocab.add(token)
+        config = LMConfig.from_dict(payload["lm_config"])
+        model = MiniLM(config)
+        load_checkpoint(model, model_path)
+        model.eval()
+        return model, Tokenizer(vocab)
+
+    vocab = _build_vocabulary(spec)
+    config = LMConfig(**{**spec.lm.to_dict(), "vocab_size": len(vocab)})
+    model = MiniLM(config)
+    tokenizer = Tokenizer(vocab)
+    corpus = build_corpus(spec.corpus_sentences, seed=spec.corpus_seed)
+    result = pretrain(model, tokenizer, corpus, config=spec.pretrain, verbose=verbose)
+
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    save_checkpoint(model, model_path, metadata={
+        "name": name, "final_loss": result.final_loss,
+    })
+    with open(vocab_path, "w") as f:
+        json.dump({"tokens": vocab.tokens(), "lm_config": config.to_dict()}, f)
+    model.eval()
+    return model, tokenizer

@@ -1,0 +1,26 @@
+"""Text substrate: vocabulary, tokenizer, corpus, TF-IDF, string similarity."""
+
+from . import lexicon
+from .corpus import build_corpus, domain_sentence, relation_statement, serialized_record
+from .similarity import (
+    cosine_tokens, jaccard, jaccard_text, levenshtein, levenshtein_similarity,
+    overlap_coefficient, token_set,
+)
+from .tfidf import TfIdfModel, TfIdfSummarizer, summarize_texts
+from .tokenizer import Encoding, Tokenizer, basic_tokenize, build_vocab, wordpiece
+from .vocab import (
+    CLS_TOKEN, COL_TOKEN, MASK_TOKEN, PAD_TOKEN, SEP_TOKEN, SPECIAL_TOKENS,
+    UNK_TOKEN, VAL_TOKEN, Vocabulary,
+)
+
+__all__ = [
+    "lexicon",
+    "Vocabulary", "SPECIAL_TOKENS",
+    "PAD_TOKEN", "UNK_TOKEN", "CLS_TOKEN", "SEP_TOKEN", "MASK_TOKEN",
+    "COL_TOKEN", "VAL_TOKEN",
+    "Tokenizer", "Encoding", "basic_tokenize", "build_vocab", "wordpiece",
+    "build_corpus", "domain_sentence", "relation_statement", "serialized_record",
+    "TfIdfModel", "TfIdfSummarizer", "summarize_texts",
+    "jaccard", "jaccard_text", "cosine_tokens", "levenshtein",
+    "levenshtein_similarity", "overlap_coefficient", "token_set",
+]

@@ -1,0 +1,155 @@
+"""Shared domain word pools.
+
+These lexicons serve two purposes that must stay coupled:
+
+1. The synthetic benchmark generators (``repro.data.generators``) draw entity
+   attribute values from these pools, giving each of the paper's eight
+   datasets a realistic domain vocabulary (restaurants, citations, books,
+   movies, products, geo points).
+2. The MLM pre-training corpus (``repro.text.corpus``) is built over the same
+   pools, so the MiniLM checkpoint genuinely *knows* this vocabulary before
+   it ever sees a downstream task -- the pre-condition for the paper's claim
+   that prompt-tuning surfaces pre-trained knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# Label words (paper Section 3.1): the designed sets express a *general*
+# binary relationship, the simple sets only strict matching (Figure 5).
+POSITIVE_LABEL_WORDS: List[str] = ["matched", "similar", "relevant"]
+NEGATIVE_LABEL_WORDS: List[str] = ["mismatched", "different", "irrelevant"]
+SIMPLE_POSITIVE_LABEL_WORDS: List[str] = ["matched"]
+SIMPLE_NEGATIVE_LABEL_WORDS: List[str] = ["mismatched"]
+
+STOPWORDS: List[str] = [
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has",
+    "he", "in", "is", "it", "its", "of", "on", "or", "that", "the", "to",
+    "was", "were", "will", "with", "they", "this", "she", "we", "their",
+]
+
+GLUE_WORDS: List[str] = STOPWORDS + [
+    "same", "entity", "record", "pair", "tables", "about", "between",
+    "describes", "refers", "published", "located", "known", "called",
+    "new", "also", "very", "not", "no", "yes", "which", "into", "over",
+]
+
+RESTAURANT_NAMES: List[str] = [
+    "golden", "dragon", "palace", "bistro", "cafe", "grill", "kitchen",
+    "garden", "house", "corner", "tavern", "diner", "pizzeria", "sushi",
+    "noodle", "spice", "olive", "maple", "river", "sunset", "blue", "red",
+    "royal", "little", "grand", "old", "village", "harbor", "star", "lotus",
+]
+CUISINES: List[str] = [
+    "italian", "chinese", "mexican", "thai", "french", "indian", "japanese",
+    "american", "greek", "korean", "vietnamese", "spanish", "seafood",
+    "steakhouse", "vegetarian", "bakery", "barbecue", "mediterranean",
+]
+CITIES: List[str] = [
+    "york", "angeles", "chicago", "houston", "phoenix", "boston", "seattle",
+    "denver", "atlanta", "miami", "dallas", "portland", "austin", "pittsburgh",
+    "oakland", "madison", "berkeley", "cambridge",
+]
+STREETS: List[str] = [
+    "main", "oak", "pine", "maple", "cedar", "elm", "washington", "lake",
+    "hill", "park", "broadway", "market", "church", "spring", "center",
+    "union", "franklin", "highland",
+]
+
+RESEARCH_TOPICS: List[str] = [
+    "efficient", "similarity", "search", "query", "database", "learning",
+    "neural", "network", "entity", "matching", "graph", "index", "join",
+    "stream", "distributed", "parallel", "optimization", "clustering",
+    "classification", "embedding", "transformer", "language", "model",
+    "knowledge", "retrieval", "ranking", "sampling", "approximate",
+    "scalable", "adaptive", "incremental", "probabilistic", "semantic",
+    "temporal", "spatial", "relational", "schema", "integration", "cleaning",
+]
+AUTHOR_NAMES: List[str] = [
+    "smith", "johnson", "chen", "wang", "kumar", "garcia", "mueller",
+    "tanaka", "lee", "brown", "davis", "wilson", "zhang", "liu", "patel",
+    "nguyen", "kim", "gupta", "rossi", "silva", "fagin", "ullman", "widom",
+    "stonebraker", "dewitt", "gray", "codd", "bernstein", "abiteboul",
+]
+VENUES: List[str] = [
+    "sigmod", "vldb", "icde", "kdd", "www", "acl", "emnlp", "nips",
+    "icml", "cikm", "edbt", "pods", "sigir", "aaai", "ijcai", "tkde",
+]
+
+BOOK_TITLE_WORDS: List[str] = [
+    "introduction", "principles", "fundamentals", "advanced", "practical",
+    "complete", "guide", "handbook", "systems", "programming", "design",
+    "analysis", "theory", "applications", "modern", "essential", "mastering",
+    "professional", "beginning", "teach", "yourself", "cookbook", "patterns",
+    "sql", "server", "python", "java", "algorithms", "data", "structures",
+    "internals", "troubleshooting", "architecture", "administration",
+]
+PUBLISHERS: List[str] = [
+    "wiley", "pearson", "oreilly", "springer", "elsevier", "mcgraw",
+    "cambridge", "oxford", "addison", "wesley", "sams", "packt", "manning",
+    "apress", "prentice",
+]
+
+MOVIE_TITLE_WORDS: List[str] = [
+    "shadow", "night", "return", "legend", "secret", "last", "first",
+    "dark", "light", "city", "lost", "love", "war", "king", "queen",
+    "dream", "storm", "fire", "ice", "moon", "silent", "broken", "golden",
+    "journey", "story", "rise", "fall", "edge", "beyond", "forever",
+]
+GENRES: List[str] = [
+    "drama", "comedy", "action", "thriller", "romance", "horror", "fantasy",
+    "adventure", "mystery", "documentary", "animation", "western", "crime",
+]
+DIRECTOR_NAMES: List[str] = AUTHOR_NAMES
+
+PRODUCT_BRANDS: List[str] = [
+    "acme", "zenith", "apex", "nova", "vertex", "orion", "atlas", "titan",
+    "pulse", "fusion", "quantum", "stellar", "prime", "delta", "omega",
+    "lumen", "aero", "core", "flux", "nexus",
+]
+PRODUCT_TYPES: List[str] = [
+    "laptop", "phone", "tablet", "monitor", "keyboard", "mouse", "headset",
+    "speaker", "camera", "printer", "router", "charger", "adapter", "cable",
+    "drive", "memory", "processor", "battery", "case", "stand",
+]
+PRODUCT_ADJECTIVES: List[str] = [
+    "wireless", "portable", "compact", "ultra", "slim", "pro", "mini",
+    "max", "lite", "premium", "gaming", "ergonomic", "rechargeable",
+    "bluetooth", "digital", "smart", "fast", "heavy", "duty", "waterproof",
+]
+
+POI_NAMES: List[str] = [
+    "museum", "library", "stadium", "theater", "gallery", "bridge",
+    "tower", "cathedral", "monument", "fountain", "plaza", "terminal",
+    "station", "campus", "pavilion", "arena", "observatory", "pier",
+    "gardens", "hall",
+]
+POI_CATEGORIES: List[str] = [
+    "landmark", "culture", "transport", "education", "recreation",
+    "historic", "sports", "food", "shopping", "nature",
+]
+
+DOMAIN_POOLS: Dict[str, List[str]] = {
+    "restaurant": RESTAURANT_NAMES + CUISINES + CITIES + STREETS,
+    "citation": RESEARCH_TOPICS + AUTHOR_NAMES + VENUES,
+    "book": BOOK_TITLE_WORDS + AUTHOR_NAMES + PUBLISHERS,
+    "movie": MOVIE_TITLE_WORDS + GENRES + DIRECTOR_NAMES,
+    "product": PRODUCT_BRANDS + PRODUCT_TYPES + PRODUCT_ADJECTIVES,
+    "geo": POI_NAMES + POI_CATEGORIES + CITIES + STREETS,
+}
+
+
+def all_domain_words() -> List[str]:
+    """Every content word any generator or template may emit, deduplicated."""
+    seen: Dict[str, None] = {}
+    pools = [
+        GLUE_WORDS,
+        POSITIVE_LABEL_WORDS,
+        NEGATIVE_LABEL_WORDS,
+        *DOMAIN_POOLS.values(),
+    ]
+    for pool in pools:
+        for word in pool:
+            seen.setdefault(word, None)
+    return list(seen)

@@ -1,0 +1,76 @@
+"""Classic string / set similarity measures.
+
+Used by the overlap blocker, the TDmatch graph builder, and tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from math import sqrt
+from typing import Iterable, Sequence, Set
+
+from .tokenizer import basic_tokenize
+
+
+def token_set(text: str) -> Set[str]:
+    return set(basic_tokenize(text))
+
+
+def jaccard(a: Iterable[str], b: Iterable[str]) -> float:
+    """Jaccard similarity of two token collections (1.0 when both empty)."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    union = len(sa | sb)
+    return len(sa & sb) / union if union else 0.0
+
+
+def jaccard_text(a: str, b: str) -> float:
+    return jaccard(token_set(a), token_set(b))
+
+
+def overlap_coefficient(a: Iterable[str], b: Iterable[str]) -> float:
+    """Szymkiewicz-Simpson overlap: |A∩B| / min(|A|, |B|)."""
+    sa, sb = set(a), set(b)
+    if not sa or not sb:
+        return 1.0 if (not sa and not sb) else 0.0
+    return len(sa & sb) / min(len(sa), len(sb))
+
+
+def cosine_tokens(a: Sequence[str], b: Sequence[str]) -> float:
+    """Cosine similarity between token count vectors."""
+    ca, cb = Counter(a), Counter(b)
+    if not ca or not cb:
+        return 1.0 if (not ca and not cb) else 0.0
+    dot = sum(ca[t] * cb[t] for t in ca.keys() & cb.keys())
+    na = sqrt(sum(v * v for v in ca.values()))
+    nb = sqrt(sum(v * v for v in cb.values()))
+    return dot / (na * nb)
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Edit distance with the standard two-row dynamic program."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """1 - normalized edit distance, in [0, 1]."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest

@@ -1,0 +1,79 @@
+"""TF-IDF summarization of long textual entries (paper Appendix F).
+
+Truncating long sequences loses matching-relevant information that is often
+not at the beginning; following Ditto, we instead retain the non-stopword
+tokens with the highest TF-IDF scores, preserving original order.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .lexicon import STOPWORDS
+from .tokenizer import basic_tokenize
+
+_STOPWORD_SET = set(STOPWORDS)
+
+
+class TfIdfModel:
+    """Document-frequency statistics fitted over a corpus of texts."""
+
+    def __init__(self) -> None:
+        self._doc_freq: Counter = Counter()
+        self._num_docs = 0
+
+    def fit(self, texts: Iterable[str]) -> "TfIdfModel":
+        for text in texts:
+            self._num_docs += 1
+            for token in set(basic_tokenize(text)):
+                self._doc_freq[token] += 1
+        return self
+
+    @property
+    def num_docs(self) -> int:
+        return self._num_docs
+
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency."""
+        df = self._doc_freq.get(token, 0)
+        return math.log((1 + self._num_docs) / (1 + df)) + 1.0
+
+    def scores(self, text: str) -> Dict[str, float]:
+        """Per-token TF-IDF scores for one document."""
+        tokens = basic_tokenize(text)
+        if not tokens:
+            return {}
+        tf = Counter(tokens)
+        total = len(tokens)
+        return {tok: (count / total) * self.idf(tok) for tok, count in tf.items()}
+
+
+class TfIdfSummarizer:
+    """Retain the top-``max_tokens`` scoring non-stopword tokens, in order."""
+
+    def __init__(self, model: Optional[TfIdfModel] = None, max_tokens: int = 64) -> None:
+        if max_tokens <= 0:
+            raise ValueError("max_tokens must be positive")
+        self.model = model if model is not None else TfIdfModel()
+        self.max_tokens = max_tokens
+
+    def fit(self, texts: Iterable[str]) -> "TfIdfSummarizer":
+        self.model.fit(texts)
+        return self
+
+    def summarize(self, text: str) -> str:
+        tokens = [t for t in basic_tokenize(text) if t not in _STOPWORD_SET]
+        if len(tokens) <= self.max_tokens:
+            return " ".join(tokens)
+        scores = self.model.scores(text)
+        ranked = sorted(range(len(tokens)), key=lambda i: -scores.get(tokens[i], 0.0))
+        keep = sorted(ranked[: self.max_tokens])
+        return " ".join(tokens[i] for i in keep)
+
+
+def summarize_texts(texts: Sequence[str], max_tokens: int = 64) -> List[str]:
+    """Fit on ``texts`` and summarize each of them."""
+    summarizer = TfIdfSummarizer(max_tokens=max_tokens).fit(texts)
+    return [summarizer.summarize(t) for t in texts]

@@ -1,0 +1,158 @@
+"""WordPiece-style tokenizer for serialized GEM sequences.
+
+Mirrors the HuggingFace tokenizer behaviour the paper depends on:
+
+* special tags ([CLS], [SEP], [MASK], [COL], [VAL], ...) are atomic;
+* text is lower-cased and split on whitespace/punctuation;
+* numbers are split into single digits -- deliberately, because the paper's
+  error analysis (Appendix C) hinges on LMs being poor at digit semantics,
+  and digit-level tokens reproduce that behaviour;
+* out-of-vocabulary words fall back to greedy longest-match subword pieces
+  ("##"-prefixed continuations), and ultimately to single characters, so no
+  input ever becomes an unrecoverable [UNK] unless it contains characters
+  outside [a-z0-9].
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .vocab import SPECIAL_TOKENS, Vocabulary
+
+_SPECIAL_SET = set(SPECIAL_TOKENS)
+_WORD_RE = re.compile(r"[a-z]+|[0-9]|[^\sa-z0-9]")
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+_DIGITS = "0123456789"
+
+
+def basic_tokenize(text: str) -> List[str]:
+    """Split raw text into word / digit / punctuation tokens.
+
+    Special tags pass through unchanged; everything else is lower-cased.
+    Digits come out one per token.
+    """
+    tokens: List[str] = []
+    for chunk in text.split():
+        if chunk in _SPECIAL_SET:
+            tokens.append(chunk)
+            continue
+        tokens.extend(_WORD_RE.findall(chunk.lower()))
+    return tokens
+
+
+def wordpiece(word: str, vocab: Vocabulary, max_chars: int = 64) -> List[str]:
+    """Greedy longest-match-first subword split of an alphabetic ``word``."""
+    if len(word) > max_chars:
+        return ["[UNK]"]
+    pieces: List[str] = []
+    start = 0
+    while start < len(word):
+        end = len(word)
+        piece = None
+        while end > start:
+            candidate = word[start:end]
+            if start > 0:
+                candidate = "##" + candidate
+            if candidate in vocab:
+                piece = candidate
+                break
+            end -= 1
+        if piece is None:
+            return ["[UNK]"]
+        pieces.append(piece)
+        start = end
+    return pieces
+
+
+@dataclass
+class Encoding:
+    """Token ids plus the attention/padding bookkeeping the encoder needs."""
+
+    ids: List[int]
+    tokens: List[str]
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class Tokenizer:
+    """Tokenizer bound to a :class:`Vocabulary`."""
+
+    def __init__(self, vocab: Vocabulary) -> None:
+        self.vocab = vocab
+
+    def tokenize(self, text: str) -> List[str]:
+        """Text -> subword token strings (no special wrapping)."""
+        out: List[str] = []
+        for token in basic_tokenize(text):
+            if token in _SPECIAL_SET or token in self.vocab:
+                out.append(token)
+            elif token.isalpha():
+                out.extend(wordpiece(token, self.vocab))
+            else:
+                out.append("[UNK]")
+        return out
+
+    def encode(self, text: str, max_len: Optional[int] = None,
+               add_special: bool = True) -> Encoding:
+        """Encode a single text as [CLS] tokens [SEP]."""
+        tokens = self.tokenize(text)
+        if add_special:
+            budget = None if max_len is None else max_len - 2
+            if budget is not None:
+                tokens = tokens[:max(budget, 0)]
+            tokens = ["[CLS]", *tokens, "[SEP]"]
+        elif max_len is not None:
+            tokens = tokens[:max_len]
+        return Encoding(ids=self.vocab.encode(tokens), tokens=tokens)
+
+    def encode_pair(self, left: str, right: str, max_len: int) -> Encoding:
+        """Encode ``[CLS] left [SEP] right [SEP]`` with longest-first truncation."""
+        a = self.tokenize(left)
+        b = self.tokenize(right)
+        budget = max_len - 3
+        if budget < 0:
+            raise ValueError(f"max_len={max_len} too small for a sequence pair")
+        while len(a) + len(b) > budget:
+            if len(a) >= len(b):
+                a.pop()
+            else:
+                b.pop()
+        tokens = ["[CLS]", *a, "[SEP]", *b, "[SEP]"]
+        return Encoding(ids=self.vocab.encode(tokens), tokens=tokens)
+
+
+def build_vocab(texts: Iterable[str], max_words: int = 4000,
+                min_count: int = 1) -> Vocabulary:
+    """Build a vocabulary from raw texts.
+
+    Always includes: single letters + digits (standalone and as "##"
+    continuations) so the wordpiece fallback can spell out any unseen word,
+    then the most frequent whole words.
+    """
+    counts: Counter = Counter()
+    for text in texts:
+        for token in basic_tokenize(text):
+            if token not in _SPECIAL_SET:
+                counts[token] += 1
+
+    vocab = Vocabulary()
+    for ch in _LETTERS + _DIGITS:
+        vocab.add(ch)
+        vocab.add("##" + ch)
+    # Frequent bigram continuations make wordpiece splits shorter.
+    for first in _LETTERS:
+        for second in "aeiounrst":
+            vocab.add("##" + first + second)
+
+    added_words = 0
+    for token, count in counts.most_common():
+        if added_words >= max_words:
+            break
+        if count >= min_count and token not in vocab:
+            vocab.add(token)
+            added_words += 1
+    return vocab

@@ -1,0 +1,108 @@
+"""Vocabulary with the special tokens the GEM serialization needs."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+PAD_TOKEN = "[PAD]"
+UNK_TOKEN = "[UNK]"
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+MASK_TOKEN = "[MASK]"
+COL_TOKEN = "[COL]"
+VAL_TOKEN = "[VAL]"
+
+SPECIAL_TOKENS: List[str] = [
+    PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, SEP_TOKEN, MASK_TOKEN, COL_TOKEN, VAL_TOKEN,
+]
+
+
+class Vocabulary:
+    """Bidirectional token <-> id mapping with fixed special tokens.
+
+    Special tokens always occupy ids 0..6 in the order of
+    :data:`SPECIAL_TOKENS`, so checkpoints remain compatible across
+    vocabularies built from different corpora.
+    """
+
+    def __init__(self, tokens: Optional[Iterable[str]] = None) -> None:
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+        if tokens is not None:
+            for token in tokens:
+                self.add(token)
+
+    def _add(self, token: str) -> int:
+        index = len(self._id_to_token)
+        self._token_to_id[token] = index
+        self._id_to_token.append(token)
+        return index
+
+    def add(self, token: str) -> int:
+        """Add ``token`` if absent; return its id."""
+        if not token:
+            raise ValueError("cannot add an empty token")
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        return self._add(token)
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``, falling back to [UNK]."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token_of(self, index: int) -> str:
+        if not 0 <= index < len(self._id_to_token):
+            raise IndexError(f"token id {index} out of range (vocab size {len(self)})")
+        return self._id_to_token[index]
+
+    def encode(self, tokens: Iterable[str]) -> List[int]:
+        return [self.id_of(t) for t in tokens]
+
+    def decode(self, ids: Iterable[int]) -> List[str]:
+        return [self.token_of(i) for i in ids]
+
+    # Convenience ids -------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS_TOKEN]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[SEP_TOKEN]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[MASK_TOKEN]
+
+    @property
+    def col_id(self) -> int:
+        return self._token_to_id[COL_TOKEN]
+
+    @property
+    def val_id(self) -> int:
+        return self._token_to_id[VAL_TOKEN]
+
+    @property
+    def special_ids(self) -> List[int]:
+        return [self._token_to_id[t] for t in SPECIAL_TOKENS]
+
+    def tokens(self) -> List[str]:
+        """All tokens in id order (including specials)."""
+        return list(self._id_to_token)

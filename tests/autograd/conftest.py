@@ -1,0 +1,14 @@
+"""Gradient-check tests need float64 for central-difference stability."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import get_default_dtype, set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def _float64_for_gradcheck():
+    previous = get_default_dtype()
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(previous)

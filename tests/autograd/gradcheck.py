@@ -1,0 +1,38 @@
+"""Numeric gradient checking helper shared by autograd tests."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+def numeric_grad(fn: Callable[[], Tensor], tensor: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn().item()
+        flat[i] = original - eps
+        down = fn().item()
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def assert_grad_close(fn: Callable[[], Tensor], tensors: Sequence[Tensor],
+                      atol: float = 1e-5, rtol: float = 1e-4) -> None:
+    """Check analytic vs numeric gradients of scalar ``fn()`` for each tensor."""
+    for t in tensors:
+        t.grad = None
+    out = fn()
+    out.backward()
+    for t in tensors:
+        assert t.grad is not None, "missing gradient"
+        expected = numeric_grad(fn, t)
+        np.testing.assert_allclose(t.grad, expected, atol=atol, rtol=rtol)

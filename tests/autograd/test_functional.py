@@ -1,0 +1,175 @@
+"""Tests for nn functional ops: softmax, losses, dropout, gelu."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+
+from .gradcheck import assert_grad_close
+
+RNG = np.random.default_rng(11)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(RNG.standard_normal((4, 7)))
+        probs = F.softmax(x).numpy()
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-12)
+        assert (probs >= 0).all()
+
+    def test_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0, -1000.0]]))
+        probs = F.softmax(x).numpy()
+        assert np.isfinite(probs).all()
+        np.testing.assert_allclose(probs[0, :2], [0.5, 0.5], atol=1e-9)
+
+    def test_gradient(self):
+        x = Tensor(RNG.standard_normal((3, 5)), requires_grad=True)
+        w = RNG.standard_normal((3, 5))
+        assert_grad_close(lambda: (F.softmax(x) * Tensor(w)).sum(), [x])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(RNG.standard_normal((2, 6)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).numpy(), np.log(F.softmax(x).numpy()), atol=1e-10
+        )
+
+    def test_log_softmax_gradient(self):
+        x = Tensor(RNG.standard_normal((3, 4)), requires_grad=True)
+        w = RNG.standard_normal((3, 4))
+        assert_grad_close(lambda: (F.log_softmax(x) * Tensor(w)).sum(), [x])
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = Tensor(RNG.standard_normal((5, 3)), requires_grad=True)
+        targets = np.array([0, 2, 1, 1, 0])
+        loss = F.cross_entropy(logits, targets)
+        log_probs = F.log_softmax(logits).numpy()
+        expected = -log_probs[np.arange(5), targets].mean()
+        assert loss.item() == pytest.approx(expected)
+
+    def test_gradient(self):
+        logits = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+        targets = np.array([0, 1, 2, 1])
+        assert_grad_close(lambda: F.cross_entropy(logits, targets), [logits])
+
+    def test_ignore_index(self):
+        logits = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+        targets = np.array([0, -100, 2, -100])
+        loss = F.cross_entropy(logits, targets, ignore_index=-100)
+        kept = F.cross_entropy(Tensor(logits.numpy()[[0, 2]]), targets[[0, 2]])
+        assert loss.item() == pytest.approx(kept.item())
+
+    def test_all_ignored_returns_zero(self):
+        logits = Tensor(RNG.standard_normal((2, 3)), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([-100, -100]), ignore_index=-100)
+        assert loss.item() == 0.0
+
+    def test_sample_weights(self):
+        logits = Tensor(RNG.standard_normal((3, 2)), requires_grad=True)
+        targets = np.array([0, 1, 0])
+        weighted = F.cross_entropy(logits, targets, sample_weights=np.array([1.0, 0.0, 1.0]))
+        subset = F.cross_entropy(Tensor(logits.numpy()[[0, 2]]), targets[[0, 2]])
+        assert weighted.item() == pytest.approx(subset.item())
+
+    def test_weighted_gradient(self):
+        logits = Tensor(RNG.standard_normal((3, 4)), requires_grad=True)
+        targets = np.array([1, 3, 0])
+        weights = np.array([0.2, 1.5, 0.7])
+        assert_grad_close(
+            lambda: F.cross_entropy(logits, targets, sample_weights=weights), [logits]
+        )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3, 4))), np.zeros(2))
+
+
+class TestOtherLosses:
+    def test_nll_loss(self):
+        logp = F.log_softmax(Tensor(RNG.standard_normal((4, 3)), requires_grad=True))
+        targets = np.array([0, 1, 2, 0])
+        loss = F.nll_loss(logp, targets)
+        assert loss.item() > 0
+
+    def test_bce_matches_naive(self):
+        logits = Tensor(RNG.standard_normal(6), requires_grad=True)
+        targets = (RNG.random(6) > 0.5).astype(float)
+        loss = F.binary_cross_entropy_with_logits(logits, targets)
+        p = 1 / (1 + np.exp(-logits.numpy()))
+        expected = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert loss.item() == pytest.approx(expected, abs=1e-8)
+
+    def test_bce_gradient(self):
+        logits = Tensor(RNG.standard_normal(5), requires_grad=True)
+        targets = np.array([1.0, 0.0, 1.0, 1.0, 0.0])
+        assert_grad_close(
+            lambda: F.binary_cross_entropy_with_logits(logits, targets), [logits]
+        )
+
+    def test_bce_stable_for_extreme_logits(self):
+        logits = Tensor(np.array([500.0, -500.0]))
+        loss = F.binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+
+class TestDropoutAndGelu:
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(RNG.standard_normal((10, 10)))
+        out = F.dropout(x, 0.5, training=False)
+        np.testing.assert_array_equal(out.numpy(), x.numpy())
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        assert out.numpy().mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_dropout_zero_p_identity(self):
+        x = Tensor(RNG.standard_normal((4, 4)))
+        out = F.dropout(x, 0.0, training=True)
+        np.testing.assert_array_equal(out.numpy(), x.numpy())
+
+    def test_dropout_p_one_rejected(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True)
+
+    def test_gelu_values(self):
+        x = Tensor(np.array([0.0, 1.0, -1.0]))
+        out = F.gelu(x).numpy()
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(0.8412, abs=1e-3)
+        assert out[2] == pytest.approx(-0.1588, abs=1e-3)
+
+    def test_gelu_gradient(self):
+        x = Tensor(RNG.standard_normal(6), requires_grad=True)
+        assert_grad_close(lambda: F.gelu(x).sum(), [x])
+
+
+class TestEmbeddingAndMasking:
+    def test_embedding_lookup_gradient_accumulates(self):
+        w = Tensor(RNG.standard_normal((5, 3)), requires_grad=True)
+        idx = np.array([1, 1, 4])
+        F.embedding_lookup(w, idx).sum().backward()
+        np.testing.assert_allclose(w.grad[1], [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(w.grad[4], [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(w.grad[0], [0.0, 0.0, 0.0])
+
+    def test_masked_fill(self):
+        x = Tensor(np.ones((2, 3)))
+        mask = np.array([[True, False, False], [False, False, True]])
+        out = F.masked_fill(x, mask, -9.0).numpy()
+        assert out[0, 0] == -9.0 and out[1, 2] == -9.0
+        assert out[0, 1] == 1.0
+
+    def test_attention_scores_mask_shape(self):
+        mask = np.zeros((2, 7), dtype=bool)
+        assert F.attention_scores_mask(mask).shape == (2, 1, 1, 7)

@@ -1,0 +1,123 @@
+"""Tests for optimizers and the LR schedule."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    SGD, Adam, AdamW, LinearWarmupSchedule, Linear, Parameter, Tensor, clip_grad_norm,
+)
+
+RNG = np.random.default_rng(13)
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    return (param * param).sum()
+
+
+class TestSGD:
+    def test_single_step(self):
+        p = Parameter(np.array([2.0]))
+        opt = SGD([p], lr=0.1)
+        quadratic_loss(p).backward()
+        opt.step()
+        np.testing.assert_allclose(p.numpy(), [2.0 - 0.1 * 4.0])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.numpy(), [0.0, 0.0], atol=1e-4)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.numpy()[0] == pytest.approx(0.9)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.numpy(), [0.0, 0.0], atol=1e-3)
+
+    def test_skips_parameters_without_grad(self):
+        p, q = Parameter(np.ones(2)), Parameter(np.ones(2))
+        opt = Adam([p, q], lr=0.1)
+        p.grad = np.ones(2)
+        opt.step()
+        np.testing.assert_array_equal(q.numpy(), np.ones(2))
+        assert not np.array_equal(p.numpy(), np.ones(2))
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+
+class TestAdamW:
+    def test_decoupled_decay_applies_without_grad_scaling(self):
+        p = Parameter(np.array([1.0]))
+        opt = AdamW([p], lr=0.5, weight_decay=0.1)
+        p.grad = np.zeros(1)
+        opt.step()
+        # Only the decoupled decay moves the weight: 1 - 0.5*0.1
+        assert p.numpy()[0] == pytest.approx(0.95)
+
+    def test_trains_linear_regression(self):
+        rng = np.random.default_rng(0)
+        true_w = np.array([[1.5], [-2.0]])
+        x = rng.standard_normal((64, 2))
+        y = x @ true_w
+        layer = Linear(2, 1, rng=rng)
+        opt = AdamW(layer.parameters(), lr=0.05, weight_decay=0.0)
+        for _ in range(300):
+            opt.zero_grad()
+            pred = layer(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.numpy(), true_w, atol=0.05)
+
+
+class TestGradClip:
+    def test_clips_large_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, np.full(4, 0.1))
+
+    def test_no_grads_returns_zero(self):
+        p = Parameter(np.zeros(4))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+
+class TestSchedule:
+    def test_warmup_then_decay(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = LinearWarmupSchedule(opt, warmup_steps=2, total_steps=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] == pytest.approx(0.5)
+        assert lrs[1] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.0)
+        assert all(a >= b for a, b in zip(lrs[1:], lrs[2:]))
+
+    def test_rejects_nonpositive_total(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(SGD([p], lr=1.0), 0, 0)

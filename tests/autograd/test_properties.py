@@ -1,0 +1,73 @@
+"""Hypothesis property tests on the autograd engine (float64 fixture)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, functional as F
+
+ARRAYS = st.lists(st.floats(-10, 10, allow_nan=False), min_size=1,
+                  max_size=12).map(lambda xs: np.array(xs, dtype=np.float64))
+
+
+@settings(max_examples=50, deadline=None)
+@given(xs=ARRAYS)
+def test_property_softmax_is_distribution(xs):
+    probs = F.softmax(Tensor(xs.reshape(1, -1))).numpy()
+    assert probs.min() >= 0
+    np.testing.assert_allclose(probs.sum(), 1.0, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(xs=ARRAYS, shift=st.floats(-50, 50, allow_nan=False))
+def test_property_softmax_shift_invariant(xs, shift):
+    a = F.softmax(Tensor(xs.reshape(1, -1))).numpy()
+    b = F.softmax(Tensor((xs + shift).reshape(1, -1))).numpy()
+    np.testing.assert_allclose(a, b, atol=1e-8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(xs=ARRAYS)
+def test_property_sum_linearity_of_gradients(xs):
+    t = Tensor(xs, requires_grad=True)
+    (t * 3.0 + 1.0).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(xs, 3.0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(xs=ARRAYS, ys=ARRAYS)
+def test_property_addition_commutes(xs, ys):
+    n = min(len(xs), len(ys))
+    a, b = Tensor(xs[:n]), Tensor(ys[:n])
+    np.testing.assert_array_equal((a + b).numpy(), (b + a).numpy())
+
+
+@settings(max_examples=40, deadline=None)
+@given(xs=ARRAYS)
+def test_property_double_backward_accumulates(xs):
+    """Calling backward twice on fresh graphs doubles leaf gradients."""
+    t = Tensor(xs, requires_grad=True)
+    (t * 2.0).sum().backward()
+    first = t.grad.copy()
+    (t * 2.0).sum().backward()
+    np.testing.assert_allclose(t.grad, 2 * first)
+
+
+@settings(max_examples=40, deadline=None)
+@given(xs=ARRAYS)
+def test_property_relu_idempotent(xs):
+    t = Tensor(xs)
+    once = t.relu().numpy()
+    twice = t.relu().relu().numpy()
+    np.testing.assert_array_equal(once, twice)
+    assert (once >= 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(xs=ARRAYS)
+def test_property_cross_entropy_nonnegative(xs):
+    n = len(xs)
+    logits = Tensor(np.stack([xs, -xs], axis=1), requires_grad=True)
+    labels = (xs > 0).astype(np.int64)
+    loss = F.cross_entropy(logits, labels)
+    assert loss.item() >= -1e-12

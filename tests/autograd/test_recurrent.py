@@ -1,0 +1,68 @@
+"""Tests for LSTM / BiLSTM."""
+
+import numpy as np
+
+from repro.autograd import BiLSTM, LSTM, LSTMCell, Tensor
+
+from .gradcheck import assert_grad_close
+
+RNG = np.random.default_rng(9)
+
+
+class TestLSTMCell:
+    def test_step_shapes(self):
+        cell = LSTMCell(4, 6, rng=RNG)
+        h = Tensor(np.zeros((3, 6)))
+        c = Tensor(np.zeros((3, 6)))
+        h2, c2 = cell(Tensor(RNG.standard_normal((3, 4))), (h, c))
+        assert h2.shape == (3, 6) and c2.shape == (3, 6)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = LSTMCell(4, 6, rng=RNG)
+        np.testing.assert_array_equal(cell.bias.numpy()[6:12], np.ones(6))
+
+
+class TestLSTM:
+    def test_sequence_shape(self):
+        lstm = LSTM(4, 6, rng=RNG)
+        out = lstm(Tensor(RNG.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 6)
+
+    def test_reverse_direction_sees_future(self):
+        lstm = LSTM(2, 3, rng=RNG, reverse=True)
+        x = RNG.standard_normal((1, 4, 2))
+        base = lstm(Tensor(x)).numpy()
+        # Changing the last timestep must affect the first output in reverse mode.
+        x2 = x.copy()
+        x2[0, -1] += 5.0
+        out = lstm(Tensor(x2)).numpy()
+        assert not np.allclose(base[0, 0], out[0, 0])
+
+    def test_forward_direction_is_causal(self):
+        lstm = LSTM(2, 3, rng=RNG, reverse=False)
+        x = RNG.standard_normal((1, 4, 2))
+        base = lstm(Tensor(x)).numpy()
+        x2 = x.copy()
+        x2[0, -1] += 5.0
+        out = lstm(Tensor(x2)).numpy()
+        np.testing.assert_allclose(base[0, :3], out[0, :3], atol=1e-12)
+
+    def test_gradients(self):
+        lstm = LSTM(3, 2, rng=RNG)
+        x = Tensor(RNG.standard_normal((2, 3, 3)), requires_grad=True)
+        assert_grad_close(lambda: (lstm(x) ** 2).sum(), [x, lstm.cell.w_ih], atol=1e-4)
+
+
+class TestBiLSTM:
+    def test_output_concatenates_directions(self):
+        bi = BiLSTM(4, 5, rng=RNG)
+        out = bi(Tensor(RNG.standard_normal((2, 6, 4))))
+        assert out.shape == (2, 6, 10)
+        assert bi.output_size == 10
+
+    def test_gradients_reach_both_directions(self):
+        bi = BiLSTM(3, 2, rng=RNG)
+        x = Tensor(RNG.standard_normal((1, 4, 3)), requires_grad=True)
+        (bi(x) ** 2).sum().backward()
+        assert bi.forward_lstm.cell.w_ih.grad is not None
+        assert bi.backward_lstm.cell.w_ih.grad is not None

@@ -1,0 +1,252 @@
+"""Gradient and semantics tests for the core Tensor operations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, concatenate, no_grad, stack, where
+
+from .gradcheck import assert_grad_close
+
+RNG = np.random.default_rng(7)
+
+
+def randt(*shape, scale=1.0):
+    return Tensor(RNG.standard_normal(shape) * scale, requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add(self):
+        a, b = randt(3, 4), randt(3, 4)
+        assert_grad_close(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self):
+        a, b = randt(3, 4), randt(4)
+        assert_grad_close(lambda: (a + b).sum(), [a, b])
+
+    def test_add_scalar(self):
+        a = randt(3)
+        assert_grad_close(lambda: (a + 2.5).sum(), [a])
+
+    def test_sub(self):
+        a, b = randt(2, 3), randt(2, 3)
+        assert_grad_close(lambda: (a - b).sum(), [a, b])
+
+    def test_rsub(self):
+        a = randt(4)
+        assert_grad_close(lambda: (1.0 - a).sum(), [a])
+
+    def test_mul(self):
+        a, b = randt(3, 4), randt(3, 4)
+        assert_grad_close(lambda: (a * b).sum(), [a, b])
+
+    def test_mul_broadcast_row(self):
+        a, b = randt(3, 4), randt(1, 4)
+        assert_grad_close(lambda: (a * b).sum(), [a, b])
+
+    def test_div(self):
+        a, b = randt(3, 4), Tensor(RNG.random((3, 4)) + 1.0, requires_grad=True)
+        assert_grad_close(lambda: (a / b).sum(), [a, b])
+
+    def test_pow(self):
+        a = Tensor(RNG.random((3, 4)) + 0.5, requires_grad=True)
+        assert_grad_close(lambda: (a ** 3).sum(), [a])
+
+    def test_neg(self):
+        a = randt(5)
+        assert_grad_close(lambda: (-a).sum(), [a])
+
+    def test_chained_expression(self):
+        a, b = randt(3, 3), randt(3, 3)
+        assert_grad_close(lambda: ((a * b + a) / (b * b + 2.0)).sum(), [a, b])
+
+    def test_reused_tensor_accumulates(self):
+        a = randt(3)
+        out = (a * a + a).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data + 1, atol=1e-10)
+
+
+class TestMatmul:
+    def test_2d(self):
+        a, b = randt(3, 4), randt(4, 5)
+        assert_grad_close(lambda: (a @ b).sum(), [a, b])
+
+    def test_batched(self):
+        a, b = randt(2, 3, 4), randt(2, 4, 5)
+        assert_grad_close(lambda: (a @ b).sum(), [a, b])
+
+    def test_batched_broadcast(self):
+        a, b = randt(2, 3, 4), randt(4, 5)
+        assert_grad_close(lambda: (a @ b).sum(), [a, b])
+
+    def test_4d(self):
+        a, b = randt(2, 2, 3, 4), randt(2, 2, 4, 3)
+        assert_grad_close(lambda: (a @ b).sum(), [a, b])
+
+    def test_vector_vector(self):
+        a, b = randt(4), randt(4)
+        assert_grad_close(lambda: a @ b, [a, b])
+
+    def test_matrix_vector(self):
+        a, b = randt(3, 4), randt(4)
+        assert_grad_close(lambda: (a @ b).sum(), [a, b])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu", "abs"])
+    def test_unary(self, op):
+        a = randt(3, 4)
+        assert_grad_close(lambda: getattr(a, op)().sum(), [a])
+
+    def test_log(self):
+        a = Tensor(RNG.random((3, 4)) + 0.5, requires_grad=True)
+        assert_grad_close(lambda: a.log().sum(), [a])
+
+    def test_sqrt(self):
+        a = Tensor(RNG.random((3, 4)) + 0.5, requires_grad=True)
+        assert_grad_close(lambda: a.sqrt().sum(), [a])
+
+    def test_clip_interior(self):
+        a = Tensor(np.array([0.2, 0.5, 0.7]), requires_grad=True)
+        assert_grad_close(lambda: a.clip(0.0, 1.0).sum(), [a])
+
+    def test_clip_blocks_gradient_outside(self):
+        a = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        a.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        a = randt(3, 4)
+        assert_grad_close(lambda: a.sum(), [a])
+
+    def test_sum_axis(self):
+        a = randt(3, 4)
+        assert_grad_close(lambda: (a.sum(axis=0) ** 2).sum(), [a])
+
+    def test_sum_keepdims(self):
+        a = randt(3, 4)
+        assert_grad_close(lambda: (a.sum(axis=1, keepdims=True) * a).sum(), [a])
+
+    def test_mean(self):
+        a = randt(3, 4)
+        assert_grad_close(lambda: (a.mean(axis=-1) ** 2).sum(), [a])
+
+    def test_var(self):
+        a = randt(3, 4)
+        assert_grad_close(lambda: a.var(axis=-1).sum(), [a], atol=1e-4)
+
+    def test_max_axis(self):
+        a = Tensor(RNG.permutation(12).astype(float).reshape(3, 4), requires_grad=True)
+        assert_grad_close(lambda: a.max(axis=1).sum(), [a])
+
+    def test_max_global(self):
+        a = Tensor(RNG.permutation(6).astype(float), requires_grad=True)
+        assert_grad_close(lambda: a.max(), [a])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        a = randt(3, 4)
+        assert_grad_close(lambda: (a.reshape(2, 6) ** 2).sum(), [a])
+
+    def test_transpose_default(self):
+        a = randt(3, 4)
+        assert_grad_close(lambda: (a.T ** 2).sum(), [a])
+
+    def test_transpose_axes(self):
+        a = randt(2, 3, 4)
+        assert_grad_close(lambda: (a.transpose(2, 0, 1) ** 2).sum(), [a])
+
+    def test_swapaxes(self):
+        a = randt(2, 3, 4)
+        assert_grad_close(lambda: (a.swapaxes(1, 2) ** 2).sum(), [a])
+
+    def test_getitem_slice(self):
+        a = randt(4, 5)
+        assert_grad_close(lambda: (a[1:3, :2] ** 2).sum(), [a])
+
+    def test_getitem_int_array(self):
+        a = randt(6, 3)
+        idx = np.array([0, 2, 2, 5])
+        assert_grad_close(lambda: (a[idx] ** 2).sum(), [a])
+
+    def test_getitem_repeated_index_accumulates(self):
+        a = randt(3, 2)
+        out = a[np.array([1, 1, 1])].sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(a.grad[0], [0.0, 0.0])
+
+
+class TestCombinators:
+    def test_concatenate(self):
+        a, b = randt(2, 3), randt(4, 3)
+        assert_grad_close(lambda: (concatenate([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_concatenate_last_axis(self):
+        a, b = randt(2, 3), randt(2, 5)
+        assert_grad_close(lambda: (concatenate([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack(self):
+        a, b = randt(3, 2), randt(3, 2)
+        assert_grad_close(lambda: (stack([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_where(self):
+        a, b = randt(3, 4), randt(3, 4)
+        cond = RNG.random((3, 4)) > 0.5
+        assert_grad_close(lambda: (where(cond, a, b) ** 2).sum(), [a, b])
+
+
+class TestGraphSemantics:
+    def test_no_grad_blocks_graph(self):
+        a = randt(3)
+        with no_grad():
+            out = (a * 2).sum()
+        assert not out.requires_grad
+
+    def test_detach(self):
+        a = randt(3)
+        d = a.detach()
+        assert not d.requires_grad
+        assert d.data is a.data
+
+    def test_backward_non_scalar_raises(self):
+        a = randt(3)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_without_grad_raises(self):
+        a = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            a.sum().backward()
+
+    def test_diamond_graph(self):
+        a = randt(3)
+        b = a * 2
+        out = (b * a + b).sum()
+        out.backward()
+        # d/da [2a^2 + 2a] = 4a + 2
+        np.testing.assert_allclose(a.grad, 4 * a.data + 2, atol=1e-10)
+
+    def test_deep_chain_iterative_toposort(self):
+        # 3000-deep chain would blow a recursive traversal.
+        a = randt(2)
+        x = a
+        for _ in range(3000):
+            x = x + 1.0
+        x.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+    def test_zero_grad(self):
+        a = randt(3)
+        a.sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_item_and_numpy(self):
+        t = Tensor(np.array([[2.0]]))
+        assert t.item() == 2.0
+        assert t.numpy().shape == (1, 1)

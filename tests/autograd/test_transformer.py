@@ -1,0 +1,79 @@
+"""Tests for attention and the transformer encoder stack."""
+
+import numpy as np
+
+from repro.autograd import (
+    MultiHeadAttention, Tensor, TransformerEncoder, TransformerEncoderLayer,
+)
+
+from .gradcheck import assert_grad_close
+
+RNG = np.random.default_rng(5)
+
+
+def make_input(batch=2, seq=5, d=8):
+    return Tensor(RNG.standard_normal((batch, seq, d)), requires_grad=True)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        attn = MultiHeadAttention(8, 2, rng=RNG, dropout=0.0)
+        x = make_input()
+        assert attn(x).shape == (2, 5, 8)
+
+    def test_rejects_indivisible_heads(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2)
+
+    def test_padding_is_ignored(self):
+        attn = MultiHeadAttention(8, 2, rng=RNG, dropout=0.0)
+        attn.eval()
+        x = Tensor(RNG.standard_normal((1, 4, 8)))
+        mask = np.array([[False, False, True, True]])
+        base = attn(x, pad_mask=mask).numpy()
+        # Perturb the padded positions: non-padded outputs must not change.
+        perturbed = x.numpy().copy()
+        perturbed[0, 2:] += 10.0
+        out = attn(Tensor(perturbed), pad_mask=mask).numpy()
+        np.testing.assert_allclose(base[0, :2], out[0, :2], atol=1e-10)
+
+    def test_gradients_flow(self):
+        attn = MultiHeadAttention(4, 2, rng=RNG, dropout=0.0)
+        attn.eval()
+        x = make_input(1, 3, 4)
+        assert_grad_close(lambda: (attn(x) ** 2).sum(), [x], atol=1e-4)
+
+
+class TestTransformerEncoder:
+    def test_layer_shape(self):
+        layer = TransformerEncoderLayer(8, 2, 16, rng=RNG, dropout=0.0)
+        assert layer(make_input()).shape == (2, 5, 8)
+
+    def test_stack_shape_and_param_count(self):
+        enc = TransformerEncoder(3, 8, 2, 16, rng=RNG, dropout=0.0)
+        assert enc(make_input()).shape == (2, 5, 8)
+        per_layer = TransformerEncoderLayer(8, 2, 16, rng=RNG).num_parameters()
+        assert enc.num_parameters() == 3 * per_layer
+
+    def test_gradients_reach_all_parameters(self):
+        enc = TransformerEncoder(2, 8, 2, 16, rng=RNG, dropout=0.0)
+        x = make_input()
+        (enc(x) ** 2).sum().backward()
+        for name, p in enc.named_parameters():
+            assert p.grad is not None, f"no grad for {name}"
+
+    def test_deterministic_in_eval(self):
+        enc = TransformerEncoder(2, 8, 2, 16, rng=RNG, dropout=0.3)
+        enc.eval()
+        x = make_input()
+        np.testing.assert_array_equal(enc(x).numpy(), enc(x).numpy())
+
+    def test_stochastic_in_train(self):
+        enc = TransformerEncoder(2, 8, 2, 16, rng=RNG, dropout=0.3)
+        enc.train()
+        x = make_input()
+        a = enc(x).numpy()
+        b = enc(x).numpy()
+        assert not np.allclose(a, b)

@@ -1,0 +1,80 @@
+"""Tests for the Ditto/Rotom augmentation operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.augment import (
+    ALL_OPERATORS, Augmenter, del_attr, del_span, shuffle_attrs,
+    shuffle_span, swap_entities,
+)
+
+LEFT = "[COL] title [VAL] efficient similarity search [COL] year [VAL] 2003"
+RIGHT = "[COL] name [VAL] fast similarity join [COL] when [VAL] 2004"
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestOperators:
+    def test_del_span_removes_tokens(self):
+        l2, r2 = del_span(rng(), LEFT, RIGHT)
+        assert len((l2 + r2).split()) <= len((LEFT + RIGHT).split())
+
+    def test_shuffle_span_preserves_multiset(self):
+        l2, r2 = shuffle_span(rng(), LEFT, RIGHT)
+        assert sorted((l2 + " " + r2).split()) == sorted((LEFT + " " + RIGHT).split())
+
+    def test_del_attr_drops_whole_chunk(self):
+        l2, r2 = del_attr(rng(), LEFT, RIGHT)
+        changed = l2 if l2 != LEFT else r2
+        assert changed.count("[COL]") == 1
+
+    def test_del_attr_single_attribute_untouched(self):
+        one = "[COL] a [VAL] b"
+        l2, r2 = del_attr(rng(), one, one)
+        assert l2 == one and r2 == one
+
+    def test_shuffle_attrs_preserves_chunks(self):
+        l2, r2 = shuffle_attrs(rng(), LEFT, RIGHT)
+        for text, original in ((l2, LEFT), (r2, RIGHT)):
+            assert text.count("[COL]") == original.count("[COL]")
+            assert sorted(text.split()) == sorted(original.split())
+
+    def test_swap_entities(self):
+        l2, r2 = swap_entities(rng(), LEFT, RIGHT)
+        assert (l2, r2) == (RIGHT, LEFT)
+
+    @settings(max_examples=30)
+    @given(st.sampled_from(ALL_OPERATORS),
+           st.text(alphabet="ab [COL]VAL", min_size=1, max_size=40))
+    def test_property_operators_never_crash(self, op, text):
+        l2, r2 = op(np.random.default_rng(1), text, text)
+        assert isinstance(l2, str) and isinstance(r2, str)
+
+
+class TestAugmenter:
+    def test_probability_zero_is_identity(self):
+        aug = Augmenter(p=0.0, seed=0)
+        assert aug(LEFT, RIGHT) == (LEFT, RIGHT)
+
+    def test_probability_one_changes_often(self):
+        aug = Augmenter(p=1.0, seed=0)
+        changed = sum(aug(LEFT, RIGHT) != (LEFT, RIGHT) for _ in range(20))
+        assert changed >= 15
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Augmenter(p=1.5)
+
+    def test_empty_operator_pool_rejected(self):
+        with pytest.raises(ValueError):
+            Augmenter(operators=[])
+
+    def test_deterministic_with_seed(self):
+        a = Augmenter(p=1.0, seed=42)
+        b = Augmenter(p=1.0, seed=42)
+        for _ in range(5):
+            assert a(LEFT, RIGHT) == b(LEFT, RIGHT)

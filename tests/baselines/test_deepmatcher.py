@@ -1,0 +1,41 @@
+"""Tests for the DeepMatcher baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.deepmatcher import DeepMatcher, flatten_record
+from repro.data import EntityRecord, load_dataset
+
+
+class TestFlattenRecord:
+    def test_strips_structure_tags(self):
+        rec = EntityRecord("r", "relational", {"title": "fast join", "year": 2004})
+        flat = flatten_record(rec)
+        assert "[COL]" not in flat and "[VAL]" not in flat
+        assert "fast" in flat and "join" in flat
+
+    def test_text_record(self):
+        rec = EntityRecord.text_record("t", "some description")
+        assert flatten_record(rec) == "some description"
+
+
+class TestDeepMatcher:
+    @pytest.fixture(scope="class")
+    def view(self):
+        return load_dataset("REL-HETER").low_resource(seed=0)
+
+    def test_fit_predict_shapes(self, view):
+        matcher = DeepMatcher(epochs=4, max_len=32, seed=0).fit(view)
+        preds = matcher.predict(view.test)
+        assert preds.shape == (len(view.test),)
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_predict_before_fit_rejected(self, view):
+        with pytest.raises(RuntimeError):
+            DeepMatcher().predict(view.test)
+
+    def test_vocab_built_from_training_data(self, view):
+        matcher = DeepMatcher(epochs=1, max_len=32).fit(view)
+        vocab = matcher.model.vocab
+        some_word = flatten_record(view.labeled[0].left).split()[0]
+        assert some_word in vocab

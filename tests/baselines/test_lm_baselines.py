@@ -1,0 +1,89 @@
+"""Mechanics tests for the LM-backed baselines (tiny backbone, few epochs)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BertMatcher, Dader, Ditto, Rotom, SentenceBert, inject_domain_knowledge,
+    make_baseline, BASELINE_NAMES,
+)
+from repro.data import load_dataset
+from repro.lm import load_pretrained
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    return load_pretrained("minilm-tiny")
+
+
+@pytest.fixture(scope="module")
+def view():
+    return load_dataset("REL-HETER").low_resource(seed=0)
+
+
+class TestRegistry:
+    def test_all_eight_present(self):
+        assert len(BASELINE_NAMES) == 8
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_baseline("GPT-7")
+
+    def test_factory_builds(self):
+        matcher = make_baseline("DeepMatcher", epochs=1)
+        assert matcher.name == "DeepMatcher"
+
+
+class TestDomainKnowledge:
+    def test_numbers_tagged(self):
+        assert inject_domain_knowledge("year 2003") == "year num 2003"
+
+    def test_words_untouched(self):
+        assert inject_domain_knowledge("no digits here") == "no digits here"
+
+
+@pytest.mark.parametrize("cls,kwargs", [
+    (BertMatcher, {}),
+    (SentenceBert, {}),
+    (Ditto, {}),
+    (Rotom, {"augmentations_per_example": 1}),
+])
+class TestLMBaselines:
+    def test_fit_predict(self, cls, kwargs, backbone, view):
+        lm, tok = backbone
+        matcher = cls(epochs=2, batch_size=8, max_len=64, lm=lm,
+                      tokenizer=tok, **kwargs)
+        matcher.fit(view)
+        preds = matcher.predict(view.test[:10])
+        assert preds.shape == (10,)
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_predict_before_fit(self, cls, kwargs, backbone, view):
+        lm, tok = backbone
+        matcher = cls(lm=lm, tokenizer=tok, **kwargs)
+        with pytest.raises(RuntimeError):
+            matcher.predict(view.test)
+
+
+class TestDader:
+    def test_fit_predict_with_source(self, backbone, view):
+        lm, tok = backbone
+        matcher = Dader(epochs=2, batch_size=8, max_len=64, source_cap=16,
+                        lm=lm, tokenizer=tok)
+        matcher.fit(view)
+        preds = matcher.predict(view.test[:10])
+        assert preds.shape == (10,)
+
+    def test_source_mapping_covers_all_datasets(self):
+        from repro.baselines import SOURCE_FOR
+        from repro.data import DATASET_NAMES
+
+        assert set(SOURCE_FOR) == set(DATASET_NAMES)
+        for target, source in SOURCE_FOR.items():
+            assert source != target
+
+    def test_unknown_target_rejected(self, backbone):
+        lm, tok = backbone
+        matcher = Dader(lm=lm, tokenizer=tok)
+        with pytest.raises(KeyError):
+            matcher._source_pairs("MYSTERY-DATASET")

@@ -1,0 +1,86 @@
+"""Tests for TDmatch / TDmatch* (graph, walks, embeddings, matching)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tdmatch import (
+    TDmatch, TDmatchConfig, TDmatchEmbedder, TDmatchStar, record_key,
+)
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="module")
+def view():
+    return load_dataset("REL-HETER").low_resource(seed=0)
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return TDmatchConfig(num_walks=6, walk_length=10, dimensions=24, seed=0)
+
+
+class TestEmbedder:
+    def test_graph_is_bipartite_records_tokens(self, view, fast_config):
+        from repro.baselines.tdmatch import _collect_records
+
+        embedder = TDmatchEmbedder(fast_config)
+        records = _collect_records(view.labeled[:10])
+        graph = embedder.build_graph(records)
+        kinds = {data["kind"] for _, data in graph.nodes(data=True)}
+        assert kinds == {"record", "token"}
+        for a, b in graph.edges():
+            ka = graph.nodes[a]["kind"]
+            kb = graph.nodes[b]["kind"]
+            assert {ka, kb} == {"record", "token"}
+
+    def test_embeddings_are_unit_norm(self, view, fast_config):
+        from repro.baselines.tdmatch import _collect_records
+
+        embedder = TDmatchEmbedder(fast_config).fit(
+            _collect_records(view.labeled[:20]))
+        for vec in embedder.embeddings.values():
+            assert np.linalg.norm(vec) == pytest.approx(1.0, abs=1e-6)
+
+    def test_walk_cost_scales_with_input(self, view, fast_config):
+        """The scalability pathology of Table 4: more records => superlinear
+        walk steps and a quadratically larger co-occurrence matrix."""
+        from repro.baselines.tdmatch import _collect_records
+
+        small = TDmatchEmbedder(fast_config).fit(
+            _collect_records(view.labeled[:8]))
+        large = TDmatchEmbedder(fast_config).fit(
+            _collect_records(view.labeled[:40]))
+        assert large.walk_steps > small.walk_steps
+        assert large.matrix_bytes > 1.5 * small.matrix_bytes
+
+
+class TestTDmatch:
+    def test_unsupervised_fit_predict(self, view, fast_config):
+        matcher = TDmatch(fast_config).fit(view)
+        preds = matcher.predict(view.test)
+        assert preds.shape == (len(view.test),)
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_beats_random_on_rel_heter(self, view, fast_config):
+        matcher = TDmatch(fast_config).fit(view)
+        prf = matcher.evaluate(view.test)
+        assert prf.f1 > 40.0
+
+    def test_predict_before_fit_rejected(self, view, fast_config):
+        with pytest.raises(RuntimeError):
+            TDmatch(fast_config).predict(view.test)
+
+    def test_record_key_distinguishes_sides(self, view):
+        pair = view.labeled[0]
+        assert record_key(pair.left, "L") != record_key(pair.left, "R")
+
+
+class TestTDmatchStar:
+    def test_supervised_head_trains(self, view, fast_config):
+        matcher = TDmatchStar(fast_config, epochs=20).fit(view)
+        prf = matcher.evaluate(view.test)
+        assert 0.0 <= prf.f1 <= 100.0
+
+    def test_predict_before_fit_rejected(self, view, fast_config):
+        with pytest.raises(RuntimeError):
+            TDmatchStar(fast_config).predict(view.test)

@@ -1,0 +1,72 @@
+"""Tests for the active-learning loop (toy model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.active import (
+    ActiveLearner, ActiveLearningConfig, oracle_from_view,
+)
+
+from .dummies import ToyPairModel, toy_view
+
+
+def make_config(**overrides):
+    defaults = dict(rounds=2, queries_per_round=6, mc_passes=3,
+                    epochs_per_round=8, batch_size=16, lr=0.05, seed=0)
+    defaults.update(overrides)
+    return ActiveLearningConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def view():
+    return toy_view(n=160, labeled=10, seed=9)
+
+
+class TestConfig:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            ActiveLearningConfig(strategy="psychic")
+
+    def test_positive_budget_required(self):
+        with pytest.raises(ValueError):
+            ActiveLearningConfig(rounds=0)
+
+
+class TestOracle:
+    def test_answers_from_held_back_labels(self, view):
+        oracle = oracle_from_view(view)
+        pair = view.unlabeled[0]
+        assert oracle(pair) == view.unlabeled_true_labels[0]
+
+    def test_unknown_pair_rejected(self, view):
+        oracle = oracle_from_view(view)
+        with pytest.raises(KeyError):
+            oracle(view.labeled[0])
+
+
+class TestActiveLearner:
+    @pytest.mark.parametrize("strategy", ["uncertainty", "margin", "random"])
+    def test_loop_spends_budget(self, view, strategy):
+        learner = ActiveLearner(lambda: ToyPairModel(dropout=0.2),
+                                make_config(strategy=strategy))
+        model, report = learner.run(view.labeled, view.unlabeled,
+                                    oracle_from_view(view), view.valid)
+        assert report.labels_used == [10, 16, 22]
+        assert len(report.valid_f1) == 3
+        assert len(report.queried_indices) == 2
+
+    def test_pool_exhaustion_stops_early(self, view):
+        learner = ActiveLearner(lambda: ToyPairModel(dropout=0.2),
+                                make_config(rounds=5, queries_per_round=4))
+        model, report = learner.run(view.labeled, view.unlabeled[:6],
+                                    oracle_from_view(view), view.valid)
+        # 6-sample pool supports at most two rounds (4 + 2 queries).
+        assert report.labels_used[-1] == 10 + 6
+        assert len(report.queried_indices) <= 2
+
+    def test_labels_improve_f1_on_separable_task(self, view):
+        learner = ActiveLearner(lambda: ToyPairModel(dropout=0.2),
+                                make_config(rounds=3, queries_per_round=12))
+        _, report = learner.run(view.labeled, view.unlabeled,
+                                oracle_from_view(view), view.valid)
+        assert max(report.valid_f1[1:]) >= report.valid_f1[0] - 0.05

@@ -1,0 +1,106 @@
+"""Tests for EL2N / MC-EL2N scores and dynamic data pruning."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.el2n import (
+    el2n_scores, mc_el2n_scores, prune_dataset, select_prunable,
+)
+from repro.core.trainer import Trainer, TrainerConfig
+
+from .dummies import ToyPairModel, toy_view
+
+
+class TestEl2nScores:
+    def test_perfect_prediction_scores_zero(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        scores = el2n_scores(probs, np.array([0, 1]))
+        np.testing.assert_allclose(scores, [0.0, 0.0])
+
+    def test_wrong_prediction_scores_high(self):
+        probs = np.array([[1.0, 0.0]])
+        assert el2n_scores(probs, np.array([1]))[0] == pytest.approx(np.sqrt(2))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            el2n_scores(np.zeros((3, 2)), np.zeros(2))
+
+    @given(st.integers(1, 20))
+    def test_property_scores_bounded(self, n):
+        rng = np.random.default_rng(n)
+        raw = rng.random((n, 2))
+        probs = raw / raw.sum(axis=1, keepdims=True)
+        labels = rng.integers(0, 2, size=n)
+        scores = el2n_scores(probs, labels)
+        assert (scores >= 0).all() and (scores <= np.sqrt(2) + 1e-9).all()
+
+
+class TestSelectPrunable:
+    def test_picks_lowest(self):
+        scores = np.array([0.9, 0.1, 0.5, 0.05])
+        picked = select_prunable(scores, 0.5)
+        assert sorted(picked.tolist()) == [1, 3]
+
+    def test_zero_ratio_prunes_nothing(self):
+        assert select_prunable(np.ones(10), 0.0).size == 0
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            select_prunable(np.ones(3), 1.0)
+
+
+class TestMcEl2n:
+    def test_averages_passes(self):
+        view = toy_view(n=80, labeled=20, seed=3)
+        model = ToyPairModel(dropout=0.3)
+        labels = np.array([p.label for p in view.labeled])
+        scores = mc_el2n_scores(model, view.labeled, labels, passes=5)
+        assert scores.shape == (len(view.labeled),)
+        assert (scores >= 0).all()
+
+    def test_requires_positive_passes(self):
+        view = toy_view(n=40, labeled=10, seed=3)
+        labels = np.array([p.label for p in view.labeled])
+        with pytest.raises(ValueError):
+            mc_el2n_scores(ToyPairModel(), view.labeled, labels, passes=0)
+
+    def test_empty_input(self):
+        assert mc_el2n_scores(ToyPairModel(), [], np.zeros(0)).size == 0
+
+    def test_easy_samples_score_lower_after_training(self):
+        view = toy_view(n=160, labeled=40, seed=4)
+        model = ToyPairModel(dropout=0.1, seed=0)
+        Trainer(model, TrainerConfig(epochs=25, lr=0.05)).fit(view.labeled)
+        labels = np.array([p.label for p in view.labeled])
+        scores = mc_el2n_scores(model, view.labeled, labels, passes=6)
+        # A trained model fits most of the separable data: median score low.
+        assert np.median(scores) < 0.5
+
+
+class TestPruneDataset:
+    def test_prunes_requested_fraction(self):
+        view = toy_view(n=120, labeled=40, seed=5)
+        model = ToyPairModel(dropout=0.2)
+        kept = prune_dataset(model, list(view.labeled), ratio=0.25, passes=3)
+        assert len(kept) == len(view.labeled) - int(round(len(view.labeled) * 0.25))
+
+    def test_never_below_min_remaining(self):
+        view = toy_view(n=40, labeled=6, seed=5)
+        model = ToyPairModel()
+        kept = prune_dataset(model, list(view.labeled), ratio=0.9, passes=3,
+                             min_remaining=4)
+        assert len(kept) >= 4
+
+    def test_small_sets_untouched(self):
+        view = toy_view(n=40, labeled=4, seed=5)
+        model = ToyPairModel()
+        pairs = list(view.labeled)[:3]
+        assert prune_dataset(model, pairs, ratio=0.5, passes=3) is pairs
+
+    def test_both_classes_survive(self):
+        view = toy_view(n=120, labeled=30, seed=6)
+        model = ToyPairModel(dropout=0.2)
+        kept = prune_dataset(model, list(view.labeled), ratio=0.6, passes=3)
+        assert {p.label for p in kept} == {0, 1}

@@ -1,0 +1,61 @@
+"""Tests for the vanilla fine-tuning classifier."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.augment import Augmenter
+from repro.core.finetune import SequenceClassifier
+from repro.data import load_dataset
+from repro.lm import load_pretrained
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    return load_pretrained("minilm-tiny")
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    return load_dataset("REL-HETER").test[:6]
+
+
+class TestSequenceClassifier:
+    def test_forward_shape_and_normalization(self, backbone, pairs):
+        lm, tok = backbone
+        model = SequenceClassifier(lm, tok, max_len=64)
+        model.eval()
+        probs = model(pairs)
+        assert probs.shape == (len(pairs), 2)
+        np.testing.assert_allclose(probs.numpy().sum(axis=1), 1.0, atol=1e-5)
+
+    def test_loss_backward_reaches_head_and_lm(self, backbone, pairs):
+        lm, tok = backbone
+        model = SequenceClassifier(lm, tok, max_len=64)
+        labels = np.array([p.label for p in pairs])
+        model.loss(pairs, labels).backward()
+        assert model.head.weight.grad is not None
+        assert model.lm.token_embedding.weight.grad is not None
+        model.zero_grad()
+
+    def test_max_len_clamped_to_lm(self, backbone):
+        lm, tok = backbone
+        model = SequenceClassifier(lm, tok, max_len=10_000)
+        assert model.max_len == lm.config.max_len
+
+    def test_augmenter_only_in_training(self, backbone, pairs):
+        lm, tok = backbone
+        calls = []
+
+        class SpyAugmenter(Augmenter):
+            def __call__(self, left, right):
+                calls.append(1)
+                return left, right
+
+        model = SequenceClassifier(lm, tok, max_len=64,
+                                   augmenter=SpyAugmenter(p=1.0))
+        model.eval()
+        model(pairs)
+        assert not calls
+        model.train()
+        model(pairs)
+        assert calls

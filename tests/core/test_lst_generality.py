@@ -1,0 +1,60 @@
+"""Paper claim: "LST is general enough to incorporate with other
+approaches" -- Algorithm 1 must work with any model factory, not just
+PromptModel."""
+
+import numpy as np
+import pytest
+
+from repro.core.self_training import LightweightSelfTrainer, SelfTrainingConfig
+from repro.core.finetune import SequenceClassifier
+from repro.core.trainer import evaluate_f1
+from repro.data import load_dataset
+from repro.lm import load_pretrained
+from repro.lm.model import MiniLM
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    return load_pretrained("minilm-tiny")
+
+
+class TestLSTGenerality:
+    def test_lst_over_finetuning_classifier(self, backbone):
+        """Attach LST to the vanilla fine-tuning model (not PromptModel)."""
+        lm, tok = backbone
+        state = lm.state_dict()
+        view = load_dataset("REL-HETER").low_resource(seed=0)
+
+        def factory():
+            fresh = MiniLM(lm.config)
+            fresh.load_state_dict(state)
+            return SequenceClassifier(fresh, tok, max_len=64)
+
+        config = SelfTrainingConfig(iterations=1, teacher_epochs=2,
+                                    student_epochs=2, mc_passes=2,
+                                    pseudo_label_ratio=0.2, batch_size=8)
+        trainer = LightweightSelfTrainer(factory, config)
+        model, report = trainer.run(view.labeled, view.unlabeled[:10],
+                                    view.valid)
+        assert isinstance(model, SequenceClassifier)
+        assert report.pseudo_labels_added[0] == 2
+        preds_f1 = evaluate_f1(model, view.test)
+        assert 0.0 <= preds_f1 <= 1.0
+
+    def test_lst_with_alternative_selection_strategy(self, backbone):
+        lm, tok = backbone
+        state = lm.state_dict()
+        view = load_dataset("REL-HETER").low_resource(seed=0)
+
+        def factory():
+            fresh = MiniLM(lm.config)
+            fresh.load_state_dict(state)
+            return SequenceClassifier(fresh, tok, max_len=64)
+
+        config = SelfTrainingConfig(iterations=1, teacher_epochs=2,
+                                    student_epochs=2, mc_passes=2,
+                                    selection_strategy="confidence",
+                                    pseudo_label_ratio=0.2, batch_size=8)
+        model, report = LightweightSelfTrainer(factory, config).run(
+            view.labeled, view.unlabeled[:10], view.valid)
+        assert report.pseudo_labels_added[0] == 2

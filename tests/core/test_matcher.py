@@ -1,0 +1,111 @@
+"""End-to-end tests for the PromptEM facade (tiny backbone, tiny budgets)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PromptEM, PromptEMConfig
+from repro.core.finetune import SequenceClassifier
+from repro.core.prompt_model import PromptModel
+from repro.data import load_dataset
+from repro.lm import load_pretrained
+
+
+def tiny_config(**overrides):
+    defaults = dict(model_name="minilm-tiny", teacher_epochs=2,
+                    student_epochs=2, mc_passes=2, unlabeled_cap=12,
+                    batch_size=8, max_len=64, prune_frequency=1)
+    defaults.update(overrides)
+    return PromptEMConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def view():
+    return load_dataset("REL-HETER").low_resource(seed=0)
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    return load_pretrained("minilm-tiny")
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PromptEMConfig(template="t3")
+        with pytest.raises(ValueError):
+            PromptEMConfig(label_words="fancy")
+        with pytest.raises(ValueError):
+            PromptEMConfig(pseudo_label_ratio=0.0)
+        with pytest.raises(ValueError):
+            PromptEMConfig(prune_ratio=1.0)
+        with pytest.raises(ValueError):
+            PromptEMConfig(mc_passes=1)
+
+    def test_ablation_helpers(self):
+        cfg = PromptEMConfig()
+        assert not cfg.without_prompt_tuning().use_prompt_tuning
+        assert not cfg.without_self_training().use_self_training
+        assert not cfg.without_pruning().use_dynamic_pruning
+        # variants do not mutate the original
+        assert cfg.use_prompt_tuning and cfg.use_self_training
+
+
+class TestFacade:
+    def test_fit_predict_evaluate(self, view, backbone):
+        lm, tok = backbone
+        matcher = PromptEM(tiny_config(), lm=lm, tokenizer=tok).fit(view)
+        preds = matcher.predict(view.test)
+        assert preds.shape == (len(view.test),)
+        prf = matcher.evaluate(view.test)
+        assert 0.0 <= prf.f1 <= 100.0
+        assert matcher.report is not None
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            PromptEM(tiny_config()).predict([])
+
+    def test_mismatched_backbone_args_rejected(self, backbone):
+        lm, _ = backbone
+        with pytest.raises(ValueError):
+            PromptEM(tiny_config(), lm=lm)
+
+    def test_empty_labeled_rejected(self, view, backbone):
+        lm, tok = backbone
+        matcher = PromptEM(tiny_config(), lm=lm, tokenizer=tok)
+        with pytest.raises(ValueError):
+            matcher.fit_pairs([], view.unlabeled, view.valid)
+
+    def test_without_prompt_tuning_uses_classifier(self, view, backbone):
+        lm, tok = backbone
+        cfg = tiny_config(use_self_training=False).without_prompt_tuning()
+        matcher = PromptEM(cfg, lm=lm, tokenizer=tok).fit(view)
+        assert isinstance(matcher.model, SequenceClassifier)
+
+    def test_with_prompt_tuning_uses_prompt_model(self, view, backbone):
+        lm, tok = backbone
+        cfg = tiny_config(use_self_training=False)
+        matcher = PromptEM(cfg, lm=lm, tokenizer=tok).fit(view)
+        assert isinstance(matcher.model, PromptModel)
+        assert matcher.report is None
+
+    def test_unlabeled_cap_subsamples(self, view, backbone):
+        lm, tok = backbone
+        cfg = tiny_config(unlabeled_cap=5)
+        matcher = PromptEM(cfg, lm=lm, tokenizer=tok).fit(view)
+        # 10% of a <=5-sample pool selects at most 1 pseudo-label.
+        assert matcher.report.pseudo_labels_added[0] <= 1
+
+    def test_backbone_not_mutated_by_fit(self, view, backbone):
+        lm, tok = backbone
+        before = {k: v.copy() for k, v in lm.state_dict().items()}
+        PromptEM(tiny_config(), lm=lm, tokenizer=tok).fit(view)
+        after = lm.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_probabilities_normalized(self, view, backbone):
+        lm, tok = backbone
+        matcher = PromptEM(tiny_config(use_self_training=False),
+                           lm=lm, tokenizer=tok).fit(view)
+        probs = matcher.predict_proba(view.test[:5])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-5)

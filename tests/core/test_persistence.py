@@ -1,0 +1,75 @@
+"""Tests for PromptEM save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core import PromptEM, PromptEMConfig
+from repro.data import load_dataset
+from repro.lm import load_pretrained
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    return load_pretrained("minilm-tiny")
+
+
+@pytest.fixture(scope="module")
+def fitted(backbone):
+    lm, tok = backbone
+    view = load_dataset("REL-HETER").low_resource(seed=0)
+    cfg = PromptEMConfig(model_name="minilm-tiny", teacher_epochs=2,
+                         student_epochs=2, mc_passes=2, unlabeled_cap=8,
+                         batch_size=8, max_len=64,
+                         summarize_long_text=False)
+    matcher = PromptEM(cfg, lm=lm, tokenizer=tok).fit(view)
+    return matcher, view
+
+
+class TestSaveLoad:
+    def test_roundtrip_predictions_identical(self, fitted, backbone, tmp_path):
+        matcher, view = fitted
+        lm, tok = backbone
+        path = tmp_path / "matcher.npz"
+        matcher.save(path)
+        reloaded = PromptEM.load(path, lm=lm, tokenizer=tok)
+        a = matcher.predict_proba(view.test[:10])
+        b = reloaded.predict_proba(view.test[:10])
+        np.testing.assert_allclose(a, b, atol=1e-6)
+        np.testing.assert_array_equal(matcher.predict(view.test[:10]),
+                                      reloaded.predict(view.test[:10]))
+
+    def test_threshold_restored(self, fitted, backbone, tmp_path):
+        matcher, _ = fitted
+        lm, tok = backbone
+        path = tmp_path / "matcher.npz"
+        matcher.save(path)
+        reloaded = PromptEM.load(path, lm=lm, tokenizer=tok)
+        assert (reloaded.model.decision_threshold
+                == matcher.model.decision_threshold)
+
+    def test_config_restored(self, fitted, backbone, tmp_path):
+        matcher, _ = fitted
+        lm, tok = backbone
+        path = tmp_path / "matcher.npz"
+        matcher.save(path)
+        reloaded = PromptEM.load(path, lm=lm, tokenizer=tok)
+        assert reloaded.config == matcher.config
+
+    def test_save_unfitted_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            PromptEM(PromptEMConfig()).save(tmp_path / "x.npz")
+
+    def test_finetune_variant_roundtrip(self, backbone, tmp_path):
+        lm, tok = backbone
+        view = load_dataset("REL-HETER").low_resource(seed=0)
+        cfg = PromptEMConfig(model_name="minilm-tiny", teacher_epochs=2,
+                             batch_size=8, max_len=64, mc_passes=2,
+                             use_self_training=False,
+                             use_prompt_tuning=False,
+                             summarize_long_text=False)
+        matcher = PromptEM(cfg, lm=lm, tokenizer=tok).fit(view)
+        path = tmp_path / "ft.npz"
+        matcher.save(path)
+        reloaded = PromptEM.load(path, lm=lm, tokenizer=tok)
+        np.testing.assert_array_equal(matcher.predict(view.test[:8]),
+                                      reloaded.predict(view.test[:8]))

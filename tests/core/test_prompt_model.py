@@ -1,0 +1,76 @@
+"""Tests for PromptModel mechanics with the tiny cached backbone."""
+
+import numpy as np
+import pytest
+
+from repro.core import PromptModel, Verbalizer, make_template
+from repro.core.trainer import predict_proba
+from repro.data import load_dataset
+from repro.lm import load_pretrained
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    return load_pretrained("minilm-tiny")
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    return load_dataset("REL-HETER").test[:6]
+
+
+class TestPromptModel:
+    @pytest.mark.parametrize("template_name,continuous", [
+        ("t1", False), ("t2", False), ("t1", True), ("t2", True),
+    ])
+    def test_forward_shapes_all_variants(self, backbone, pairs,
+                                         template_name, continuous):
+        lm, tok = backbone
+        template = make_template(template_name, tok, continuous=continuous,
+                                 max_len=96)
+        model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+        model.eval()
+        probs = model(pairs)
+        assert probs.shape == (len(pairs), 2)
+        np.testing.assert_allclose(probs.numpy().sum(axis=1), 1.0, atol=1e-5)
+
+    def test_mask_logits_shape(self, backbone, pairs):
+        lm, tok = backbone
+        template = make_template("t2", tok, continuous=True, max_len=96)
+        model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+        model.eval()
+        logits = model.mask_logits(pairs)
+        assert logits.shape == (len(pairs), len(tok.vocab))
+
+    def test_loss_backward_reaches_prompt_encoder_and_lm(self, backbone, pairs):
+        lm, tok = backbone
+        template = make_template("t2", tok, continuous=True, max_len=96)
+        model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+        labels = np.array([p.label for p in pairs])
+        loss = model.loss(pairs, labels)
+        loss.backward()
+        assert model.prompt_encoder.embeddings.grad is not None
+        assert model.lm.token_embedding.weight.grad is not None
+        model.zero_grad()
+
+    def test_hard_template_has_no_prompt_encoder(self, backbone, pairs):
+        lm, tok = backbone
+        template = make_template("t1", tok, continuous=False, max_len=96)
+        model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+        assert model.prompt_encoder is None
+
+    def test_weighted_loss_zero_weights(self, backbone, pairs):
+        lm, tok = backbone
+        template = make_template("t2", tok, continuous=False, max_len=96)
+        model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+        labels = np.array([p.label for p in pairs])
+        loss = model.loss(pairs, labels, sample_weights=np.zeros(len(pairs)))
+        assert loss.item() == 0.0
+
+    def test_eval_deterministic(self, backbone, pairs):
+        lm, tok = backbone
+        template = make_template("t2", tok, continuous=True, max_len=96)
+        model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+        a = predict_proba(model, pairs)
+        b = predict_proba(model, pairs)
+        np.testing.assert_array_equal(a, b)

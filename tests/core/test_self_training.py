@@ -1,0 +1,83 @@
+"""Tests for Algorithm 1 (lightweight self-training) on the toy model."""
+
+import numpy as np
+import pytest
+
+from repro.core.self_training import (
+    LightweightSelfTrainer, SelfTrainingConfig, SelfTrainingReport,
+)
+from repro.core.trainer import evaluate_f1
+
+from .dummies import ToyPairModel, toy_view
+
+
+def make_config(**overrides):
+    defaults = dict(iterations=1, teacher_epochs=10, student_epochs=10,
+                    pseudo_label_ratio=0.2, mc_passes=3,
+                    prune_frequency=4, prune_ratio=0.2,
+                    batch_size=16, lr=0.05, seed=0)
+    defaults.update(overrides)
+    return SelfTrainingConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def view():
+    return toy_view(n=200, labeled=16, seed=7)
+
+
+class TestAlgorithm1:
+    def test_returns_model_and_report(self, view):
+        trainer = LightweightSelfTrainer(lambda: ToyPairModel(dropout=0.2),
+                                         make_config())
+        model, report = trainer.run(view.labeled, view.unlabeled, view.valid)
+        assert isinstance(report, SelfTrainingReport)
+        assert len(report.teacher_valid_f1) == 1
+        assert len(report.student_valid_f1) == 1
+        assert report.pseudo_labels_added[0] > 0
+
+    def test_quality_on_separable_task(self, view):
+        trainer = LightweightSelfTrainer(lambda: ToyPairModel(dropout=0.2),
+                                         make_config())
+        model, _ = trainer.run(view.labeled, view.unlabeled, view.valid)
+        assert evaluate_f1(model, view.test) > 0.6
+
+    def test_pseudo_labels_respect_ratio(self, view):
+        cfg = make_config(pseudo_label_ratio=0.1)
+        trainer = LightweightSelfTrainer(lambda: ToyPairModel(dropout=0.2), cfg)
+        _, report = trainer.run(view.labeled, view.unlabeled, view.valid)
+        expected = int(round(len(view.unlabeled) * 0.1))
+        assert report.pseudo_labels_added[0] == expected
+
+    def test_pruning_reduces_final_train_size(self, view):
+        cfg = make_config(prune_ratio=0.3, prune_frequency=3,
+                          student_epochs=9)
+        trainer = LightweightSelfTrainer(lambda: ToyPairModel(dropout=0.2), cfg)
+        _, report = trainer.run(view.labeled, view.unlabeled, view.valid)
+        initial = len(view.labeled) + report.pseudo_labels_added[0]
+        assert report.samples_pruned[0] > 0
+        assert report.final_train_size < initial
+
+    def test_no_pruning_when_disabled(self, view):
+        cfg = make_config(use_dynamic_pruning=False)
+        trainer = LightweightSelfTrainer(lambda: ToyPairModel(dropout=0.2), cfg)
+        _, report = trainer.run(view.labeled, view.unlabeled, view.valid)
+        assert report.samples_pruned == [0]
+
+    def test_empty_unlabeled_pool_is_fine(self, view):
+        trainer = LightweightSelfTrainer(lambda: ToyPairModel(dropout=0.2),
+                                         make_config())
+        _, report = trainer.run(view.labeled, [], view.valid)
+        assert report.pseudo_labels_added == [0]
+
+    def test_zero_iterations_rejected(self, view):
+        trainer = LightweightSelfTrainer(lambda: ToyPairModel(),
+                                         make_config(iterations=0))
+        with pytest.raises(RuntimeError):
+            trainer.run(view.labeled, view.unlabeled, view.valid)
+
+    def test_multiple_iterations_accumulate(self, view):
+        cfg = make_config(iterations=2, teacher_epochs=6, student_epochs=6)
+        trainer = LightweightSelfTrainer(lambda: ToyPairModel(dropout=0.2), cfg)
+        _, report = trainer.run(view.labeled, view.unlabeled, view.valid)
+        assert len(report.teacher_valid_f1) == 2
+        assert len(report.student_valid_f1) == 2

@@ -1,0 +1,51 @@
+"""Property-based tests on the prompt templates (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.templates import PROMPT_PLACEHOLDER, make_template
+from repro.text import Tokenizer, build_vocab
+
+TEXT = st.text(alphabet="abcdefghij 0123456789", min_size=0, max_size=200)
+
+
+@pytest.fixture(scope="module")
+def tok():
+    return Tokenizer(build_vocab(["is to they are"], max_words=50))
+
+
+@settings(max_examples=40, deadline=None)
+@given(left=TEXT, right=TEXT,
+       name=st.sampled_from(["t1", "t2"]),
+       continuous=st.booleans(),
+       max_len=st.integers(32, 128))
+def test_property_render_invariants(left, right, name, continuous, max_len):
+    vocab = build_vocab(["is to they are"], max_words=50)
+    tok = Tokenizer(vocab)
+    template = make_template(name, tok, continuous=continuous,
+                             max_len=max_len, tokens_per_slot=2)
+    inst = template.render(left, right)
+    # (1) never exceeds the budget
+    assert len(inst.ids) <= max_len
+    # (2) the mask is where the instance says it is
+    assert inst.ids[inst.mask_position] == vocab.mask_id
+    # (3) exactly one [MASK]
+    assert inst.ids.count(vocab.mask_id) == 1
+    # (4) the full complement of prompt slots survives truncation
+    expected_slots = template.num_prompt_tokens
+    assert inst.ids.count(PROMPT_PLACEHOLDER) == expected_slots
+    # (5) starts with [CLS], ends with [SEP]
+    assert inst.ids[0] == vocab.cls_id
+    assert inst.ids[-1] == vocab.sep_id
+
+
+@settings(max_examples=20, deadline=None)
+@given(left=TEXT, right=TEXT)
+def test_property_hard_and_continuous_share_entity_budgeting(tok, left, right):
+    hard = make_template("t2", tok, continuous=False, max_len=64)
+    cont = make_template("t2", tok, continuous=True, max_len=64)
+    ih, ic = hard.render(left, right), cont.render(left, right)
+    # The continuous instance is longer by exactly the prompt slots when
+    # nothing is truncated; never shorter.
+    assert len(ic.ids) >= len(ih.ids) - 1 or len(ic.ids) == 64

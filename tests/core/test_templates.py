@@ -1,0 +1,116 @@
+"""Tests for prompt templates and the P-tuning prompt encoder."""
+
+import numpy as np
+import pytest
+
+from repro.core.templates import (
+    PROMPT_PLACEHOLDER, ContinuousTemplate, HardTemplateT1, HardTemplateT2,
+    PromptEncoder, TemplateInstance, make_template,
+)
+from repro.text import Tokenizer, build_vocab
+
+
+@pytest.fixture(scope="module")
+def tok():
+    vocab = build_vocab(
+        ["golden dragon chinese restaurant main street they are is to "
+         "matched similar relevant mismatched different irrelevant"],
+        max_words=200)
+    return Tokenizer(vocab)
+
+
+class TestTemplateInstance:
+    def test_rejects_bad_mask_position(self):
+        with pytest.raises(ValueError):
+            TemplateInstance(ids=[1, 2, 3], mask_position=5)
+
+
+class TestHardTemplates:
+    def test_t1_layout(self, tok):
+        inst = HardTemplateT1(tok, max_len=64).render("golden dragon", "main street")
+        vocab = tok.vocab
+        assert inst.ids[0] == vocab.cls_id
+        assert inst.ids[inst.mask_position] == vocab.mask_id
+        assert inst.ids[-1] == vocab.sep_id
+        # "they are" immediately precedes the mask.
+        they, are = vocab.id_of("they"), vocab.id_of("are")
+        assert inst.ids[inst.mask_position - 2:inst.mask_position] == [they, are]
+
+    def test_t2_layout(self, tok):
+        inst = HardTemplateT2(tok, max_len=64).render("golden dragon", "main street")
+        vocab = tok.vocab
+        assert inst.ids[inst.mask_position] == vocab.mask_id
+        assert inst.ids[inst.mask_position - 1] == vocab.id_of("is")
+        assert inst.ids[inst.mask_position + 1] == vocab.id_of("to")
+
+    def test_truncation_respects_max_len(self, tok):
+        long = "golden dragon " * 50
+        for cls in (HardTemplateT1, HardTemplateT2):
+            inst = cls(tok, max_len=32).render(long, long)
+            assert len(inst.ids) <= 32
+            assert inst.ids[inst.mask_position] == tok.vocab.mask_id
+
+    def test_no_placeholders_in_hard_templates(self, tok):
+        inst = HardTemplateT1(tok, max_len=64).render("a", "b")
+        assert PROMPT_PLACEHOLDER not in inst.ids
+
+
+class TestContinuousTemplates:
+    @pytest.mark.parametrize("layout", ["t1", "t2"])
+    def test_placeholder_count(self, tok, layout):
+        template = ContinuousTemplate(tok, layout=layout, max_len=64,
+                                      tokens_per_slot=2)
+        inst = template.render("golden dragon", "main street")
+        assert inst.ids.count(PROMPT_PLACEHOLDER) == template.num_prompt_tokens
+        assert template.num_prompt_tokens == 6
+
+    @pytest.mark.parametrize("layout", ["t1", "t2"])
+    def test_mask_is_mask_token(self, tok, layout):
+        template = ContinuousTemplate(tok, layout=layout, max_len=64)
+        inst = template.render("golden dragon", "main street")
+        assert inst.ids[inst.mask_position] == tok.vocab.mask_id
+
+    def test_truncation_with_prompts(self, tok):
+        template = ContinuousTemplate(tok, layout="t2", max_len=40,
+                                      tokens_per_slot=3)
+        inst = template.render("golden dragon " * 30, "main street " * 30)
+        assert len(inst.ids) <= 40
+        assert inst.ids.count(PROMPT_PLACEHOLDER) == 9
+
+    def test_invalid_layout_rejected(self, tok):
+        with pytest.raises(ValueError):
+            ContinuousTemplate(tok, layout="t3")
+
+    def test_invalid_slot_count_rejected(self, tok):
+        with pytest.raises(ValueError):
+            ContinuousTemplate(tok, tokens_per_slot=0)
+
+
+class TestPromptEncoder:
+    def test_output_shape(self):
+        encoder = PromptEncoder(6, 32, rng=np.random.default_rng(0))
+        out = encoder()
+        assert out.shape == (6, 32)
+
+    def test_trainable_and_differentiable(self):
+        encoder = PromptEncoder(4, 16, rng=np.random.default_rng(0))
+        (encoder() ** 2).sum().backward()
+        assert encoder.embeddings.grad is not None
+        assert encoder.lstm.forward_lstm.cell.w_ih.grad is not None
+
+    def test_rejects_zero_tokens(self):
+        with pytest.raises(ValueError):
+            PromptEncoder(0, 16)
+
+
+class TestFactory:
+    def test_all_four_variants(self, tok):
+        for name in ("t1", "t2"):
+            hard = make_template(name, tok, continuous=False)
+            cont = make_template(name, tok, continuous=True)
+            assert hard.num_prompt_tokens == 0
+            assert cont.num_prompt_tokens > 0
+
+    def test_unknown_name(self, tok):
+        with pytest.raises(ValueError):
+            make_template("t9", tok)

@@ -1,0 +1,105 @@
+"""Tests for decision-threshold calibration and class balancing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.trainer import (
+    Trainer, TrainerConfig, _class_balance_weights, predict, tune_threshold,
+)
+from repro.eval.metrics import ConfusionMatrix
+
+from .dummies import ToyPairModel, toy_view
+
+
+class TestTuneThreshold:
+    def test_separable_scores(self):
+        probs = np.array([[0.9, 0.1], [0.8, 0.2], [0.2, 0.8], [0.1, 0.9]])
+        labels = np.array([0, 0, 1, 1])
+        threshold = tune_threshold(probs, labels)
+        preds = (probs[:, 1] > threshold).astype(int)
+        assert ConfusionMatrix.from_labels(labels, preds).f1 == 1.0
+
+    def test_shifted_scores_recovered(self):
+        """Scores clustered near 0.6 with the class boundary inside."""
+        pos = np.linspace(0.62, 0.70, 10)
+        neg = np.linspace(0.50, 0.58, 30)
+        scores = np.concatenate([neg, pos])
+        probs = np.stack([1 - scores, scores], axis=1)
+        labels = np.array([0] * 30 + [1] * 10)
+        threshold = tune_threshold(probs, labels)
+        preds = (scores > threshold).astype(int)
+        assert ConfusionMatrix.from_labels(labels, preds).f1 == 1.0
+
+    def test_single_score_value_falls_back(self):
+        probs = np.full((4, 2), 0.5)
+        labels = np.array([0, 1, 0, 1])
+        assert tune_threshold(probs, labels) == 0.5
+
+    @given(st.integers(2, 40), st.integers(0, 1000))
+    def test_property_threshold_at_least_argmax_f1(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(n)
+        probs = np.stack([1 - scores, scores], axis=1)
+        labels = rng.integers(0, 2, size=n)
+        if labels.sum() == 0 or labels.sum() == n:
+            labels[0] = 1 - labels[0]
+        threshold = tune_threshold(probs, labels)
+        tuned = ConfusionMatrix.from_labels(
+            labels, (scores > threshold).astype(int)).f1
+        argmax = ConfusionMatrix.from_labels(
+            labels, probs.argmax(axis=1)).f1
+        assert tuned >= argmax - 1e-12
+
+
+class TestClassBalance:
+    def test_balanced_input_uniform_weights(self):
+        view = toy_view(n=40, labeled=20, seed=0)
+        weights = _class_balance_weights(view.labeled)
+        # pos rate ~50% in the toy task -> weights near 1
+        assert weights.mean() == pytest.approx(1.0, abs=1e-9)
+
+    def test_minority_class_upweighted(self):
+        view = toy_view(n=40, labeled=20, seed=0)
+        pairs = [p for p in view.labeled if p.label == 0][:9]
+        pairs += [p for p in view.labeled if p.label == 1][:3]
+        weights = _class_balance_weights(pairs)
+        pos_weight = weights[[p.label for p in pairs].index(1)]
+        neg_weight = weights[[p.label for p in pairs].index(0)]
+        assert pos_weight > neg_weight
+        assert weights.mean() == pytest.approx(1.0, abs=1e-9)
+
+    def test_single_class_does_not_crash(self):
+        view = toy_view(n=40, labeled=20, seed=0)
+        pairs = [p for p in view.labeled if p.label == 0]
+        weights = _class_balance_weights(pairs)
+        assert np.isfinite(weights).all()
+
+
+class TestCalibratedPredict:
+    def test_trainer_sets_threshold(self):
+        view = toy_view(n=120, labeled=30, seed=1)
+        model = ToyPairModel(seed=0)
+        Trainer(model, TrainerConfig(epochs=10, lr=0.05)).fit(
+            view.labeled, valid=view.valid)
+        assert hasattr(model, "decision_threshold")
+        assert 0.0 <= model.decision_threshold <= 1.0
+
+    def test_predict_honours_threshold(self):
+        view = toy_view(n=60, labeled=20, seed=2)
+        model = ToyPairModel(seed=0)
+        model.decision_threshold = 1.1  # nothing clears it
+        preds = predict(model, view.test)
+        assert (preds == 0).all()
+        model.decision_threshold = -0.1  # everything clears it
+        preds = predict(model, view.test)
+        assert (preds == 1).all()
+
+    def test_no_calibration_when_disabled(self):
+        view = toy_view(n=60, labeled=20, seed=3)
+        model = ToyPairModel(seed=0)
+        Trainer(model, TrainerConfig(epochs=3, lr=0.05,
+                                     calibrate_threshold=False)).fit(
+            view.labeled, valid=view.valid)
+        assert not hasattr(model, "decision_threshold")

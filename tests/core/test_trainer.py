@@ -1,0 +1,104 @@
+"""Tests for the generic Trainer using the toy pair model."""
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import (
+    Trainer, TrainerConfig, evaluate_f1, predict, predict_proba,
+    stochastic_proba,
+)
+
+from .dummies import ToyPairModel, toy_view
+
+
+@pytest.fixture(scope="module")
+def view():
+    return toy_view(n=160, labeled=40, seed=1)
+
+
+class TestTrainer:
+    def test_learns_separable_task(self, view):
+        model = ToyPairModel(seed=0)
+        Trainer(model, TrainerConfig(epochs=30, batch_size=16, lr=0.05,
+                                     seed=0)).fit(view.labeled, valid=view.valid)
+        assert evaluate_f1(model, view.test) > 0.8
+
+    def test_loss_decreases(self, view):
+        model = ToyPairModel(seed=0)
+        history = Trainer(model, TrainerConfig(epochs=20, lr=0.05)).fit(
+            view.labeled)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_best_epoch_restored(self, view):
+        model = ToyPairModel(seed=0)
+        history = Trainer(model, TrainerConfig(
+            epochs=10, lr=0.05, select_best_on_valid=True)).fit(
+            view.labeled, valid=view.valid)
+        assert 0 <= history.best_epoch < 10
+        assert len(history.valid_f1) == 10
+
+    def test_empty_train_rejected(self):
+        model = ToyPairModel()
+        with pytest.raises(ValueError):
+            Trainer(model).fit([])
+
+    def test_weight_length_mismatch_rejected(self, view):
+        model = ToyPairModel()
+        with pytest.raises(ValueError):
+            Trainer(model).fit(view.labeled, sample_weights=np.ones(3))
+
+    def test_model_left_in_eval_mode(self, view):
+        model = ToyPairModel()
+        Trainer(model, TrainerConfig(epochs=2)).fit(view.labeled)
+        assert not model.training
+
+    def test_epoch_callback_can_replace_train_set(self, view):
+        model = ToyPairModel()
+        sizes = []
+
+        def shrink(epoch, trainer):
+            remaining = view.labeled[: max(4, len(view.labeled) - 10 * (epoch + 1))]
+            sizes.append(len(remaining))
+            return remaining
+
+        Trainer(model, TrainerConfig(epochs=3, lr=0.05)).fit(
+            view.labeled, epoch_callback=shrink)
+        assert sizes and sizes[-1] <= sizes[0]
+
+    def test_zero_weights_yield_zero_loss(self, view):
+        model = ToyPairModel()
+        labels = np.array([p.label for p in view.labeled[:8]])
+        loss = model.loss(view.labeled[:8], labels,
+                          sample_weights=np.zeros(8))
+        assert loss.item() == 0.0
+
+
+class TestPredictionHelpers:
+    def test_predict_proba_rows_sum_to_one(self, view):
+        model = ToyPairModel()
+        probs = predict_proba(model, view.test)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_predict_proba_empty(self):
+        assert predict_proba(ToyPairModel(), []).shape == (0, 2)
+
+    def test_predict_deterministic_in_eval(self, view):
+        model = ToyPairModel()
+        a = predict_proba(model, view.test[:10])
+        b = predict_proba(model, view.test[:10])
+        np.testing.assert_array_equal(a, b)
+
+    def test_stochastic_proba_varies(self, view):
+        model = ToyPairModel(dropout=0.5)
+        a = stochastic_proba(model, view.test[:10])
+        b = stochastic_proba(model, view.test[:10])
+        assert not np.allclose(a, b)
+
+    def test_stochastic_restores_mode(self, view):
+        model = ToyPairModel()
+        model.eval()
+        stochastic_proba(model, view.test[:4])
+        assert not model.training
+
+    def test_evaluate_f1_empty(self):
+        assert evaluate_f1(ToyPairModel(), []) == 0.0

@@ -1,0 +1,133 @@
+"""Tests for MC-Dropout uncertainty and pseudo-label selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.uncertainty import (
+    McDropoutResult, mc_dropout, select_by_clustering, select_by_confidence,
+    select_by_uncertainty, select_pseudo_labels, top_n_count,
+)
+from repro.core.trainer import Trainer, TrainerConfig
+
+from .dummies import ToyPairModel, toy_view
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    view = toy_view(n=160, labeled=40, seed=2)
+    model = ToyPairModel(dropout=0.3, seed=0)
+    Trainer(model, TrainerConfig(epochs=25, lr=0.05, seed=0)).fit(
+        view.labeled, valid=view.valid)
+    return model, view
+
+
+class TestMcDropout:
+    def test_result_shapes(self, trained_setup):
+        model, view = trained_setup
+        result = mc_dropout(model, view.unlabeled[:20], passes=5)
+        assert result.mean_probs.shape == (20, 2)
+        assert result.labels.shape == (20,)
+        assert result.uncertainty.shape == (20,)
+        assert result.all_probs.shape == (5, 20, 2)
+        assert len(result) == 20
+
+    def test_uncertainty_nonnegative(self, trained_setup):
+        model, view = trained_setup
+        result = mc_dropout(model, view.unlabeled[:20], passes=5)
+        assert (result.uncertainty >= 0).all()
+
+    def test_requires_two_passes(self, trained_setup):
+        model, view = trained_setup
+        with pytest.raises(ValueError):
+            mc_dropout(model, view.unlabeled[:5], passes=1)
+
+    def test_empty_pool(self, trained_setup):
+        model, _ = trained_setup
+        result = mc_dropout(model, [], passes=3)
+        assert len(result) == 0
+
+    def test_zero_dropout_means_zero_uncertainty(self, trained_setup):
+        _, view = trained_setup
+        deterministic = ToyPairModel(dropout=0.0)
+        result = mc_dropout(deterministic, view.unlabeled[:10], passes=4)
+        np.testing.assert_allclose(result.uncertainty, 0.0, atol=1e-12)
+
+
+class TestTopN:
+    def test_eq2_count(self):
+        assert top_n_count(100, 0.1) == 10
+        assert top_n_count(5, 0.1) == 1       # at least one
+        assert top_n_count(0, 0.1) == 0
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            top_n_count(10, 0.0)
+        with pytest.raises(ValueError):
+            top_n_count(10, 1.5)
+
+    @given(st.integers(0, 500), st.floats(0.01, 1.0))
+    def test_property_never_exceeds_pool(self, total, ratio):
+        assert 0 <= top_n_count(total, ratio) <= total
+
+
+class TestSelectors:
+    def test_uncertainty_picks_least_uncertain(self):
+        result = McDropoutResult(
+            mean_probs=np.tile([0.5, 0.5], (4, 1)),
+            labels=np.zeros(4, dtype=np.int64),
+            uncertainty=np.array([0.3, 0.1, 0.4, 0.2]),
+            all_probs=np.zeros((2, 4, 2)))
+        picked = select_by_uncertainty(result, 2)
+        assert sorted(picked.tolist()) == [1, 3]
+
+    def test_confidence_picks_most_confident(self):
+        probs = np.array([[0.9, 0.1], [0.6, 0.4], [0.2, 0.8], [0.55, 0.45]])
+        picked = select_by_confidence(probs, 2)
+        assert sorted(picked.tolist()) == [0, 2]
+
+    def test_clustering_prefers_centroid_neighbors(self):
+        rng = np.random.default_rng(0)
+        cluster_a = rng.normal(0, 0.05, size=(10, 2))
+        cluster_b = rng.normal(5, 0.05, size=(10, 2))
+        outlier = np.array([[2.5, 2.5]])
+        feats = np.vstack([cluster_a, cluster_b, outlier])
+        picked = select_by_clustering(feats, 20, seed=0)
+        assert 20 not in picked  # the outlier is selected last
+
+    def test_clustering_empty(self):
+        assert select_by_clustering(np.zeros((0, 2)), 3).size == 0
+
+
+class TestSelectPseudoLabels:
+    @pytest.mark.parametrize("strategy", ["uncertainty", "confidence", "clustering"])
+    def test_strategies_return_requested_count(self, trained_setup, strategy):
+        model, view = trained_setup
+        selection = select_pseudo_labels(model, view.unlabeled[:50],
+                                         ratio=0.2, passes=4,
+                                         strategy=strategy)
+        assert len(selection.indices) == 10
+        assert len(selection.pseudo_labels) == 10
+        assert set(selection.pseudo_labels.tolist()) <= {0, 1}
+
+    def test_unknown_strategy(self, trained_setup):
+        model, view = trained_setup
+        with pytest.raises(ValueError):
+            select_pseudo_labels(model, view.unlabeled[:10], strategy="magic")
+
+    def test_empty_pool(self, trained_setup):
+        model, _ = trained_setup
+        selection = select_pseudo_labels(model, [], ratio=0.5)
+        assert selection.indices.size == 0
+
+    def test_uncertainty_labels_better_than_chance(self, trained_setup):
+        """On the separable toy task, selected pseudo-labels should be
+        mostly correct -- the Table 5 premise."""
+        model, view = trained_setup
+        pool = view.unlabeled
+        truth = np.array(view.unlabeled_true_labels)
+        selection = select_pseudo_labels(model, pool, ratio=0.3, passes=6,
+                                         strategy="uncertainty")
+        accuracy = (selection.pseudo_labels == truth[selection.indices]).mean()
+        assert accuracy > 0.7

@@ -1,0 +1,67 @@
+"""Tests for the label-word verbalizer and Eq. 1 scoring."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.verbalizer import Verbalizer
+from repro.text import Vocabulary
+from repro.text.lexicon import NEGATIVE_LABEL_WORDS, POSITIVE_LABEL_WORDS
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary(POSITIVE_LABEL_WORDS + NEGATIVE_LABEL_WORDS + ["other"])
+
+
+class TestConstruction:
+    def test_designed_sets(self, vocab):
+        verb = Verbalizer.designed(vocab)
+        assert verb.words[1] == ["matched", "similar", "relevant"]
+        assert verb.words[0] == ["mismatched", "different", "irrelevant"]
+
+    def test_simple_sets(self, vocab):
+        verb = Verbalizer.simple(vocab)
+        assert verb.words[1] == ["matched"]
+        assert verb.words[0] == ["mismatched"]
+
+    def test_out_of_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            Verbalizer(Vocabulary(["matched"]), ["matched"], ["notinvocab"])
+
+    def test_empty_class_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            Verbalizer(vocab, [], ["different"])
+
+    def test_overlapping_sets_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            Verbalizer(vocab, ["matched"], ["matched"])
+
+
+class TestScoring:
+    def test_eq1_mean_over_label_words(self, vocab):
+        verb = Verbalizer.designed(vocab)
+        probs = np.zeros((1, len(vocab)))
+        # Put known mass on each positive word.
+        for w, mass in zip(POSITIVE_LABEL_WORDS, (0.3, 0.2, 0.1)):
+            probs[0, vocab.id_of(w)] = mass
+        for w in NEGATIVE_LABEL_WORDS:
+            probs[0, vocab.id_of(w)] = 0.05
+        scores = verb.class_probs(Tensor(probs)).numpy()
+        assert scores[0, 1] == pytest.approx((0.3 + 0.2 + 0.1) / 3)
+        assert scores[0, 0] == pytest.approx(0.05)
+
+    def test_batch_shape(self, vocab):
+        verb = Verbalizer.designed(vocab)
+        probs = np.random.default_rng(0).random((5, len(vocab)))
+        assert verb.class_probs(Tensor(probs)).shape == (5, 2)
+
+    def test_gradient_flows(self, vocab):
+        verb = Verbalizer.designed(vocab)
+        probs = Tensor(np.full((2, len(vocab)), 0.01), requires_grad=True)
+        verb.class_probs(probs).sum().backward()
+        assert probs.grad is not None
+        # Only label-word columns receive gradient.
+        nonzero_cols = np.nonzero(np.abs(probs.grad).sum(axis=0))[0]
+        expected = sorted(set(verb.ids[0]) | set(verb.ids[1]))
+        assert sorted(nonzero_cols.tolist()) == expected

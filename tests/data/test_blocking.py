@@ -1,0 +1,40 @@
+"""Tests for the overlap blocker."""
+
+import pytest
+
+from repro.data import OverlapBlocker, blocking_recall, load_dataset
+from repro.data.blocking import BlockingResult
+
+
+class TestOverlapBlocker:
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            OverlapBlocker(threshold=1.5)
+
+    def test_keeps_true_matches_drops_junk(self):
+        ds = load_dataset("REL-HETER")
+        blocker = OverlapBlocker(threshold=0.2)
+        result = blocker.block(ds.left_table, ds.right_table)
+        assert 0 < len(result.candidates) < result.total_pairs
+        assert result.reduction_ratio > 0.3
+
+    def test_recall_on_known_matches(self):
+        ds = load_dataset("REL-HETER")
+        truth = [(p.left.record_id, p.right.record_id)
+                 for split in (ds.train, ds.valid, ds.test)
+                 for p in split if p.label == 1]
+        result = OverlapBlocker(threshold=0.2).block(ds.left_table, ds.right_table)
+        assert blocking_recall(result, truth) > 0.9
+
+    def test_lower_threshold_keeps_more(self):
+        ds = load_dataset("REL-HETER")
+        loose = OverlapBlocker(threshold=0.1).block(ds.left_table, ds.right_table)
+        tight = OverlapBlocker(threshold=0.6).block(ds.left_table, ds.right_table)
+        assert len(loose.candidates) >= len(tight.candidates)
+
+    def test_recall_with_no_truth_is_one(self):
+        result = BlockingResult(candidates=[], total_pairs=0)
+        assert blocking_recall(result, []) == 1.0
+
+    def test_reduction_ratio_empty(self):
+        assert BlockingResult(candidates=[], total_pairs=0).reduction_ratio == 0.0

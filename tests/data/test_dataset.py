@@ -1,0 +1,156 @@
+"""Tests for GEMDataset, splits and low-resource views."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import CandidatePair, EntityRecord, GEMDataset, Table, split_pairs
+
+
+def make_pairs(n_pos, n_neg):
+    pairs = []
+    for i in range(n_pos + n_neg):
+        left = EntityRecord(f"l{i}", "relational", {"a": i})
+        right = EntityRecord(f"r{i}", "relational", {"b": i})
+        pairs.append(CandidatePair(left, right, 1 if i < n_pos else 0))
+    return pairs
+
+
+def make_dataset(n_pos=20, n_neg=60):
+    pairs = make_pairs(n_pos, n_neg)
+    train, valid, test = split_pairs(pairs, seed=1)
+    left = Table("L", "relational", [p.left for p in pairs])
+    right = Table("R", "relational", [p.right for p in pairs])
+    return GEMDataset(name="toy", domain="test", left_table=left,
+                      right_table=right, train=train, valid=valid, test=test)
+
+
+class TestCandidatePair:
+    def test_rejects_bad_label(self):
+        rec = EntityRecord("x", "relational", {"a": 1})
+        with pytest.raises(ValueError):
+            CandidatePair(rec, rec, label=2)
+
+    def test_with_label(self):
+        rec = EntityRecord("x", "relational", {"a": 1})
+        pair = CandidatePair(rec, rec, 1)
+        hidden = pair.with_label(None)
+        assert hidden.label is None and pair.label == 1
+
+
+class TestSplitPairs:
+    def test_partition_is_complete_and_disjoint(self):
+        pairs = make_pairs(10, 30)
+        train, valid, test = split_pairs(pairs, seed=0)
+        assert len(train) + len(valid) + len(test) == 40
+        ids = [(p.left.record_id, p.right.record_id) for p in train + valid + test]
+        assert len(set(ids)) == 40
+
+    def test_stratified_both_classes_everywhere(self):
+        pairs = make_pairs(10, 30)
+        for split in split_pairs(pairs, seed=0):
+            labels = {p.label for p in split}
+            assert labels == {0, 1}
+
+    def test_deterministic(self):
+        pairs = make_pairs(8, 24)
+        a = split_pairs(pairs, seed=5)
+        b = split_pairs(pairs, seed=5)
+        for sa, sb in zip(a, b):
+            assert [id(p) for p in sa] == [id(p) for p in sb]
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            split_pairs(make_pairs(2, 2), fractions=(0.5, 0.2, 0.2))
+
+    def test_unlabeled_pair_rejected(self):
+        rec = EntityRecord("x", "relational", {"a": 1})
+        with pytest.raises(ValueError):
+            split_pairs([CandidatePair(rec, rec, None)])
+
+
+class TestGEMDataset:
+    def test_rejects_unlabeled_train(self):
+        rec = EntityRecord("x", "relational", {"a": 1})
+        with pytest.raises(ValueError):
+            GEMDataset(name="bad", domain="d",
+                       left_table=Table("L", "relational"),
+                       right_table=Table("R", "relational"),
+                       train=[CandidatePair(rec, rec, None)])
+
+    def test_statistics(self):
+        ds = make_dataset()
+        stats = ds.statistics()
+        assert stats.labeled == ds.all_labeled == 80
+        assert stats.left_rows == 80
+        assert stats.train_low_resource == ds.low_resource_size()
+
+    def test_positive_rate(self):
+        ds = make_dataset(n_pos=20, n_neg=60)
+        assert ds.positive_rate("train") == pytest.approx(0.25, abs=0.07)
+
+
+class TestLowResource:
+    def test_partition_of_train(self):
+        ds = make_dataset()
+        view = ds.low_resource(rate=0.2, seed=3)
+        assert len(view.labeled) + len(view.unlabeled) == len(ds.train)
+
+    def test_unlabeled_have_no_labels_but_truth_retained(self):
+        ds = make_dataset()
+        view = ds.low_resource(rate=0.2, seed=3)
+        assert all(p.label is None for p in view.unlabeled)
+        assert len(view.unlabeled_true_labels) == len(view.unlabeled)
+        assert set(view.unlabeled_true_labels) <= {0, 1}
+
+    def test_both_classes_in_labeled(self):
+        ds = make_dataset()
+        view = ds.low_resource(rate=0.1, seed=0)
+        labels = {p.label for p in view.labeled}
+        assert labels == {0, 1}
+
+    def test_deterministic_per_seed(self):
+        ds = make_dataset()
+        a = ds.low_resource(rate=0.2, seed=7)
+        b = ds.low_resource(rate=0.2, seed=7)
+        assert [id(p) for p in a.labeled] == [id(p) for p in b.labeled]
+
+    def test_different_seed_differs(self):
+        ds = make_dataset()
+        a = ds.low_resource(rate=0.2, seed=1)
+        b = ds.low_resource(rate=0.2, seed=2)
+        assert [id(p) for p in a.labeled] != [id(p) for p in b.labeled]
+
+    def test_explicit_count(self):
+        ds = make_dataset()
+        view = ds.low_resource_count(10, seed=0)
+        assert len(view.labeled) == 10
+
+    def test_count_capped_at_train_size(self):
+        ds = make_dataset()
+        view = ds.low_resource_count(10_000, seed=0)
+        assert len(view.labeled) == len(ds.train)
+        assert not view.unlabeled
+
+    def test_invalid_rate_rejected(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            ds.low_resource(rate=0.0)
+        with pytest.raises(ValueError):
+            ds.low_resource(rate=1.5)
+
+    def test_view_exposes_parent_splits(self):
+        ds = make_dataset()
+        view = ds.low_resource(rate=0.2)
+        assert view.valid is ds.valid
+        assert view.test is ds.test
+        assert view.name == ds.name
+
+    @settings(max_examples=25, deadline=None)
+    @given(rate=st.floats(0.05, 1.0), seed=st.integers(0, 50))
+    def test_property_labeled_size_matches_rate(self, rate, seed):
+        ds = make_dataset()
+        view = ds.low_resource(rate=rate, seed=seed)
+        expected = max(2, int(round(len(ds.train) * rate)))
+        assert abs(len(view.labeled) - expected) <= 1

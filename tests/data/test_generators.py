@@ -1,0 +1,132 @@
+"""Tests for the eight benchmark generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import DATASET_NAMES, load_dataset, make_generator, serialize
+from repro.data.generators import GeneratorConfig
+from repro.data.generators.restaurants import RelHeterGenerator
+
+
+EXPECTED_KINDS = {
+    "REL-HETER": ("relational", "relational"),
+    "SEMI-HOMO": ("semi", "semi"),
+    "SEMI-HETER": ("semi", "semi"),
+    "SEMI-REL": ("semi", "relational"),
+    "SEMI-TEXT-w": ("semi", "text"),
+    "SEMI-TEXT-c": ("semi", "text"),
+    "REL-TEXT": ("text", "relational"),
+    "GEO-HETER": ("relational", "relational"),
+}
+
+
+class TestRegistry:
+    def test_all_eight_datasets_present(self):
+        assert len(DATASET_NAMES) == 8
+        assert set(DATASET_NAMES) == set(EXPECTED_KINDS)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_generator("REL-NOPE")
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("REL-HETER")
+        b = load_dataset("REL-HETER")
+        assert a is b
+
+    def test_no_cache_rebuilds(self):
+        a = load_dataset("REL-HETER", cache=False)
+        b = load_dataset("REL-HETER", cache=False)
+        assert a is not b
+
+
+@pytest.mark.parametrize("name", list(EXPECTED_KINDS))
+class TestEachDataset:
+    def test_format_pairing(self, name):
+        ds = load_dataset(name)
+        assert (ds.left_table.kind, ds.right_table.kind) == EXPECTED_KINDS[name]
+
+    def test_splits_nonempty_and_labeled(self, name):
+        ds = load_dataset(name)
+        for split in (ds.train, ds.valid, ds.test):
+            assert split
+            assert all(p.label in (0, 1) for p in split)
+
+    def test_both_classes_in_test(self, name):
+        ds = load_dataset(name)
+        assert {p.label for p in ds.test} == {0, 1}
+
+    def test_right_table_larger_than_left(self, name):
+        ds = load_dataset(name)
+        assert len(ds.right_table) > len(ds.left_table)
+
+    def test_serializable(self, name):
+        ds = load_dataset(name)
+        pair = ds.train[0]
+        left, right = serialize(pair.left), serialize(pair.right)
+        assert left.strip() and right.strip()
+
+    def test_positive_rate_reasonable(self, name):
+        ds = load_dataset(name)
+        rate = ds.positive_rate("train")
+        assert 0.1 < rate < 0.5
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        gen = RelHeterGenerator(GeneratorConfig(num_entities=10, seed=5))
+        a, b = gen.build(), gen.build()
+        assert len(a.train) == len(b.train)
+        for pa, pb in zip(a.train, b.train):
+            assert serialize(pa.left) == serialize(pb.left)
+            assert serialize(pa.right) == serialize(pb.right)
+            assert pa.label == pb.label
+
+    def test_different_seed_differs(self):
+        gen = RelHeterGenerator(GeneratorConfig(num_entities=10, seed=5))
+        a = gen.build()
+        b = gen.build(seed=6)
+        texts_a = {serialize(p.left) for p in a.train}
+        texts_b = {serialize(p.left) for p in b.train}
+        assert texts_a != texts_b
+
+
+class TestDifficultyStructure:
+    def test_semi_heter_is_digit_heavy(self):
+        """Paper: 53% of SEMI-HETER attribute values are digits."""
+        ds = load_dataset("SEMI-HETER")
+        values = []
+        for record in ds.left_table:
+            values.extend(str(v) for v in record.flat_values())
+        digit_chars = sum(c.isdigit() for v in values for c in v)
+        total_chars = sum(len(v.replace(" ", "")) for v in values)
+        assert digit_chars / total_chars > 0.35
+
+    def test_semi_heter_hard_negatives_share_title(self):
+        """Sibling editions must collide on title (the LM trap)."""
+        ds = load_dataset("SEMI-HETER")
+        negatives = [p for p in ds.train if p.label == 0]
+        overlaps = []
+        for p in negatives:
+            lt = set(str(p.left.values.get("Title", "")).split())
+            rt = set(str(p.right.values.get("name", "")).split())
+            if lt and rt:
+                overlaps.append(len(lt & rt) / len(lt | rt))
+        # A solid fraction of negatives are near-duplicates textually.
+        assert np.mean([o > 0.5 for o in overlaps]) > 0.25
+
+    def test_geo_positions_close_for_matches(self):
+        ds = load_dataset("GEO-HETER")
+        for p in ds.train:
+            if p.label != 1:
+                continue
+            lat = float(p.left.values["latitude"])
+            lon = float(p.left.values["longitude"])
+            rlat, rlon = map(float, str(p.right.values["position"]).split())
+            assert abs(lat - rlat) < 0.01 and abs(lon - rlon) < 0.01
+
+    def test_rel_text_left_is_prose(self):
+        ds = load_dataset("REL-TEXT")
+        text = serialize(ds.train[0].left)
+        assert "[COL]" not in text
+        assert len(text.split()) > 5

@@ -1,0 +1,113 @@
+"""Tests for dataset persistence (bundle JSON + Machamp directory layout)."""
+
+import json
+
+import pytest
+
+from repro.data import (
+    load_dataset, load_dataset_file, load_machamp_dir, save_dataset,
+    save_machamp_dir, serialize,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("REL-HETER")
+
+
+class TestBundleRoundtrip:
+    def test_roundtrip_preserves_everything(self, dataset, tmp_path):
+        path = tmp_path / "rel-heter.json"
+        save_dataset(dataset, path)
+        loaded = load_dataset_file(path)
+        assert loaded.name == dataset.name
+        assert loaded.domain == dataset.domain
+        assert loaded.default_rate == dataset.default_rate
+        assert len(loaded.left_table) == len(dataset.left_table)
+        assert len(loaded.right_table) == len(dataset.right_table)
+        for split in ("train", "valid", "test"):
+            orig, new = getattr(dataset, split), getattr(loaded, split)
+            assert len(orig) == len(new)
+            for a, b in zip(orig, new):
+                assert a.label == b.label
+                assert serialize(a.left) == serialize(b.left)
+                assert serialize(a.right) == serialize(b.right)
+
+    def test_pairs_reference_table_objects(self, dataset, tmp_path):
+        path = tmp_path / "d.json"
+        save_dataset(dataset, path)
+        loaded = load_dataset_file(path)
+        table_ids = {id(r) for r in loaded.left_table}
+        assert all(id(p.left) in table_ids for p in loaded.train)
+
+    def test_semi_and_text_records_roundtrip(self, tmp_path):
+        ds = load_dataset("SEMI-TEXT-w")
+        path = tmp_path / "st.json"
+        save_dataset(ds, path)
+        loaded = load_dataset_file(path)
+        assert loaded.left_table.kind == "semi"
+        assert loaded.right_table.kind == "text"
+        # Nested dict values survive.
+        semi_ds = load_dataset("SEMI-HETER")
+        save_dataset(semi_ds, path)
+        loaded = load_dataset_file(path)
+        rec = loaded.right_table.records[0]
+        assert isinstance(rec.values.get("identifiers"), dict)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ValueError):
+            load_dataset_file(path)
+
+    def test_dangling_pair_reference_rejected(self, dataset, tmp_path):
+        path = tmp_path / "d.json"
+        save_dataset(dataset, path)
+        payload = json.loads(path.read_text())
+        payload["splits"]["train"][0]["left"] = "nonexistent"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_dataset_file(path)
+
+
+class TestMachampLayout:
+    def test_roundtrip(self, dataset, tmp_path):
+        save_machamp_dir(dataset, tmp_path / "mc")
+        loaded = load_machamp_dir(tmp_path / "mc", name="REL-HETER",
+                                  domain="restaurant")
+        assert loaded.name == "REL-HETER"
+        assert len(loaded.train) == len(dataset.train)
+        assert (sum(p.label for p in loaded.train)
+                == sum(p.label for p in dataset.train))
+
+    def test_text_table_roundtrip(self, tmp_path):
+        ds = load_dataset("REL-TEXT")
+        save_machamp_dir(ds, tmp_path / "rt")
+        loaded = load_machamp_dir(tmp_path / "rt")
+        assert loaded.left_table.kind == "text"
+        assert loaded.right_table.kind == "relational"
+
+    def test_missing_columns_rejected(self, dataset, tmp_path):
+        save_machamp_dir(dataset, tmp_path / "mc")
+        (tmp_path / "mc" / "train.csv").write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_machamp_dir(tmp_path / "mc")
+
+    def test_unknown_pair_id_rejected(self, dataset, tmp_path):
+        save_machamp_dir(dataset, tmp_path / "mc")
+        with open(tmp_path / "mc" / "train.csv", "a") as f:
+            f.write("zzz,zzz,1\n")
+        with pytest.raises(ValueError):
+            load_machamp_dir(tmp_path / "mc")
+
+    def test_empty_table_rejected(self, dataset, tmp_path):
+        save_machamp_dir(dataset, tmp_path / "mc")
+        (tmp_path / "mc" / "left.json").write_text("")
+        with pytest.raises(ValueError):
+            load_machamp_dir(tmp_path / "mc")
+
+    def test_loaded_dataset_supports_low_resource(self, dataset, tmp_path):
+        save_machamp_dir(dataset, tmp_path / "mc")
+        loaded = load_machamp_dir(tmp_path / "mc")
+        view = loaded.low_resource(rate=0.2, seed=0)
+        assert view.labeled and view.unlabeled

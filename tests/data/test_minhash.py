@@ -1,0 +1,84 @@
+"""Tests for MinHash signatures and LSH blocking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import blocking_recall, load_dataset
+from repro.data.minhash import MinHashBlocker, MinHasher
+from repro.text.similarity import jaccard
+
+TOKENS = st.sets(st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+                 min_size=1, max_size=30)
+
+
+class TestMinHasher:
+    def test_signature_shape_and_determinism(self):
+        hasher = MinHasher(num_hashes=32, seed=0)
+        sig = hasher.signature({"a", "b", "c"})
+        assert sig.shape == (32,)
+        np.testing.assert_array_equal(sig, hasher.signature({"c", "b", "a"}))
+
+    def test_empty_set_signature(self):
+        hasher = MinHasher(num_hashes=8)
+        assert (hasher.signature(set()) == (1 << 32) - 1).all()
+
+    def test_identical_sets_estimate_one(self):
+        hasher = MinHasher(num_hashes=64, seed=1)
+        s = {"x", "y", "z"}
+        assert MinHasher.estimate_jaccard(
+            hasher.signature(s), hasher.signature(s)) == 1.0
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_hashes=0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MinHasher.estimate_jaccard(np.zeros(4, dtype=np.uint64),
+                                       np.zeros(8, dtype=np.uint64))
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=TOKENS, b=TOKENS)
+    def test_property_estimate_tracks_true_jaccard(self, a, b):
+        hasher = MinHasher(num_hashes=256, seed=3)
+        estimate = MinHasher.estimate_jaccard(hasher.signature(a),
+                                              hasher.signature(b))
+        true = jaccard(a, b)
+        # 256 hashes give a standard error below ~0.032.
+        assert abs(estimate - true) < 0.2
+
+
+class TestMinHashBlocker:
+    def test_invalid_banding(self):
+        with pytest.raises(ValueError):
+            MinHashBlocker(num_hashes=10, bands=3)
+
+    def test_blocks_benchmark_with_high_recall(self):
+        ds = load_dataset("REL-HETER")
+        blocker = MinHashBlocker(num_hashes=64, bands=32, seed=0)
+        result = blocker.block(ds.left_table, ds.right_table)
+        truth = [(p.left.record_id, p.right.record_id)
+                 for split in (ds.train, ds.valid, ds.test)
+                 for p in split if p.label == 1]
+        assert blocking_recall(result, truth) > 0.85
+        assert result.reduction_ratio > 0.2
+
+    def test_more_bands_more_candidates(self):
+        ds = load_dataset("REL-HETER")
+        few = MinHashBlocker(num_hashes=64, bands=8, seed=0).block(
+            ds.left_table, ds.right_table)
+        many = MinHashBlocker(num_hashes=64, bands=32, seed=0).block(
+            ds.left_table, ds.right_table)
+        assert len(many.candidates) >= len(few.candidates)
+
+    def test_no_duplicate_candidates_per_left(self):
+        ds = load_dataset("REL-HETER")
+        result = MinHashBlocker(num_hashes=32, bands=16).block(
+            ds.left_table, ds.right_table)
+        seen = set()
+        for l, r in result.candidates:
+            key = (l.record_id, r.record_id)
+            assert key not in seen
+            seen.add(key)

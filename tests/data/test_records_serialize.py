@@ -1,0 +1,124 @@
+"""Tests for entity records, tables, and Section 2.2 serialization."""
+
+import pytest
+
+from repro.data import EntityRecord, Table, serialize, serialize_pair
+from repro.text.tfidf import TfIdfSummarizer
+
+
+class TestEntityRecord:
+    def test_relational_record(self):
+        rec = EntityRecord("r1", "relational", {"name": "cafe", "year": 2001})
+        assert rec.num_attributes() == 2
+        assert rec.flat_values() == ["cafe", 2001]
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            EntityRecord("r1", "graph", {})
+
+    def test_relational_rejects_nested(self):
+        with pytest.raises(ValueError):
+            EntityRecord("r1", "relational", {"cast": {"lead": "x"}})
+
+    def test_text_record(self):
+        rec = EntityRecord.text_record("t1", "an abstract")
+        assert rec.text == "an abstract"
+        assert rec.num_attributes() == 1
+
+    def test_text_requires_single_text_value(self):
+        with pytest.raises(ValueError):
+            EntityRecord("t1", "text", {"body": "x"})
+
+    def test_text_property_guard(self):
+        rec = EntityRecord("r1", "relational", {"a": 1})
+        with pytest.raises(AttributeError):
+            _ = rec.text
+
+    def test_semi_nested_attribute_count(self):
+        rec = EntityRecord("s1", "semi", {
+            "title": "x",
+            "cast": {"lead": "a", "support": ["b", "c"]},
+            "genres": ["drama"],
+        })
+        # title + lead + support-list + genres-list = 4 leaves
+        assert rec.num_attributes() == 4
+
+
+class TestTable:
+    def test_kind_enforced_on_init(self):
+        rec = EntityRecord("r1", "relational", {"a": 1})
+        with pytest.raises(ValueError):
+            Table("t", "semi", [rec])
+
+    def test_kind_enforced_on_add(self):
+        table = Table("t", "relational")
+        with pytest.raises(ValueError):
+            table.add(EntityRecord.text_record("t1", "x"))
+
+    def test_by_id(self):
+        rec = EntityRecord("r1", "relational", {"a": 1})
+        table = Table("t", "relational", [rec])
+        assert table.by_id("r1") is rec
+        with pytest.raises(KeyError):
+            table.by_id("nope")
+
+    def test_avg_attributes(self):
+        table = Table("t", "relational", [
+            EntityRecord("a", "relational", {"x": 1}),
+            EntityRecord("b", "relational", {"x": 1, "y": 2, "z": 3}),
+        ])
+        assert table.avg_attributes() == 2.0
+
+    def test_avg_attributes_empty(self):
+        assert Table("t", "relational").avg_attributes() == 0.0
+
+
+class TestSerialize:
+    def test_relational_col_val_tags(self):
+        rec = EntityRecord("r1", "relational",
+                           {"title": "efficient similarity", "year": 2003})
+        out = serialize(rec)
+        assert out == "[COL] title [VAL] efficient similarity [COL] year [VAL] 2003"
+
+    def test_list_values_concatenated(self):
+        rec = EntityRecord("s1", "semi",
+                           {"authors": ["fagin", "kumar", "sivakumar"]})
+        assert serialize(rec) == "[COL] authors [VAL] fagin kumar sivakumar"
+
+    def test_nested_recursion(self):
+        rec = EntityRecord("s1", "semi", {
+            "cast": {"lead": "smith", "director": "chen"},
+        })
+        out = serialize(rec)
+        assert out == ("[COL] cast [COL] lead [VAL] smith "
+                       "[COL] director [VAL] chen")
+
+    def test_text_passthrough(self):
+        rec = EntityRecord.text_record("t1", "raw abstract text")
+        assert serialize(rec) == "raw abstract text"
+
+    def test_none_value_serialized_empty(self):
+        rec = EntityRecord("r1", "relational", {"a": None})
+        assert serialize(rec) == "[COL] a [VAL]"
+
+    def test_float_integers_rendered_as_int(self):
+        rec = EntityRecord("r1", "relational", {"pages": 288.0})
+        assert serialize(rec) == "[COL] pages [VAL] 288"
+
+    def test_text_summarization_applied(self):
+        long_text = " ".join(f"word{i}" for i in range(100))
+        rec = EntityRecord.text_record("t1", long_text)
+        summ = TfIdfSummarizer(max_tokens=5).fit([long_text])
+        out = serialize(rec, summarizer=summ)
+        assert len(out.split()) == 5
+
+    def test_structured_ignores_summarizer(self):
+        rec = EntityRecord("r1", "relational", {"a": "b"})
+        summ = TfIdfSummarizer(max_tokens=1).fit(["a b"])
+        assert serialize(rec, summarizer=summ) == "[COL] a [VAL] b"
+
+    def test_serialize_pair(self):
+        a = EntityRecord("r1", "relational", {"x": 1})
+        b = EntityRecord.text_record("t1", "hello")
+        left, right = serialize_pair(a, b)
+        assert "[COL]" in left and right == "hello"

@@ -1,0 +1,52 @@
+"""Property-based tests on serialization (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import EntityRecord, serialize
+
+ATTR_NAMES = st.text(alphabet="abcdefgh_", min_size=1, max_size=10)
+SCALARS = st.one_of(
+    st.text(alphabet="abcdef 0123456789", max_size=30),
+    st.integers(-10_000, 10_000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.none(),
+)
+FLAT_VALUES = st.dictionaries(ATTR_NAMES, SCALARS, min_size=1, max_size=6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=FLAT_VALUES)
+def test_property_relational_serialization_deterministic(values):
+    rec = EntityRecord("r", "relational", values)
+    assert serialize(rec) == serialize(rec)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=FLAT_VALUES)
+def test_property_tag_counts_match_attrs(values):
+    rec = EntityRecord("r", "relational", values)
+    out = serialize(rec)
+    assert out.count("[COL]") == len(values)
+    assert out.count("[VAL]") == len(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.dictionaries(
+    ATTR_NAMES,
+    st.one_of(SCALARS,
+              st.lists(st.text(alphabet="abc", max_size=5), max_size=3),
+              st.dictionaries(ATTR_NAMES, SCALARS, min_size=1, max_size=3)),
+    min_size=1, max_size=5))
+def test_property_semi_serialization_never_crashes(values):
+    rec = EntityRecord("s", "semi", values)
+    out = serialize(rec)
+    assert isinstance(out, str)
+    assert "[COL]" in out
+
+
+@settings(max_examples=40, deadline=None)
+@given(text=st.text(max_size=100))
+def test_property_text_records_pass_through(text):
+    rec = EntityRecord.text_record("t", text)
+    assert serialize(rec) == text

@@ -1,0 +1,74 @@
+"""Tests for calibration diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.calibration import calibration_report, overconfidence_rate
+
+
+def probs_from_scores(scores):
+    scores = np.asarray(scores, dtype=np.float64)
+    return np.stack([1 - scores, scores], axis=1)
+
+
+class TestCalibrationReport:
+    def test_perfectly_calibrated(self):
+        """Confidence 0.75 with accuracy 0.75 -> ECE 0."""
+        probs = probs_from_scores([0.75] * 4)
+        labels = np.array([1, 1, 1, 0])  # predictions all 1; 3/4 correct
+        report = calibration_report(probs, labels, num_bins=10)
+        assert report.ece == pytest.approx(0.0, abs=1e-9)
+
+    def test_maximally_overconfident(self):
+        probs = probs_from_scores([0.99] * 10)
+        labels = np.zeros(10, dtype=int)  # predictions all 1, all wrong
+        report = calibration_report(probs, labels)
+        assert report.ece == pytest.approx(0.99, abs=1e-9)
+        assert report.mce == pytest.approx(0.99, abs=1e-9)
+
+    def test_bins_partition_all_samples(self):
+        rng = np.random.default_rng(0)
+        probs = probs_from_scores(rng.random(100))
+        labels = rng.integers(0, 2, size=100)
+        report = calibration_report(probs, labels, num_bins=7)
+        assert sum(b.count for b in report.bins) == 100
+
+    def test_as_rows_skips_empty_bins(self):
+        probs = probs_from_scores([0.95, 0.96])
+        report = calibration_report(probs, np.array([1, 1]), num_bins=10)
+        rows = report.as_rows()
+        assert len(rows) == 1
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            calibration_report(np.zeros((3, 3)), np.zeros(3))
+        with pytest.raises(ValueError):
+            calibration_report(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            calibration_report(np.zeros((3, 2)), np.zeros(3), num_bins=0)
+
+    @given(st.integers(1, 200), st.integers(0, 100))
+    def test_property_ece_in_unit_interval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        probs = probs_from_scores(rng.random(n))
+        labels = rng.integers(0, 2, size=n)
+        report = calibration_report(probs, labels)
+        assert 0.0 <= report.ece <= 1.0
+        assert report.ece <= report.mce + 1e-12
+
+
+class TestOverconfidence:
+    def test_all_high_confidence_wrong(self):
+        probs = probs_from_scores([0.99, 0.98])
+        assert overconfidence_rate(probs, [0, 0], threshold=0.9) == 1.0
+
+    def test_no_high_confidence_predictions(self):
+        probs = probs_from_scores([0.6, 0.55])
+        assert overconfidence_rate(probs, [1, 1], threshold=0.9) == 0.0
+
+    def test_mixed(self):
+        probs = probs_from_scores([0.95, 0.95, 0.95, 0.95])
+        labels = [1, 1, 0, 1]
+        assert overconfidence_rate(probs, labels, 0.9) == pytest.approx(0.25)

@@ -1,0 +1,76 @@
+"""Tests for confusion-matrix metrics and pseudo-label quality."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    PRF, ConfusionMatrix, precision_recall_f1, pseudo_label_quality,
+)
+
+
+class TestConfusionMatrix:
+    def test_known_counts(self):
+        cm = ConfusionMatrix.from_labels([1, 1, 0, 0, 1], [1, 0, 0, 1, 1])
+        assert (cm.tp, cm.fn, cm.tn, cm.fp) == (2, 1, 1, 1)
+
+    def test_metrics_values(self):
+        cm = ConfusionMatrix(tp=2, fp=1, tn=1, fn=1)
+        assert cm.precision == pytest.approx(2 / 3)
+        assert cm.recall == pytest.approx(2 / 3)
+        assert cm.f1 == pytest.approx(2 / 3)
+        assert cm.tnr == pytest.approx(1 / 2)
+        assert cm.accuracy == pytest.approx(3 / 5)
+
+    def test_degenerate_no_positives_predicted(self):
+        cm = ConfusionMatrix.from_labels([1, 1], [0, 0])
+        assert cm.precision == 0.0 and cm.recall == 0.0 and cm.f1 == 0.0
+
+    def test_all_negative_tnr(self):
+        cm = ConfusionMatrix.from_labels([0, 0], [0, 0])
+        assert cm.tnr == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix.from_labels([1, 0], [1])
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix.from_labels([1, 2], [1, 0])
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=50))
+    def test_property_perfect_prediction(self, labels):
+        cm = ConfusionMatrix.from_labels(labels, labels)
+        assert cm.accuracy == 1.0
+        if 1 in labels:
+            assert cm.f1 == 1.0
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=40),
+           st.lists(st.integers(0, 1), min_size=2, max_size=40))
+    def test_property_f1_between_p_and_r_bounds(self, a, b):
+        n = min(len(a), len(b))
+        cm = ConfusionMatrix.from_labels(a[:n], b[:n])
+        assert min(cm.precision, cm.recall) - 1e-12 <= cm.f1 <= max(
+            cm.precision, cm.recall) + 1e-12
+
+
+class TestPRF:
+    def test_percent_scale(self):
+        prf = PRF.from_labels([1, 1, 0, 0], [1, 1, 0, 0])
+        assert prf.precision == 100.0 and prf.f1 == 100.0
+
+    def test_as_row_rounding(self):
+        prf = PRF(precision=66.666, recall=33.333, f1=44.444)
+        assert prf.as_row() == (66.7, 33.3, 44.4)
+
+
+class TestHelpers:
+    def test_precision_recall_f1(self):
+        p, r, f = precision_recall_f1([1, 0, 1], [1, 1, 1])
+        assert p == pytest.approx(2 / 3)
+        assert r == 1.0
+
+    def test_pseudo_label_quality(self):
+        tpr, tnr = pseudo_label_quality([1, 1, 0, 0], [1, 0, 0, 0])
+        assert tpr == 0.5 and tnr == 1.0

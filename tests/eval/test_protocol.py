@@ -1,0 +1,76 @@
+"""Tests for the experiment protocol using the toy matcher."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from core.dummies import ToyPairModel  # noqa: E402
+from repro.baselines.base import Matcher  # noqa: E402
+from repro.core.trainer import Trainer, TrainerConfig, predict  # noqa: E402
+from repro.eval.protocol import BenchScale, ExperimentRunner, bench_scale  # noqa: E402
+
+
+class ToyMatcher(Matcher):
+    name = "Toy"
+
+    def fit(self, view):
+        self.model = ToyPairModel(seed=0)
+        Trainer(self.model, TrainerConfig(epochs=15, lr=0.05)).fit(
+            view.labeled, valid=view.valid)
+        return self
+
+    def predict(self, pairs):
+        return predict(self.model, pairs)
+
+
+class TestBenchScale:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert bench_scale().name == "smoke"
+
+    def test_default_is_paper(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        scale = bench_scale()
+        assert scale.name == "paper"
+        assert len(scale.datasets) == 8
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(KeyError):
+            bench_scale()
+
+
+class TestExperimentRunner:
+    def test_run_records_result(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        runner = ExperimentRunner()
+        result = runner.run("Toy", ToyMatcher, "REL-HETER", seed=0)
+        assert result.method == "Toy"
+        assert 0.0 <= result.prf.f1 <= 100.0
+        assert runner.results == [result]
+
+    def test_resources_measured_on_request(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        runner = ExperimentRunner()
+        result = runner.run("Toy", ToyMatcher, "REL-HETER",
+                            measure_resources=True)
+        assert result.resources is not None
+        assert result.resources.wall_seconds > 0
+
+    def test_count_view(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        runner = ExperimentRunner()
+        view = runner.view_for("REL-HETER", count=10, seed=1)
+        assert len(view.labeled) == 10
+
+    def test_prf_grid_shape(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        runner = ExperimentRunner()
+        runner.run("Toy", ToyMatcher, "REL-HETER")
+        grid = runner.as_prf_grid()
+        assert "Toy" in grid and "REL-HETER" in grid["Toy"]
+        assert len(grid["Toy"]["REL-HETER"]) == 3

@@ -1,0 +1,78 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import (
+    BootstrapInterval, bootstrap_f1, paired_bootstrap_delta,
+)
+
+
+def noisy_predictions(rng, labels, flip_rate):
+    preds = labels.copy()
+    flips = rng.random(len(labels)) < flip_rate
+    preds[flips] = 1 - preds[flips]
+    return preds
+
+
+class TestBootstrapF1:
+    def test_perfect_predictions_tight_interval(self):
+        labels = np.array([0, 1] * 30)
+        interval = bootstrap_f1(labels, labels, num_samples=200)
+        assert interval.point == 100.0
+        assert interval.lower == 100.0 and interval.upper == 100.0
+        assert 100.0 in interval
+
+    def test_interval_contains_point(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=80)
+        preds = noisy_predictions(rng, labels, 0.2)
+        interval = bootstrap_f1(labels, preds, num_samples=300)
+        assert interval.lower <= interval.point <= interval.upper
+        assert interval.width > 0
+
+    def test_smaller_test_set_wider_interval(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=200)
+        preds = noisy_predictions(rng, labels, 0.2)
+        wide = bootstrap_f1(labels[:30], preds[:30], num_samples=400)
+        narrow = bootstrap_f1(labels, preds, num_samples=400)
+        assert wide.width > narrow.width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_f1([], [])
+        with pytest.raises(ValueError):
+            bootstrap_f1([1], [1], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_f1([1, 0], [1])
+
+    def test_deterministic_given_seed(self):
+        labels = np.array([0, 1] * 20)
+        rng = np.random.default_rng(2)
+        preds = noisy_predictions(rng, labels, 0.3)
+        a = bootstrap_f1(labels, preds, seed=5)
+        b = bootstrap_f1(labels, preds, seed=5)
+        assert a == b
+
+
+class TestPairedDelta:
+    def test_clear_winner_small_p(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 2, size=150)
+        good = noisy_predictions(rng, labels, 0.05)
+        bad = noisy_predictions(rng, labels, 0.40)
+        delta, p = paired_bootstrap_delta(labels, good, bad, num_samples=300)
+        assert delta > 0
+        assert p < 0.05
+
+    def test_identical_predictions_p_one(self):
+        labels = np.array([0, 1] * 25)
+        delta, p = paired_bootstrap_delta(labels, labels, labels,
+                                          num_samples=100)
+        assert delta == 0.0
+        assert p == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_delta([1, 0], [1], [1, 0])

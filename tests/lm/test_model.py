@@ -1,0 +1,101 @@
+"""Tests for the MiniLM encoder and batching helpers."""
+
+import numpy as np
+import pytest
+
+from repro.lm import LMConfig, MiniLM, pad_batch
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MiniLM(LMConfig(vocab_size=50, d_model=16, num_layers=1,
+                           num_heads=2, d_ff=32, max_len=20, dropout=0.0))
+
+
+class TestLMConfig:
+    def test_invalid_heads(self):
+        with pytest.raises(ValueError):
+            LMConfig(vocab_size=10, d_model=10, num_heads=3)
+
+    def test_invalid_vocab(self):
+        with pytest.raises(ValueError):
+            LMConfig(vocab_size=0)
+
+    def test_invalid_dropout(self):
+        with pytest.raises(ValueError):
+            LMConfig(vocab_size=10, dropout=1.0)
+
+    def test_roundtrip(self):
+        cfg = LMConfig(vocab_size=99, d_model=32, num_heads=4)
+        assert LMConfig.from_dict(cfg.to_dict()) == cfg
+
+
+class TestMiniLM:
+    def test_encode_shape(self, model):
+        ids = np.array([[2, 8, 9, 3], [2, 8, 3, 0]])
+        hidden = model.encode(ids)
+        assert hidden.shape == (2, 4, 16)
+
+    def test_mlm_logits_shape(self, model):
+        ids = np.array([[2, 8, 9, 3]])
+        logits = model.mlm_logits(model.encode(ids))
+        assert logits.shape == (1, 4, 50)
+
+    def test_pooled_shape(self, model):
+        ids = np.array([[2, 8, 9, 3]])
+        pooled = model.pooled(model.encode(ids))
+        assert pooled.shape == (1, 16)
+        assert (np.abs(pooled.numpy()) <= 1.0).all()
+
+    def test_rejects_1d_ids(self, model):
+        with pytest.raises(ValueError):
+            model.embed(np.array([1, 2, 3]))
+
+    def test_rejects_overlong_sequence(self, model):
+        with pytest.raises(ValueError):
+            model.embed(np.zeros((1, 21), dtype=np.int64))
+
+    def test_padding_does_not_change_real_positions(self, model):
+        model.eval()
+        ids = np.array([[2, 8, 9, 3]])
+        base = model.encode(ids).numpy()
+        padded = np.array([[2, 8, 9, 3, 0, 0]])
+        mask = padded == 0
+        out = model.encode(padded, pad_mask=mask).numpy()
+        np.testing.assert_allclose(base[0], out[0, :4], atol=1e-8)
+
+    def test_tied_decoder_gradients_reach_embeddings_twice(self, model):
+        model.train()
+        ids = np.array([[2, 8, 9, 3]])
+        logits = model.mlm_logits(model.encode(ids))
+        logits.sum().backward()
+        emb_grad = model.token_embedding.weight.grad
+        assert emb_grad is not None
+        # Tokens never used in the input still receive decoder-side gradient.
+        assert np.abs(emb_grad[40]).sum() > 0
+        model.zero_grad()
+        model.eval()
+
+    def test_deterministic_with_same_seed(self):
+        cfg = LMConfig(vocab_size=30, d_model=16, num_layers=1, num_heads=2,
+                       d_ff=32, max_len=10, dropout=0.0, seed=42)
+        a, b = MiniLM(cfg), MiniLM(cfg)
+        ids = np.array([[2, 5, 3]])
+        np.testing.assert_array_equal(a.encode(ids).numpy(), b.encode(ids).numpy())
+
+
+class TestPadBatch:
+    def test_pads_to_longest(self):
+        ids, mask = pad_batch([[1, 2, 3], [4]], pad_id=0)
+        np.testing.assert_array_equal(ids, [[1, 2, 3], [4, 0, 0]])
+        np.testing.assert_array_equal(mask, [[False, False, False],
+                                             [False, True, True]])
+
+    def test_max_len_truncates(self):
+        ids, mask = pad_batch([[1, 2, 3, 4, 5]], max_len=3)
+        assert ids.shape == (1, 3)
+        np.testing.assert_array_equal(ids, [[1, 2, 3]])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            pad_batch([])

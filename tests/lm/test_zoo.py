@@ -1,0 +1,70 @@
+"""Tests for the checkpoint zoo (uses the tiny spec and one shared cache)."""
+
+import numpy as np
+import pytest
+
+from repro.lm import available_models, load_pretrained
+from repro.lm.zoo import default_cache_dir
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    """One training run shared by the whole module."""
+    path = tmp_path_factory.mktemp("zoo-cache")
+    load_pretrained("minilm-tiny", cache_dir=path)
+    return path
+
+
+class TestZoo:
+    def test_available_models(self):
+        names = available_models()
+        assert "minilm-base" in names and "minilm-tiny" in names
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            load_pretrained("bert-large", cache_dir=tmp_path)
+
+    def test_checkpoint_files_written(self, cache_dir):
+        assert (cache_dir / "minilm-tiny.npz").exists()
+        assert (cache_dir / "minilm-tiny.vocab.json").exists()
+
+    def test_cache_reload_consistency(self, cache_dir):
+        model1, tok1 = load_pretrained("minilm-tiny", cache_dir=cache_dir)
+        model2, tok2 = load_pretrained("minilm-tiny", cache_dir=cache_dir)
+        assert tok1.vocab.tokens() == tok2.vocab.tokens()
+        s1, s2 = model1.state_dict(), model2.state_dict()
+        assert s1.keys() == s2.keys()
+        for key in s1:
+            np.testing.assert_array_equal(s1[key], s2[key])
+
+    def test_reloaded_model_in_eval_mode(self, cache_dir):
+        model, _ = load_pretrained("minilm-tiny", cache_dir=cache_dir)
+        assert not model.training
+
+    def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == tmp_path
+
+    def test_pretrained_knows_label_words(self, cache_dir):
+        """The MLM must assign measurable probability to label words in a
+        cloze context -- the pre-trained knowledge PromptEM relies on."""
+        model, tok = load_pretrained("minilm-tiny", cache_dir=cache_dir)
+        vocab = tok.vocab
+        enc = tok.encode("golden dragon restaurant golden dragon grill they are [MASK]",
+                         max_len=32)
+        ids = np.array([enc.ids])
+        from repro.autograd import no_grad
+
+        with no_grad():
+            logits = model.mlm_logits(model.encode(ids)).numpy()[0]
+        mask_pos = enc.tokens.index("[MASK]")
+        probs = np.exp(logits[mask_pos] - logits[mask_pos].max())
+        probs /= probs.sum()
+        label_ids = [vocab.id_of(w) for w in
+                     ("matched", "similar", "relevant",
+                      "mismatched", "different", "irrelevant")]
+        mass = probs[label_ids].sum()
+        # Six words out of a ~1500-token vocabulary would carry ~0.4% mass
+        # at random; requiring >2% demonstrates the cloze pattern was
+        # genuinely learned during pre-training.
+        assert mass > 0.02

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.dataset == "REL-HETER"
+        assert args.method == "PromptEM"
+        assert args.rate is None
+
+    def test_export_args(self):
+        args = build_parser().parse_args(["export", "REL-HETER", "out.json"])
+        assert args.dataset == "REL-HETER" and args.output == "out.json"
+
+
+class TestCommands:
+    def test_datasets_lists_all_eight(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("REL-HETER", "SEMI-HOMO", "GEO-HETER"):
+            assert name in out
+
+    def test_export_bundle(self, tmp_path, capsys):
+        out = tmp_path / "d.json"
+        assert main(["export", "REL-HETER", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["name"] == "REL-HETER"
+
+    def test_export_machamp(self, tmp_path):
+        out = tmp_path / "mc"
+        assert main(["export", "REL-HETER", str(out), "--machamp"]) == 0
+        assert (out / "left.json").exists()
+        assert (out / "train.csv").exists()
+
+    def test_run_tdmatch_on_exported_file(self, tmp_path, capsys):
+        """End-to-end: export a dataset, run a label-free matcher on it."""
+        bundle = tmp_path / "d.json"
+        main(["export", "REL-HETER", str(bundle)])
+        code = main(["run", "--from-file", str(bundle), "--method", "TDmatch",
+                     "--rate", "0.2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TDmatch on REL-HETER" in out
+        assert "F1=" in out
+
+    def test_run_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--method", "GPT-9"])

@@ -1,0 +1,135 @@
+"""Tests for TF-IDF summarization, similarity measures, and the corpus."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import (
+    TfIdfModel, TfIdfSummarizer, build_corpus, cosine_tokens, jaccard,
+    jaccard_text, levenshtein, levenshtein_similarity, overlap_coefficient,
+    summarize_texts,
+)
+from repro.text.lexicon import STOPWORDS, all_domain_words
+
+
+class TestTfIdf:
+    def test_idf_ranks_rare_above_common(self):
+        model = TfIdfModel().fit(["cat dog", "cat bird", "cat fish"])
+        assert model.idf("fish") > model.idf("cat")
+
+    def test_scores_empty_doc(self):
+        model = TfIdfModel().fit(["a b"])
+        assert model.scores("") == {}
+
+    def test_summarizer_keeps_short_text(self):
+        s = TfIdfSummarizer(max_tokens=10).fit(["alpha beta gamma"])
+        assert s.summarize("alpha beta") == "alpha beta"
+
+    def test_summarizer_truncates_and_keeps_order(self):
+        docs = ["common word here"] * 5 + ["rare signal token appears once"]
+        s = TfIdfSummarizer(max_tokens=3).fit(docs)
+        out = s.summarize("common rare signal token")
+        kept = out.split()
+        assert len(kept) == 3
+        # Rare high-idf words outrank the corpus-frequent one at equal tf.
+        assert kept == ["rare", "signal", "token"]
+
+    def test_summarizer_drops_stopwords(self):
+        s = TfIdfSummarizer(max_tokens=50).fit(["x"])
+        out = s.summarize("the cat and the hat")
+        assert "the" not in out.split()
+        assert "cat" in out.split()
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            TfIdfSummarizer(max_tokens=0)
+
+    def test_summarize_texts_helper(self):
+        outs = summarize_texts(["one two three", "four five"], max_tokens=2)
+        assert len(outs) == 2
+        assert all(len(o.split()) <= 2 for o in outs)
+
+    @given(st.text(alphabet="abcdef ", max_size=100), st.integers(1, 8))
+    def test_property_summary_never_longer_than_budget(self, text, budget):
+        s = TfIdfSummarizer(max_tokens=budget).fit([text or "x"])
+        assert len(s.summarize(text).split()) <= max(
+            budget, 0
+        ) or len(text.split()) <= budget
+
+
+class TestSimilarity:
+    def test_jaccard_identical(self):
+        assert jaccard(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard(["a"], ["b"]) == 0.0
+
+    def test_jaccard_both_empty(self):
+        assert jaccard([], []) == 1.0
+
+    def test_jaccard_text(self):
+        assert jaccard_text("golden dragon", "dragon golden") == 1.0
+
+    def test_overlap_coefficient_subset_is_one(self):
+        assert overlap_coefficient(["a", "b"], ["a", "b", "c", "d"]) == 1.0
+
+    def test_cosine_identical(self):
+        assert cosine_tokens(["a", "a", "b"], ["a", "a", "b"]) == pytest.approx(1.0)
+
+    def test_cosine_empty(self):
+        assert cosine_tokens([], ["a"]) == 0.0
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [("", "", 0), ("abc", "abc", 0), ("abc", "abd", 1),
+         ("abc", "", 3), ("kitten", "sitting", 3), ("flaw", "lawn", 2)],
+    )
+    def test_levenshtein_known_values(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_levenshtein_similarity_bounds(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_property_levenshtein_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=10), st.text(max_size=10), st.text(max_size=10))
+    def test_property_levenshtein_triangle(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.lists(st.sampled_from("abcde"), max_size=8),
+           st.lists(st.sampled_from("abcde"), max_size=8))
+    def test_property_jaccard_in_unit_interval(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        assert build_corpus(50, seed=1) == build_corpus(50, seed=1)
+
+    def test_different_seeds_differ(self):
+        assert build_corpus(50, seed=1) != build_corpus(50, seed=2)
+
+    def test_size(self):
+        assert len(build_corpus(123, seed=0)) == 123
+
+    def test_contains_label_words(self):
+        text = " ".join(build_corpus(500, seed=0))
+        for word in ("similar", "different", "matched", "mismatched"):
+            assert word in text
+
+    def test_contains_serialized_records(self):
+        text = " ".join(build_corpus(500, seed=0))
+        assert "[COL]" in text and "[VAL]" in text
+
+    def test_vocabulary_overlap_with_domains(self):
+        corpus_words = set(" ".join(build_corpus(2000, seed=0)).split())
+        domain_words = set(all_domain_words())
+        # The corpus should cover the bulk of the generator vocabulary.
+        coverage = len(corpus_words & domain_words) / len(domain_words)
+        assert coverage > 0.8
+
+    def test_stopwords_are_words(self):
+        assert all(w.isalpha() for w in STOPWORDS)

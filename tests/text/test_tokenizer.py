@@ -1,0 +1,160 @@
+"""Tests for vocabulary and tokenizer, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    SPECIAL_TOKENS, Tokenizer, Vocabulary, basic_tokenize, build_vocab, wordpiece,
+)
+
+
+class TestVocabulary:
+    def test_specials_occupy_fixed_ids(self):
+        vocab = Vocabulary()
+        for i, token in enumerate(SPECIAL_TOKENS):
+            assert vocab.id_of(token) == i
+            assert vocab.token_of(i) == token
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        a = vocab.add("hello")
+        b = vocab.add("hello")
+        assert a == b
+        assert len(vocab) == len(SPECIAL_TOKENS) + 1
+
+    def test_unknown_token_maps_to_unk(self):
+        vocab = Vocabulary()
+        assert vocab.id_of("nonexistent") == vocab.unk_id
+
+    def test_rejects_empty_token(self):
+        with pytest.raises(ValueError):
+            Vocabulary().add("")
+
+    def test_token_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            Vocabulary().token_of(10_000)
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocabulary(["alpha", "beta"])
+        ids = vocab.encode(["alpha", "beta", "[CLS]"])
+        assert vocab.decode(ids) == ["alpha", "beta", "[CLS]"]
+
+    @given(st.lists(st.text(alphabet="abcdefg", min_size=1, max_size=8), max_size=30))
+    def test_property_ids_unique_and_dense(self, tokens):
+        vocab = Vocabulary(tokens)
+        all_ids = [vocab.id_of(t) for t in vocab.tokens()]
+        assert sorted(all_ids) == list(range(len(vocab)))
+
+
+class TestBasicTokenize:
+    def test_lowercases_and_splits(self):
+        assert basic_tokenize("Hello World") == ["hello", "world"]
+
+    def test_preserves_special_tags(self):
+        tokens = basic_tokenize("[COL] title [VAL] SQL Guide")
+        assert tokens == ["[COL]", "title", "[VAL]", "sql", "guide"]
+
+    def test_digits_split_individually(self):
+        assert basic_tokenize("year 2003") == ["year", "2", "0", "0", "3"]
+
+    def test_punctuation_isolated(self):
+        assert basic_tokenize("a,b") == ["a", ",", "b"]
+
+    def test_empty_string(self):
+        assert basic_tokenize("") == []
+
+
+class TestWordpiece:
+    def test_whole_word_in_vocab(self):
+        vocab = Vocabulary(["hello"])
+        assert wordpiece("hello", vocab) == ["hello"]
+
+    def test_splits_with_continuations(self):
+        vocab = Vocabulary(["hel", "##lo"])
+        assert wordpiece("hello", vocab) == ["hel", "##lo"]
+
+    def test_unsplittable_returns_unk(self):
+        vocab = Vocabulary()
+        assert wordpiece("hello", vocab) == ["[UNK]"]
+
+    def test_too_long_word(self):
+        vocab = Vocabulary(list("abcdefghijklmnopqrstuvwxyz"))
+        assert wordpiece("a" * 100, vocab) == ["[UNK]"]
+
+
+class TestTokenizer:
+    @pytest.fixture(scope="class")
+    def tok(self):
+        vocab = build_vocab(["golden dragon chinese restaurant main street"], max_words=100)
+        return Tokenizer(vocab)
+
+    def test_known_words_stay_whole(self, tok):
+        assert tok.tokenize("golden dragon") == ["golden", "dragon"]
+
+    def test_unknown_word_spelled_out(self, tok):
+        pieces = tok.tokenize("zyx")
+        assert all(p in tok.vocab for p in pieces)
+        joined = "".join(p.removeprefix("##") for p in pieces)
+        assert joined == "zyx"
+
+    def test_encode_wraps_with_specials(self, tok):
+        enc = tok.encode("golden dragon")
+        assert enc.tokens[0] == "[CLS]" and enc.tokens[-1] == "[SEP]"
+
+    def test_encode_respects_max_len(self, tok):
+        enc = tok.encode("golden dragon chinese restaurant", max_len=5)
+        assert len(enc) == 5
+
+    def test_encode_pair_structure(self, tok):
+        enc = tok.encode_pair("golden dragon", "main street", max_len=32)
+        assert enc.tokens[0] == "[CLS]"
+        assert enc.tokens.count("[SEP]") == 2
+        assert enc.tokens[-1] == "[SEP]"
+
+    def test_encode_pair_truncates_longest_first(self, tok):
+        long = "golden dragon chinese restaurant " * 5
+        enc = tok.encode_pair(long, "main street", max_len=16)
+        assert len(enc) == 16
+        # Shorter side survives truncation.
+        assert "main" in enc.tokens and "street" in enc.tokens
+
+    def test_encode_pair_tiny_max_len_rejected(self, tok):
+        with pytest.raises(ValueError):
+            tok.encode_pair("a", "b", max_len=2)
+
+    @settings(max_examples=50)
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz 0123456789", max_size=60))
+    def test_property_all_ids_in_range(self, text):
+        vocab = build_vocab(["seed corpus words"], max_words=50)
+        tok = Tokenizer(vocab)
+        enc = tok.encode(text, max_len=64)
+        assert all(0 <= i < len(vocab) for i in enc.ids)
+
+    @settings(max_examples=50)
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+    def test_property_alpha_words_never_unk(self, word):
+        vocab = build_vocab([""], max_words=10)
+        tok = Tokenizer(vocab)
+        pieces = tok.tokenize(word)
+        assert "[UNK]" not in pieces
+        assert "".join(p.removeprefix("##") for p in pieces) == word
+
+
+class TestBuildVocab:
+    def test_contains_frequent_words(self):
+        vocab = build_vocab(["apple banana apple", "apple pear"], max_words=500)
+        assert "apple" in vocab and "banana" in vocab
+
+    def test_max_words_cap(self):
+        words = [a + b for a in "abcdefghij" for b in "klmnopqrst"]
+        texts = [f"{w} {w}" for w in words]
+        small = build_vocab(texts, max_words=10)
+        large = build_vocab(texts, max_words=100)
+        assert len(small) < len(large)
+
+    def test_char_fallback_always_present(self):
+        vocab = build_vocab([""], max_words=0)
+        for ch in "az09":
+            assert ch in vocab
+            assert "##" + ch in vocab
