@@ -1,0 +1,138 @@
+"""Inference-engine benchmark: MC-Dropout pseudo-label selection throughput.
+
+Times the hottest loop of self-training -- ``passes`` stochastic forwards
+over the unlabeled pool (paper Section 4.2) -- two ways:
+
+* **seed loop**: the pre-engine implementation; chunked ``model(batch)``
+  calls per pass, re-serializing and re-tokenizing every pair every pass;
+* **engine**: one :class:`repro.infer.InferenceEngine` with encoding cache,
+  length-bucketed batches and vectorized (tiled) MC-Dropout.
+
+Both paths run ``iterations`` sweeps to model repeated self-training
+rounds, which is where the encoding cache pays off. The engine's eval-mode
+probabilities are also checked against the naive path (max abs diff), so
+the table doubles as an equivalence report.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+from _harness import MODEL_NAME, emit  # noqa: E402
+from repro.autograd import no_grad  # noqa: E402
+from repro.core import PromptModel, Verbalizer, make_template  # noqa: E402
+from repro.data import load_dataset  # noqa: E402
+from repro.eval import bench_scale, render_table  # noqa: E402
+from repro.infer import EngineConfig, InferenceEngine  # noqa: E402
+from repro.lm import load_pretrained  # noqa: E402
+
+
+def seed_style_mc_dropout(model, pairs, passes, batch_size=32):
+    """The seed implementation's loop: re-encode every chunk, every pass."""
+    was_training = model.training
+    model.train()
+    stacked = []
+    try:
+        with no_grad():
+            for _ in range(passes):
+                chunks = [model(list(pairs[i:i + batch_size])).numpy()
+                          for i in range(0, len(pairs), batch_size)]
+                stacked.append(np.concatenate(chunks, axis=0))
+    finally:
+        model.train(was_training)
+    return np.stack(stacked)
+
+
+def seed_style_predict(model, pairs, batch_size=32):
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            chunks = [model(list(pairs[i:i + batch_size])).numpy()
+                      for i in range(0, len(pairs), batch_size)]
+    finally:
+        model.train(was_training)
+    return np.concatenate(chunks, axis=0)
+
+
+def run_engine_comparison(model, pairs, passes, token_budget=2048,
+                          iterations=2):
+    """Time seed loop vs engine over ``iterations`` MC-Dropout sweeps.
+
+    Returns a dict of throughput numbers plus ``max_abs_diff``, the
+    eval-mode probability difference between the two paths (expected to be
+    float32-zero: bucketing and caching are semantics-preserving).
+    """
+    pairs = list(pairs)
+    engine = InferenceEngine(EngineConfig(token_budget=token_budget))
+
+    started = time.perf_counter()
+    for _ in range(iterations):
+        seed_style_mc_dropout(model, pairs, passes)
+    baseline_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(iterations):
+        engine.mc_dropout_proba(model, pairs, passes=passes)
+    engine_elapsed = time.perf_counter() - started
+
+    naive = seed_style_predict(model, pairs)
+    bucketed = engine.predict_proba(model, pairs)
+
+    scored = iterations * len(pairs)
+    baseline_pps = scored / baseline_elapsed if baseline_elapsed else 0.0
+    engine_pps = scored / engine_elapsed if engine_elapsed else 0.0
+    return {
+        "pairs": len(pairs),
+        "passes": passes,
+        "baseline_pps": baseline_pps,
+        "engine_pps": engine_pps,
+        "speedup": engine_pps / baseline_pps if baseline_pps else 0.0,
+        "cache_hit_rate": engine.stats.cache_hit_rate,
+        "padding_fraction": engine.stats.padding_fraction,
+        "batches": engine.stats.batches,
+        "max_abs_diff": float(np.abs(bucketed - naive).max())
+        if len(pairs) else 0.0,
+    }
+
+
+def run_inference_engine_bench() -> str:
+    scale = bench_scale()
+    lm, tok = load_pretrained(MODEL_NAME)
+    template = make_template("t2", tok, max_len=128)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+    model.eval()
+
+    passes = max(scale.mc_passes, 5)
+    rows = []
+    for dataset_name in scale.datasets:
+        dataset = load_dataset(dataset_name)
+        pool = (dataset.train + dataset.test)[:4 * scale.unlabeled_cap]
+        result = run_engine_comparison(model, pool, passes)
+        rows.append([
+            dataset_name,
+            result["pairs"],
+            result["passes"],
+            f"{result['baseline_pps']:.1f}",
+            f"{result['engine_pps']:.1f}",
+            f"{result['speedup']:.2f}x",
+            f"{result['cache_hit_rate']:.2f}",
+            f"{result['padding_fraction']:.2f}",
+            f"{result['max_abs_diff']:.2e}",
+        ])
+
+    headers = ["Dataset", "Pairs", "Passes", "Seed p/s", "Engine p/s",
+               "Speedup", "Cache hit", "Padding", "Max |diff|"]
+    return render_table(
+        headers, rows,
+        title=f"Inference engine: MC-Dropout selection (scale={scale.name})")
+
+
+def test_inference_engine(benchmark):
+    table = benchmark.pedantic(run_inference_engine_bench, rounds=1,
+                               iterations=1)
+    emit(table, "inference_engine")

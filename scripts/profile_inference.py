@@ -1,0 +1,73 @@
+"""Profile one self-training iteration and print the cProfile top-20.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_inference.py [--no-engine]
+
+Runs a single LST iteration (teacher -> pseudo-label selection -> student)
+on a low-resource REL-HETER view with the tiny backbone, under cProfile,
+and prints the 20 most expensive functions by cumulative time. Pass
+``--no-engine`` to profile the legacy scoring pattern instead: sequential
+MC-Dropout passes through per-call transient engines, with no shared
+encoding cache. Diffing the two outputs shows exactly what the shared
+engine removes (repeat tokenization, per-pass forwards).
+"""
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core import PromptModel, Verbalizer, make_template
+from repro.core.self_training import LightweightSelfTrainer, SelfTrainingConfig
+from repro.data import load_dataset
+from repro.lm import load_pretrained
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--no-engine", action="store_true",
+                        help="profile the legacy pattern: sequential MC "
+                             "passes, no shared encoding cache")
+    parser.add_argument("--model", default="minilm-tiny",
+                        help="zoo checkpoint to profile against")
+    parser.add_argument("--dataset", default="REL-HETER")
+    parser.add_argument("--passes", type=int, default=6)
+    parser.add_argument("--top", type=int, default=20)
+    args = parser.parse_args()
+
+    lm, tok = load_pretrained(args.model)
+    view = load_dataset(args.dataset).low_resource()
+
+    def factory():
+        template = make_template("t1", tok, max_len=96)
+        return PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+
+    config = SelfTrainingConfig(
+        iterations=1, teacher_epochs=2, student_epochs=2,
+        mc_passes=args.passes, use_engine=not args.no_engine)
+    trainer = LightweightSelfTrainer(factory, config)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _, report = trainer.run(list(view.labeled), list(view.unlabeled),
+                            list(view.valid))
+    profiler.disable()
+
+    label = "legacy loop" if args.no_engine else "inference engine"
+    print(f"\n=== one LST iteration ({label}), top {args.top} by cumtime ===")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.top)
+
+    if not args.no_engine:
+        print(f"engine throughput : {report.engine_pairs_per_sec:.1f} pairs/s")
+        print(f"engine cache hits : {report.engine_cache_hit_rate:.1%}")
+        print(f"engine batches    : {report.engine_batches}")
+        print(f"padding fraction  : {report.engine_padding_fraction:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ from .data import (
     load_all, load_dataset, serialize,
 )
 from .eval import PRF, ConfusionMatrix
+from .infer import EngineConfig, InferenceEngine
 from .lm import load_pretrained
 
 __version__ = "1.0.0"
@@ -26,6 +27,7 @@ __all__ = [
     "load_dataset", "load_all", "DATASET_NAMES",
     "GEMDataset", "CandidatePair", "EntityRecord", "Table", "serialize",
     "PRF", "ConfusionMatrix",
+    "InferenceEngine", "EngineConfig",
     "load_pretrained",
     "__version__",
 ]

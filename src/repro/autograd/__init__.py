@@ -7,7 +7,10 @@ Public surface::
 
 from . import functional, init
 from .attention import MultiHeadAttention
-from .layers import MLP, Activation, Dropout, Embedding, LayerNorm, Linear, Sequential
+from .layers import (
+    MLP, Activation, Dropout, DropoutPlan, Embedding, LayerNorm, Linear,
+    Sequential, active_dropout_plan, dropout_plan,
+)
 from .module import Module, Parameter
 from .optim import SGD, Adam, AdamW, LinearWarmupSchedule, Optimizer, clip_grad_norm
 from .recurrent import LSTM, BiLSTM, LSTMCell
@@ -22,7 +25,8 @@ __all__ = [
     "Tensor", "concatenate", "stack", "where", "no_grad", "is_grad_enabled",
     "set_default_dtype", "get_default_dtype",
     "Module", "Parameter",
-    "Linear", "Embedding", "LayerNorm", "Dropout", "Sequential", "Activation", "MLP",
+    "Linear", "Embedding", "LayerNorm", "Dropout", "DropoutPlan",
+    "dropout_plan", "active_dropout_plan", "Sequential", "Activation", "MLP",
     "MultiHeadAttention", "TransformerEncoder", "TransformerEncoderLayer", "FeedForward",
     "LSTM", "BiLSTM", "LSTMCell",
     "Optimizer", "SGD", "Adam", "AdamW", "LinearWarmupSchedule", "clip_grad_norm",

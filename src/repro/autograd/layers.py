@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,11 +71,57 @@ class LayerNorm(Module):
         return normed * self.gamma + self.beta
 
 
+@dataclass(frozen=True)
+class DropoutPlan:
+    """Deterministic per-pass dropout seeding for MC-Dropout.
+
+    While a plan is active (see :func:`dropout_plan`), every Dropout module
+    derives its mask from ``(base_seed, pass_seed, batch_index, seed_salt)``
+    instead of its own stateful rng. ``pass_seeds`` with more than one entry
+    declares the batch axis *tiled*: rows are split into ``len(pass_seeds)``
+    equal tiles and tile ``k`` gets the mask seeded by ``pass_seeds[k]`` --
+    exactly the mask a sequential pass with ``pass_seeds=(k,)`` would draw.
+    This is what lets the vectorized MC-Dropout path reproduce the
+    sequential one bit-for-bit (paper Section 4.2 uncertainty estimates).
+    """
+
+    base_seed: int
+    pass_seeds: Tuple[int, ...] = (0,)
+    batch_index: int = 0
+
+
+_ACTIVE_DROPOUT_PLAN: Optional[DropoutPlan] = None
+
+#: monotone per-instance salt so sibling Dropouts decorrelate under a plan
+_DROPOUT_SALTS = itertools.count()
+
+
+def active_dropout_plan() -> Optional[DropoutPlan]:
+    """The plan installed by the innermost :func:`dropout_plan`, if any."""
+    return _ACTIVE_DROPOUT_PLAN
+
+
+@contextmanager
+def dropout_plan(plan: Optional[DropoutPlan]):
+    """Install a :class:`DropoutPlan` for the duration of the block."""
+    global _ACTIVE_DROPOUT_PLAN
+    previous = _ACTIVE_DROPOUT_PLAN
+    _ACTIVE_DROPOUT_PLAN = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE_DROPOUT_PLAN = previous
+
+
 class Dropout(Module):
     """Inverted dropout driven by the module's training flag.
 
     The per-module ``rng`` makes stochastic forward passes reproducible,
     which matters for MC-Dropout uncertainty estimates (paper Section 4.2).
+    A per-call ``seed`` (or an active :class:`DropoutPlan`) switches to
+    counter-based masks derived from the seed and this module's
+    ``seed_salt``, making individual passes replayable and allowing the
+    vectorized MC-Dropout path to match the sequential one exactly.
     """
 
     def __init__(self, p: float, rng: Optional[np.random.Generator] = None) -> None:
@@ -81,8 +130,35 @@ class Dropout(Module):
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.seed_salt = next(_DROPOUT_SALTS)
 
-    def forward(self, x: Tensor) -> Tensor:
+    def _seeded_mask(self, shape, seeds: Sequence[int],
+                     batch_index: int, base_seed: int) -> Optional[np.ndarray]:
+        """Tile-wise mask: rows split across ``seeds``; None if not tileable."""
+        tiles = len(seeds)
+        if not shape or shape[0] % tiles != 0:
+            return None
+        per_tile = (shape[0] // tiles,) + tuple(shape[1:])
+        parts = []
+        for seed in seeds:
+            rng = np.random.default_rng(
+                [int(base_seed), int(seed), int(batch_index), self.seed_salt])
+            parts.append((rng.random(per_tile) >= self.p) / (1.0 - self.p))
+        return parts[0] if tiles == 1 else np.concatenate(parts, axis=0)
+
+    def forward(self, x: Tensor, seed: Optional[int] = None) -> Tensor:
+        if not self.training or self.p <= 0.0:
+            return x
+        if seed is not None:
+            mask = self._seeded_mask(x.shape, (int(seed),), 0, 0)
+            if mask is not None:
+                return x * Tensor(mask)
+        plan = active_dropout_plan()
+        if plan is not None:
+            mask = self._seeded_mask(x.shape, plan.pass_seeds,
+                                     plan.batch_index, plan.base_seed)
+            if mask is not None:
+                return x * Tensor(mask)
         return F.dropout(x, self.p, self.training, rng=self.rng)
 
 

@@ -88,4 +88,5 @@ class Ditto(BackboneMixin, Matcher):
     def predict(self, pairs: Sequence[CandidatePair]) -> np.ndarray:
         if self.model is None:
             raise RuntimeError("fit() first")
-        return predict_fn(self.model, pairs, batch_size=self.batch_size)
+        return predict_fn(self.model, pairs, batch_size=self.batch_size,
+                          engine=self.engine())

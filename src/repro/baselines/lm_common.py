@@ -1,9 +1,11 @@
-"""Shared plumbing for LM-backed baselines: pristine backbone copies."""
+"""Shared plumbing for LM-backed baselines: pristine backbone copies and a
+per-matcher batched inference engine."""
 
 from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from ..infer import EngineConfig, InferenceEngine
 from ..lm import load_pretrained
 from ..lm.model import MiniLM
 from ..text import Tokenizer
@@ -13,18 +15,23 @@ class BackboneMixin:
     """Lazily loads the pre-trained LM and hands out fresh copies.
 
     Every baseline fine-tunes its *own* copy of the checkpoint, exactly as
-    each paper baseline starts from the same pre-trained weights.
+    each paper baseline starts from the same pre-trained weights. The mixin
+    also owns one :class:`InferenceEngine` per matcher so repeated
+    ``predict`` calls share an encoding cache.
     """
 
     def __init__(self, model_name: str = "minilm-base",
                  lm: Optional[MiniLM] = None,
-                 tokenizer: Optional[Tokenizer] = None) -> None:
+                 tokenizer: Optional[Tokenizer] = None,
+                 token_budget: int = 2048) -> None:
         if (lm is None) != (tokenizer is None):
             raise ValueError("provide both lm and tokenizer, or neither")
         self.model_name = model_name
+        self.token_budget = token_budget
         self._lm = lm
         self._tokenizer = tokenizer
         self._pristine_state = None
+        self._engine: Optional[InferenceEngine] = None
 
     def backbone(self) -> Tuple[MiniLM, Tokenizer]:
         """A fresh MiniLM initialized from the pre-trained checkpoint."""
@@ -35,3 +42,10 @@ class BackboneMixin:
         fresh = MiniLM(self._lm.config)
         fresh.load_state_dict(self._pristine_state)
         return fresh, self._tokenizer
+
+    def engine(self) -> InferenceEngine:
+        """The matcher's shared batched inference engine (lazy)."""
+        if self._engine is None:
+            self._engine = InferenceEngine(
+                EngineConfig(token_budget=self.token_budget))
+        return self._engine

@@ -95,10 +95,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"{args.method} on {dataset.name}: "
           f"P={prf.precision:.1f} R={prf.recall:.1f} F1={prf.f1:.1f} "
           f"(trained in {elapsed:.1f}s)")
+    if args.verbose:
+        _print_engine_stats(matcher)
     if args.save and hasattr(matcher, "save"):
         matcher.save(args.save)
         print(f"saved matcher to {args.save}")
     return 0
+
+
+def _print_engine_stats(matcher) -> None:
+    """Inference-engine throughput counters (PromptEM's --verbose path)."""
+    report = getattr(matcher, "report", None)
+    if report is not None and getattr(report, "engine_batches", 0):
+        print("self-training inference engine: "
+              f"{report.engine_pairs_per_sec:.0f} pairs/s, "
+              f"cache hit rate {report.engine_cache_hit_rate:.1%}, "
+              f"{report.engine_batches} batches, "
+              f"padding {report.engine_padding_fraction:.1%}")
+    engine = None
+    engine_fn = getattr(matcher, "engine", None)
+    if callable(engine_fn):
+        engine = engine_fn()
+    if engine is not None and engine.stats.pairs:
+        stats = engine.stats_dict()
+        print("prediction inference engine: "
+              f"{stats['pairs_per_sec']:.0f} pairs/s, "
+              f"cache hit rate {stats['cache_hit_rate']:.1%}, "
+              f"{stats['batches']} batches, "
+              f"padding {stats['padding_fraction']:.1%}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,6 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="exact number of labels (overrides --rate)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--save", help="save the fitted matcher to this path")
+    run.add_argument("--verbose", action="store_true",
+                     help="print inference-engine throughput statistics")
     return parser
 
 

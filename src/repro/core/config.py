@@ -59,6 +59,11 @@ class PromptEMConfig:
     model_name: str = "minilm-base"
     seed: int = 0
     unlabeled_cap: Optional[int] = None  # subsample the pool for speed
+    #: inference engine: batched-token budget (rows x longest per batch) and
+    #: encoding-cache size; engine off -> seed-style fixed-count batches
+    use_engine: bool = True
+    token_budget: int = 2048
+    engine_cache: int = 8192
 
     def __post_init__(self) -> None:
         if self.template not in ("t1", "t2"):
@@ -73,6 +78,8 @@ class PromptEMConfig:
             raise ValueError("self_training_iterations must be >= 0")
         if self.mc_passes < 2:
             raise ValueError("mc_passes must be >= 2")
+        if self.token_budget < 1:
+            raise ValueError("token_budget must be >= 1")
 
     def variant(self, **changes) -> "PromptEMConfig":
         """A copy with the given fields replaced (ablation helper)."""

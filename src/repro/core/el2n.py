@@ -10,12 +10,13 @@ shrinking the student's training set without hurting accuracy.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..autograd import Module
 from ..data.dataset import CandidatePair
+from ..infer import InferenceEngine
 from .trainer import stochastic_proba
 
 
@@ -31,13 +32,23 @@ def el2n_scores(probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
 
 def mc_el2n_scores(model: Module, pairs: Sequence[CandidatePair],
                    labels: np.ndarray, passes: int = 10,
-                   batch_size: int = 32) -> np.ndarray:
-    """MC-EL2N: mean EL2N over ``passes`` stochastic forward passes."""
+                   batch_size: int = 32,
+                   engine: Optional[InferenceEngine] = None,
+                   seed: int = 0) -> np.ndarray:
+    """MC-EL2N: mean EL2N over ``passes`` stochastic forward passes.
+
+    With an ``engine``, all passes run in one vectorized MC-Dropout sweep.
+    """
     if passes < 1:
         raise ValueError("need at least one stochastic pass")
     if not len(pairs):
         return np.zeros(0)
     labels = np.asarray(labels, dtype=np.int64)
+    if engine is not None:
+        stacked = engine.mc_dropout_proba(model, pairs, passes=passes,
+                                          seed=seed)
+        totals = sum(el2n_scores(stacked[k], labels) for k in range(passes))
+        return totals / passes
     totals = np.zeros(len(pairs))
     for _ in range(passes):
         probs = stochastic_proba(model, pairs, batch_size=batch_size)
@@ -58,7 +69,9 @@ def select_prunable(scores: np.ndarray, ratio: float) -> np.ndarray:
 def prune_dataset(model: Module, pairs: List[CandidatePair],
                   ratio: float, passes: int = 10,
                   batch_size: int = 32,
-                  min_remaining: int = 4) -> List[CandidatePair]:
+                  min_remaining: int = 4,
+                  engine: Optional[InferenceEngine] = None,
+                  seed: int = 0) -> List[CandidatePair]:
     """Drop the least-important samples; never shrink below ``min_remaining``.
 
     Also refuses to prune away the last examples of either class -- a
@@ -68,7 +81,7 @@ def prune_dataset(model: Module, pairs: List[CandidatePair],
         return pairs
     labels = np.array([p.label for p in pairs], dtype=np.int64)
     scores = mc_el2n_scores(model, pairs, labels, passes=passes,
-                            batch_size=batch_size)
+                            batch_size=batch_size, engine=engine, seed=seed)
     drop = set(select_prunable(scores, ratio).tolist())
     if len(pairs) - len(drop) < min_remaining:
         ordered = sorted(drop, key=lambda i: scores[i])

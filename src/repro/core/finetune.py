@@ -13,9 +13,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..autograd import Dropout, Linear, Module, Tensor, functional as F
+from ..autograd import Dropout, Linear, Module, Tensor, functional as F, \
+    is_grad_enabled
 from ..data.dataset import CandidatePair
 from ..data.serialize import serialize
+from ..infer import PairEncoding
+from ..infer.fastpath import cls_forward_encoded
 from ..lm.model import MiniLM, pad_batch
 from ..text import Tokenizer
 from ..text.tfidf import TfIdfSummarizer
@@ -57,8 +60,24 @@ class SequenceClassifier(Module):
             sequences.append(enc.ids)
         return pad_batch(sequences, pad_id=self.tokenizer.vocab.pad_id)
 
+    def encode_pair(self, pair: CandidatePair) -> PairEncoding:
+        """Tokenize one pair for the inference engine.
+
+        Inference semantics: the training-time augmenter is *not* applied,
+        matching what ``predict_proba`` (eval mode) would feed the model.
+        """
+        left, right = self._texts(pair)
+        enc = self.tokenizer.encode_pair(left, right, max_len=self.max_len)
+        return PairEncoding(ids=enc.ids)
+
+    def encoding_fingerprint(self) -> tuple:
+        return ("cls", self.max_len, id(self.tokenizer), id(self.summarizer))
+
     def logits(self, pairs: Sequence[CandidatePair]) -> Tensor:
         ids, pad_mask = self._encode_batch(pairs)
+        return self._logits_from_ids(ids, pad_mask)
+
+    def _logits_from_ids(self, ids, pad_mask) -> Tensor:
         hidden = self.lm.encode(ids, pad_mask=pad_mask)
         pooled = self.head_dropout(self.lm.pooled(hidden))
         return self.head(pooled)
@@ -66,6 +85,23 @@ class SequenceClassifier(Module):
     def forward(self, pairs: Sequence[CandidatePair]) -> Tensor:
         """(B, 2) class probabilities."""
         return F.softmax(self.logits(pairs), axis=-1)
+
+    def forward_encoded(self, encodings: Sequence[PairEncoding],
+                        tile: int = 1) -> Tensor:
+        """(tile * B, 2) probabilities from cached encodings (engine path).
+
+        Under ``no_grad`` this runs the raw-numpy kernels in
+        :mod:`repro.infer.fastpath`; see ``PromptModel.forward_encoded``.
+        """
+        ids, pad_mask = pad_batch([enc.ids for enc in encodings],
+                                  pad_id=self.tokenizer.vocab.pad_id)
+        if not is_grad_enabled():
+            return Tensor(cls_forward_encoded(self, ids, pad_mask,
+                                              encodings, tile=tile))
+        if tile > 1:
+            ids = np.tile(ids, (tile, 1))
+            pad_mask = np.tile(pad_mask, (tile, 1))
+        return F.softmax(self._logits_from_ids(ids, pad_mask), axis=-1)
 
     def loss(self, pairs: Sequence[CandidatePair], labels: np.ndarray,
              sample_weights: Optional[np.ndarray] = None) -> Tensor:

@@ -21,6 +21,7 @@ from ..autograd import Module
 from ..data.dataset import CandidatePair, GEMDataset, LowResourceView
 from ..data.serialize import serialize
 from ..eval.metrics import PRF
+from ..infer import EngineConfig, InferenceEngine
 from ..lm import load_pretrained
 from ..lm.model import MiniLM
 from ..text import Tokenizer
@@ -49,6 +50,25 @@ class PromptEM:
         self.model: Optional[Module] = None
         self.report: Optional[SelfTrainingReport] = None
         self._summarizer: Optional[TfIdfSummarizer] = None
+        self._engine: Optional[InferenceEngine] = None
+
+    # ------------------------------------------------------------------
+    def engine(self) -> Optional[InferenceEngine]:
+        """The matcher's persistent inference engine (None when disabled).
+
+        Shared by ``predict`` / ``predict_proba`` / ``evaluate`` so the
+        encoding cache survives across calls.
+        """
+        cfg = self.config
+        if not cfg.use_engine:
+            return None
+        if self._engine is None:
+            self._engine = InferenceEngine(EngineConfig(
+                token_budget=cfg.token_budget,
+                max_batch_pairs=max(cfg.batch_size, 32),
+                cache_capacity=cfg.engine_cache,
+                base_seed=cfg.seed))
+        return self._engine
 
     # ------------------------------------------------------------------
     def _ensure_backbone(self) -> None:
@@ -126,7 +146,9 @@ class PromptEM:
                 prune_frequency=cfg.prune_frequency,
                 batch_size=cfg.batch_size, lr=cfg.lr,
                 weight_decay=cfg.weight_decay, grad_clip=cfg.grad_clip,
-                seed=cfg.seed)
+                seed=cfg.seed,
+                use_engine=cfg.use_engine, token_budget=cfg.token_budget,
+                engine_cache=cfg.engine_cache)
             trainer = LightweightSelfTrainer(self._make_model, st_config)
             self.model, self.report = trainer.run(labeled, unlabeled, valid)
         else:
@@ -148,12 +170,14 @@ class PromptEM:
     def predict(self, pairs: Sequence[CandidatePair]) -> np.ndarray:
         """Hard 0/1 match decisions."""
         return predict(self._require_fitted(), pairs,
-                       batch_size=self.config.batch_size)
+                       batch_size=self.config.batch_size,
+                       engine=self.engine())
 
     def predict_proba(self, pairs: Sequence[CandidatePair]) -> np.ndarray:
         """(N, 2) class probabilities."""
         return predict_proba(self._require_fitted(), pairs,
-                             batch_size=self.config.batch_size)
+                             batch_size=self.config.batch_size,
+                             engine=self.engine())
 
     def evaluate(self, pairs: Sequence[CandidatePair]) -> PRF:
         """Precision / recall / F1 (percent) against the pairs' labels."""

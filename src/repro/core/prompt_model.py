@@ -14,9 +14,11 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..autograd import Module, Tensor, functional as F, where
+from ..autograd import Module, Tensor, functional as F, is_grad_enabled, where
 from ..data.dataset import CandidatePair
 from ..data.serialize import serialize
+from ..infer import PairEncoding
+from ..infer.fastpath import prompt_forward_encoded
 from ..lm.model import MiniLM
 from ..text import Tokenizer
 from ..text.tfidf import TfIdfSummarizer
@@ -52,11 +54,23 @@ class PromptModel(Module):
         right = serialize(pair.right, summarizer=self.summarizer)
         return self.template.render(left, right)
 
-    def _assemble(self, pairs: Sequence[CandidatePair]):
-        """Render and pad a batch; returns numpy bookkeeping arrays."""
-        instances = [self._render(p) for p in pairs]
-        batch = len(instances)
-        longest = max(len(inst.ids) for inst in instances)
+    def encode_pair(self, pair: CandidatePair) -> PairEncoding:
+        """Render one pair to cacheable token ids (engine protocol)."""
+        inst = self._render(pair)
+        return PairEncoding(ids=inst.ids, mask_position=inst.mask_position)
+
+    def encoding_fingerprint(self) -> tuple:
+        """Cache-key component: everything that shapes an encoding."""
+        return ("prompt", type(self.template).__name__,
+                getattr(self.template, "layout", None),
+                self.template.max_len,
+                getattr(self.template, "tokens_per_slot", 0),
+                id(self.tokenizer), id(self.summarizer))
+
+    def _assemble(self, encodings: Sequence[PairEncoding]):
+        """Pad a batch of encodings; returns numpy bookkeeping arrays."""
+        batch = len(encodings)
+        longest = max(len(enc.ids) for enc in encodings)
         pad_id = self.tokenizer.vocab.pad_id
 
         ids = np.full((batch, longest), pad_id, dtype=np.int64)
@@ -65,8 +79,8 @@ class PromptModel(Module):
         prompt_idx = np.zeros((batch, longest), dtype=np.int64)
         mask_positions = np.zeros(batch, dtype=np.int64)
 
-        for i, inst in enumerate(instances):
-            seq = np.asarray(inst.ids, dtype=np.int64)
+        for i, enc in enumerate(encodings):
+            seq = enc.ids
             slots = seq == PROMPT_PLACEHOLDER
             clean = np.where(slots, pad_id, seq)
             n = len(seq)
@@ -74,13 +88,30 @@ class PromptModel(Module):
             pad_mask[i, :n] = False
             is_prompt[i, :n] = slots
             prompt_idx[i, :n][slots] = np.arange(slots.sum())
-            mask_positions[i] = inst.mask_position
+            mask_positions[i] = enc.mask_position
         return ids, pad_mask, is_prompt, prompt_idx, mask_positions
 
     # ------------------------------------------------------------------
     def mask_logits(self, pairs: Sequence[CandidatePair]) -> Tensor:
         """(B, V) vocabulary logits at each instance's [MASK] position."""
-        ids, pad_mask, is_prompt, prompt_idx, mask_positions = self._assemble(pairs)
+        return self.mask_logits_encoded([self.encode_pair(p) for p in pairs])
+
+    def mask_logits_encoded(self, encodings: Sequence[PairEncoding],
+                            tile: int = 1) -> Tensor:
+        """Mask logits from pre-rendered encodings, optionally tiled.
+
+        ``tile > 1`` repeats the padded batch along the batch axis (rows
+        ``[0, B)`` are tile 0, ``[B, 2B)`` tile 1, ...), which is how the
+        engine runs all MC-Dropout passes in one forward.
+        """
+        ids, pad_mask, is_prompt, prompt_idx, mask_positions = \
+            self._assemble(encodings)
+        if tile > 1:
+            ids = np.tile(ids, (tile, 1))
+            pad_mask = np.tile(pad_mask, (tile, 1))
+            is_prompt = np.tile(is_prompt, (tile, 1))
+            prompt_idx = np.tile(prompt_idx, (tile, 1))
+            mask_positions = np.tile(mask_positions, tile)
         batch, longest = ids.shape
 
         token_vecs = self.lm.token_embedding(ids)
@@ -100,6 +131,12 @@ class PromptModel(Module):
         logits = self.lm.mlm_logits(hidden)
         return logits[(np.arange(batch), mask_positions)]
 
+    def _class_probs(self, mask_logits: Tensor) -> Tensor:
+        probs = F.softmax(mask_logits, axis=-1)
+        scores = self.verbalizer.class_probs(probs)
+        total = scores.sum(axis=1, keepdims=True)
+        return scores / (total + _EPS)
+
     def forward(self, pairs: Sequence[CandidatePair]) -> Tensor:
         """(B, 2) normalized class probabilities.
 
@@ -109,10 +146,20 @@ class PromptModel(Module):
         as a proper distribution. Normalization is monotone, so argmax
         predictions match the paper's Eq. 1 inference rule exactly.
         """
-        probs = F.softmax(self.mask_logits(pairs), axis=-1)
-        scores = self.verbalizer.class_probs(probs)
-        total = scores.sum(axis=1, keepdims=True)
-        return scores / (total + _EPS)
+        return self._class_probs(self.mask_logits(pairs))
+
+    def forward_encoded(self, encodings: Sequence[PairEncoding],
+                        tile: int = 1) -> Tensor:
+        """(tile * B, 2) probabilities from cached encodings (engine path).
+
+        Under ``no_grad`` this dispatches to the raw-numpy kernels in
+        :mod:`repro.infer.fastpath` (same math and dropout draws, no
+        autograd bookkeeping); with gradients enabled it runs the recorded
+        reference path.
+        """
+        if not is_grad_enabled():
+            return Tensor(prompt_forward_encoded(self, encodings, tile=tile))
+        return self._class_probs(self.mask_logits_encoded(encodings, tile=tile))
 
     def loss(self, pairs: Sequence[CandidatePair],
              labels: np.ndarray,

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..autograd import Module
 from ..data.dataset import CandidatePair
+from ..infer import EngineConfig, InferenceEngine
 from .el2n import prune_dataset
 from .trainer import Trainer, TrainerConfig, evaluate_f1
 from .uncertainty import select_pseudo_labels
@@ -47,6 +48,10 @@ class SelfTrainingConfig:
     weight_decay: float = 0.01
     grad_clip: float = 1.0
     seed: int = 0
+    #: inference-engine knobs for pseudo-labeling / pruning / evaluation
+    use_engine: bool = True
+    token_budget: int = 2048
+    engine_cache: int = 8192
 
 
 @dataclass
@@ -58,6 +63,11 @@ class SelfTrainingReport:
     pseudo_labels_added: List[int] = field(default_factory=list)
     samples_pruned: List[int] = field(default_factory=list)
     final_train_size: int = 0
+    # inference-engine counters (filled when the engine is enabled)
+    engine_pairs_per_sec: float = 0.0
+    engine_cache_hit_rate: float = 0.0
+    engine_batches: int = 0
+    engine_padding_fraction: float = 0.0
 
 
 class LightweightSelfTrainer:
@@ -75,6 +85,16 @@ class LightweightSelfTrainer:
                              grad_clip=cfg.grad_clip,
                              seed=cfg.seed + seed_offset)
 
+    def _make_engine(self) -> Optional[InferenceEngine]:
+        cfg = self.config
+        if not cfg.use_engine:
+            return None
+        return InferenceEngine(EngineConfig(
+            token_budget=cfg.token_budget,
+            max_batch_pairs=max(cfg.batch_size, 32),
+            cache_capacity=cfg.engine_cache,
+            base_seed=cfg.seed))
+
     def run(self, labeled: Sequence[CandidatePair],
             unlabeled: Sequence[CandidatePair],
             valid: Sequence[CandidatePair]) -> tuple:
@@ -83,6 +103,10 @@ class LightweightSelfTrainer:
         d_l: List[CandidatePair] = list(labeled)
         d_u: List[CandidatePair] = list(unlabeled)
         report = SelfTrainingReport()
+        # One engine for the whole run: the teacher's MC-Dropout sweep warms
+        # the encoding cache that the student's pruning and every subsequent
+        # iteration then hit.
+        engine = self._make_engine()
 
         best_model: Optional[Module] = None
         best_f1 = -1.0
@@ -92,7 +116,8 @@ class LightweightSelfTrainer:
             teacher = self.model_factory()
             Trainer(teacher, self._trainer_config(
                 cfg.teacher_epochs, seed_offset=iteration)).fit(d_l, valid=valid)
-            teacher_f1 = evaluate_f1(teacher, valid, batch_size=cfg.batch_size)
+            teacher_f1 = evaluate_f1(teacher, valid, batch_size=cfg.batch_size,
+                                     engine=engine)
             report.teacher_valid_f1.append(teacher_f1)
             if teacher_f1 > best_f1:
                 best_f1, best_model = teacher_f1, teacher
@@ -102,7 +127,8 @@ class LightweightSelfTrainer:
                 selection = select_pseudo_labels(
                     teacher, d_u, ratio=cfg.pseudo_label_ratio,
                     passes=cfg.mc_passes, strategy=cfg.selection_strategy,
-                    batch_size=cfg.batch_size, seed=cfg.seed + iteration)
+                    batch_size=cfg.batch_size, seed=cfg.seed + iteration,
+                    engine=engine)
                 chosen = set(selection.indices.tolist())
                 for idx, label in zip(selection.indices, selection.pseudo_labels):
                     d_l.append(d_u[idx].with_label(int(label)))
@@ -125,7 +151,9 @@ class LightweightSelfTrainer:
                 kept = prune_dataset(trainer.model, current["train"],
                                      ratio=cfg.prune_ratio,
                                      passes=cfg.mc_passes,
-                                     batch_size=cfg.batch_size)
+                                     batch_size=cfg.batch_size,
+                                     engine=engine,
+                                     seed=cfg.seed + 17 * (epoch + 1))
                 pruned_counter[0] += before - len(kept)
                 current["train"] = kept
                 return kept
@@ -133,7 +161,8 @@ class LightweightSelfTrainer:
             Trainer(student, self._trainer_config(
                 cfg.student_epochs, seed_offset=100 + iteration)).fit(
                 d_l, valid=valid, epoch_callback=prune_callback)
-            student_f1 = evaluate_f1(student, valid, batch_size=cfg.batch_size)
+            student_f1 = evaluate_f1(student, valid, batch_size=cfg.batch_size,
+                                     engine=engine)
             report.student_valid_f1.append(student_f1)
             report.samples_pruned.append(pruned_counter[0])
             d_l = current["train"]
@@ -146,4 +175,10 @@ class LightweightSelfTrainer:
             raise RuntimeError("self-training ran zero iterations; "
                                "train a plain model instead")
         report.final_train_size = len(d_l)
+        if engine is not None:
+            stats = engine.stats
+            report.engine_pairs_per_sec = stats.pairs_per_sec
+            report.engine_cache_hit_rate = stats.cache_hit_rate
+            report.engine_batches = stats.batches
+            report.engine_padding_fraction = stats.padding_fraction
         return best_model, report

@@ -12,9 +12,10 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from ..autograd import AdamW, Module, Tensor, clip_grad_norm, no_grad
+from ..autograd import AdamW, Module, clip_grad_norm
 from ..data.dataset import CandidatePair
 from ..eval.metrics import ConfusionMatrix
+from ..infer import EngineConfig, InferenceEngine
 
 
 @dataclass
@@ -46,31 +47,33 @@ class TrainHistory:
     steps: int = 0
 
 
+def _transient_engine(batch_size: int) -> InferenceEngine:
+    """A per-call engine: bucketed batching without cross-call caching."""
+    return InferenceEngine(EngineConfig(max_batch_pairs=batch_size))
+
+
 def predict_proba(model: Module, pairs: Sequence[CandidatePair],
-                  batch_size: int = 32) -> np.ndarray:
-    """(N, 2) class probabilities in eval mode, without building a graph."""
-    if not pairs:
-        return np.zeros((0, 2))
-    was_training = model.training
-    model.eval()
-    rows = []
-    with no_grad():
-        for start in range(0, len(pairs), batch_size):
-            batch = list(pairs[start:start + batch_size])
-            rows.append(model(batch).numpy())
-    if was_training:
-        model.train()
-    return np.concatenate(rows, axis=0)
+                  batch_size: int = 32,
+                  engine: Optional[InferenceEngine] = None) -> np.ndarray:
+    """(N, 2) class probabilities in eval mode, without building a graph.
+
+    Routed through :class:`repro.infer.InferenceEngine`; pass a persistent
+    ``engine`` to reuse its encoding cache across calls (self-training does).
+    """
+    if engine is None:
+        engine = _transient_engine(batch_size)
+    return engine.predict_proba(model, pairs)
 
 
 def predict(model: Module, pairs: Sequence[CandidatePair],
-            batch_size: int = 32) -> np.ndarray:
+            batch_size: int = 32,
+            engine: Optional[InferenceEngine] = None) -> np.ndarray:
     """Hard 0/1 predictions.
 
     Honours a calibrated ``model.decision_threshold`` when present
     (set by :class:`Trainer` from validation F1); argmax otherwise.
     """
-    probs = predict_proba(model, pairs, batch_size=batch_size)
+    probs = predict_proba(model, pairs, batch_size=batch_size, engine=engine)
     threshold = getattr(model, "decision_threshold", None)
     if threshold is None:
         return probs.argmax(axis=1)
@@ -94,27 +97,25 @@ def tune_threshold(probs: np.ndarray, labels: np.ndarray) -> float:
 
 
 def stochastic_proba(model: Module, pairs: Sequence[CandidatePair],
-                     batch_size: int = 32) -> np.ndarray:
-    """One stochastic forward pass (dropout active) -- MC-Dropout's core."""
-    if not pairs:
-        return np.zeros((0, 2))
-    was_training = model.training
-    model.train()
-    rows = []
-    with no_grad():
-        for start in range(0, len(pairs), batch_size):
-            batch = list(pairs[start:start + batch_size])
-            rows.append(model(batch).numpy())
-    if not was_training:
-        model.eval()
-    return np.concatenate(rows, axis=0)
+                     batch_size: int = 32,
+                     engine: Optional[InferenceEngine] = None,
+                     pass_seed: Optional[int] = None) -> np.ndarray:
+    """One stochastic forward pass (dropout active) -- MC-Dropout's core.
+
+    ``pass_seed`` makes the pass replayable (deterministic dropout masks);
+    left ``None``, each Dropout module draws from its own rng as before.
+    """
+    if engine is None:
+        engine = _transient_engine(batch_size)
+    return engine.stochastic_proba(model, pairs, pass_seed=pass_seed)
 
 
 def evaluate_f1(model: Module, pairs: Sequence[CandidatePair],
-                batch_size: int = 32) -> float:
+                batch_size: int = 32,
+                engine: Optional[InferenceEngine] = None) -> float:
     if not pairs:
         return 0.0
-    preds = predict(model, pairs, batch_size=batch_size)
+    preds = predict(model, pairs, batch_size=batch_size, engine=engine)
     truth = np.array([p.label for p in pairs])
     return ConfusionMatrix.from_labels(truth, preds).f1
 

@@ -22,6 +22,7 @@ from scipy.cluster.vq import kmeans2
 
 from ..autograd import Module
 from ..data.dataset import CandidatePair
+from ..infer import InferenceEngine
 from .trainer import predict_proba, stochastic_proba
 
 
@@ -48,18 +49,30 @@ def hard_labels(model: Module, probs: np.ndarray) -> np.ndarray:
 
 
 def mc_dropout(model: Module, pairs: Sequence[CandidatePair],
-               passes: int = 10, batch_size: int = 32) -> McDropoutResult:
-    """Run MC-Dropout over ``pairs`` (paper default: 10 passes)."""
+               passes: int = 10, batch_size: int = 32,
+               engine: Optional[InferenceEngine] = None,
+               seed: int = 0) -> McDropoutResult:
+    """Run MC-Dropout over ``pairs`` (paper default: 10 passes).
+
+    With an ``engine``, all passes run as one tiled, length-bucketed forward
+    per batch (vectorized MC-Dropout) with per-pass seeded dropout --
+    bit-identical to the engine's sequential reference path. Without one,
+    the legacy per-pass loop is used.
+    """
     if passes < 2:
         raise ValueError("MC-Dropout needs at least 2 stochastic passes")
     if not pairs:
         empty = np.zeros((0, 2))
         return McDropoutResult(empty, np.zeros(0, dtype=np.int64),
                                np.zeros(0), np.zeros((passes, 0, 2)))
-    stacked = np.stack([
-        stochastic_proba(model, pairs, batch_size=batch_size)
-        for _ in range(passes)
-    ])
+    if engine is not None:
+        stacked = engine.mc_dropout_proba(model, pairs, passes=passes,
+                                          seed=seed)
+    else:
+        stacked = np.stack([
+            stochastic_proba(model, pairs, batch_size=batch_size)
+            for _ in range(passes)
+        ])
     mean = stacked.mean(axis=0)
     labels = hard_labels(model, mean)
     rows = np.arange(len(labels))
@@ -120,12 +133,16 @@ def select_pseudo_labels(model: Module, unlabeled: Sequence[CandidatePair],
                          strategy: str = "uncertainty",
                          batch_size: int = 32,
                          features: Optional[np.ndarray] = None,
-                         seed: int = 0) -> PseudoLabelSelection:
+                         seed: int = 0,
+                         engine: Optional[InferenceEngine] = None,
+                         ) -> PseudoLabelSelection:
     """Pick Top-N_P pseudo-labels from the unlabeled pool.
 
     ``strategy`` is one of ``uncertainty`` (the paper's), ``confidence``,
     or ``clustering`` (Table 5 alternatives). Clustering needs ``features``
     (e.g. pooled encoder states); it falls back to mean probabilities.
+    ``engine`` routes the stochastic/eval forwards through the batched
+    inference engine (cached encodings + vectorized MC-Dropout).
     """
     count = top_n_count(len(unlabeled), ratio)
     if count == 0:
@@ -133,15 +150,17 @@ def select_pseudo_labels(model: Module, unlabeled: Sequence[CandidatePair],
                                     np.zeros(0, dtype=np.int64))
     if strategy == "uncertainty":
         result = mc_dropout(model, unlabeled, passes=passes,
-                            batch_size=batch_size)
+                            batch_size=batch_size, engine=engine, seed=seed)
         indices = select_by_uncertainty(result, count)
         labels = result.labels[indices]
     elif strategy == "confidence":
-        probs = predict_proba(model, unlabeled, batch_size=batch_size)
+        probs = predict_proba(model, unlabeled, batch_size=batch_size,
+                              engine=engine)
         indices = select_by_confidence(probs, count)
         labels = hard_labels(model, probs)[indices]
     elif strategy == "clustering":
-        probs = predict_proba(model, unlabeled, batch_size=batch_size)
+        probs = predict_proba(model, unlabeled, batch_size=batch_size,
+                              engine=engine)
         space = features if features is not None else probs
         indices = select_by_clustering(space, count, seed=seed)
         labels = hard_labels(model, probs)[indices]

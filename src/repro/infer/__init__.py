@@ -1,0 +1,12 @@
+"""High-throughput batched inference: encoding cache, length-bucketed
+batching, vectorized MC-Dropout. See :mod:`repro.infer.engine`."""
+
+from .cache import EncodingCache
+from .engine import (
+    EngineConfig, EngineStats, InferenceEngine, PairEncoding, pack_buckets,
+)
+
+__all__ = [
+    "EncodingCache", "EngineConfig", "EngineStats", "InferenceEngine",
+    "PairEncoding", "pack_buckets",
+]

@@ -1,0 +1,63 @@
+"""LRU cache over the serialize -> tokenize -> template-render pipeline.
+
+Rendering a candidate pair into token ids is pure Python string work and by
+far the most expensive part of an inference step at MiniLM scale. The seed
+pipeline repeated it for every epoch, every MC-Dropout pass and every
+self-training iteration; memoizing per (pair, encoder fingerprint) makes all
+of those re-reads O(1) dictionary hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional
+
+
+class EncodingCache:
+    """Bounded LRU mapping cache keys to :class:`PairEncoding` objects.
+
+    ``capacity <= 0`` disables caching entirely (every lookup is a miss and
+    nothing is stored), which keeps the call sites branch-free.
+    """
+
+    def __init__(self, capacity: int = 8192) -> None:
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get_or_encode(self, key: Hashable, encode: Callable[[], object]):
+        """Return the cached value for ``key``, computing it on a miss."""
+        if self.capacity <= 0:
+            self.misses += 1
+            return encode()
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = encode()
+        self._entries[key] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = self.misses = self.evictions = 0

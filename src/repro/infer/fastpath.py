@@ -1,0 +1,181 @@
+"""Raw-numpy inference kernels behind ``forward_encoded``.
+
+The autograd :class:`~repro.autograd.Tensor` pays for generality: every op
+allocates a wrapper, scalar ``x ** 3`` walks ``np.power``'s slow path, and
+``masked_fill`` materializes a full ``-1e9`` array. None of that is needed
+under ``no_grad``, so the engine-facing ``forward_encoded`` methods run
+this module instead: a plain-numpy replication of the exact same math, op
+for op, in the same order. Guarantees:
+
+* **same numbers** -- each kernel mirrors its Tensor twin (including
+  float32 coercion of scalar constants and ``sum * (1/n)`` means), so
+  results agree with the reference path to float32 round-off;
+* **same randomness** -- dropout masks come from the very same
+  :class:`~repro.autograd.Dropout` modules (plan-aware seeded masks, or
+  the module's own rng as a fallback), so MC-Dropout draws are unchanged;
+* **less work** -- the MLM head runs only at the [MASK] positions
+  ((B, D) instead of (B, T, D) -> 1/T of the decoder matmul), and
+  duplicate-token flags are memoized per encoding.
+
+Training never comes through here: with gradients enabled the models use
+the recorded Tensor path, which remains the reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..autograd.layers import active_dropout_plan
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+
+def _apply_dropout(module, x: np.ndarray) -> np.ndarray:
+    """Numpy twin of ``Dropout.forward`` (no per-call seed variant)."""
+    if not module.training or module.p <= 0.0:
+        return x
+    plan = active_dropout_plan()
+    if plan is not None:
+        mask = module._seeded_mask(x.shape, plan.pass_seeds,
+                                   plan.batch_index, plan.base_seed)
+        if mask is not None:
+            return x * mask.astype(x.dtype)
+    mask = (module.rng.random(x.shape) >= module.p) / (1.0 - module.p)
+    return x * mask.astype(x.dtype)
+
+
+def _linear(fc, x: np.ndarray) -> np.ndarray:
+    out = x @ fc.weight.data
+    if fc.bias is not None:
+        out = out + fc.bias.data
+    return out
+
+
+def _layer_norm(ln, x: np.ndarray) -> np.ndarray:
+    dt = x.dtype.type
+    inv = dt(1.0 / x.shape[-1])
+    mu = x.sum(axis=-1, keepdims=True) * inv
+    centered = x - mu
+    var = (centered * centered).sum(axis=-1, keepdims=True) * inv
+    normed = centered / np.sqrt(var + dt(ln.eps))
+    return normed * ln.gamma.data + ln.beta.data
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    dt = x.dtype.type
+    inner = (x + (x * x * x) * dt(0.044715)) * dt(_SQRT_2_OVER_PI)
+    return x * (np.tanh(inner) + dt(1.0)) * dt(0.5)
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def _attention(attn, x: np.ndarray,
+               score_mask: Optional[np.ndarray]) -> np.ndarray:
+    batch, seq, _ = x.shape
+
+    def split(h):
+        return h.reshape(batch, seq, attn.num_heads,
+                         attn.d_head).transpose(0, 2, 1, 3)
+
+    q = split(_linear(attn.q_proj, x))
+    k = split(_linear(attn.k_proj, x))
+    v = split(_linear(attn.v_proj, x))
+    scores = (q @ k.transpose(0, 1, 3, 2)) * x.dtype.type(attn.scale)
+    if score_mask is not None:
+        scores = np.where(score_mask, x.dtype.type(-1e9), scores)
+    weights = _apply_dropout(attn.attn_dropout, _softmax(scores))
+    context = (weights @ v).transpose(0, 2, 1, 3)
+    return _linear(attn.out_proj, context.reshape(batch, seq, attn.d_model))
+
+
+def encoder_hidden(lm, embeds: np.ndarray,
+                   pad_mask: Optional[np.ndarray]) -> np.ndarray:
+    """The TransformerEncoder stack on raw arrays: (B, T, D) -> (B, T, D)."""
+    score_mask = pad_mask[:, None, None, :] if pad_mask is not None else None
+    x = embeds
+    for layer in lm.encoder.layers:
+        attn_out = _apply_dropout(
+            layer.dropout, _attention(layer.attention, x, score_mask))
+        x = _layer_norm(layer.norm1, x + attn_out)
+        ffn = layer.ffn
+        ffn_out = _apply_dropout(
+            ffn.dropout, _linear(ffn.fc2, _gelu(_linear(ffn.fc1, x))))
+        x = _layer_norm(layer.norm2, x + ffn_out)
+    return x
+
+
+def _cached_dup_flags(lm, encodings, ids: np.ndarray) -> np.ndarray:
+    """Duplicate-token flags, memoized on each encoding.
+
+    Pad tokens are special ids and never count as duplicates, so per-row
+    flags are padding-invariant and safe to cache with the encoding.
+    """
+    flags = np.zeros_like(ids)
+    for i, enc in enumerate(encodings):
+        if enc.dup_flags is None:
+            n = len(enc.ids)
+            enc.dup_flags = lm.duplicate_flags(ids[i:i + 1, :n])[0]
+        flags[i, :len(enc.dup_flags)] = enc.dup_flags
+    return flags
+
+
+def _embed(lm, token_vecs: np.ndarray, flags: np.ndarray) -> np.ndarray:
+    seq = token_vecs.shape[1]
+    x = token_vecs + lm.position_embedding.weight.data[:seq]
+    x = x + lm.duplicate_embedding.weight.data[flags]
+    return _apply_dropout(lm.embedding_dropout, _layer_norm(lm.embedding_norm, x))
+
+
+def _tile(arr: np.ndarray, tile: int) -> np.ndarray:
+    return np.tile(arr, (tile,) + (1,) * (arr.ndim - 1)) if tile > 1 else arr
+
+
+def prompt_forward_encoded(model, encodings: Sequence, tile: int = 1) -> np.ndarray:
+    """Fast twin of ``PromptModel.forward_encoded``: (tile * B, 2) probs."""
+    lm = model.lm
+    ids, pad_mask, is_prompt, prompt_idx, mask_positions = \
+        model._assemble(encodings)
+    flags = _cached_dup_flags(lm, encodings, ids)
+    ids, pad_mask, flags = _tile(ids, tile), _tile(pad_mask, tile), _tile(flags, tile)
+    is_prompt, prompt_idx = _tile(is_prompt, tile), _tile(prompt_idx, tile)
+    mask_positions = np.tile(mask_positions, tile) if tile > 1 else mask_positions
+
+    token_vecs = lm.token_embedding.weight.data[ids]
+    if model.prompt_encoder is not None and is_prompt.any():
+        prompt_vecs = model.prompt_encoder().data  # tiny (P, D) Tensor forward
+        gathered = prompt_vecs[prompt_idx.reshape(-1)].reshape(token_vecs.shape)
+        token_vecs = np.where(is_prompt[:, :, None], gathered, token_vecs)
+
+    hidden = encoder_hidden(lm, _embed(lm, token_vecs, flags), pad_mask)
+    at_mask = hidden[np.arange(hidden.shape[0]), mask_positions]  # (B, D)
+    h = _layer_norm(lm.mlm_norm, _gelu(_linear(lm.mlm_transform, at_mask)))
+    logits = h @ lm.token_embedding.weight.data.T + lm.mlm_bias.data
+
+    probs = _softmax(logits)
+    dt = probs.dtype.type
+    cols = []
+    for label in (0, 1):  # Eq. 1, mirroring Verbalizer.class_probs
+        word_ids = model.verbalizer.ids[label]
+        cols.append(probs[:, word_ids].sum(axis=1) * dt(1.0 / len(word_ids)))
+    scores = np.stack(cols, axis=1)
+    return scores / (scores.sum(axis=1, keepdims=True) + dt(1e-12))
+
+
+def cls_forward_encoded(model, ids: np.ndarray, pad_mask: np.ndarray,
+                        encodings: Sequence, tile: int = 1) -> np.ndarray:
+    """Fast twin of ``SequenceClassifier.forward_encoded``."""
+    lm = model.lm
+    flags = _cached_dup_flags(lm, encodings, ids)
+    ids, pad_mask, flags = _tile(ids, tile), _tile(pad_mask, tile), _tile(flags, tile)
+
+    token_vecs = lm.token_embedding.weight.data[ids]
+    hidden = encoder_hidden(lm, _embed(lm, token_vecs, flags), pad_mask)
+    pooled = np.tanh(_linear(lm.pooler, hidden[:, 0, :]))
+    pooled = _apply_dropout(model.head_dropout, pooled)
+    return _softmax(_linear(model.head, pooled))

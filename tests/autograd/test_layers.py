@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.autograd import (
-    MLP, Dropout, Embedding, LayerNorm, Linear, Module, Parameter, Sequential, Tensor,
-    load_checkpoint, save_checkpoint,
+    MLP, Dropout, DropoutPlan, Embedding, LayerNorm, Linear, Module, Parameter,
+    Sequential, Tensor, dropout_plan, load_checkpoint, save_checkpoint,
 )
 
 from .gradcheck import assert_grad_close
@@ -81,6 +81,61 @@ class TestDropoutModule:
             Dropout(1.0)
         with pytest.raises(ValueError):
             Dropout(-0.1)
+
+    def test_explicit_seed_reproducible(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.train()
+        x = Tensor(np.ones((20, 8)))
+        a = drop(x, seed=7).numpy()
+        b = drop(x, seed=7).numpy()
+        c = drop(x, seed=8).numpy()
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_plan_seeds_masks(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.train()
+        x = Tensor(np.ones((10, 4)))
+        with dropout_plan(DropoutPlan(base_seed=3, pass_seeds=(5,))):
+            a = drop(x).numpy()
+        with dropout_plan(DropoutPlan(base_seed=3, pass_seeds=(5,))):
+            b = drop(x).numpy()
+        with dropout_plan(DropoutPlan(base_seed=3, pass_seeds=(6,))):
+            c = drop(x).numpy()
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_tiled_plan_matches_sequential_passes(self):
+        # the key property behind vectorized MC-Dropout: one forward over a
+        # batch tiled P times equals P sequential forwards, pass by pass
+        drop = Dropout(0.3, rng=np.random.default_rng(0))
+        drop.train()
+        batch = np.ones((6, 5))
+        seeds = (11, 12, 13)
+        with dropout_plan(DropoutPlan(base_seed=1, pass_seeds=seeds)):
+            tiled = drop(Tensor(np.tile(batch, (len(seeds), 1)))).numpy()
+        for k, seed in enumerate(seeds):
+            with dropout_plan(DropoutPlan(base_seed=1, pass_seeds=(seed,))):
+                single = drop(Tensor(batch)).numpy()
+            np.testing.assert_array_equal(tiled[k * 6:(k + 1) * 6], single)
+
+    def test_plan_untileable_shape_falls_back(self):
+        # shape not divisible by the tile count (e.g. shared prompt
+        # embeddings of batch size 1) must still run, via the module rng
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.train()
+        x = Tensor(np.ones((1, 4, 8)))
+        with dropout_plan(DropoutPlan(base_seed=0, pass_seeds=(1, 2, 3))):
+            out = drop(x)
+        assert out.shape == (1, 4, 8)
+
+    def test_plan_scoped_and_restored(self):
+        from repro.autograd.layers import active_dropout_plan
+        plan = DropoutPlan(base_seed=0, pass_seeds=(1,))
+        assert active_dropout_plan() is None
+        with dropout_plan(plan):
+            assert active_dropout_plan() is plan
+        assert active_dropout_plan() is None
 
 
 class TestModulePlumbing:

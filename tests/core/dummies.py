@@ -7,6 +7,7 @@ same code paths the MiniLM-backed pipeline uses.
 
 from __future__ import annotations
 
+import zlib
 from typing import List, Sequence
 
 import numpy as np
@@ -18,9 +19,11 @@ from repro.data.serialize import serialize
 
 
 def _hash_features(text: str, dim: int) -> np.ndarray:
+    # crc32, not hash(): PYTHONHASHSEED varies per process and made the
+    # toy features -- and every accuracy threshold built on them -- flaky.
     vec = np.zeros(dim)
     for token in text.split():
-        vec[hash(token) % dim] += 1.0
+        vec[zlib.crc32(token.encode()) % dim] += 1.0
     return vec
 
 

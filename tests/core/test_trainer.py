@@ -82,6 +82,15 @@ class TestPredictionHelpers:
     def test_predict_proba_empty(self):
         assert predict_proba(ToyPairModel(), []).shape == (0, 2)
 
+    def test_empty_dtype_matches_nonempty(self, view):
+        # the seed implementation returned float64 for the empty case but
+        # float32 (the default dtype) otherwise
+        model = ToyPairModel()
+        nonempty = predict_proba(model, view.test[:4])
+        assert predict_proba(model, []).dtype == nonempty.dtype
+        assert stochastic_proba(model, []).dtype == nonempty.dtype
+        assert stochastic_proba(model, []).shape == (0, 2)
+
     def test_predict_deterministic_in_eval(self, view):
         model = ToyPairModel()
         a = predict_proba(model, view.test[:10])

@@ -1,0 +1,50 @@
+"""Tests for the encoding LRU cache."""
+
+from repro.infer import EncodingCache
+
+
+def test_miss_then_hit():
+    cache = EncodingCache(capacity=4)
+    calls = []
+    value = cache.get_or_encode("a", lambda: calls.append("a") or 1)
+    assert value == 1
+    assert cache.misses == 1 and cache.hits == 0
+    value = cache.get_or_encode("a", lambda: calls.append("a") or 2)
+    assert value == 1  # cached, encoder not re-run
+    assert calls == ["a"]
+    assert cache.hits == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_lru_bound_and_eviction_order():
+    cache = EncodingCache(capacity=2)
+    cache.get_or_encode("a", lambda: "A")
+    cache.get_or_encode("b", lambda: "B")
+    cache.get_or_encode("a", lambda: "A*")  # touch a: b is now LRU
+    cache.get_or_encode("c", lambda: "C")   # evicts b
+    assert len(cache) == 2
+    assert cache.evictions == 1
+    assert "b" not in cache and "a" in cache and "c" in cache
+
+
+def test_zero_capacity_disables_caching():
+    cache = EncodingCache(capacity=0)
+    assert cache.get_or_encode("a", lambda: 1) == 1
+    assert cache.get_or_encode("a", lambda: 2) == 2  # never stored
+    assert len(cache) == 0
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_clear_and_reset_counters():
+    cache = EncodingCache(capacity=4)
+    cache.get_or_encode("a", lambda: 1)
+    cache.get_or_encode("a", lambda: 1)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1  # counters survive clear()
+    cache.reset_counters()
+    assert cache.hits == cache.misses == cache.evictions == 0
+
+
+def test_hit_rate_empty():
+    assert EncodingCache().hit_rate == 0.0

@@ -1,0 +1,46 @@
+"""Tier-1 smoke pass over the engine benchmark logic.
+
+Runs :func:`benchmarks.bench_inference_engine.run_engine_comparison` on the
+tiny cached backbone and checks its structural outputs -- throughput
+numbers exist, the engine's probabilities match the seed-style loop --
+WITHOUT asserting anything about wall-clock speed, so the test is stable
+on loaded CI machines. The real timing comparison lives in
+``benchmarks/bench_inference_engine.py``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from bench_inference_engine import (  # noqa: E402
+    run_engine_comparison, seed_style_mc_dropout,
+)
+from repro.core import PromptModel, Verbalizer, make_template  # noqa: E402
+from repro.data import load_dataset  # noqa: E402
+from repro.lm import load_pretrained  # noqa: E402
+
+
+@pytest.mark.smoke
+def test_engine_benchmark_smoke():
+    lm, tok = load_pretrained("minilm-tiny")
+    template = make_template("t1", tok, max_len=64)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+    model.eval()
+    pairs = load_dataset("REL-HETER").test[:10]
+
+    result = run_engine_comparison(model, pairs, passes=5,
+                                   token_budget=1024, iterations=1)
+    assert result["pairs"] == 10 and result["passes"] == 5
+    assert result["baseline_pps"] > 0 and result["engine_pps"] > 0
+    assert result["batches"] >= 1
+    assert 0.0 <= result["padding_fraction"] < 1.0
+    assert result["cache_hit_rate"] > 0.0  # predict reuses the MC encodings
+    # eval-mode equivalence between seed loop and bucketed engine
+    assert result["max_abs_diff"] < 1e-6
+
+    stacked = seed_style_mc_dropout(model, pairs, passes=5)
+    assert stacked.shape == (5, 10, 2)
+    assert not model.training  # mode restored
