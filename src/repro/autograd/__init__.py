@@ -16,13 +16,13 @@ from .optim import SGD, Adam, AdamW, LinearWarmupSchedule, Optimizer, clip_grad_
 from .recurrent import LSTM, BiLSTM, LSTMCell
 from .serialization import load_checkpoint, save_checkpoint
 from .tensor import (
-    Tensor, concatenate, get_default_dtype, is_grad_enabled, no_grad,
-    set_default_dtype, stack, where,
+    Tensor, concatenate, gather_rows, get_default_dtype, is_grad_enabled,
+    no_grad, set_default_dtype, stack, where,
 )
 from .transformer import FeedForward, TransformerEncoder, TransformerEncoderLayer
 
 __all__ = [
-    "Tensor", "concatenate", "stack", "where", "no_grad", "is_grad_enabled",
+    "Tensor", "concatenate", "gather_rows", "stack", "where", "no_grad", "is_grad_enabled",
     "set_default_dtype", "get_default_dtype",
     "Module", "Parameter",
     "Linear", "Embedding", "LayerNorm", "Dropout", "DropoutPlan",

@@ -13,12 +13,27 @@ import numpy as np
 from .tensor import Tensor, where
 
 _SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+_GELU_C = 0.044715
 
 
 def gelu(x: Tensor) -> Tensor:
-    """Gaussian error linear unit (tanh approximation, as used by BERT)."""
-    inner = (x + (x ** 3) * 0.044715) * _SQRT_2_OVER_PI
-    return x * (inner.tanh() + 1.0) * 0.5
+    """Gaussian error linear unit (tanh approximation, as used by BERT).
+
+    A single fused graph node: the seed implementation composed seven
+    elementwise Tensor ops (each allocating an intermediate array and a
+    backward closure); this computes the same forward in raw numpy and
+    backpropagates through the closed-form derivative in one pass.
+    """
+    data = x.data
+    inner = (data + (data * data * data) * _GELU_C) * _SQRT_2_OVER_PI
+    t = np.tanh(inner)
+
+    def backward(out: Tensor) -> None:
+        d_inner = _SQRT_2_OVER_PI * (1.0 + 3.0 * _GELU_C * data * data)
+        x._accumulate(out.grad * (0.5 * (1.0 + t)
+                                  + 0.5 * data * (1.0 - t * t) * d_inner))
+
+    return Tensor._make(data * (t + 1.0) * 0.5, (x,), backward)
 
 
 def relu(x: Tensor) -> Tensor:
@@ -51,6 +66,40 @@ def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
     return where(np.asarray(mask, dtype=bool), Tensor(np.full(x.shape, value)), x)
 
 
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis as one fused graph node.
+
+    Forward matches the composed ``(x - mu) / sqrt(var + eps) * gamma +
+    beta`` chain bit-for-bit (means computed as ``sum * (1/n)``, like
+    :meth:`Tensor.mean`); backward applies the closed-form LayerNorm
+    gradient instead of unwinding ~10 recorded elementwise ops.
+    """
+    data = x.data
+    n = data.shape[-1]
+    inv_n = 1.0 / n
+    mu = data.sum(axis=-1, keepdims=True) * inv_n
+    centered = data - mu
+    var = (centered * centered).sum(axis=-1, keepdims=True) * inv_n
+    std = np.sqrt(var + eps)
+    normed = centered / std
+    out_data = normed * gamma.data + beta.data
+
+    def backward(out: Tensor) -> None:
+        grad = out.grad
+        if beta.requires_grad:
+            beta._accumulate(grad.reshape(-1, n).sum(axis=0))
+        if gamma.requires_grad:
+            gamma._accumulate((grad * normed).reshape(-1, n).sum(axis=0))
+        if x.requires_grad:
+            gx = grad * gamma.data
+            mean_gx = gx.sum(axis=-1, keepdims=True) * inv_n
+            mean_gx_normed = (gx * normed).sum(axis=-1, keepdims=True) * inv_n
+            x._accumulate((gx - mean_gx - normed * mean_gx_normed) / std)
+
+    return Tensor._make(out_data, (x, gamma, beta), backward)
+
+
 def cross_entropy(logits: Tensor, targets: np.ndarray,
                   ignore_index: Optional[int] = None,
                   sample_weights: Optional[np.ndarray] = None) -> Tensor:
@@ -59,12 +108,18 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
     ``ignore_index`` positions contribute zero loss (used by MLM pre-training
     where unmasked positions carry a sentinel target). ``sample_weights``
     rescales per-sample losses (used by Rotom's meta-weighting).
+
+    The op is a single fused graph node: softmax and the negative
+    log-likelihood are computed together in raw numpy, and the backward
+    applies the closed-form gradient (softmax minus one-hot, per-row
+    weighted) in one pass instead of unwinding a ``log_softmax`` +
+    gather + reduction chain.
     """
     targets = np.asarray(targets, dtype=np.int64)
     if logits.ndim != 2:
         raise ValueError(f"expected 2-d logits, got shape {logits.shape}")
     n = logits.shape[0]
-    log_probs = log_softmax(logits, axis=-1)
+    x = logits.data
 
     if ignore_index is not None:
         keep = targets != ignore_index
@@ -74,14 +129,37 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
         return Tensor(0.0, requires_grad=logits.requires_grad)
 
     rows = np.nonzero(keep)[0]
-    picked = log_probs[rows, targets[rows]]
+    full = len(rows) == n
+    kept_x = x if full else x[rows]
+    kept_targets = targets if full else targets[rows]
+    shifted = kept_x - kept_x.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    z = exps.sum(axis=-1, keepdims=True)
+    picked = shifted[np.arange(len(rows)), kept_targets] - np.log(z[:, 0])
+
     if sample_weights is not None:
         weights = np.asarray(sample_weights, dtype=np.float64)[rows]
         total = weights.sum()
         if total <= 0:
             return Tensor(0.0, requires_grad=logits.requires_grad)
-        return -(picked * Tensor(weights)).sum() / total
-    return -picked.sum() / len(rows)
+        coeff = (weights / total).astype(x.dtype)
+        value = -float(np.dot(picked.astype(np.float64), weights)) / total
+    else:
+        coeff = np.full(len(rows), 1.0 / len(rows), dtype=x.dtype)
+        value = -picked.sum() / len(rows)
+
+    def backward(out: Tensor) -> None:
+        grad_rows = exps / z
+        grad_rows[np.arange(len(rows)), kept_targets] -= 1.0
+        grad_rows *= (out.grad * coeff)[:, None]
+        if full:
+            logits._accumulate(grad_rows)
+        else:
+            grad = np.zeros_like(x)
+            grad[rows] = grad_rows
+            logits._accumulate(grad)
+
+    return Tensor._make(np.asarray(value, dtype=x.dtype), (logits,), backward)
 
 
 def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:

@@ -65,10 +65,7 @@ class LayerNorm(Module):
         self.beta = Parameter(init.zeros((dim,)))
 
     def forward(self, x: Tensor) -> Tensor:
-        mu = x.mean(axis=-1, keepdims=True)
-        var = x.var(axis=-1, keepdims=True)
-        normed = (x - mu) / (var + self.eps).sqrt()
-        return normed * self.gamma + self.beta
+        return F.layer_norm(x, self.gamma, self.beta, self.eps)
 
 
 @dataclass(frozen=True)

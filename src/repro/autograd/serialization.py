@@ -1,4 +1,4 @@
-"""Checkpoint save/load for modules (npz-based)."""
+"""Checkpoint save/load for modules and optimizer state (npz-based)."""
 
 from __future__ import annotations
 
@@ -12,10 +12,19 @@ from .module import Module
 
 PathLike = Union[str, Path]
 
+#: npz key namespace for flat optimizer state (see ``Optimizer.state_dict``)
+_OPTIM_PREFIX = "__optim__."
+
 
 def save_checkpoint(module: Module, path: PathLike,
-                    metadata: Optional[Dict[str, Any]] = None) -> None:
-    """Persist a module's state dict (and optional JSON metadata) to ``path``."""
+                    metadata: Optional[Dict[str, Any]] = None,
+                    optimizer: Optional[Any] = None) -> None:
+    """Persist a module's state dict (and optional JSON metadata) to ``path``.
+
+    Passing ``optimizer`` also stores its flat state (moment buffers, step
+    counter, learning rate) under a reserved key prefix, so an interrupted
+    training run can resume with bit-identical dynamics.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     state = module.state_dict()
@@ -24,19 +33,35 @@ def save_checkpoint(module: Module, path: PathLike,
         payload["__metadata__"] = np.frombuffer(
             json.dumps(metadata).encode("utf-8"), dtype=np.uint8
         )
+    if optimizer is not None:
+        for key, value in optimizer.state_dict().items():
+            payload[_OPTIM_PREFIX + key] = np.asarray(value)
     np.savez_compressed(path, **payload)
 
 
-def load_checkpoint(module: Module, path: PathLike, strict: bool = True) -> Dict[str, Any]:
-    """Load parameters saved by :func:`save_checkpoint`; returns metadata."""
+def load_checkpoint(module: Module, path: PathLike, strict: bool = True,
+                    optimizer: Optional[Any] = None) -> Dict[str, Any]:
+    """Load parameters saved by :func:`save_checkpoint`; returns metadata.
+
+    Passing ``optimizer`` restores its flat state too (the checkpoint must
+    have been written with one). The module's parameters are loaded first,
+    so the optimizer re-adopts the fresh arrays on its next step.
+    """
     path = Path(path)
     with np.load(path) as archive:
         metadata: Dict[str, Any] = {}
         state: Dict[str, np.ndarray] = {}
+        optim_state: Dict[str, np.ndarray] = {}
         for key in archive.files:
             if key == "__metadata__":
                 metadata = json.loads(archive[key].tobytes().decode("utf-8"))
+            elif key.startswith(_OPTIM_PREFIX):
+                optim_state[key[len(_OPTIM_PREFIX):]] = archive[key]
             else:
                 state[key] = archive[key]
     module.load_state_dict(state, strict=strict)
+    if optimizer is not None:
+        if not optim_state:
+            raise ValueError(f"checkpoint {path} holds no optimizer state")
+        optimizer.load_state_dict(optim_state)
     return metadata

@@ -496,6 +496,26 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(data, tuple(tensors), backward)
 
 
+def gather_rows(x: Tensor, rows: np.ndarray, cols: np.ndarray) -> Tensor:
+    """Gather ``x[rows[k], cols[k]]`` for distinct (row, col) pairs.
+
+    Equivalent to ``x[(rows, cols)]`` but with a direct-assignment backward
+    instead of ``np.add.at`` scatter-add, which is an order of magnitude
+    slower. Only valid when every (row, col) pair is selected at most once —
+    true for masked-position gathers, where each sequence position is
+    either masked or not.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+
+    def backward(out: Tensor) -> None:
+        grad = np.zeros_like(x.data)
+        grad[rows, cols] = out.grad
+        x._accumulate(grad)
+
+    return Tensor._make(x.data[rows, cols], (x,), backward)
+
+
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Elementwise select from ``a`` where condition else ``b``."""
     a = Tensor._coerce(a)

@@ -108,3 +108,18 @@ class SequenceClassifier(Module):
         return F.cross_entropy(self.logits(pairs),
                                np.asarray(labels, dtype=np.int64),
                                sample_weights=sample_weights)
+
+    def supports_encoded_training(self) -> bool:
+        """Cached encodings are augmentation-free, so a model training with
+        an augmenter (Ditto/Rotom) must keep re-encoding every batch."""
+        return self.augmenter is None
+
+    def loss_encoded(self, encodings: Sequence[PairEncoding],
+                     labels: np.ndarray,
+                     sample_weights: Optional[np.ndarray] = None) -> Tensor:
+        """Same loss from pre-rendered encodings (trainer fastpath)."""
+        ids, pad_mask = pad_batch([enc.ids for enc in encodings],
+                                  pad_id=self.tokenizer.vocab.pad_id)
+        return F.cross_entropy(self._logits_from_ids(ids, pad_mask),
+                               np.asarray(labels, dtype=np.int64),
+                               sample_weights=sample_weights)

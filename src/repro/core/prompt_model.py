@@ -14,7 +14,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..autograd import Module, Tensor, functional as F, is_grad_enabled, where
+from ..autograd import (
+    Module, Tensor, functional as F, gather_rows, is_grad_enabled, where,
+)
 from ..data.dataset import CandidatePair
 from ..data.serialize import serialize
 from ..infer import PairEncoding
@@ -128,8 +130,10 @@ class PromptModel(Module):
         embeds = self.lm.embed_from_vectors(token_vecs, positions,
                                             token_ids=ids)
         hidden = self.lm.encode(ids, pad_mask=pad_mask, inputs_embeds=embeds)
-        logits = self.lm.mlm_logits(hidden)
-        return logits[(np.arange(batch), mask_positions)]
+        # project only the [MASK] rows through the (d, V) vocab head:
+        # (B, d) x (d, V) instead of (B*T, d) x (d, V).
+        at_mask = gather_rows(hidden, np.arange(batch), mask_positions)
+        return self.lm.mlm_logits(at_mask)
 
     def _class_probs(self, mask_logits: Tensor) -> Tensor:
         probs = F.softmax(mask_logits, axis=-1)
@@ -165,7 +169,19 @@ class PromptModel(Module):
              labels: np.ndarray,
              sample_weights: Optional[np.ndarray] = None) -> Tensor:
         """Cross-entropy over verbalized class probabilities."""
-        probs = self.forward(pairs)
+        return self.loss_encoded([self.encode_pair(p) for p in pairs],
+                                 labels, sample_weights)
+
+    def loss_encoded(self, encodings: Sequence[PairEncoding],
+                     labels: np.ndarray,
+                     sample_weights: Optional[np.ndarray] = None) -> Tensor:
+        """Same loss from pre-rendered encodings (trainer fastpath).
+
+        Lets :class:`~repro.core.trainer.Trainer` reuse the inference
+        engine's encoding cache for training batches instead of
+        re-serializing every pair each epoch.
+        """
+        probs = self._class_probs(self.mask_logits_encoded(encodings))
         labels = np.asarray(labels, dtype=np.int64)
         picked = probs[(np.arange(len(labels)), labels)]
         logs = (picked + _EPS).log()

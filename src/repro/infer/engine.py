@@ -167,6 +167,16 @@ class InferenceEngine:
                 key, lambda p=pair: model.encode_pair(p)))
         return out
 
+    def encodings(self, model: Module,
+                  pairs: Sequence[CandidatePair]) -> List[PairEncoding]:
+        """Cached per-pair encodings (``model.encode_pair`` memoized).
+
+        Public so the trainer's token-budget batching can reuse the same
+        cache entries that per-epoch validation and final prediction hit.
+        The model must support the encoding protocol (``encode_pair``).
+        """
+        return self._encodings(model, pairs)
+
     # ------------------------------------------------------------------
     # Core batched runner
     # ------------------------------------------------------------------

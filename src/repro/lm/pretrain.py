@@ -12,7 +12,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..autograd import AdamW, clip_grad_norm, functional as F
+from ..autograd import AdamW, functional as F, gather_rows
+from ..infer.engine import pack_buckets
 from ..text import Tokenizer
 from .model import MiniLM, pad_batch
 
@@ -36,6 +37,16 @@ class PretrainConfig:
     max_len: int = 64
     grad_clip: float = 1.0
     seed: int = 0
+    #: pack mini-batches of similar-length sequences under ``rows x longest
+    #: <= token_budget`` (capped at ``batch_size`` rows) so short sentences
+    #: do not pay padded-position FLOPs up to the corpus maximum. ``None``
+    #: falls back to fixed ``batch_size`` slices of the shuffled order.
+    token_budget: Optional[int] = 4096
+    #: visit sequences in exactly the seed loop's shuffled order (fixed
+    #: ``batch_size`` slices), keeping the masking rng stream bit-identical
+    #: to the original implementation -- the parity mode used by checkpoint
+    #: zoo builds and the training benchmark.
+    order_preserving: bool = False
 
 
 @dataclass
@@ -43,6 +54,8 @@ class PretrainResult:
     """Loss trajectory of a pre-training run."""
 
     epoch_losses: List[float] = field(default_factory=list)
+    #: optimizer steps taken (mini-batches that had >= 1 masked position)
+    steps: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -85,6 +98,26 @@ def mask_tokens(ids: np.ndarray, pad_mask: np.ndarray, vocab_size: int,
     return ids, labels
 
 
+def _epoch_batches(order: np.ndarray, lengths: Sequence[int],
+                   config: PretrainConfig, rng: np.random.Generator):
+    """Yield corpus-index arrays for one epoch's mini-batches.
+
+    Parity mode (``order_preserving`` or no ``token_budget``): fixed
+    ``batch_size`` slices of the shuffled ``order``, exactly the seed loop.
+    Fastpath: length-bucketed packing under the token budget, visiting
+    buckets in random order so training sees no short-to-long curriculum.
+    """
+    if config.order_preserving or config.token_budget is None:
+        for start in range(0, len(order), config.batch_size):
+            yield order[start:start + config.batch_size]
+        return
+    shuffled_lengths = [lengths[i] for i in order]
+    buckets = pack_buckets(shuffled_lengths, config.token_budget,
+                           config.batch_size)
+    for b in rng.permutation(len(buckets)):
+        yield order[buckets[b]]
+
+
 def pretrain(model: MiniLM, tokenizer: Tokenizer, corpus: Sequence[str],
              config: Optional[PretrainConfig] = None,
              verbose: bool = False) -> PretrainResult:
@@ -106,31 +139,35 @@ def pretrain(model: MiniLM, tokenizer: Tokenizer, corpus: Sequence[str],
     result = PretrainResult()
     model.train()
 
+    focus_ids = [vocab.id_of(t) for t in config.focus_tokens if t in vocab]
+    lengths = [len(ids) for ids in encoded]
+
     for epoch in range(config.epochs):
         order = rng.permutation(len(encoded))
         losses: List[float] = []
-        for start in range(0, len(order), config.batch_size):
-            batch = [encoded[i] for i in order[start:start + config.batch_size]]
+        for index in _epoch_batches(order, lengths, config, rng):
+            batch = [encoded[i] for i in index]
             ids, pad_mask = pad_batch(batch, pad_id=vocab.pad_id)
             masked, labels = mask_tokens(
                 ids, pad_mask, vocab_size=len(vocab), mask_id=vocab.mask_id,
                 special_ids=vocab.special_ids, rng=rng,
                 mask_prob=config.mask_prob,
-                focus_ids=[vocab.id_of(t) for t in config.focus_tokens
-                           if t in vocab],
+                focus_ids=focus_ids,
                 focus_mask_prob=config.focus_mask_prob)
-            if (labels == IGNORE_INDEX).all():
+            rows, cols = np.nonzero(labels != IGNORE_INDEX)
+            if not len(rows):
                 continue
             hidden = model.encode(masked, pad_mask=pad_mask)
-            logits = model.mlm_logits(hidden)
-            flat_logits = logits.reshape(-1, len(vocab))
-            loss = F.cross_entropy(flat_logits, labels.reshape(-1),
-                                   ignore_index=IGNORE_INDEX)
+            # project only masked positions through the (d, V) vocab head:
+            # (n_masked, d) x (d, V) instead of (B*T, d) x (d, V).
+            at_mask = gather_rows(hidden, rows, cols)
+            loss = F.cross_entropy(model.mlm_logits(at_mask),
+                                   labels[rows, cols])
             optimizer.zero_grad()
             loss.backward()
-            clip_grad_norm(model.parameters(), config.grad_clip)
-            optimizer.step()
+            optimizer.step(grad_clip=config.grad_clip)
             losses.append(loss.item())
+            result.steps += 1
         epoch_loss = float(np.mean(losses)) if losses else float("nan")
         result.epoch_losses.append(epoch_loss)
         if verbose:

@@ -1,0 +1,192 @@
+"""Flat-buffer optimizer parity against the seed (looped) implementations.
+
+The seed-style per-parameter loops live in ``benchmarks/bench_training.py``
+(the same copies the training benchmark times against); these tests drive
+both implementations over identical gradient streams and require agreement
+to <= 1e-7 after 50 steps -- including decoupled weight decay, a warmup
+schedule, gradient clipping and parameters whose grad stays ``None``.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from bench_training import (  # noqa: E402
+    LoopedAdamW, LoopedSGD, seed_clip_grad_norm,
+)
+from repro.autograd import (  # noqa: E402
+    SGD, AdamW, LinearWarmupSchedule, Linear, Parameter, Sequential, Tensor,
+    clip_grad_norm, load_checkpoint, save_checkpoint,
+)
+
+STEPS = 50
+TOL = 1e-7
+
+
+def small_model(seed: int):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(6, 8, rng=rng), Linear(8, 2, rng=rng))
+
+
+def batches(seed: int):
+    rng = np.random.default_rng(seed + 100)
+    x = rng.standard_normal((16, 6))
+    y = rng.standard_normal((16, 2))
+    return Tensor(x), Tensor(y)
+
+
+def run_steps(model, optimizer, schedule=None, clip=None, flat=False):
+    x, y = batches(0)
+    for _ in range(STEPS):
+        optimizer.zero_grad()
+        loss = ((model(x) - y) ** 2).mean()
+        loss.backward()
+        if flat:
+            optimizer.step(grad_clip=clip)
+        else:
+            if clip is not None:
+                seed_clip_grad_norm(model.parameters(), clip)
+            optimizer.step()
+        if schedule is not None:
+            schedule.step()
+
+
+def assert_models_match(model_a, model_b, tol=TOL):
+    for pa, pb in zip(model_a.parameters(), model_b.parameters()):
+        np.testing.assert_allclose(pa.numpy(), pb.numpy(), atol=tol, rtol=0)
+
+
+class TestAdamWParity:
+    def test_matches_seed_loop_with_decay_and_warmup(self):
+        ref, fast = small_model(3), small_model(3)
+        ref_opt = LoopedAdamW(ref.parameters(), lr=1e-3, weight_decay=0.01)
+        fast_opt = AdamW(fast.parameters(), lr=1e-3, weight_decay=0.01)
+        run_steps(ref, ref_opt,
+                  schedule=LinearWarmupSchedule(ref_opt, 5, STEPS))
+        run_steps(fast, fast_opt,
+                  schedule=LinearWarmupSchedule(fast_opt, 5, STEPS),
+                  flat=True)
+        assert_models_match(ref, fast)
+
+    def test_matches_seed_loop_with_clipping(self):
+        ref, fast = small_model(4), small_model(4)
+        run_steps(ref, LoopedAdamW(ref.parameters(), lr=5e-3,
+                                   weight_decay=0.05), clip=0.1)
+        run_steps(fast, AdamW(fast.parameters(), lr=5e-3, weight_decay=0.05),
+                  clip=0.1, flat=True)
+        assert_models_match(ref, fast)
+
+    def test_skips_grad_none_like_seed(self):
+        ref, fast = small_model(5), small_model(5)
+        extras = [Parameter(np.ones(3)), Parameter(np.ones(3))]
+        ref_opt = LoopedAdamW(list(ref.parameters()) + [extras[0]], lr=1e-2)
+        fast_opt = AdamW(list(fast.parameters()) + [extras[1]], lr=1e-2)
+        run_steps(ref, ref_opt)  # extras never receive gradients
+        run_steps(fast, fast_opt, flat=True)
+        assert_models_match(ref, fast)
+        np.testing.assert_array_equal(extras[1].numpy(), np.ones(3))
+
+
+class TestSGDParity:
+    def test_matches_seed_loop_with_momentum_and_decay(self):
+        ref, fast = small_model(6), small_model(6)
+        run_steps(ref, LoopedSGD(ref.parameters(), lr=0.05, momentum=0.9,
+                                 weight_decay=0.01))
+        run_steps(fast, SGD(fast.parameters(), lr=0.05, momentum=0.9,
+                            weight_decay=0.01), flat=True)
+        assert_models_match(ref, fast)
+
+
+class TestClipGradNorm:
+    def test_standalone_matches_seed_sum(self):
+        params = [Parameter(np.zeros(5)) for _ in range(3)]
+        rng = np.random.default_rng(0)
+        grads = [rng.standard_normal(5) for _ in range(3)]
+        for p, g in zip(params, grads):
+            p.grad = g.copy()
+        norm = clip_grad_norm(params, max_norm=0.5)
+
+        ref = [Parameter(np.zeros(5)) for _ in range(3)]
+        for p, g in zip(ref, grads):
+            p.grad = g.copy()
+        ref_norm = seed_clip_grad_norm(ref, 0.5)
+
+        assert norm == pytest.approx(ref_norm, abs=1e-12)
+        for p, r in zip(params, ref):
+            np.testing.assert_allclose(p.grad, r.grad, atol=1e-12)
+
+    def test_handles_grad_none_param(self):
+        with_grad = Parameter(np.zeros(4))
+        with_grad.grad = np.full(4, 10.0)
+        without_grad = Parameter(np.zeros(4))  # grad stays None
+        norm = clip_grad_norm([with_grad, without_grad], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(with_grad.grad) == pytest.approx(1.0)
+        assert without_grad.grad is None
+
+    def test_accepts_generator_input(self):
+        params = [Parameter(np.zeros(2)) for _ in range(2)]
+        params[0].grad = np.array([3.0, 4.0])
+        norm = clip_grad_norm((p for p in params), max_norm=100.0)
+        assert norm == pytest.approx(5.0)
+
+
+class TestStateDictRoundTrip:
+    def _advance(self, model, optimizer, steps=7):
+        x, y = batches(1)
+        for _ in range(steps):
+            optimizer.zero_grad()
+            (((model(x) - y) ** 2).mean()).backward()
+            optimizer.step()
+
+    def test_adamw_state_survives_dict_round_trip(self):
+        model = small_model(7)
+        opt = AdamW(model.parameters(), lr=1e-3, weight_decay=0.01)
+        self._advance(model, opt)
+        state = opt.state_dict()
+
+        twin_model = small_model(7)
+        twin_model.load_state_dict(model.state_dict())
+        twin = AdamW(twin_model.parameters(), lr=1e-3, weight_decay=0.01)
+        twin.load_state_dict(state)
+
+        self._advance(model, opt, steps=5)
+        self._advance(twin_model, twin, steps=5)
+        assert_models_match(model, twin_model, tol=0.0)
+
+    def test_checkpoint_round_trip_via_npz(self, tmp_path):
+        model = small_model(8)
+        opt = AdamW(model.parameters(), lr=2e-3, weight_decay=0.02)
+        self._advance(model, opt)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path, metadata={"step": 7}, optimizer=opt)
+
+        twin_model = small_model(8)
+        twin = AdamW(twin_model.parameters(), lr=99.0, weight_decay=0.02)
+        metadata = load_checkpoint(twin_model, path, optimizer=twin)
+        assert metadata == {"step": 7}
+        assert twin.lr == pytest.approx(2e-3)
+
+        self._advance(model, opt, steps=5)
+        self._advance(twin_model, twin, steps=5)
+        assert_models_match(model, twin_model, tol=0.0)
+
+    def test_missing_optimizer_state_rejected(self, tmp_path):
+        model = small_model(9)
+        path = tmp_path / "no_optim.npz"
+        save_checkpoint(model, path)
+        with pytest.raises(ValueError):
+            load_checkpoint(model, path,
+                            optimizer=AdamW(model.parameters(), lr=1e-3))
+
+    def test_flat_size_mismatch_rejected(self):
+        model = small_model(10)
+        opt = AdamW(model.parameters(), lr=1e-3)
+        state = opt.state_dict()
+        other = AdamW([Parameter(np.zeros(3))], lr=1e-3)
+        with pytest.raises(ValueError):
+            other.load_state_dict(state)

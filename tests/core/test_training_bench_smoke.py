@@ -1,0 +1,41 @@
+"""Tier-1 smoke pass over the training benchmark logic.
+
+Runs the comparisons from ``benchmarks/bench_training.py`` at tiny scale on
+the cached backbone and checks structural outputs -- step counts, positive
+throughput numbers, round-off-level parity divergence -- WITHOUT asserting
+anything about wall-clock speed, so the test is stable on loaded CI
+machines. The real timing comparison lives in the benchmark itself.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from bench_training import (  # noqa: E402
+    run_fit_comparison, run_pretrain_comparison,
+)
+
+
+@pytest.mark.smoke
+def test_pretrain_benchmark_smoke():
+    result = run_pretrain_comparison(corpus_sentences=60, epochs=1,
+                                     parity_epochs=1, d_model=16,
+                                     num_layers=1)
+    assert result["sequences"] == 60
+    assert result["seed_steps"] > 0 and result["fast_steps"] > 0
+    assert result["seed_sps"] > 0 and result["fast_sps"] > 0
+    # float64 rng-order-preserving parity: pure round-off
+    assert result["divergence"] < 1e-6
+
+
+@pytest.mark.smoke
+def test_fit_benchmark_smoke():
+    result = run_fit_comparison(model_name="minilm-tiny", train_cap=12,
+                                valid_cap=8, epochs=1, parity_epochs=1)
+    assert result["pairs"] == 12
+    assert result["seed_steps"] > 0 and result["fast_steps"] > 0
+    assert result["seed_sps"] > 0 and result["fast_sps"] > 0
+    assert result["divergence"] < 1e-6

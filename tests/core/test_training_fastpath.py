@@ -1,0 +1,166 @@
+"""Training-fastpath behavior: batching, persistent engine, loop parity.
+
+The seed-style reference loops live in ``benchmarks/bench_training.py``;
+these tests pin the fastpath to them at test scale -- identical thresholds
+from the vectorized ``tune_threshold``, one engine per ``Trainer.fit``,
+partition-exactness of token-budget batches, and <= 1e-7 final-parameter
+agreement for full training runs in rng-order-preserving parity mode.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from bench_training import (  # noqa: E402
+    max_param_divergence, seed_style_fit, seed_style_pretrain,
+    seed_tune_threshold,
+)
+import repro.core.trainer as trainer_mod  # noqa: E402
+from repro.autograd import get_default_dtype, set_default_dtype  # noqa: E402
+from repro.core import (  # noqa: E402
+    PromptModel, Verbalizer, make_template,
+)
+from repro.core.trainer import (  # noqa: E402
+    Trainer, TrainerConfig, tune_threshold,
+)
+from repro.data import load_dataset  # noqa: E402
+from repro.lm import (  # noqa: E402
+    LMConfig, MiniLM, PretrainConfig, load_pretrained, pretrain,
+)
+from repro.text import Tokenizer, build_corpus, build_vocab  # noqa: E402
+
+from .dummies import ToyPairModel, toy_view
+
+
+@pytest.fixture
+def float64_mode():
+    prev = get_default_dtype()
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(prev)
+
+
+class TestTuneThresholdEquivalence:
+    def test_matches_seed_loop_on_random_inputs(self):
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(1, 60))
+            scores = rng.random(n)
+            if seed % 3 == 0:  # force ties between scores
+                scores = np.round(scores, 1)
+            probs = np.stack([1 - scores, scores], axis=1)
+            labels = rng.integers(0, 2, size=n)
+            assert tune_threshold(probs, labels) == \
+                seed_tune_threshold(probs, labels), f"seed {seed}"
+
+    def test_matches_seed_loop_single_class(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(12)
+        probs = np.stack([1 - scores, scores], axis=1)
+        for label in (0, 1):
+            labels = np.full(12, label)
+            assert tune_threshold(probs, labels) == \
+                seed_tune_threshold(probs, labels)
+
+
+class TestPersistentValidationEngine:
+    def test_fit_builds_exactly_one_engine(self, monkeypatch):
+        calls = []
+        original = trainer_mod._transient_engine
+
+        def counting(batch_size):
+            calls.append(batch_size)
+            return original(batch_size)
+
+        monkeypatch.setattr(trainer_mod, "_transient_engine", counting)
+        view = toy_view(n=80, labeled=24, seed=3)
+        Trainer(ToyPairModel(seed=0),
+                TrainerConfig(epochs=4, batch_size=8, lr=0.05, seed=0)).fit(
+            view.labeled, valid=view.valid)
+        # seed behaviour was one transient engine per epoch's validation
+        assert len(calls) == 1
+
+
+class TestTokenBudgetBatches:
+    def test_batches_partition_every_index(self):
+        lm, tok = load_pretrained("minilm-tiny")
+        template = make_template("t1", tok, max_len=64)
+        model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+        train = load_dataset("REL-HETER").train[:17]
+        fit_trainer = Trainer(model, TrainerConfig(
+            epochs=1, batch_size=4, token_budget=256, seed=0))
+        engine = trainer_mod._transient_engine(4)
+        _, lengths = fit_trainer._train_encodings(engine, train)
+        rng = np.random.default_rng(0)
+        order = rng.permutation(len(train))
+        batches = list(fit_trainer._epoch_batches(order, lengths, rng))
+        seen = np.concatenate(batches)
+        assert sorted(seen.tolist()) == list(range(len(train)))
+        longest = max(lengths)
+        for batch in batches:
+            assert len(batch) <= 4
+            width = max(lengths[i] for i in batch)
+            assert len(batch) * width <= max(256, longest)
+
+    def test_preserve_rng_order_restores_seed_slicing(self):
+        fit_trainer = Trainer(ToyPairModel(), TrainerConfig(
+            batch_size=4, preserve_rng_order=True))
+        order = np.arange(10)[::-1]
+        batches = list(fit_trainer._epoch_batches(
+            order, list(range(10)), np.random.default_rng(0)))
+        np.testing.assert_array_equal(np.concatenate(batches), order)
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+
+class TestPretrainParity:
+    def test_order_preserving_matches_seed_loop(self, float64_mode):
+        corpus = build_corpus(60, seed=0)
+        vocab = build_vocab(corpus, max_words=300)
+        cfg = LMConfig(vocab_size=len(vocab), d_model=16, num_layers=1,
+                       num_heads=2, d_ff=32, max_len=48)
+        pre_cfg = PretrainConfig(epochs=2, batch_size=16, max_len=32,
+                                 lr=1e-3, seed=0, order_preserving=True)
+        ref, fast = MiniLM(cfg), MiniLM(cfg)
+        seed_style_pretrain(ref, Tokenizer(vocab), corpus, pre_cfg)
+        result = pretrain(fast, Tokenizer(vocab), corpus, pre_cfg)
+        assert result.steps > 0
+        assert max_param_divergence(ref, fast) <= 1e-7
+
+    def test_token_budget_changes_batching_but_still_learns(self):
+        corpus = build_corpus(60, seed=0)
+        vocab = build_vocab(corpus, max_words=300)
+        cfg = LMConfig(vocab_size=len(vocab), d_model=16, num_layers=1,
+                       num_heads=2, d_ff=32, max_len=48)
+        result = pretrain(MiniLM(cfg), Tokenizer(vocab), corpus,
+                          PretrainConfig(epochs=2, batch_size=16, max_len=32,
+                                         lr=2e-3, seed=0, token_budget=256))
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+
+class TestTrainerParity:
+    def test_preserve_rng_order_matches_seed_loop(self, float64_mode):
+        dataset = load_dataset("REL-HETER")
+        train = dataset.train[:12]
+        valid = dataset.valid[:8] if dataset.valid else dataset.test[:8]
+        cfg = TrainerConfig(epochs=2, batch_size=4, lr=5e-4, seed=0,
+                            preserve_rng_order=True)
+
+        def build_model():
+            lm, tok = load_pretrained("minilm-tiny")
+            template = make_template("t1", tok, max_len=64)
+            return PromptModel(lm, tok, template,
+                               Verbalizer.designed(tok.vocab))
+
+        ref, fast = build_model(), build_model()
+        seed_style_fit(ref, train, valid, cfg)
+        history = Trainer(fast, cfg).fit(train, valid)
+        assert history.steps > 0
+        assert max_param_divergence(ref, fast) <= 1e-7
+        # thresholds are midpoints of round-off-divergent probabilities, so
+        # agreement is to round-off, not bit-exact
+        assert ref.decision_threshold == \
+            pytest.approx(fast.decision_threshold, abs=1e-9)
