@@ -103,16 +103,44 @@ def warm_backbone() -> None:
     load_pretrained(MODEL_NAME)
 
 
-def emit(table: str, name: str) -> str:
+def emit(table: str, name: str, data=None) -> str:
     """Print a result table and persist it under benchmarks/results/.
 
     pytest captures stdout by default, so the persisted copy is what the
-    EXPERIMENTS.md write-up references.
+    EXPERIMENTS.md write-up references. Alongside the human-readable
+    ``<name>.txt``, a machine-readable ``BENCH_<name>.json`` records the
+    structured numbers (throughput, speedups, parity deltas -- whatever
+    ``data`` carries) so the perf trajectory is diffable across PRs; with
+    no ``data``, the JSON still captures scale + table for tracking.
     """
+    import json
+    import os
     from pathlib import Path
 
     results = Path(__file__).resolve().parent / "results"
     results.mkdir(exist_ok=True)
     (results / f"{name}.txt").write_text(table + "\n")
+    payload = {
+        "bench": name,
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "paper"),
+        "table": table.splitlines(),
+    }
+    if data is not None:
+        payload["data"] = _jsonable(data)
+    (results / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print("\n" + table)
     return table
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays and tuples for json.dumps."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return value

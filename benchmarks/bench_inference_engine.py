@@ -100,7 +100,7 @@ def run_engine_comparison(model, pairs, passes, token_budget=2048,
     }
 
 
-def run_inference_engine_bench() -> str:
+def run_inference_engine_bench():
     scale = bench_scale()
     lm, tok = load_pretrained(MODEL_NAME)
     template = make_template("t2", tok, max_len=128)
@@ -109,10 +109,12 @@ def run_inference_engine_bench() -> str:
 
     passes = max(scale.mc_passes, 5)
     rows = []
+    results = {}
     for dataset_name in scale.datasets:
         dataset = load_dataset(dataset_name)
         pool = (dataset.train + dataset.test)[:4 * scale.unlabeled_cap]
         result = run_engine_comparison(model, pool, passes)
+        results[dataset_name] = result
         rows.append([
             dataset_name,
             result["pairs"],
@@ -127,12 +129,13 @@ def run_inference_engine_bench() -> str:
 
     headers = ["Dataset", "Pairs", "Passes", "Seed p/s", "Engine p/s",
                "Speedup", "Cache hit", "Padding", "Max |diff|"]
-    return render_table(
+    table = render_table(
         headers, rows,
         title=f"Inference engine: MC-Dropout selection (scale={scale.name})")
+    return table, results
 
 
 def test_inference_engine(benchmark):
-    table = benchmark.pedantic(run_inference_engine_bench, rounds=1,
-                               iterations=1)
-    emit(table, "inference_engine")
+    table, data = benchmark.pedantic(run_inference_engine_bench, rounds=1,
+                                     iterations=1)
+    emit(table, "inference_engine", data=data)

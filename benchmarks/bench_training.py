@@ -471,7 +471,7 @@ def run_fit_comparison(model_name=MODEL_NAME, dataset_name="REL-HETER",
     }
 
 
-def run_training_bench() -> str:
+def run_training_bench():
     scale = bench_scale()
     if scale.name == "smoke":
         mlm = run_pretrain_comparison(corpus_sentences=240, epochs=2)
@@ -496,12 +496,14 @@ def run_training_bench() -> str:
         ])
     headers = ["Loop", "Size", "Seed steps", "Fast steps", "Seed st/s",
                "Fast st/s", "Speedup", "Parity max|d|"]
-    return render_table(
+    table = render_table(
         headers, rows,
         title=f"Training fastpath vs seed-style loops (scale={scale.name}; "
               "parity in float64, rng-order-preserving mode)")
+    return table, {"mlm_pretrain": mlm, "trainer_fit": fit}
 
 
 def test_training(benchmark):
-    table = benchmark.pedantic(run_training_bench, rounds=1, iterations=1)
-    emit(table, "training")
+    table, data = benchmark.pedantic(run_training_bench, rounds=1,
+                                     iterations=1)
+    emit(table, "training", data=data)

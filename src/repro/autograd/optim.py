@@ -98,16 +98,32 @@ class Optimizer:
             if p.data is not self._views[i]:
                 self._adopt(i, p)
 
-    def _gather(self) -> Optional[np.ndarray]:
-        """Fill the flat grad buffer; returns the element mask of parameters
-        that have a gradient, or ``None`` when every parameter does."""
+    def flatten_grads(self, out: Optional[np.ndarray] = None
+                      ) -> Tuple[bool, ...]:
+        """Gather per-parameter gradients into one flat vector.
+
+        Writes into ``out`` when given (e.g. a shared-memory gradient slot;
+        must match ``flat_size``), else into the internal grad buffer.
+        Absent gradients leave zeroed segments. Returns the per-parameter
+        presence tuple, which :meth:`step_flat` accepts to reproduce the
+        skip-missing-parameters semantics after an external reduction.
+        """
+        target = self._grad if out is None else out
+        if target.shape != self._grad.shape:
+            raise ValueError(f"flat gradient output has shape {target.shape},"
+                             f" expected {self._grad.shape}")
         present = tuple(p.grad is not None for p in self.parameters)
         for i, p in enumerate(self.parameters):
-            seg = self._grad[self._segment(i)]
+            seg = target[self._segment(i)]
             if p.grad is None:
                 seg[:] = 0.0
             else:
                 np.copyto(seg, p.grad.reshape(-1), casting="same_kind")
+        return present
+
+    def _present_mask(self, present: Tuple[bool, ...]
+                      ) -> Optional[np.ndarray]:
+        """Element mask for a presence tuple (``None`` = all present)."""
         if all(present):
             return None
         mask = self._mask_cache.get(present)
@@ -118,6 +134,11 @@ class Optimizer:
                     mask[self._segment(i)] = True
             self._mask_cache[present] = mask
         return mask
+
+    def _gather(self) -> Optional[np.ndarray]:
+        """Fill the flat grad buffer; returns the element mask of parameters
+        that have a gradient, or ``None`` when every parameter does."""
+        return self._present_mask(self.flatten_grads())
 
     def _clip_flat(self, max_norm: float) -> float:
         """Global-norm clip over the gathered flat gradient buffer.
@@ -159,6 +180,68 @@ class Optimizer:
 
     def _update(self, mask: Optional[np.ndarray]) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Flat-buffer parallel API (see repro.parallel)
+    # ------------------------------------------------------------------
+    @property
+    def flat_size(self) -> int:
+        """Total element count of the flat parameter buffer."""
+        return len(self._flat)
+
+    @property
+    def flat_dtype(self) -> np.dtype:
+        """dtype of the flat parameter buffer."""
+        return self._dtype
+
+    @property
+    def flat_data(self) -> np.ndarray:
+        """The live flat parameter vector (views re-synced first).
+
+        This is the buffer itself, not a copy: read it to publish a
+        snapshot, never mutate it directly.
+        """
+        self._sync_views()
+        return self._flat
+
+    def load_flat(self, values: np.ndarray) -> None:
+        """Overwrite every parameter from a flat vector.
+
+        Workers use this to adopt a published parameter snapshot without
+        touching per-parameter arrays; all module views update for free
+        since they alias the flat buffer.
+        """
+        values = np.asarray(values)
+        if values.shape != self._flat.shape:
+            raise ValueError(f"flat parameter vector has shape "
+                             f"{values.shape}, expected {self._flat.shape}")
+        self._sync_views()
+        np.copyto(self._flat, values, casting="same_kind")
+
+    def step_flat(self, flat_grad: np.ndarray,
+                  grad_clip: Optional[float] = None,
+                  present: Optional[Tuple[bool, ...]] = None
+                  ) -> Optional[float]:
+        """Apply one update from an externally reduced flat gradient.
+
+        The data-parallel trainer sums per-shard gradients (gathered with
+        :meth:`flatten_grads`) into one vector and hands it here; the math
+        from this point on is exactly :meth:`step`'s -- same clip, same
+        fused update, same skip-missing semantics via ``present`` (the
+        element-wise OR of the shards' presence tuples).
+        """
+        self._sync_views()
+        if flat_grad is not self._grad:
+            if flat_grad.shape != self._grad.shape:
+                raise ValueError(f"flat gradient has shape {flat_grad.shape},"
+                                 f" expected {self._grad.shape}")
+            np.copyto(self._grad, flat_grad, casting="same_kind")
+        mask = None if present is None else self._present_mask(tuple(present))
+        norm = None
+        if grad_clip is not None:
+            norm = self._clip_flat(grad_clip)
+        self._update(mask)
+        return norm
 
     # ------------------------------------------------------------------
     # Serialization

@@ -55,12 +55,14 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_matcher(method: str, model_name: str):
+def _make_matcher(method: str, model_name: str,
+                  workers: Optional[int] = None):
     from .baselines import BASELINE_NAMES, make_baseline
     from .core import PromptEM, PromptEMConfig
 
     if method == "PromptEM":
-        return PromptEM(PromptEMConfig(model_name=model_name))
+        return PromptEM(PromptEMConfig(model_name=model_name,
+                                       workers=workers))
     if method in BASELINE_NAMES:
         kwargs = {}
         if method not in ("DeepMatcher", "TDmatch", "TDmatch*"):
@@ -87,7 +89,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"{dataset.name}: {len(view.labeled)} labeled / "
           f"{len(view.unlabeled)} unlabeled / {len(view.test)} test")
 
-    matcher = _make_matcher(args.method, args.model)
+    matcher = _make_matcher(args.method, args.model, workers=args.workers)
     start = time.time()
     matcher.fit(view)
     elapsed = time.time() - start
@@ -154,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--count", type=int, default=None,
                      help="exact number of labels (overrides --rate)")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes for training/inference "
+                          "(PromptEM only; results identical at any count)")
     run.add_argument("--save", help="save the fitted matcher to this path")
     run.add_argument("--verbose", action="store_true",
                      help="print inference-engine throughput statistics")

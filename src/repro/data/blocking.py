@@ -12,7 +12,6 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
-from ..text.similarity import overlap_coefficient
 from ..text.tokenizer import basic_tokenize
 from .records import EntityRecord, Table
 from .serialize import serialize
@@ -47,12 +46,21 @@ class OverlapBlocker:
                 if t not in ("[COL]", "[VAL]") and len(t) > 1}
 
     def block(self, left: Table, right: Table) -> BlockingResult:
-        """Return candidate pairs sharing enough tokens."""
-        right_tokens = {r.record_id: self._tokens(r) for r in right}
+        """Return candidate pairs sharing enough tokens.
+
+        The inverted-index walk already counts ``shared = |L intersect R|``
+        per right record, so the overlap coefficient is computed directly
+        as ``shared / min(|L|, |R|)`` -- re-intersecting the token sets per
+        surviving candidate (the old :func:`overlap_coefficient` call)
+        would redo exactly that work.
+        """
+        right_size: Dict[str, int] = {}
         index: Dict[str, List[str]] = defaultdict(list)
-        for rid, tokens in right_tokens.items():
+        for record in right:
+            tokens = self._tokens(record)
+            right_size[record.record_id] = len(tokens)
             for token in tokens:
-                index[token].append(rid)
+                index[token].append(record.record_id)
 
         candidates: List[Tuple[EntityRecord, EntityRecord]] = []
         right_by_id = {r.record_id: r for r in right}
@@ -65,7 +73,8 @@ class OverlapBlocker:
             for rid, shared in counts.items():
                 if shared < self.min_shared_tokens:
                     continue
-                score = overlap_coefficient(tokens, right_tokens[rid])
+                smaller = min(len(tokens), right_size[rid])
+                score = shared / smaller if smaller else 0.0
                 if score >= self.threshold:
                     candidates.append((left_record, right_by_id[rid]))
         return BlockingResult(candidates=candidates,

@@ -16,7 +16,7 @@ Mirrors the HuggingFace tokenizer behaviour the paper depends on:
 from __future__ import annotations
 
 import re
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -43,8 +43,38 @@ def basic_tokenize(text: str) -> List[str]:
     return tokens
 
 
+#: entries kept per vocabulary in the wordpiece memo below
+_WORDPIECE_CACHE_CAP = 32768
+
+
 def wordpiece(word: str, vocab: Vocabulary, max_chars: int = 64) -> List[str]:
-    """Greedy longest-match-first subword split of an alphabetic ``word``."""
+    """Greedy longest-match-first subword split of an alphabetic ``word``.
+
+    Memoized per vocabulary: records repeat the same words constantly, and
+    the greedy loop probes O(len^2) substrings per miss. The LRU lives on
+    the vocabulary object (splits are a pure function of word + vocab
+    contents) and is dropped whenever the vocabulary grows, since new
+    entries can change a longest match.
+    """
+    cache = vocab.__dict__.get("_wordpiece_cache")
+    if cache is None or vocab.__dict__.get("_wordpiece_vocab_len") != len(vocab):
+        cache = OrderedDict()
+        vocab._wordpiece_cache = cache
+        vocab._wordpiece_vocab_len = len(vocab)
+    hit = cache.get(word)
+    if hit is not None:
+        cache.move_to_end(word)
+        return list(hit)
+    pieces = _wordpiece_split(word, vocab, max_chars)
+    cache[word] = tuple(pieces)
+    if len(cache) > _WORDPIECE_CACHE_CAP:
+        cache.popitem(last=False)
+    return pieces
+
+
+def _wordpiece_split(word: str, vocab: Vocabulary,
+                     max_chars: int) -> List[str]:
+    """The uncached greedy split behind :func:`wordpiece`."""
     if len(word) > max_chars:
         return ["[UNK]"]
     pieces: List[str] = []

@@ -1,0 +1,43 @@
+"""Tier-1 smoke pass over the parallel benchmark logic.
+
+Runs :func:`benchmarks.bench_parallel.run_parallel_comparison` on the tiny
+cached backbone and checks its structural outputs -- every worker arm
+reports throughput, the bit-parity divergence is exactly 0.0 -- WITHOUT
+asserting anything about wall-clock scaling, which is core-count-bound
+and belongs to ``benchmarks/bench_parallel.py``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from bench_parallel import WORKER_COUNTS, run_parallel_comparison  # noqa: E402
+from repro.core import PromptModel, Verbalizer, make_template  # noqa: E402
+from repro.data import load_dataset  # noqa: E402
+from repro.lm import load_pretrained  # noqa: E402
+
+
+@pytest.mark.smoke
+def test_parallel_benchmark_smoke():
+    lm, tok = load_pretrained("minilm-tiny")
+    template = make_template("t1", tok, max_len=64)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+    model.eval()
+    pairs = load_dataset("REL-HETER").test[:10]
+
+    result = run_parallel_comparison(model, pairs, passes=4,
+                                     token_budget=512, iterations=1)
+    assert result["pairs"] == 10 and result["passes"] == 4
+    assert result["sequential_pps"] > 0
+    assert set(result["arms"]) == set(WORKER_COUNTS)
+    for workers, arm in result["arms"].items():
+        assert arm["pairs_per_sec"] > 0, workers
+        assert arm["speedup_vs_serial"] > 0, workers
+        assert arm["speedup_vs_sequential"] > 0, workers
+        # the contract the whole subsystem is built around: worker count
+        # changes wall-clock, never bits
+        assert arm["divergence"] == 0.0, workers
+    assert not model.training  # mode restored

@@ -1,0 +1,157 @@
+"""Parallel/serial parity: worker count changes wall-clock, never bits.
+
+Every test compares workers in {1, 2, 4} (plus a forced-serial run) on ONE
+model instance, restoring its initial ``state_dict`` between training
+runs. One instance matters: each ``Dropout`` module draws a process-global
+``seed_salt`` at construction, so two identically-configured models built
+in the same process have different plan-seeded masks -- reusing the
+instance is what makes "same seeds, different worker count" the only
+variable under test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PromptModel, Verbalizer, make_template
+from repro.core.trainer import Trainer, TrainerConfig, evaluate_f1
+from repro.core.uncertainty import select_pseudo_labels
+from repro.data import load_dataset
+from repro.infer import EngineConfig, InferenceEngine
+from repro.lm import load_pretrained
+from repro.parallel import force_serial
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    return load_pretrained("minilm-tiny")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("REL-HETER")
+
+
+@pytest.fixture(scope="module")
+def prompt_model(backbone):
+    lm, tok = backbone
+    template = make_template("t1", tok, max_len=96)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+    model.eval()
+    return model
+
+
+def engine_with(workers, **overrides):
+    kwargs = dict(token_budget=256, max_batch_pairs=4, workers=workers)
+    kwargs.update(overrides)
+    return InferenceEngine(EngineConfig(**kwargs))
+
+
+class TestInferenceParity:
+    def test_predict_proba_identical_across_workers(self, prompt_model,
+                                                    dataset):
+        pairs = dataset.test[:12]
+        reference = engine_with(1).predict_proba(prompt_model, pairs)
+        for workers in WORKER_COUNTS[1:]:
+            probs = engine_with(workers).predict_proba(prompt_model, pairs)
+            np.testing.assert_array_equal(probs, reference)
+
+    def test_mc_dropout_identical_across_workers(self, prompt_model, dataset):
+        pairs = dataset.test[:12]
+        reference = engine_with(1).mc_dropout_proba(prompt_model, pairs,
+                                                    passes=4, seed=7)
+        assert reference.shape == (4, 12, 2)
+        for workers in WORKER_COUNTS[1:]:
+            probs = engine_with(workers).mc_dropout_proba(
+                prompt_model, pairs, passes=4, seed=7)
+            np.testing.assert_array_equal(probs, reference)
+
+    def test_forced_serial_matches_forked(self, prompt_model, dataset):
+        pairs = dataset.test[:12]
+        forked = engine_with(4).mc_dropout_proba(prompt_model, pairs,
+                                                 passes=3, seed=0)
+        with force_serial():
+            serial = engine_with(4).mc_dropout_proba(prompt_model, pairs,
+                                                     passes=3, seed=0)
+        np.testing.assert_array_equal(serial, forked)
+
+    def test_f1_identical_across_workers(self, prompt_model, dataset):
+        pairs = dataset.test[:12]
+        scores = {w: evaluate_f1(prompt_model, pairs, engine=engine_with(w))
+                  for w in WORKER_COUNTS}
+        assert len(set(scores.values())) == 1
+
+    def test_pseudo_label_indices_identical_across_workers(
+            self, prompt_model, dataset):
+        pool = (dataset.train + dataset.test)[:24]
+        reference = select_pseudo_labels(prompt_model, pool, ratio=0.25,
+                                         passes=4, seed=3,
+                                         engine=engine_with(1))
+        for workers in WORKER_COUNTS[1:]:
+            selection = select_pseudo_labels(prompt_model, pool, ratio=0.25,
+                                             passes=4, seed=3,
+                                             engine=engine_with(workers))
+            np.testing.assert_array_equal(selection.indices,
+                                          reference.indices)
+            np.testing.assert_array_equal(selection.pseudo_labels,
+                                          reference.pseudo_labels)
+
+    def test_workers_knob_without_engine(self, prompt_model, dataset):
+        # the transient engine the knob builds must select the same indices
+        # as an identically-configured single-worker engine (MC masks are a
+        # function of the bucket shapes, so configs must match exactly)
+        pool = (dataset.train + dataset.test)[:24]
+        reference = select_pseudo_labels(
+            prompt_model, pool, ratio=0.25, passes=4, seed=3,
+            engine=InferenceEngine(EngineConfig(max_batch_pairs=32)))
+        selection = select_pseudo_labels(prompt_model, pool, ratio=0.25,
+                                         passes=4, seed=3, workers=2)
+        np.testing.assert_array_equal(selection.indices, reference.indices)
+
+
+class TestTrainingParity:
+    def _fit_once(self, model, initial, train, valid, workers):
+        model.load_state_dict(initial)
+        if hasattr(model, "decision_threshold"):
+            del model.decision_threshold
+        cfg = TrainerConfig(epochs=2, batch_size=8, lr=5e-4, seed=0,
+                            workers=workers)
+        history = Trainer(model, cfg).fit(train, valid)
+        weights = {k: v.copy() for k, v in model.state_dict().items()}
+        return history, weights
+
+    def test_trained_weights_identical_across_workers(self, prompt_model,
+                                                      dataset):
+        train = dataset.train[:16]
+        valid = dataset.test[:8]
+        initial = {k: v.copy() for k, v in prompt_model.state_dict().items()}
+
+        runs = {}
+        for workers in WORKER_COUNTS:
+            runs[workers] = self._fit_once(prompt_model, initial, train,
+                                           valid, workers)
+        with force_serial():
+            runs["serial"] = self._fit_once(prompt_model, initial, train,
+                                            valid, 4)
+
+        ref_history, ref_weights = runs[1]
+        assert ref_history.steps > 0
+        for key, (history, weights) in runs.items():
+            assert history.losses == ref_history.losses, key
+            assert history.valid_f1 == ref_history.valid_f1, key
+            for name, value in ref_weights.items():
+                np.testing.assert_array_equal(weights[name], value,
+                                              err_msg=f"{key}:{name}")
+
+    def test_legacy_path_untouched_when_workers_none(self, prompt_model,
+                                                     dataset):
+        train = dataset.train[:8]
+        initial = {k: v.copy() for k, v in prompt_model.state_dict().items()}
+        prompt_model.load_state_dict(initial)
+        if hasattr(prompt_model, "decision_threshold"):
+            del prompt_model.decision_threshold
+        cfg = TrainerConfig(epochs=1, batch_size=8, lr=5e-4, seed=0)
+        history = Trainer(prompt_model, cfg).fit(train)
+        assert history.steps > 0
+        prompt_model.load_state_dict(initial)
