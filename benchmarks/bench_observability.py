@@ -1,0 +1,154 @@
+"""Observability overhead benchmark: Trainer.fit with telemetry off vs on.
+
+The instrumentation contract (``docs/OBSERVABILITY.md``) is that disabled
+telemetry is a strict no-op fast path: call sites fetch the active session
+once and hit shared null objects, so shipping the instrumented trainer must
+cost under 2% of the uninstrumented loop. Two measurements bound it:
+
+* **micro**: a tight loop over the exact disabled hot-path sequence
+  (``get_telemetry()`` + ``enabled`` check + null counter ``inc()`` + null
+  span enter/exit) gives nanoseconds per instrumented step. Charging that
+  full sequence to *every* optimizer step -- although the real loop guards
+  the counter/event calls behind ``tel.enabled`` and pays only the branch
+  -- yields ``disabled_overhead_pct``, a deliberate upper bound;
+* **macro**: the same ``Trainer.fit`` (identical initial weights, same
+  seed, fresh optimizer per run) timed under three arms -- ``disabled``
+  (no session), ``metrics`` (in-memory registry + tracer) and ``full``
+  (JSONL run log with ``trace=True``) -- reporting steps/sec and the
+  enabled arms' overhead over the disabled one.
+
+The model state is restored from one initial ``state_dict`` between runs
+(dropout seeds are drawn at module construction, so re-building the model
+would change the work); every arm therefore executes bit-identical math.
+"""
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import MODEL_NAME, emit, warm_backbone  # noqa: E402
+from repro.core import PromptModel, Verbalizer, make_template  # noqa: E402
+from repro.core.trainer import Trainer, TrainerConfig  # noqa: E402
+from repro.data import load_dataset  # noqa: E402
+from repro.eval import bench_scale, render_table  # noqa: E402
+from repro.lm import load_pretrained  # noqa: E402
+from repro.obs import get_telemetry, telemetry_session  # noqa: E402
+
+#: instrumented operations charged to every optimizer step by the micro
+#: bound (get_telemetry + enabled check + counter inc + span enter/exit)
+NOOP_ITERATIONS = 200_000
+
+
+def measure_noop_ns(iterations: int = NOOP_ITERATIONS) -> float:
+    """Nanoseconds per disabled hot-path sequence (no session installed)."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("bench.noop").inc()
+        tel.metrics.counter("bench.noop").inc()
+        with tel.span("bench.noop"):
+            pass
+    elapsed = time.perf_counter() - start
+    return elapsed / iterations * 1e9
+
+
+def run_overhead_comparison(model, pairs, epochs=2, batch_size=8,
+                            repeats=2, seed=0):
+    """Time Trainer.fit under the three telemetry arms.
+
+    Returns a dict with per-arm best wall time and steps/sec, the enabled
+    arms' overhead over the disabled arm, and the micro-measured no-op
+    cost with the upper-bound ``disabled_overhead_pct`` it implies.
+    """
+    pairs = list(pairs)
+    initial = {k: v.copy() for k, v in model.state_dict().items()}
+    cfg = TrainerConfig(epochs=epochs, batch_size=batch_size, seed=seed)
+
+    def one_fit():
+        model.load_state_dict(initial)
+        start = time.perf_counter()
+        history = Trainer(model, cfg).fit(pairs)
+        return time.perf_counter() - start, history.steps
+
+    arms = {}
+    steps = 0
+    for arm in ("disabled", "metrics", "full"):
+        times = []
+        for _ in range(repeats):
+            if arm == "disabled":
+                elapsed, steps = one_fit()
+            elif arm == "metrics":
+                with telemetry_session():
+                    elapsed, steps = one_fit()
+            else:
+                with tempfile.TemporaryDirectory() as tmp:
+                    with telemetry_session(path=os.path.join(tmp, "t.jsonl"),
+                                           trace=True):
+                        elapsed, steps = one_fit()
+            times.append(elapsed)
+        best = min(times)
+        arms[arm] = {"seconds": best, "steps": steps,
+                     "steps_per_sec": steps / best if best > 0 else 0.0}
+
+    base = arms["disabled"]["seconds"]
+    for arm in ("metrics", "full"):
+        arms[arm]["overhead_pct"] = 100.0 * (arms[arm]["seconds"] - base) \
+            / base if base > 0 else 0.0
+
+    noop_ns = measure_noop_ns()
+    step_ns = base / steps * 1e9 if steps else float("inf")
+    return {
+        "pairs": len(pairs),
+        "epochs": epochs,
+        "steps": steps,
+        "arms": arms,
+        "noop_ns": noop_ns,
+        "disabled_overhead_pct": 100.0 * noop_ns / step_ns,
+        "budget_pct": 2.0,
+    }
+
+
+def main() -> None:
+    scale = bench_scale()
+    warm_backbone()
+    lm, tok = load_pretrained(MODEL_NAME)
+    template = make_template("t2", tok, max_len=96)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+    dataset = load_dataset("REL-HETER")
+    if scale.name == "paper":
+        pairs = dataset.low_resource(rate=0.8, seed=0).labeled
+        epochs, repeats = 4, 3
+    else:
+        pairs = dataset.low_resource(seed=0).labeled
+        epochs, repeats = 2, 2
+
+    result = run_overhead_comparison(model, pairs, epochs=epochs,
+                                     repeats=repeats)
+    rows = []
+    for arm in ("disabled", "metrics", "full"):
+        stats = result["arms"][arm]
+        rows.append([arm, f"{stats['seconds']:.2f}s",
+                     f"{stats['steps_per_sec']:.1f}",
+                     "--" if arm == "disabled"
+                     else f"{stats['overhead_pct']:+.2f}%"])
+    rows.append(["no-op bound", f"{result['noop_ns']:.0f}ns/step", "--",
+                 f"{result['disabled_overhead_pct']:+.4f}%"])
+    table = render_table(
+        ["Arm", "Wall", "steps/s", "Overhead"], rows,
+        title=f"Telemetry overhead on Trainer.fit ({result['steps']} steps, "
+              f"budget {result['budget_pct']:.0f}%)")
+    emit(table, "observability", data=result)
+
+    within = result["disabled_overhead_pct"] < result["budget_pct"]
+    print(f"disabled fast path: {result['disabled_overhead_pct']:.4f}% "
+          f"of a step ({'within' if within else 'OVER'} the "
+          f"{result['budget_pct']:.0f}% budget)")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,9 +12,47 @@ Usage (after ``pip install -e .``)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from typing import List, Optional
+
+
+def _telemetry(args: argparse.Namespace):
+    """A telemetry session for ``--telemetry``/``--trace``, else a no-op.
+
+    ``--trace`` without ``--telemetry`` still collects spans in memory so
+    the per-phase breakdown can be printed at the end.
+    """
+    from .obs import DISABLED, telemetry_session
+
+    path = getattr(args, "telemetry", None)
+    trace = bool(getattr(args, "trace", False))
+    if path is None and not trace:
+        return contextlib.nullcontext(DISABLED)
+    return telemetry_session(path=path, trace=trace)
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="write structured JSONL run telemetry here")
+    parser.add_argument("--trace", action="store_true",
+                        help="record hierarchical spans and print a "
+                             "per-phase time breakdown")
+
+
+def _print_trace_summary(tel) -> None:
+    """Per-phase wall-time breakdown from the collected spans."""
+    tracer = getattr(tel, "tracer", None)
+    if tracer is None or not tracer.spans:
+        return
+    from .eval import render_table
+
+    rows = [[("  " * rec["depth"]) + rec["name"],
+             f"{rec['wall']:.3f}s", f"{rec['cpu']:.3f}s"]
+            for rec in sorted(tracer.spans, key=lambda r: r["index"])]
+    print(render_table(["Phase", "Wall", "CPU"], rows,
+                       title="Per-phase time breakdown"))
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -48,8 +86,11 @@ def _cmd_pretrain(args: argparse.Namespace) -> int:
     from .lm import load_pretrained
 
     start = time.time()
-    model, tokenizer = load_pretrained(args.model, force_retrain=args.force,
-                                       verbose=True)
+    with _telemetry(args) as tel:
+        model, tokenizer = load_pretrained(args.model,
+                                           force_retrain=args.force,
+                                           verbose=True)
+        _print_trace_summary(tel)
     print(f"{args.model}: {model.num_parameters()} parameters, "
           f"vocab {len(tokenizer.vocab)}, ready in {time.time() - start:.1f}s")
     return 0
@@ -90,10 +131,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"{len(view.unlabeled)} unlabeled / {len(view.test)} test")
 
     matcher = _make_matcher(args.method, args.model, workers=args.workers)
-    start = time.time()
-    matcher.fit(view)
-    elapsed = time.time() - start
-    prf = matcher.evaluate(view.test)
+    with _telemetry(args) as tel:
+        tel.event("run.start", method=args.method, dataset=dataset.name,
+                  model=args.model, seed=args.seed,
+                  workers=args.workers,
+                  labeled=len(view.labeled), unlabeled=len(view.unlabeled),
+                  test=len(view.test))
+        start = time.time()
+        with tel.span("run.fit", method=args.method):
+            matcher.fit(view)
+        elapsed = time.time() - start
+        with tel.span("run.evaluate"):
+            prf = matcher.evaluate(view.test)
+        if tel.enabled:
+            engine_fn = getattr(matcher, "engine", None)
+            engine = engine_fn() if callable(engine_fn) else None
+            if engine is not None and engine.stats.pairs:
+                tel.event("engine.stats", scope="prediction",
+                          **engine.stats_dict())
+            tel.event("run.summary", f1=float(prf.f1),
+                      precision=float(prf.precision),
+                      recall=float(prf.recall),
+                      elapsed_seconds=elapsed)
+        _print_trace_summary(tel)
     print(f"{args.method} on {dataset.name}: "
           f"P={prf.precision:.1f} R={prf.recall:.1f} F1={prf.f1:.1f} "
           f"(trained in {elapsed:.1f}s)")
@@ -144,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--model", default="minilm-base")
     pretrain.add_argument("--force", action="store_true",
                           help="retrain even if cached")
+    _add_telemetry_flags(pretrain)
 
     run = sub.add_parser("run", help="train + evaluate a matcher")
     run.add_argument("--dataset", default="REL-HETER")
@@ -162,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--save", help="save the fitted matcher to this path")
     run.add_argument("--verbose", action="store_true",
                      help="print inference-engine throughput statistics")
+    _add_telemetry_flags(run)
     return parser
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from ..autograd import Module
 from ..data.dataset import CandidatePair
 from ..infer import InferenceEngine
+from ..obs import get_telemetry
 from .trainer import stochastic_proba
 from .uncertainty import _worker_engine
 
@@ -100,4 +101,14 @@ def prune_dataset(model: Module, pairs: List[CandidatePair],
             candidates = [i for i in drop if pairs[i].label == cls]
             best = max(candidates, key=lambda i: scores[i])
             kept.append(pairs[best])
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.metrics.counter("el2n.pruned").inc(len(pairs) - len(kept))
+        tel.metrics.quantiles("el2n.scores").observe_many(scores.tolist())
+        tel.event("el2n.prune", before=len(pairs), after=len(kept),
+                  dropped=len(pairs) - len(kept), ratio=float(ratio),
+                  passes=passes,
+                  score_mean=float(scores.mean()),
+                  score_min=float(scores.min()),
+                  score_max=float(scores.max()))
     return kept

@@ -25,6 +25,7 @@ import numpy as np
 from ..autograd import Module
 from ..data.dataset import CandidatePair
 from ..infer import EngineConfig, InferenceEngine
+from ..obs import get_telemetry
 from .el2n import prune_dataset
 from .trainer import Trainer, TrainerConfig, evaluate_f1
 from .uncertainty import select_pseudo_labels
@@ -117,11 +118,14 @@ class LightweightSelfTrainer:
         best_model: Optional[Module] = None
         best_f1 = -1.0
 
+        tel = get_telemetry()
         for iteration in range(cfg.iterations):
             # --- teacher (Algorithm 1, lines 2-4) -----------------------
             teacher = self.model_factory()
-            Trainer(teacher, self._trainer_config(
-                cfg.teacher_epochs, seed_offset=iteration)).fit(d_l, valid=valid)
+            with tel.span("selftrain.teacher", iteration=iteration):
+                Trainer(teacher, self._trainer_config(
+                    cfg.teacher_epochs, seed_offset=iteration)).fit(
+                    d_l, valid=valid)
             teacher_f1 = evaluate_f1(teacher, valid, batch_size=cfg.batch_size,
                                      engine=engine)
             report.teacher_valid_f1.append(teacher_f1)
@@ -129,15 +133,21 @@ class LightweightSelfTrainer:
                 best_f1, best_model = teacher_f1, teacher
 
             # --- pseudo-label selection (lines 5-8) ---------------------
+            pseudo_positive = pseudo_negative = 0
             if d_u:
-                selection = select_pseudo_labels(
-                    teacher, d_u, ratio=cfg.pseudo_label_ratio,
-                    passes=cfg.mc_passes, strategy=cfg.selection_strategy,
-                    batch_size=cfg.batch_size, seed=cfg.seed + iteration,
-                    engine=engine)
+                with tel.span("selftrain.pseudo_label", iteration=iteration):
+                    selection = select_pseudo_labels(
+                        teacher, d_u, ratio=cfg.pseudo_label_ratio,
+                        passes=cfg.mc_passes, strategy=cfg.selection_strategy,
+                        batch_size=cfg.batch_size, seed=cfg.seed + iteration,
+                        engine=engine)
                 chosen = set(selection.indices.tolist())
                 for idx, label in zip(selection.indices, selection.pseudo_labels):
                     d_l.append(d_u[idx].with_label(int(label)))
+                    if int(label) == 1:
+                        pseudo_positive += 1
+                    else:
+                        pseudo_negative += 1
                 d_u = [p for i, p in enumerate(d_u) if i not in chosen]
                 report.pseudo_labels_added.append(len(chosen))
             else:
@@ -164,9 +174,10 @@ class LightweightSelfTrainer:
                 current["train"] = kept
                 return kept
 
-            Trainer(student, self._trainer_config(
-                cfg.student_epochs, seed_offset=100 + iteration)).fit(
-                d_l, valid=valid, epoch_callback=prune_callback)
+            with tel.span("selftrain.student", iteration=iteration):
+                Trainer(student, self._trainer_config(
+                    cfg.student_epochs, seed_offset=100 + iteration)).fit(
+                    d_l, valid=valid, epoch_callback=prune_callback)
             student_f1 = evaluate_f1(student, valid, batch_size=cfg.batch_size,
                                      engine=engine)
             report.student_valid_f1.append(student_f1)
@@ -176,6 +187,20 @@ class LightweightSelfTrainer:
             # --- keep the best model on validation (line 16) ------------
             if student_f1 >= best_f1:
                 best_f1, best_model = student_f1, student
+
+            if tel.enabled:
+                tel.metrics.counter("selftrain.rounds").inc()
+                tel.metrics.counter("selftrain.pseudo_labels").inc(
+                    report.pseudo_labels_added[-1])
+                tel.event("selftrain.round", iteration=iteration,
+                          teacher_f1=float(teacher_f1),
+                          student_f1=float(student_f1),
+                          pseudo_added=report.pseudo_labels_added[-1],
+                          pseudo_positive=pseudo_positive,
+                          pseudo_negative=pseudo_negative,
+                          pruned=pruned_counter[0],
+                          train_size=len(d_l),
+                          unlabeled_remaining=len(d_u))
 
         if best_model is None:
             raise RuntimeError("self-training ran zero iterations; "
@@ -187,4 +212,7 @@ class LightweightSelfTrainer:
             report.engine_cache_hit_rate = stats.cache_hit_rate
             report.engine_batches = stats.batches
             report.engine_padding_fraction = stats.padding_fraction
+            if tel.enabled and stats.pairs:
+                tel.event("engine.stats", scope="self_training",
+                          **engine.stats_dict())
         return best_model, report

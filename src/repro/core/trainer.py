@@ -8,6 +8,7 @@ select the epoch with the highest F1-score on the validation set").
 from __future__ import annotations
 
 import inspect
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
@@ -18,6 +19,7 @@ from ..data.dataset import CandidatePair
 from ..eval.metrics import ConfusionMatrix
 from ..infer import EngineConfig, InferenceEngine
 from ..infer.engine import pack_buckets
+from ..obs import fingerprint_digest, get_telemetry
 from ..parallel import (GradientBoard, ParameterPublisher, WorkerPool,
                         shard_indices)
 
@@ -195,7 +197,12 @@ class _ShardedTrainSession:
         self.labels = np.array([p.label for p in train], dtype=np.int64)
         self.weights = weights
         fingerprint = getattr(self.model, "encoding_fingerprint", None)
-        self.fingerprint = repr(fingerprint()) if fingerprint else ""
+        self.fingerprint = fingerprint_digest(fingerprint()) \
+            if fingerprint else ""
+        tel = get_telemetry()
+        if tel.enabled and self.fingerprint:
+            tel.event("trainer.fingerprint", fingerprint=self.fingerprint,
+                      grad_shards=cfg.grad_shards, workers=cfg.workers)
         self.publisher = ParameterPublisher(self.optimizer, self.fingerprint)
         self.board = GradientBoard(max(cfg.grad_shards, 1),
                                    self.optimizer.flat_size,
@@ -228,8 +235,13 @@ class _ShardedTrainSession:
         present = self.optimizer.flatten_grads(self.board.slot(slot))
         return float(loss.item()), present
 
-    def step(self, step_index: int, idx: np.ndarray) -> float:
-        """One optimizer step over batch ``idx``; returns the mean loss."""
+    def step(self, step_index: int, idx: np.ndarray):
+        """One optimizer step over batch ``idx``.
+
+        Returns ``(mean_loss, grad_norm)`` -- the pre-clip global gradient
+        norm the fused update measured, which the trainer's per-step
+        telemetry reports.
+        """
         shards = shard_indices(len(idx), self.cfg.grad_shards)
         results = self.pool.map(
             [(step_index, slot, idx[shard])
@@ -240,10 +252,10 @@ class _ShardedTrainSession:
         reduced *= 1.0 / total
         present = tuple(any(flags) for flags in
                         zip(*(present for _, present in results)))
-        self.optimizer.step_flat(reduced, grad_clip=self.cfg.grad_clip,
-                                 present=present)
+        grad_norm = self.optimizer.step_flat(
+            reduced, grad_clip=self.cfg.grad_clip, present=present)
         self.publisher.publish(self.optimizer)
-        return sum(loss for loss, _ in results) / total
+        return sum(loss for loss, _ in results) / total, grad_norm
 
     def close(self) -> None:
         self.pool.close()
@@ -295,68 +307,119 @@ class Trainer:
         best_state = None
         best_threshold = None
 
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.event("trainer.fit.start", n_train=len(train),
+                      n_valid=len(valid) if valid else 0,
+                      epochs=cfg.epochs, batch_size=cfg.batch_size,
+                      lr=cfg.lr, workers=cfg.workers,
+                      grad_shards=cfg.grad_shards,
+                      sharded=session is not None)
+
         try:
-            for epoch in range(cfg.epochs):
-                order = rng.permutation(len(train))
-                self.model.train()
-                epoch_losses = []
-                for idx in self._epoch_batches(order, lengths, rng):
-                    if session is not None:
-                        epoch_losses.append(session.step(history.steps, idx))
-                        history.steps += 1
-                        continue
-                    labels = np.array([train[i].label for i in idx],
-                                      dtype=np.int64)
-                    batch_weights = weights[idx] if weights is not None else None
-                    if encodings is not None:
-                        loss = self.model.loss_encoded(
-                            [encodings[i] for i in idx], labels,
-                            sample_weights=batch_weights)
-                    else:
-                        loss = self.model.loss([train[i] for i in idx], labels,
-                                               sample_weights=batch_weights)
-                    self.optimizer.zero_grad()
-                    loss.backward()
-                    self.optimizer.step(grad_clip=cfg.grad_clip)
-                    epoch_losses.append(loss.item())
-                    history.steps += 1
-                history.losses.append(float(np.mean(epoch_losses)))
+            with tel.span("trainer.fit", epochs=cfg.epochs):
+                for epoch in range(cfg.epochs):
+                    order = rng.permutation(len(train))
+                    self.model.train()
+                    epoch_losses = []
+                    epoch_tokens = 0
+                    epoch_started = time.perf_counter()
+                    with tel.span("trainer.epoch", epoch=epoch):
+                        for idx in self._epoch_batches(order, lengths, rng):
+                            if session is not None:
+                                loss_value, grad_norm = session.step(
+                                    history.steps, idx)
+                            else:
+                                labels = np.array(
+                                    [train[i].label for i in idx],
+                                    dtype=np.int64)
+                                batch_weights = weights[idx] \
+                                    if weights is not None else None
+                                if encodings is not None:
+                                    loss = self.model.loss_encoded(
+                                        [encodings[i] for i in idx], labels,
+                                        sample_weights=batch_weights)
+                                else:
+                                    loss = self.model.loss(
+                                        [train[i] for i in idx], labels,
+                                        sample_weights=batch_weights)
+                                self.optimizer.zero_grad()
+                                loss.backward()
+                                grad_norm = self.optimizer.step(
+                                    grad_clip=cfg.grad_clip)
+                                loss_value = loss.item()
+                            epoch_losses.append(loss_value)
+                            if tel.enabled:
+                                epoch_tokens += int(sum(
+                                    lengths[i] for i in idx)) \
+                                    if lengths is not None else 0
+                                tel.metrics.counter("trainer.steps").inc()
+                                tel.metrics.histogram(
+                                    "trainer.loss").observe(loss_value)
+                                tel.event(
+                                    "trainer.step", step=history.steps,
+                                    epoch=epoch, loss=float(loss_value),
+                                    grad_norm=None if grad_norm is None
+                                    else float(grad_norm),
+                                    lr=self.optimizer.lr)
+                            history.steps += 1
+                    epoch_elapsed = time.perf_counter() - epoch_started
+                    history.losses.append(float(np.mean(epoch_losses)))
 
-                if valid:
-                    probs = predict_proba(self.model, valid,
-                                          batch_size=cfg.batch_size,
-                                          engine=engine)
-                    truth = np.array([p.label for p in valid], dtype=np.int64)
-                    threshold = (tune_threshold(probs, truth)
-                                 if cfg.calibrate_threshold else None)
-                    if threshold is None:
-                        preds = probs.argmax(axis=1)
-                    else:
-                        preds = (probs[:, 1] > threshold).astype(np.int64)
-                    f1 = ConfusionMatrix.from_labels(truth, preds).f1
-                    history.valid_f1.append(f1)
-                    if cfg.select_best_on_valid and f1 > best_f1:
-                        best_f1 = f1
-                        best_state = self.model.state_dict()
-                        best_threshold = threshold
-                        history.best_epoch = epoch
+                    f1 = None
+                    threshold = None
+                    if valid:
+                        with tel.span("trainer.validate", epoch=epoch):
+                            probs = predict_proba(self.model, valid,
+                                                  batch_size=cfg.batch_size,
+                                                  engine=engine)
+                            truth = np.array([p.label for p in valid],
+                                             dtype=np.int64)
+                            threshold = (tune_threshold(probs, truth)
+                                         if cfg.calibrate_threshold else None)
+                            if threshold is None:
+                                preds = probs.argmax(axis=1)
+                            else:
+                                preds = (probs[:, 1] > threshold).astype(
+                                    np.int64)
+                            f1 = ConfusionMatrix.from_labels(truth, preds).f1
+                        history.valid_f1.append(f1)
+                        if cfg.select_best_on_valid and f1 > best_f1:
+                            best_f1 = f1
+                            best_state = self.model.state_dict()
+                            best_threshold = threshold
+                            history.best_epoch = epoch
 
-                if epoch_callback is not None:
-                    replacement = epoch_callback(epoch, self)
-                    if replacement is not None:
-                        train = list(replacement)
-                        if not train:
-                            break
-                        if weights is not None and len(weights) != len(train):
-                            weights = (_class_balance_weights(train)
-                                       if cfg.balance_classes else None)
-                        encodings, lengths = self._train_encodings(engine, train)
-                        # forked workers hold the old train set via their
-                        # closures; a replacement needs a fresh session
-                        if session is not None:
-                            session.close()
-                            session = self._sharded_session(
-                                train, encodings, weights)
+                    if tel.enabled:
+                        tel.metrics.gauge("trainer.epoch").set(epoch)
+                        tel.event(
+                            "trainer.epoch", epoch=epoch,
+                            loss=history.losses[-1], steps=history.steps,
+                            valid_f1=f1, threshold=threshold,
+                            tokens=epoch_tokens,
+                            tokens_per_sec=epoch_tokens / epoch_elapsed
+                            if epoch_elapsed > 0 else 0.0,
+                            examples_per_sec=len(train) / epoch_elapsed
+                            if epoch_elapsed > 0 else 0.0)
+
+                    if epoch_callback is not None:
+                        replacement = epoch_callback(epoch, self)
+                        if replacement is not None:
+                            train = list(replacement)
+                            if not train:
+                                break
+                            if weights is not None and \
+                                    len(weights) != len(train):
+                                weights = (_class_balance_weights(train)
+                                           if cfg.balance_classes else None)
+                            encodings, lengths = self._train_encodings(
+                                engine, train)
+                            # forked workers hold the old train set via their
+                            # closures; a replacement needs a fresh session
+                            if session is not None:
+                                session.close()
+                                session = self._sharded_session(
+                                    train, encodings, weights)
         finally:
             if session is not None:
                 session.close()

@@ -23,6 +23,7 @@ from scipy.cluster.vq import kmeans2
 from ..autograd import Module
 from ..data.dataset import CandidatePair
 from ..infer import EngineConfig, InferenceEngine
+from ..obs import get_telemetry
 from .trainer import predict_proba, stochastic_proba
 
 
@@ -90,6 +91,18 @@ def mc_dropout(model: Module, pairs: Sequence[CandidatePair],
     labels = hard_labels(model, mean)
     rows = np.arange(len(labels))
     uncertainty = stacked[:, rows, labels].std(axis=0)
+    tel = get_telemetry()
+    if tel.enabled and len(labels):
+        tel.metrics.counter("mc_dropout.sweeps").inc()
+        tel.metrics.quantiles("mc_dropout.uncertainty").observe_many(
+            uncertainty.tolist())
+        tel.event("mc_dropout.stats", pairs=len(labels), passes=passes,
+                  uncertainty_mean=float(uncertainty.mean()),
+                  uncertainty_min=float(uncertainty.min()),
+                  uncertainty_max=float(uncertainty.max()),
+                  uncertainty_p50=float(np.quantile(uncertainty, 0.5)),
+                  uncertainty_p90=float(np.quantile(uncertainty, 0.9)),
+                  positive_fraction=float((labels == 1).mean()))
     return McDropoutResult(mean_probs=mean, labels=labels,
                            uncertainty=uncertainty, all_probs=stacked)
 

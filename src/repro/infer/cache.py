@@ -38,6 +38,16 @@ class EncodingCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def counters(self) -> dict:
+        """All cache accounting in one dict (engine stats / telemetry)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "hit_rate": self.hit_rate,
+        }
+
     def get_or_encode(self, key: Hashable, encode: Callable[[], object]):
         """Return the cached value for ``key``, computing it on a miss."""
         if self.capacity <= 0:

@@ -40,6 +40,7 @@ import numpy as np
 from ..autograd import DropoutPlan, Module, dropout_plan, no_grad
 from ..autograd.tensor import get_default_dtype
 from ..data.dataset import CandidatePair
+from ..obs import get_telemetry
 from ..parallel import WorkerPool, effective_workers, shard_indices
 from .cache import EncodingCache
 
@@ -102,6 +103,7 @@ class EngineStats:
     elapsed: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
 
     @property
     def pairs_per_sec(self) -> float:
@@ -251,6 +253,7 @@ class InferenceEngine:
 
         started = time.perf_counter()
         hits0, misses0 = self.cache.hits, self.cache.misses
+        evictions0, batches0 = self.cache.evictions, self.stats.batches
         was_training = model.training
         model.train(training)
         out = np.zeros((tiles, len(pairs), 2), dtype=dtype)
@@ -263,11 +266,29 @@ class InferenceEngine:
                     self._run_fallback(model, pairs, out, pass_seeds)
         finally:
             model.train(was_training)
+        elapsed = time.perf_counter() - started
         self.stats.pairs += len(pairs)
         self.stats.rows += tiles * len(pairs)
-        self.stats.elapsed += time.perf_counter() - started
+        self.stats.elapsed += elapsed
         self.stats.cache_hits += self.cache.hits - hits0
         self.stats.cache_misses += self.cache.misses - misses0
+        self.stats.cache_evictions += self.cache.evictions - evictions0
+        tel = get_telemetry()
+        if tel.enabled:
+            metrics = tel.metrics
+            metrics.counter("engine.pairs").inc(len(pairs))
+            metrics.counter("engine.rows").inc(tiles * len(pairs))
+            metrics.counter("engine.batches").inc(
+                self.stats.batches - batches0)
+            metrics.counter("engine.cache.hits").inc(
+                self.cache.hits - hits0)
+            metrics.counter("engine.cache.misses").inc(
+                self.cache.misses - misses0)
+            metrics.counter("engine.cache.evictions").inc(
+                self.cache.evictions - evictions0)
+            metrics.gauge("engine.cache.hit_rate").set(self.cache.hit_rate)
+            metrics.gauge("engine.cache.entries").set(len(self.cache))
+            metrics.timer("engine.run_seconds").observe(elapsed)
         return out
 
     def _run_encoded(self, model: Module, pairs: Sequence[CandidatePair],
@@ -401,8 +422,12 @@ class InferenceEngine:
         s = self.stats
         return {
             "pairs": s.pairs, "rows": s.rows, "batches": s.batches,
+            "elapsed": s.elapsed,
             "pairs_per_sec": s.pairs_per_sec,
             "padding_fraction": s.padding_fraction,
+            "cache_hits": s.cache_hits,
+            "cache_misses": s.cache_misses,
+            "cache_evictions": s.cache_evictions,
             "cache_hit_rate": s.cache_hit_rate,
             "cache_entries": len(self.cache),
         }

@@ -7,6 +7,7 @@ unchanged. The loss is cross-entropy on masked positions only.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -14,6 +15,7 @@ import numpy as np
 
 from ..autograd import AdamW, functional as F, gather_rows
 from ..infer.engine import pack_buckets
+from ..obs import get_telemetry
 from ..parallel import WorkerPool, effective_workers, shard_indices
 from ..text import Tokenizer
 from .model import MiniLM, pad_batch
@@ -168,36 +170,54 @@ def pretrain(model: MiniLM, tokenizer: Tokenizer, corpus: Sequence[str],
     focus_ids = [vocab.id_of(t) for t in config.focus_tokens if t in vocab]
     lengths = [len(ids) for ids in encoded]
 
-    for epoch in range(config.epochs):
-        order = rng.permutation(len(encoded))
-        losses: List[float] = []
-        for index in _epoch_batches(order, lengths, config, rng):
-            batch = [encoded[i] for i in index]
-            ids, pad_mask = pad_batch(batch, pad_id=vocab.pad_id)
-            masked, labels = mask_tokens(
-                ids, pad_mask, vocab_size=len(vocab), mask_id=vocab.mask_id,
-                special_ids=vocab.special_ids, rng=rng,
-                mask_prob=config.mask_prob,
-                focus_ids=focus_ids,
-                focus_mask_prob=config.focus_mask_prob)
-            rows, cols = np.nonzero(labels != IGNORE_INDEX)
-            if not len(rows):
-                continue
-            hidden = model.encode(masked, pad_mask=pad_mask)
-            # project only masked positions through the (d, V) vocab head:
-            # (n_masked, d) x (d, V) instead of (B*T, d) x (d, V).
-            at_mask = gather_rows(hidden, rows, cols)
-            loss = F.cross_entropy(model.mlm_logits(at_mask),
-                                   labels[rows, cols])
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step(grad_clip=config.grad_clip)
-            losses.append(loss.item())
-            result.steps += 1
-        epoch_loss = float(np.mean(losses)) if losses else float("nan")
-        result.epoch_losses.append(epoch_loss)
-        if verbose:
-            print(f"[pretrain] epoch {epoch + 1}/{config.epochs} mlm_loss={epoch_loss:.4f}")
+    tel = get_telemetry()
+    with tel.span("lm.pretrain", epochs=config.epochs,
+                  sequences=len(encoded)):
+        for epoch in range(config.epochs):
+            order = rng.permutation(len(encoded))
+            losses: List[float] = []
+            epoch_tokens = 0
+            masked_positions = 0
+            epoch_started = time.perf_counter()
+            for index in _epoch_batches(order, lengths, config, rng):
+                batch = [encoded[i] for i in index]
+                ids, pad_mask = pad_batch(batch, pad_id=vocab.pad_id)
+                masked, labels = mask_tokens(
+                    ids, pad_mask, vocab_size=len(vocab), mask_id=vocab.mask_id,
+                    special_ids=vocab.special_ids, rng=rng,
+                    mask_prob=config.mask_prob,
+                    focus_ids=focus_ids,
+                    focus_mask_prob=config.focus_mask_prob)
+                rows, cols = np.nonzero(labels != IGNORE_INDEX)
+                if not len(rows):
+                    continue
+                hidden = model.encode(masked, pad_mask=pad_mask)
+                # project only masked positions through the (d, V) vocab head:
+                # (n_masked, d) x (d, V) instead of (B*T, d) x (d, V).
+                at_mask = gather_rows(hidden, rows, cols)
+                loss = F.cross_entropy(model.mlm_logits(at_mask),
+                                       labels[rows, cols])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step(grad_clip=config.grad_clip)
+                losses.append(loss.item())
+                result.steps += 1
+                if tel.enabled:
+                    epoch_tokens += int(sum(lengths[i] for i in index))
+                    masked_positions += len(rows)
+                    tel.metrics.counter("pretrain.steps").inc()
+            epoch_loss = float(np.mean(losses)) if losses else float("nan")
+            result.epoch_losses.append(epoch_loss)
+            if tel.enabled:
+                epoch_elapsed = time.perf_counter() - epoch_started
+                tel.event("pretrain.epoch", epoch=epoch,
+                          mlm_loss=epoch_loss, steps=len(losses),
+                          tokens=epoch_tokens,
+                          masked_positions=masked_positions,
+                          tokens_per_sec=epoch_tokens / epoch_elapsed
+                          if epoch_elapsed > 0 else 0.0)
+            if verbose:
+                print(f"[pretrain] epoch {epoch + 1}/{config.epochs} mlm_loss={epoch_loss:.4f}")
 
     model.eval()
     return result

@@ -1,0 +1,139 @@
+"""Hierarchical span tracing.
+
+A :class:`Tracer` measures named regions (``with tracer.span("trainer.fit")``)
+with wall *and* CPU time and records nesting: each finished span knows its
+slash-joined path (``trainer.fit/epoch/step``), its depth and its parent.
+Finished spans are kept on the tracer (bounded) and, when a sink is
+attached -- the telemetry session wires :meth:`repro.obs.RunLog.event`
+here -- exported as JSONL ``span`` events the moment they close.
+
+Spans close innermost-first, so a parent's wall time always includes its
+children's; the report tooling subtracts child time to show per-phase
+*self* time.
+
+The module-level :func:`repro.obs.span` helper (see
+:mod:`repro.obs.telemetry`) resolves the active session's tracer and
+degrades to a shared no-op context manager when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+
+class Span:
+    """One open region; becomes a plain record dict when it closes."""
+
+    __slots__ = ("name", "path", "depth", "index", "parent_index",
+                 "attrs", "_wall0", "_cpu0", "wall", "cpu")
+
+    def __init__(self, name: str, path: str, depth: int, index: int,
+                 parent_index: Optional[int], attrs: dict) -> None:
+        self.name = name
+        self.path = path
+        self.depth = depth
+        self.index = index
+        self.parent_index = parent_index
+        self.attrs = attrs
+        self.wall = 0.0
+        self.cpu = 0.0
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+
+    def close(self) -> dict:
+        self.wall = time.perf_counter() - self._wall0
+        self.cpu = time.process_time() - self._cpu0
+        record = {
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "index": self.index,
+            "parent": self.parent_index,
+            "wall": self.wall,
+            "cpu": self.cpu,
+        }
+        if self.attrs:
+            record.update(self.attrs)
+        return record
+
+
+class _SpanContext:
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc_info) -> None:
+        self.tracer._finish(self.span)
+
+
+class Tracer:
+    """Collects nested spans; optionally streams them to ``sink``.
+
+    ``max_spans`` bounds the in-memory record list (the sink still sees
+    everything); 0 keeps nothing in memory.
+    """
+
+    def __init__(self, sink: Optional[Callable[[dict], None]] = None,
+                 max_spans: int = 10_000) -> None:
+        self.sink = sink
+        self.max_spans = int(max_spans)
+        self.spans: List[dict] = []
+        self._stack: List[Span] = []
+        self._count = 0
+        self.dropped = 0
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a nested span; use as ``with tracer.span("phase"): ...``."""
+        parent = self._stack[-1] if self._stack else None
+        path = f"{parent.path}/{name}" if parent else name
+        span = Span(name, path, depth=len(self._stack), index=self._count,
+                    parent_index=parent.index if parent else None,
+                    attrs=attrs)
+        self._count += 1
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        # tolerate a mis-nested close (exception unwinding): pop to the span
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        record = span.close()
+        if len(self.spans) < self.max_spans:
+            self.spans.append(record)
+        else:
+            self.dropped += 1
+        if self.sink is not None:
+            self.sink(record)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def reset(self) -> None:
+        self.spans = []
+        self._stack = []
+        self._count = 0
+        self.dropped = 0
+
+
+class NullSpanContext:
+    """Shared do-nothing span: disabled tracing costs one attribute walk."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NULL_SPAN = NullSpanContext()

@@ -28,11 +28,14 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 from contextlib import contextmanager
 from multiprocessing.connection import wait
 from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
+
+from ..obs import get_telemetry
 
 #: environment switch that disables forking everywhere (CI debugging and the
 #: forced-serial fallback tests); any non-empty value counts
@@ -105,18 +108,28 @@ def shard_seed(base_seed: int, shard: int, step: int = 0) -> int:
 
 
 def _worker_loop(conn, worker_fn: Callable[[Any], Any]) -> None:
-    """Child process: serve ``(index, task)`` messages until the sentinel."""
+    """Child process: serve ``(index, task)`` messages until the sentinel.
+
+    Each reply carries the task's measured wall time, so per-worker
+    latencies travel back through the same result pipes the payloads use
+    and the parent can merge them into its telemetry registry -- workers
+    never touch the run log themselves.
+    """
     try:
         while True:
             message = conn.recv()
             if message is None:
                 break
             index, task = message
+            started = time.perf_counter()
             try:
-                conn.send((index, "ok", worker_fn(task)))
+                payload = worker_fn(task)
+                conn.send((index, "ok", payload,
+                           time.perf_counter() - started))
             except BaseException as exc:  # surface, do not kill the pool
                 conn.send((index, "error",
-                           f"{type(exc).__name__}: {exc}"))
+                           f"{type(exc).__name__}: {exc}",
+                           time.perf_counter() - started))
     except (EOFError, BrokenPipeError, KeyboardInterrupt):
         pass
     finally:
@@ -140,6 +153,9 @@ class WorkerPool:
                  worker_fn: Callable[[Any], Any]) -> None:
         self.worker_fn = worker_fn
         self.workers = effective_workers(workers)
+        #: per-task wall seconds of the most recent :meth:`map`, indexed by
+        #: task: ``last_latencies[i]`` ran on worker ``i % workers``
+        self.last_latencies: List[float] = []
         self._procs: list = []
         self._conns: list = []
         if self.workers > 1:
@@ -167,8 +183,15 @@ class WorkerPool:
         worker raises ``RuntimeError`` instead of hanging.
         """
         tasks = list(tasks)
+        latencies = [0.0] * len(tasks)
         if self.serial:
-            return [self.worker_fn(task) for task in tasks]
+            results = []
+            for index, task in enumerate(tasks):
+                started = time.perf_counter()
+                results.append(self.worker_fn(task))
+                latencies[index] = time.perf_counter() - started
+            self._record_latencies(latencies)
+            return results
         results: List[Any] = [None] * len(tasks)
         for index, task in enumerate(tasks):
             self._conns[index % self.workers].send((index, task))
@@ -176,7 +199,7 @@ class WorkerPool:
         while collected < len(tasks):
             for conn in wait(self._conns):
                 try:
-                    index, status, payload = conn.recv()
+                    index, status, payload, elapsed = conn.recv()
                 except (EOFError, OSError):
                     raise RuntimeError(
                         "parallel worker died; falling back is not possible "
@@ -184,8 +207,39 @@ class WorkerPool:
                 if status == "error":
                     raise RuntimeError(f"parallel worker failed: {payload}")
                 results[index] = payload
+                latencies[index] = elapsed
                 collected += 1
+        self._record_latencies(latencies)
         return results
+
+    def _record_latencies(self, latencies: List[float]) -> None:
+        """Merge one map's per-task wall times into the active telemetry.
+
+        Task ``i`` ran on worker ``i % workers`` (the pool's deterministic
+        assignment), so the per-worker merge needs no extra bookkeeping
+        from the workers themselves.
+        """
+        self.last_latencies = latencies
+        tel = get_telemetry()
+        if not tel.enabled or not latencies:
+            return
+        metrics = tel.metrics
+        metrics.counter("pool.tasks").inc(len(latencies))
+        metrics.counter("pool.maps").inc()
+        histogram = metrics.histogram("pool.task_seconds")
+        for seconds in latencies:
+            histogram.observe(seconds)
+        per_worker: List[dict] = [
+            {"worker": w, "tasks": 0, "seconds": 0.0, "max_seconds": 0.0}
+            for w in range(self.workers)]
+        for index, seconds in enumerate(latencies):
+            row = per_worker[index % self.workers]
+            row["tasks"] += 1
+            row["seconds"] += seconds
+            row["max_seconds"] = max(row["max_seconds"], seconds)
+        tel.event("pool.map", tasks=len(latencies), workers=self.workers,
+                  serial=self.serial, task_seconds=sum(latencies),
+                  max_task_seconds=max(latencies), per_worker=per_worker)
 
     def close(self) -> None:
         """Shut workers down; idempotent and safe on half-dead pools."""

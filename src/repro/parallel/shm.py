@@ -36,6 +36,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import get_telemetry
+
 try:
     from multiprocessing import shared_memory as _shm
 except ImportError:  # pragma: no cover - ancient python
@@ -128,7 +130,11 @@ class ParameterPublisher:
         np.copyto(self._values.array, optimizer.flat_data,
                   casting="same_kind")
         self._version.array[0] += 1
-        return self.version
+        version = self.version
+        metrics = get_telemetry().metrics
+        metrics.counter("parallel.publishes").inc()
+        metrics.gauge("parallel.publish_version").set(version)
+        return version
 
     def pull(self, optimizer, fingerprint: str = "") -> bool:
         """Adopt the latest snapshot if newer than the last pull.
@@ -138,6 +144,8 @@ class ParameterPublisher:
         architecture than the published weights is unrecoverable.
         """
         if fingerprint and self.fingerprint and fingerprint != self.fingerprint:
+            get_telemetry().metrics.counter(
+                "parallel.fingerprint_mismatches").inc()
             raise ValueError("parameter publisher fingerprint mismatch: "
                              f"{fingerprint!r} != {self.fingerprint!r}")
         version = self.version
@@ -145,6 +153,7 @@ class ParameterPublisher:
             return False
         optimizer.load_flat(self._values.array)
         self._seen = version
+        get_telemetry().metrics.counter("parallel.pulls").inc()
         return True
 
     def close(self) -> None:

@@ -48,3 +48,34 @@ def test_clear_and_reset_counters():
 
 def test_hit_rate_empty():
     assert EncodingCache().hit_rate == 0.0
+
+
+def test_capacity_boundary_no_premature_eviction():
+    """Filling to exactly ``capacity`` evicts nothing; one more entry
+    evicts exactly the least-recently-used one."""
+    cache = EncodingCache(capacity=3)
+    for key in "abc":
+        cache.get_or_encode(key, lambda k=key: k.upper())
+    assert len(cache) == 3 and cache.evictions == 0
+    assert all(k in cache for k in "abc")
+    cache.get_or_encode("d", lambda: "D")
+    assert len(cache) == 3 and cache.evictions == 1
+    assert "a" not in cache and all(k in cache for k in "bcd")
+
+
+def test_negative_capacity_disables_like_zero():
+    cache = EncodingCache(capacity=-5)
+    assert cache.get_or_encode("a", lambda: 1) == 1
+    assert len(cache) == 0 and cache.misses == 1 and cache.evictions == 0
+
+
+def test_counters_dict_matches_attributes():
+    cache = EncodingCache(capacity=1)
+    cache.get_or_encode("a", lambda: 1)
+    cache.get_or_encode("a", lambda: 1)
+    cache.get_or_encode("b", lambda: 2)  # evicts a
+    assert cache.counters() == {
+        "hits": 1, "misses": 2, "evictions": 1, "entries": 1,
+        "hit_rate": cache.hit_rate,
+    }
+    assert cache.counters()["hit_rate"] == 1 / 3

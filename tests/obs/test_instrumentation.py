@@ -1,0 +1,103 @@
+"""Integration tests: the core pipeline populates metrics and events."""
+
+import pytest
+
+from repro.core import PromptModel, Verbalizer, make_template
+from repro.data import load_dataset
+from repro.infer import EngineConfig, InferenceEngine
+from repro.lm import load_pretrained
+from repro.obs import read_events, telemetry_session
+from repro.parallel import WorkerPool
+
+
+@pytest.fixture(scope="module")
+def prompt_model():
+    lm, tok = load_pretrained("minilm-tiny")
+    template = make_template("t1", tok, max_len=64)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    return load_dataset("REL-HETER").test[:8]
+
+
+class TestEngineStats:
+    def test_stats_dict_carries_cache_counters(self, prompt_model, pairs):
+        engine = InferenceEngine(EngineConfig(token_budget=256,
+                                              max_batch_pairs=4))
+        engine.predict_proba(prompt_model, pairs)
+        engine.predict_proba(prompt_model, pairs)  # second run hits the cache
+        stats = engine.stats_dict()
+        assert stats["cache_hits"] == len(pairs)
+        assert stats["cache_misses"] == len(pairs)
+        assert stats["cache_hit_rate"] == pytest.approx(0.5)
+        assert stats["cache_evictions"] == 0
+        assert stats["pairs"] == 2 * len(pairs)
+
+    def test_eviction_counter_reaches_stats(self, prompt_model, pairs):
+        engine = InferenceEngine(EngineConfig(token_budget=256,
+                                              max_batch_pairs=4,
+                                              cache_capacity=4))
+        engine.predict_proba(prompt_model, pairs)  # 8 pairs through 4 slots
+        assert engine.stats.cache_evictions == engine.cache.evictions > 0
+        assert engine.stats_dict()["cache_evictions"] > 0
+
+    def test_registry_gauges_and_counters(self, prompt_model, pairs):
+        with telemetry_session() as tel:
+            engine = InferenceEngine(EngineConfig(token_budget=256,
+                                                  max_batch_pairs=4))
+            engine.predict_proba(prompt_model, pairs)
+            engine.predict_proba(prompt_model, pairs)
+        snap = tel.snapshot_metrics()
+        assert snap["engine.pairs"]["value"] == 2 * len(pairs)
+        assert snap["engine.cache.hits"]["value"] == len(pairs)
+        assert snap["engine.cache.misses"]["value"] == len(pairs)
+        assert snap["engine.cache.hit_rate"]["value"] == pytest.approx(0.5)
+        assert snap["engine.cache.entries"]["value"] == len(pairs)
+        assert snap["engine.run_seconds"]["count"] == 2
+
+
+def _double(task):
+    return task * 2
+
+
+class TestPoolTelemetry:
+    def test_serial_map_records_latencies_and_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with telemetry_session(path=path) as tel:
+            with WorkerPool(1, _double) as pool:
+                assert pool.map([1, 2, 3]) == [2, 4, 6]
+                assert len(pool.last_latencies) == 3
+        events = read_events(path, kind="pool.map")
+        assert len(events) == 1
+        assert events[0]["tasks"] == 3
+        assert events[0]["serial"] is True
+        assert [row["tasks"] for row in events[0]["per_worker"]] == [3]
+        snap = tel.snapshot_metrics()
+        assert snap["pool.tasks"]["value"] == 3
+        assert snap["pool.maps"]["value"] == 1
+        assert snap["pool.task_seconds"]["count"] == 3
+
+    def test_forked_map_merges_per_worker_latencies(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with telemetry_session(path=path):
+            with WorkerPool(2, _double) as pool:
+                assert pool.map(list(range(6))) == [0, 2, 4, 6, 8, 10]
+                assert len(pool.last_latencies) == 6
+                assert all(t >= 0 for t in pool.last_latencies)
+        events = read_events(path, kind="pool.map")
+        assert len(events) == 1
+        record = events[0]
+        assert record["tasks"] == 6
+        per_worker = {row["worker"]: row for row in record["per_worker"]}
+        if not record["serial"]:  # fork available: both workers saw tasks
+            assert set(per_worker) == {0, 1}
+            assert sum(row["tasks"] for row in per_worker.values()) == 6
+
+    def test_disabled_telemetry_still_tracks_last_latencies(self):
+        with WorkerPool(1, _double) as pool:
+            pool.map([1, 2])
+            assert len(pool.last_latencies) == 2

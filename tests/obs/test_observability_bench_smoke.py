@@ -1,0 +1,53 @@
+"""Tier-1 smoke pass over the observability benchmark logic.
+
+Runs :func:`benchmarks.bench_observability.run_overhead_comparison` on the
+tiny cached backbone and checks its structural outputs -- every arm
+reports a time and throughput, the micro bound is positive -- WITHOUT
+asserting anything about the overhead percentages themselves, which are
+hardware-bound and belong to ``benchmarks/bench_observability.py``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from bench_observability import (  # noqa: E402
+    measure_noop_ns, run_overhead_comparison,
+)
+from repro.core import PromptModel, Verbalizer, make_template  # noqa: E402
+from repro.data import load_dataset  # noqa: E402
+from repro.lm import load_pretrained  # noqa: E402
+from repro.obs import DISABLED, get_telemetry  # noqa: E402
+
+
+@pytest.mark.smoke
+def test_observability_benchmark_smoke():
+    lm, tok = load_pretrained("minilm-tiny")
+    template = make_template("t1", tok, max_len=64)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+    pairs = load_dataset("REL-HETER").low_resource(seed=0).labeled[:8]
+
+    result = run_overhead_comparison(model, pairs, epochs=1, batch_size=8,
+                                     repeats=1)
+    assert result["pairs"] == 8 and result["steps"] > 0
+    assert set(result["arms"]) == {"disabled", "metrics", "full"}
+    for arm, stats in result["arms"].items():
+        assert stats["seconds"] > 0, arm
+        assert stats["steps_per_sec"] > 0, arm
+        assert stats["steps"] == result["steps"], arm
+    for arm in ("metrics", "full"):
+        assert "overhead_pct" in result["arms"][arm]
+    assert result["noop_ns"] > 0
+    assert result["disabled_overhead_pct"] >= 0
+    assert result["budget_pct"] == 2.0
+    # the bench must leave no telemetry session installed
+    assert get_telemetry() is DISABLED
+
+
+@pytest.mark.smoke
+def test_noop_micro_measurement_is_finite():
+    noop_ns = measure_noop_ns(iterations=10_000)
+    assert 0 < noop_ns < 1e6  # under a millisecond per op, by a huge margin

@@ -1,0 +1,131 @@
+"""Tests for the metric primitives and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS, MetricsRegistry, NULL_REGISTRY, QuantileSketch,
+)
+
+
+class TestCounter:
+    def test_inc_and_snapshot(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        assert counter.snapshot() == {"kind": "counter", "value": 3.5}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_writes(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(4.0)
+        gauge.inc(-1.5)  # gauges may go down
+        assert gauge.value == 2.5 and gauge.writes == 2
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 99.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"1.0": 2, "2.0": 1}  # bounds inclusive
+        assert snap["overflow"] == 1
+        assert snap["count"] == 4
+        assert snap["min"] == 0.5 and snap["max"] == 99.0
+        assert snap["mean"] == pytest.approx(102.0 / 4)
+
+    def test_default_buckets_cover_latencies(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.bounds == tuple(sorted(DEFAULT_BUCKETS))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestQuantileSketch:
+    def test_exact_below_capacity(self):
+        sketch = QuantileSketch("q", max_samples=128)
+        sketch.observe_many(range(100))
+        assert sketch.quantile(0.0) == 0
+        assert sketch.quantile(0.5) == 50
+        assert sketch.quantile(1.0) == 99
+        assert sketch.count == 100
+
+    def test_reservoir_bounded_and_sane(self):
+        sketch = QuantileSketch("q", max_samples=64)
+        sketch.observe_many(float(v) for v in range(10_000))
+        assert len(sketch._samples) == 64
+        assert sketch.count == 10_000
+        # a uniform subsample of 0..9999 keeps the median in the bulk
+        assert 1_000 < sketch.quantile(0.5) < 9_000
+
+    def test_deterministic_and_rng_free(self):
+        """Same name + sequence -> same reservoir; numpy's global rng and
+        the process hash seed play no part (metrics cannot perturb
+        training and runs stay comparable)."""
+        state_before = np.random.get_state()[1].copy()
+        runs = []
+        for _ in range(2):
+            sketch = QuantileSketch("q", max_samples=32)
+            sketch.observe_many(float(v) for v in range(1_000))
+            runs.append(list(sketch._samples))
+        assert runs[0] == runs[1]
+        assert np.array_equal(np.random.get_state()[1], state_before)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            QuantileSketch("q", max_samples=0)
+        with pytest.raises(ValueError):
+            QuantileSketch("q").quantile(1.5)
+
+
+class TestEwmaTimer:
+    def test_first_observation_seeds_ewma(self):
+        timer = MetricsRegistry().timer("t_seconds", alpha=0.5)
+        timer.observe(1.0)
+        assert timer.ewma == 1.0
+        timer.observe(3.0)
+        assert timer.ewma == pytest.approx(2.0)
+        assert timer.count == 2 and timer.total == 4.0 and timer.last == 3.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert len(registry) == 1 and "x" in registry
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_sorted_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(1)
+        assert list(registry.snapshot()) == ["a", "b"]
+        assert registry.names() == ("a", "b")
+        registry.reset()
+        assert len(registry) == 0 and registry.snapshot() == {}
+
+    def test_null_registry_is_inert(self):
+        for metric in (NULL_REGISTRY.counter("x"), NULL_REGISTRY.gauge("x"),
+                       NULL_REGISTRY.histogram("x"),
+                       NULL_REGISTRY.quantiles("x"), NULL_REGISTRY.timer("x")):
+            metric.inc()
+            metric.set(1.0)
+            metric.observe(1.0)
+            metric.observe_many([1.0])
+            assert metric.quantile(0.5) == 0.0
+        assert NULL_REGISTRY.snapshot() == {}
+        assert not NULL_REGISTRY.enabled

@@ -1,0 +1,115 @@
+"""Tests for the JSONL run log, schema validation and volatile stripping."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    EVENT_FIELDS, RunLog, SCHEMA_VERSION, is_volatile_field, iter_events,
+    read_events, strip_volatile, validate_record,
+)
+
+
+class TestRunLog:
+    def test_writes_envelope_and_payload(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path, clock=lambda: 12.0) as log:
+            record = log.event("trainer.step", step=0, epoch=0, loss=0.5)
+        assert record["schema"] == SCHEMA_VERSION
+        assert record["ts"] == 12.0
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0]) == record
+
+    def test_file_like_target_not_closed(self):
+        buffer = io.StringIO()
+        log = RunLog(buffer)
+        log.event("custom.kind", value=1)
+        log.close()
+        assert log.closed
+        assert not buffer.closed  # caller-owned handle survives
+        assert json.loads(buffer.getvalue())["kind"] == "custom.kind"
+
+    def test_numpy_payloads_coerced(self):
+        buffer = io.StringIO()
+        RunLog(buffer).event("custom", scalar=np.float32(0.5),
+                             array=np.arange(3), n=np.int64(7))
+        record = json.loads(buffer.getvalue())
+        assert record["scalar"] == 0.5
+        assert record["array"] == [0, 1, 2]
+        assert record["n"] == 7
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ValueError, match="missing fields"):
+            RunLog(io.StringIO()).event("trainer.step", step=0)
+
+    def test_unknown_kind_is_legal(self):
+        record = RunLog(io.StringIO()).event("made.up.kind", whatever=1)
+        assert validate_record(record)
+
+    def test_records_written_counts(self):
+        log = RunLog(io.StringIO())
+        log.event("a")
+        log.event("b")
+        assert log.records_written == 2
+
+
+class TestValidation:
+    def test_envelope_enforced(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_record({"kind": "x", "ts": 1.0})
+        with pytest.raises(ValueError, match="kind"):
+            validate_record({"schema": SCHEMA_VERSION, "ts": 1.0})
+        with pytest.raises(ValueError, match="ts"):
+            validate_record({"schema": SCHEMA_VERSION, "kind": "x"})
+        with pytest.raises(ValueError, match="object"):
+            validate_record([1, 2])
+
+    def test_every_registered_kind_has_fields(self):
+        for kind, fields in EVENT_FIELDS.items():
+            assert fields, kind
+            record = {"schema": SCHEMA_VERSION, "kind": kind, "ts": 0.0}
+            record.update({f: 0 for f in fields})
+            assert validate_record(record)
+
+
+class TestReadEvents:
+    def test_roundtrip_and_kind_filter(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path) as log:
+            log.event("trainer.step", step=0, epoch=0, loss=1.0)
+            log.event("trainer.epoch", epoch=0, loss=1.0, steps=1)
+            log.event("trainer.step", step=1, epoch=0, loss=0.9)
+        assert len(read_events(path)) == 3
+        steps = read_events(path, kind="trainer.step")
+        assert [e["step"] for e in steps] == [0, 1]
+
+    def test_iterable_of_lines_and_blank_lines(self):
+        lines = ['{"schema": 1, "kind": "x", "ts": 0.0}', "", "  "]
+        assert len(list(iter_events(lines))) == 1
+
+    def test_validation_errors_surface(self):
+        with pytest.raises(ValueError):
+            read_events(['{"schema": 99, "kind": "x", "ts": 0.0}'])
+        assert read_events(['{"schema": 99, "kind": "x", "ts": 0.0}'],
+                           validate=False)
+
+
+class TestVolatile:
+    def test_field_classification(self):
+        for name in ("ts", "wall", "cpu", "fingerprint", "run_seconds",
+                     "tokens_per_sec", "elapsed"):
+            assert is_volatile_field(name), name
+        for name in ("loss", "step", "epoch", "f1", "tokens"):
+            assert not is_volatile_field(name), name
+
+    def test_strip_recurses_and_copies(self):
+        record = {"ts": 1.0, "loss": 0.5,
+                  "nested": {"wall": 2.0, "steps": 3,
+                             "rows": [{"seconds": 1.0, "worker": 0}]}}
+        stripped = strip_volatile(record)
+        assert stripped == {"loss": 0.5,
+                            "nested": {"steps": 3, "rows": [{"worker": 0}]}}
+        assert record["ts"] == 1.0  # original untouched

@@ -1,0 +1,71 @@
+"""Tests for hierarchical span tracing."""
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+class TestTracer:
+    def test_nesting_paths_and_parents(self):
+        tracer = Tracer()
+        with tracer.span("fit"):
+            with tracer.span("epoch", epoch=0):
+                pass
+            with tracer.span("epoch", epoch=1):
+                with tracer.span("validate"):
+                    pass
+        assert tracer.depth == 0
+        by_index = sorted(tracer.spans, key=lambda s: s["index"])
+        assert [s["path"] for s in by_index] == [
+            "fit", "fit/epoch", "fit/epoch", "fit/epoch/validate"]
+        assert [s["depth"] for s in by_index] == [0, 1, 1, 2]
+        assert by_index[3]["parent"] == by_index[2]["index"]
+        assert by_index[1]["epoch"] == 0 and by_index[2]["epoch"] == 1
+
+    def test_children_close_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s["name"] for s in tracer.spans] == ["inner", "outer"]
+        inner, outer = tracer.spans
+        assert outer["wall"] >= inner["wall"]
+        assert outer["cpu"] >= 0 and inner["cpu"] >= 0
+
+    def test_exception_unwinds_stack(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tracer.depth == 0
+        assert len(tracer.spans) == 2
+
+    def test_sink_streams_every_span(self):
+        seen = []
+        tracer = Tracer(sink=seen.append)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [s["name"] for s in seen] == ["b", "a"]
+
+    def test_max_spans_bounds_memory_not_sink(self):
+        seen = []
+        tracer = Tracer(sink=seen.append, max_spans=2)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+        assert len(seen) == 5  # the sink still saw everything
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.spans == [] and tracer.depth == 0 and tracer.dropped == 0
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            assert span is None

@@ -56,3 +56,60 @@ class TestCommands:
     def test_run_unknown_method_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--method", "GPT-9"])
+
+
+class TestTelemetry:
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.telemetry is None and args.trace is False
+
+    def test_run_writes_schema_valid_jsonl(self, tmp_path, capsys,
+                                           monkeypatch):
+        """End-to-end: a --telemetry run covers trainer steps, self-training
+        rounds, engine cache stats and worker-pool task latencies, and every
+        record passes schema validation."""
+        from repro.cli import _make_matcher
+        from repro.core import PromptEM, PromptEMConfig
+        from repro.lm import load_pretrained
+        from repro.obs import read_events
+
+        lm, tok = load_pretrained("minilm-tiny")
+
+        def tiny_matcher(method, model_name, workers=None):
+            cfg = PromptEMConfig(model_name="minilm-tiny", teacher_epochs=2,
+                                 student_epochs=2, mc_passes=2,
+                                 unlabeled_cap=8, batch_size=8, max_len=64,
+                                 workers=workers)
+            return PromptEM(cfg, lm=lm, tokenizer=tok)
+
+        monkeypatch.setattr("repro.cli._make_matcher", tiny_matcher)
+        path = tmp_path / "run.jsonl"
+        code = main(["run", "--dataset", "REL-HETER", "--workers", "2",
+                     "--telemetry", str(path), "--trace"])
+        assert code == 0
+
+        events = read_events(path, validate=True)  # every record validates
+        kinds = {e["kind"] for e in events}
+        assert {"run.start", "run.summary", "trainer.fit.start",
+                "trainer.step", "trainer.epoch", "selftrain.round",
+                "engine.stats", "pool.map", "span",
+                "metrics.snapshot"} <= kinds
+        summary = [e for e in events if e["kind"] == "run.summary"][-1]
+        assert summary["f1"] >= 0
+        pool_events = [e for e in events if e["kind"] == "pool.map"]
+        assert all(e["per_worker"] for e in pool_events)
+        out = capsys.readouterr().out
+        assert "Per-phase time breakdown" in out  # --trace summary printed
+
+    def test_trace_without_telemetry_prints_breakdown(self, tmp_path,
+                                                      capsys, monkeypatch):
+        from repro.baselines import TDmatch, TDmatchConfig
+
+        monkeypatch.setattr(
+            "repro.cli._make_matcher",
+            lambda *a, **k: TDmatch(TDmatchConfig(num_walks=2, walk_length=5,
+                                                  dimensions=8)))
+        code = main(["run", "--dataset", "REL-HETER", "--trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-phase time breakdown" in out
