@@ -1,0 +1,202 @@
+"""Serving benchmark: dynamic micro-batching vs naive per-request scoring.
+
+Runs the same request stream three ways:
+
+* **naive per-request**: the pre-serving implementation -- each arriving
+  request is scored alone with a direct ``model([pair])`` call under
+  ``no_grad``, re-serializing and re-tokenizing per request (the same
+  seed-style baseline convention as ``bench_inference_engine.py`` /
+  ``bench_training.py``);
+* **per-request server**: a :class:`repro.serve.MatchServer` with
+  ``max_batch_pairs=1`` -- the full serving stack, but every request
+  still pays its own forward;
+* **micro-batched server**: the production configuration -- requests
+  coalesce into token-budgeted micro-batches before one vectorized
+  forward through the inference engine.
+
+The headline ``speedup`` column is micro-batched vs naive per-request
+scoring. Besides throughput and latency, the table reports the
+serving-identity contract: with ``record_batches=True`` the server keeps
+the exact pair composition of every micro-batch, and replaying those
+batches through an offline :class:`repro.infer.InferenceEngine` with the
+same configuration must reproduce every served probability bit for bit
+(``bit_identical=True``). A full-list offline call is also compared
+(``max_abs_diff``), which can differ by float-reduction noise only.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+from _harness import MODEL_NAME, emit  # noqa: E402
+from repro.autograd import no_grad  # noqa: E402
+from repro.core import PromptModel, Verbalizer, make_template  # noqa: E402
+from repro.data import load_dataset  # noqa: E402
+from repro.eval import bench_scale, render_table  # noqa: E402
+from repro.infer import EngineConfig, InferenceEngine  # noqa: E402
+from repro.lm import load_pretrained  # noqa: E402
+from repro.serve import MatchServer, ModelBundle, ServerConfig  # noqa: E402
+
+
+def naive_per_request(model, pairs):
+    """Score each request alone, the way a handler written directly on the
+    model would: one ``model([pair])`` forward per request."""
+    probs = []
+    with no_grad():
+        for pair in pairs:
+            probs.append(model([pair]).numpy()[0])
+    return np.stack(probs)
+
+
+def replay_is_bit_identical(server, bundle, responses, pairs):
+    """Replay every logged micro-batch offline; True when all served
+    probabilities match the replayed ones exactly."""
+    config = server.config
+    engine = InferenceEngine(EngineConfig(
+        token_budget=config.token_budget,
+        max_batch_pairs=config.max_batch_pairs,
+        cache_capacity=config.cache_capacity))
+    position = {id(pair): i for i, pair in enumerate(pairs)}
+    rows = 0
+    for entry in server.batch_log:
+        replayed = engine.predict_proba(bundle.model, entry["pairs"])
+        for row, pair in enumerate(entry["pairs"]):
+            response = responses[position[id(pair)]]
+            if not np.array_equal(response.probs, replayed[row]):
+                return False
+            rows += 1
+    return rows == len(pairs)
+
+
+def run_serving_comparison(bundle, pairs, iterations=3, max_batch_pairs=48,
+                           token_budget=8192):
+    """Time naive / per-request-server / micro-batched serving over the
+    same stream of ``iterations`` sweeps.
+
+    Each arm gets one untimed warmup sweep first, so the timed sweeps
+    measure steady-state serving: the servers run with a warm encoding
+    cache the way a long-lived process would, while the naive handler --
+    which keeps no state between requests -- is unaffected.
+    """
+    pairs = list(pairs)
+
+    naive_per_request(bundle.model, pairs)
+    started = time.perf_counter()
+    for _ in range(iterations):
+        naive_per_request(bundle.model, pairs)
+    naive_elapsed = time.perf_counter() - started
+
+    single = MatchServer(bundle, ServerConfig(
+        max_batch_pairs=1, token_budget=token_budget))
+    for pair in pairs:
+        single.score(pair)
+    started = time.perf_counter()
+    for _ in range(iterations):
+        for pair in pairs:
+            single.score(pair)
+    single_elapsed = time.perf_counter() - started
+
+    batched = MatchServer(bundle, ServerConfig(
+        max_batch_pairs=max_batch_pairs, token_budget=token_budget,
+        max_queue=max(256, len(pairs)), record_batches=True))
+    batched.score_batch(pairs)
+    warmup_batches = batched.stats()["batches"]
+    started = time.perf_counter()
+    for _ in range(iterations - 1):
+        batched.score_batch(pairs)
+    responses = batched.score_batch(pairs)
+    batched_elapsed = time.perf_counter() - started
+    timed_batches = batched.stats()["batches"] - warmup_batches
+
+    # identity contract: replay the last sweep's batches offline (every
+    # sweep logs batches; ``responses`` belongs to the final one)
+    last_sweep = []
+    seen = 0
+    for entry in reversed(batched.batch_log):
+        last_sweep.append(entry)
+        seen += len(entry["pairs"])
+        if seen >= len(pairs):
+            break
+    batched.batch_log[:] = reversed(last_sweep)
+    bit_identical = replay_is_bit_identical(batched, bundle, responses, pairs)
+
+    offline = InferenceEngine(EngineConfig(
+        token_budget=token_budget, max_batch_pairs=max_batch_pairs))
+    full = offline.predict_proba(bundle.model, pairs)
+    served = np.stack([response.probs for response in responses])
+    max_abs_diff = float(np.abs(served - full).max()) if len(pairs) else 0.0
+
+    latencies = sorted(response.queue_seconds + response.service_seconds
+                       for response in responses)
+    scored = iterations * len(pairs)
+    naive_pps = scored / naive_elapsed if naive_elapsed else 0.0
+    single_pps = scored / single_elapsed if single_elapsed else 0.0
+    batched_pps = scored / batched_elapsed if batched_elapsed else 0.0
+    return {
+        "pairs": len(pairs),
+        "iterations": iterations,
+        "naive_pps": naive_pps,
+        "single_pps": single_pps,
+        "batched_pps": batched_pps,
+        "speedup": batched_pps / naive_pps if naive_pps else 0.0,
+        "speedup_vs_single": batched_pps / single_pps if single_pps else 0.0,
+        "batches": timed_batches,
+        "mean_batch_size": scored / timed_batches if timed_batches else 0.0,
+        "p50_latency_ms": 1000 * latencies[len(latencies) // 2]
+        if latencies else 0.0,
+        "p95_latency_ms": 1000 * latencies[int(len(latencies) * 0.95)]
+        if latencies else 0.0,
+        "bit_identical": bit_identical,
+        "max_abs_diff": max_abs_diff,
+        "shed": batched.stats()["shed"],
+    }
+
+
+def run_serving_bench():
+    scale = bench_scale()
+    lm, tok = load_pretrained(MODEL_NAME)
+    # the training default (PromptEMConfig: t2 template, max_len=96) --
+    # i.e. the model a bundle exported by ``repro run`` actually contains
+    template = make_template("t2", tok, max_len=96)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+    model.eval()
+    bundle = ModelBundle.from_model(model, threshold=0.5, name=MODEL_NAME)
+
+    rows = []
+    results = {}
+    for dataset_name in scale.datasets:
+        dataset = load_dataset(dataset_name)
+        pool = (dataset.train + dataset.test)[:4 * scale.unlabeled_cap]
+        result = run_serving_comparison(bundle, pool)
+        results[dataset_name] = result
+        rows.append([
+            dataset_name,
+            result["pairs"],
+            f"{result['naive_pps']:.1f}",
+            f"{result['single_pps']:.1f}",
+            f"{result['batched_pps']:.1f}",
+            f"{result['speedup']:.2f}x",
+            f"{result['mean_batch_size']:.1f}",
+            f"{result['p50_latency_ms']:.1f}",
+            f"{result['p95_latency_ms']:.1f}",
+            str(result["bit_identical"]),
+            f"{result['max_abs_diff']:.2e}",
+        ])
+
+    headers = ["Dataset", "Pairs", "Naive p/s", "1-req srv p/s",
+               "Batched p/s", "Speedup", "Batch size", "p50 ms", "p95 ms",
+               "Bit-identical", "Max |diff|"]
+    table = render_table(
+        headers, rows,
+        title=f"Serving: micro-batched vs per-request (scale={scale.name})")
+    return table, results
+
+
+def test_serving(benchmark):
+    table, data = benchmark.pedantic(run_serving_bench, rounds=1,
+                                     iterations=1)
+    emit(table, "serving", data=data)

@@ -9,25 +9,54 @@ Quickstart::
     dataset = load_dataset("REL-HETER")
     matcher = PromptEM().fit(dataset.low_resource())
     print(matcher.evaluate(dataset.test))
-"""
 
-from .core import PromptEM, PromptEMConfig
-from .data import (
-    DATASET_NAMES, CandidatePair, EntityRecord, GEMDataset, Table,
-    load_all, load_dataset, serialize,
-)
-from .eval import PRF, ConfusionMatrix
-from .infer import EngineConfig, InferenceEngine
-from .lm import load_pretrained
+Public names are resolved lazily (PEP 562): importing :mod:`repro` -- or a
+leaf module such as :mod:`repro.serve.bundle` -- pulls in only the modules
+that name actually needs. That is what lets a serving process load a
+:class:`~repro.serve.ModelBundle` without ever importing the trainer,
+self-training, or pre-training code paths.
+"""
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "PromptEM", "PromptEMConfig",
-    "load_dataset", "load_all", "DATASET_NAMES",
-    "GEMDataset", "CandidatePair", "EntityRecord", "Table", "serialize",
-    "PRF", "ConfusionMatrix",
-    "InferenceEngine", "EngineConfig",
-    "load_pretrained",
-    "__version__",
-]
+#: public name -> defining submodule, resolved on first attribute access
+_EXPORTS = {
+    "PromptEM": "repro.core",
+    "PromptEMConfig": "repro.core",
+    "load_dataset": "repro.data",
+    "load_all": "repro.data",
+    "DATASET_NAMES": "repro.data",
+    "GEMDataset": "repro.data",
+    "CandidatePair": "repro.data",
+    "EntityRecord": "repro.data",
+    "Table": "repro.data",
+    "serialize": "repro.data",
+    "PRF": "repro.eval",
+    "ConfusionMatrix": "repro.eval",
+    "InferenceEngine": "repro.infer",
+    "EngineConfig": "repro.infer",
+    "load_pretrained": "repro.lm",
+}
+
+#: subpackages reachable as ``repro.<name>`` without an explicit import
+_SUBMODULES = frozenset({
+    "autograd", "baselines", "cli", "core", "data", "eval", "infer", "lm",
+    "obs", "parallel", "serve", "text",
+})
+
+__all__ = [*_EXPORTS, "__version__"]
+
+
+def __getattr__(name: str):
+    import importlib
+
+    target = _EXPORTS.get(name)
+    if target is not None:
+        return getattr(importlib.import_module(target), name)
+    if name in _SUBMODULES:
+        return importlib.import_module(f"{__name__}.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

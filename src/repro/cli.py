@@ -7,6 +7,12 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli pretrain --model minilm-base
     python -m repro.cli run --dataset REL-HETER --method PromptEM
     python -m repro.cli run --dataset SEMI-HETER --method TDmatch --rate 0.1
+    python -m repro.cli run --dataset REL-HETER --save-bundle bundle_dir
+    python -m repro.cli serve --bundle bundle_dir --port 8080
+    python -m repro.cli serve --bundle bundle_dir --requests req.jsonl
+
+The ``repro`` console script (``[project.scripts]`` in pyproject.toml)
+maps to :func:`main`, so ``repro serve ...`` works after installation.
 """
 
 from __future__ import annotations
@@ -162,6 +168,88 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.save and hasattr(matcher, "save"):
         matcher.save(args.save)
         print(f"saved matcher to {args.save}")
+    if args.save_bundle:
+        from .serve import ModelBundle
+
+        model = getattr(matcher, "model", None)
+        if model is None:
+            raise SystemExit(
+                f"--save-bundle needs a prompt model; {args.method} has none")
+        bundle = ModelBundle.from_model(model, name=dataset.name)
+        bundle.save(args.save_bundle)
+        print(f"saved serving bundle to {args.save_bundle} "
+              f"(threshold {bundle.threshold})")
+    return 0
+
+
+def _load_catalog(spec: str) -> List:
+    """Records to index: a ``.jsonl`` of record dicts, a dataset-bundle
+    JSON, or a benchmark name (indexes both tables)."""
+    import os
+
+    from .data import load_dataset
+    from .data.io import _record_from_dict, load_dataset_file
+
+    if spec.endswith(".jsonl"):
+        import json
+
+        with open(spec) as f:
+            return [_record_from_dict(json.loads(line))
+                    for line in f if line.strip()]
+    dataset = (load_dataset_file(spec) if os.path.exists(spec)
+               else load_dataset(spec))
+    return list(dataset.left_table) + list(dataset.right_table)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import (
+        MatchHTTPServer, MatchServer, ModelBundle, ServerConfig, ServingIndex,
+        read_jsonl, serve_requests,
+    )
+
+    bundle = ModelBundle.load(args.bundle)
+    config = ServerConfig(
+        max_queue=args.max_queue,
+        max_batch_pairs=args.max_batch_pairs,
+        token_budget=args.token_budget,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        cache_capacity=args.cache_capacity,
+        default_top_k=args.top_k,
+    )
+    index = ServingIndex(default_k=args.top_k)
+    if args.catalog:
+        added = index.add_many(_load_catalog(args.catalog))
+        print(f"indexed {added} catalog records from {args.catalog}",
+              file=sys.stderr)
+
+    with _telemetry(args) as tel:
+        server = MatchServer(bundle, config, index=index)
+        if args.requests:
+            out = (open(args.output, "w") if args.output else sys.stdout)
+            try:
+                with server:
+                    for response in serve_requests(
+                            server, read_jsonl(args.requests)):
+                        out.write(json.dumps(response) + "\n")
+            finally:
+                if out is not sys.stdout:
+                    out.close()
+            stats = server.stats()
+            print(f"served {stats['responses']} responses "
+                  f"in {stats['batches']} batches "
+                  f"(shed {stats['shed']})", file=sys.stderr)
+            _print_trace_summary(tel)
+            return 0
+        http = MatchHTTPServer(server, host=args.host, port=args.port)
+        print(f"serving {bundle.name} (model version {server.version}) "
+              f"on {http.address}", file=sys.stderr)
+        try:
+            http.serve_forever()
+        except KeyboardInterrupt:
+            http.shutdown()
+        _print_trace_summary(tel)
     return 0
 
 
@@ -221,9 +309,38 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for training/inference "
                           "(PromptEM only; results identical at any count)")
     run.add_argument("--save", help="save the fitted matcher to this path")
+    run.add_argument("--save-bundle", metavar="DIR",
+                     help="export the trained model as a serving bundle "
+                          "(weights + vocab + template + threshold)")
     run.add_argument("--verbose", action="store_true",
                      help="print inference-engine throughput statistics")
     _add_telemetry_flags(run)
+
+    serve = sub.add_parser(
+        "serve", help="serve a trained bundle (HTTP or JSONL batch mode)")
+    serve.add_argument("--bundle", required=True,
+                       help="bundle directory written by run --save-bundle")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--requests", metavar="JSONL",
+                       help="answer requests from this JSONL file instead of "
+                            "binding a socket")
+    serve.add_argument("--output", metavar="JSONL",
+                       help="write JSONL responses here (default stdout)")
+    serve.add_argument("--catalog", metavar="PATH_OR_NAME",
+                       help="records to index for /match: a record JSONL, a "
+                            "dataset bundle JSON, or a benchmark name")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="admission-control queue bound (shed above this)")
+    serve.add_argument("--max-batch-pairs", type=int, default=32)
+    serve.add_argument("--token-budget", type=int, default=2048,
+                       help="max (rows+1)*max_len tokens per micro-batch")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batch formation deadline")
+    serve.add_argument("--cache-capacity", type=int, default=8192)
+    serve.add_argument("--top-k", type=int, default=5,
+                       help="candidates returned by /match")
+    _add_telemetry_flags(serve)
     return parser
 
 
@@ -232,6 +349,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "pretrain": _cmd_pretrain,
     "run": _cmd_run,
+    "serve": _cmd_serve,
 }
 
 

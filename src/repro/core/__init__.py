@@ -1,44 +1,74 @@
-"""PromptEM core: prompt-tuning, uncertainty-aware LST, dynamic pruning."""
+"""PromptEM core: prompt-tuning, uncertainty-aware LST, dynamic pruning.
 
-from .active import (
-    ActiveLearner, ActiveLearningConfig, ActiveLearningReport, oracle_from_view,
-)
-from .config import PromptEMConfig
-from .el2n import el2n_scores, mc_el2n_scores, prune_dataset, select_prunable
-from .finetune import SequenceClassifier
-from .matcher import PromptEM
-from .prompt_model import PromptModel
-from .self_training import (
-    LightweightSelfTrainer, SelfTrainingConfig, SelfTrainingReport,
-)
-from .templates import (
-    PROMPT_PLACEHOLDER, ContinuousTemplate, HardTemplateT1, HardTemplateT2,
-    PromptEncoder, Template, TemplateInstance, make_template,
-)
-from .trainer import (
-    Trainer, TrainerConfig, TrainHistory, evaluate_f1, predict, predict_proba,
-    stochastic_proba,
-)
-from .uncertainty import (
-    McDropoutResult, PseudoLabelSelection, mc_dropout, select_by_clustering,
-    select_by_confidence, select_by_uncertainty, select_pseudo_labels,
-    top_n_count,
-)
-from .verbalizer import Verbalizer
+Names are resolved lazily (PEP 562) so that inference-only consumers --
+most importantly :mod:`repro.serve`, which rebuilds a
+:class:`~repro.core.prompt_model.PromptModel` from a saved bundle -- can
+import the model/template/verbalizer modules without dragging in the
+trainer, self-training, pruning, or active-learning code.
+"""
 
-__all__ = [
-    "PromptEM", "PromptEMConfig",
-    "ActiveLearner", "ActiveLearningConfig", "ActiveLearningReport",
-    "oracle_from_view",
-    "PromptModel", "SequenceClassifier",
-    "Template", "TemplateInstance", "HardTemplateT1", "HardTemplateT2",
-    "ContinuousTemplate", "PromptEncoder", "make_template", "PROMPT_PLACEHOLDER",
-    "Verbalizer",
-    "Trainer", "TrainerConfig", "TrainHistory",
-    "predict", "predict_proba", "stochastic_proba", "evaluate_f1",
-    "mc_dropout", "McDropoutResult", "select_pseudo_labels",
-    "PseudoLabelSelection", "select_by_uncertainty", "select_by_confidence",
-    "select_by_clustering", "top_n_count",
-    "el2n_scores", "mc_el2n_scores", "select_prunable", "prune_dataset",
-    "LightweightSelfTrainer", "SelfTrainingConfig", "SelfTrainingReport",
-]
+#: public name -> defining submodule, resolved on first attribute access
+_EXPORTS = {
+    "ActiveLearner": "repro.core.active",
+    "ActiveLearningConfig": "repro.core.active",
+    "ActiveLearningReport": "repro.core.active",
+    "oracle_from_view": "repro.core.active",
+    "PromptEMConfig": "repro.core.config",
+    "el2n_scores": "repro.core.el2n",
+    "mc_el2n_scores": "repro.core.el2n",
+    "prune_dataset": "repro.core.el2n",
+    "select_prunable": "repro.core.el2n",
+    "SequenceClassifier": "repro.core.finetune",
+    "PromptEM": "repro.core.matcher",
+    "PromptModel": "repro.core.prompt_model",
+    "LightweightSelfTrainer": "repro.core.self_training",
+    "SelfTrainingConfig": "repro.core.self_training",
+    "SelfTrainingReport": "repro.core.self_training",
+    "PROMPT_PLACEHOLDER": "repro.core.templates",
+    "ContinuousTemplate": "repro.core.templates",
+    "HardTemplateT1": "repro.core.templates",
+    "HardTemplateT2": "repro.core.templates",
+    "PromptEncoder": "repro.core.templates",
+    "Template": "repro.core.templates",
+    "TemplateInstance": "repro.core.templates",
+    "make_template": "repro.core.templates",
+    "Trainer": "repro.core.trainer",
+    "TrainerConfig": "repro.core.trainer",
+    "TrainHistory": "repro.core.trainer",
+    "evaluate_f1": "repro.core.trainer",
+    "predict": "repro.core.trainer",
+    "predict_proba": "repro.core.trainer",
+    "stochastic_proba": "repro.core.trainer",
+    "tune_threshold": "repro.core.trainer",
+    "McDropoutResult": "repro.core.uncertainty",
+    "PseudoLabelSelection": "repro.core.uncertainty",
+    "mc_dropout": "repro.core.uncertainty",
+    "select_by_clustering": "repro.core.uncertainty",
+    "select_by_confidence": "repro.core.uncertainty",
+    "select_by_uncertainty": "repro.core.uncertainty",
+    "select_pseudo_labels": "repro.core.uncertainty",
+    "top_n_count": "repro.core.uncertainty",
+    "Verbalizer": "repro.core.verbalizer",
+}
+
+_SUBMODULES = frozenset({
+    "active", "config", "el2n", "finetune", "matcher", "prompt_model",
+    "self_training", "templates", "trainer", "uncertainty", "verbalizer",
+})
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    import importlib
+
+    target = _EXPORTS.get(name)
+    if target is not None:
+        return getattr(importlib.import_module(target), name)
+    if name in _SUBMODULES:
+        return importlib.import_module(f"{__name__}.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -114,8 +114,13 @@ def tune_threshold(probs: np.ndarray, labels: np.ndarray) -> float:
     Vectorized: instead of building a :class:`ConfusionMatrix` per candidate
     cut (O(n) cuts x O(n) counting), TP/FP at every cut fall out of one sort
     and a cumulative positive count -- ``searchsorted`` gives, per cut, how
-    many scores it clears. Tie-breaking matches the original loop (first cut
-    with the maximum F1 wins, 0.5 tried first).
+    many scores it clears.
+
+    Tie-breaking is deterministic and permutation-invariant: among all cuts
+    whose F1 is within ``1e-12`` of the maximum, the default ``0.5`` wins if
+    it is one of them, otherwise the smallest cut. Without the tolerance,
+    exact ties can be broken by which F1 accumulated less rounding error --
+    an accident of the score distribution, not a property of the cut.
     """
     labels = np.asarray(labels, dtype=np.int64)
     scores = probs[:, 1]
@@ -141,7 +146,10 @@ def tune_threshold(probs: np.ndarray, labels: np.ndarray) -> float:
     denom = precision + recall
     f1 = np.divide(2 * precision * recall, denom, out=np.zeros(len(cuts)),
                    where=denom > 0)
-    return float(cuts[int(np.argmax(f1))])
+    tied = cuts[f1 >= np.max(f1) - 1e-12]
+    if np.any(tied == 0.5):
+        return 0.5
+    return float(tied.min())
 
 
 def stochastic_proba(model: Module, pairs: Sequence[CandidatePair],

@@ -17,6 +17,15 @@ from .records import EntityRecord, Table
 from .serialize import serialize
 
 
+def record_tokens(record: EntityRecord) -> Set[str]:
+    """Blocking token set of a record: serialized, markers and 1-char
+    tokens dropped. Shared by :class:`OverlapBlocker` and the serving-side
+    :class:`repro.serve.ServingIndex` so offline and online candidate
+    generation agree on what counts as overlap."""
+    return {t for t in basic_tokenize(serialize(record))
+            if t not in ("[COL]", "[VAL]") and len(t) > 1}
+
+
 @dataclass
 class BlockingResult:
     """Candidate pairs surviving the blocker, plus bookkeeping for recall."""
@@ -40,10 +49,7 @@ class OverlapBlocker:
         self.threshold = threshold
         self.min_shared_tokens = min_shared_tokens
 
-    @staticmethod
-    def _tokens(record: EntityRecord) -> Set[str]:
-        return {t for t in basic_tokenize(serialize(record))
-                if t not in ("[COL]", "[VAL]") and len(t) > 1}
+    _tokens = staticmethod(record_tokens)
 
     def block(self, left: Table, right: Table) -> BlockingResult:
         """Return candidate pairs sharing enough tokens.

@@ -5,10 +5,17 @@ far the most expensive part of an inference step at MiniLM scale. The seed
 pipeline repeated it for every epoch, every MC-Dropout pass and every
 self-training iteration; memoizing per (pair, encoder fingerprint) makes all
 of those re-reads O(1) dictionary hits.
+
+The cache is thread-safe: the serving scheduler and HTTP handler threads
+share one :class:`EncodingCache` through the engine, so bookkeeping
+(entries, hits/misses/evictions) is guarded by a lock. ``encode()`` runs
+*outside* the lock -- it is the expensive part and is pure, so concurrent
+misses on the same key may encode twice but only one result is kept.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Hashable, Optional
 
@@ -18,11 +25,15 @@ class EncodingCache:
 
     ``capacity <= 0`` disables caching entirely (every lookup is a miss and
     nothing is stored), which keeps the call sites branch-free.
+
+    Invariant (also under concurrent use): ``hits + misses`` equals the
+    number of :meth:`get_or_encode` calls, and ``evictions <= misses``.
     """
 
     def __init__(self, capacity: int = 8192) -> None:
         self.capacity = int(capacity)
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -40,34 +51,45 @@ class EncodingCache:
 
     def counters(self) -> dict:
         """All cache accounting in one dict (engine stats / telemetry)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "entries": len(self._entries),
-            "hit_rate": self.hit_rate,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "hit_rate": self.hit_rate,
+            }
 
     def get_or_encode(self, key: Hashable, encode: Callable[[], object]):
         """Return the cached value for ``key``, computing it on a miss."""
         if self.capacity <= 0:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return encode()
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return entry
-        self.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.misses += 1
         entry = encode()
-        self._entries[key] = entry
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            # a racing miss may have inserted already; keep the first value
+            # so every caller of this key sees one object
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            self._entries[key] = entry
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return entry
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def reset_counters(self) -> None:
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self.hits = self.misses = self.evictions = 0

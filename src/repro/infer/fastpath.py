@@ -15,7 +15,12 @@ for op, in the same order. Guarantees:
   the module's own rng as a fallback), so MC-Dropout draws are unchanged;
 * **less work** -- the MLM head runs only at the [MASK] positions
   ((B, D) instead of (B, T, D) -> 1/T of the decoder matmul), and
-  duplicate-token flags are memoized per encoding.
+  duplicate-token flags are memoized per encoding;
+* **less memory traffic** -- kernels run in place on owned temporaries
+  (same operation order, so bit-identical results), q/k/v come from one
+  fused (D, 3D) projection, the big attention matmuls write into
+  recycled per-thread scratch buffers, and a no-padding batch skips the
+  attention mask fill entirely.
 
 Training never comes through here: with gradients enabled the models use
 the recorded Tensor path, which remains the reference implementation.
@@ -23,6 +28,7 @@ the recorded Tensor path, which remains the reference implementation.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence
 
 import numpy as np
@@ -30,6 +36,25 @@ import numpy as np
 from ..autograd.layers import active_dropout_plan
 
 _SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+_scratch = threading.local()
+
+
+def _scratch_buf(key: str, shape, dtype) -> np.ndarray:
+    """Reusable per-thread output buffer for the large attention matmuls.
+
+    Allocating the (B, H, T, T) score array anew on every forward means a
+    multi-megabyte mmap plus first-touch page faults per batch; recycling
+    one buffer per (key, thread) removes that cost. GEMM with ``out=``
+    overwrites every element, so reuse is bit-transparent.
+    """
+    store = getattr(_scratch, "bufs", None)
+    if store is None:
+        store = _scratch.bufs = {}
+    buf = store.get(key)
+    if buf is None or buf.shape != tuple(shape) or buf.dtype != dtype:
+        buf = store[key] = np.empty(shape, dtype)
+    return buf
 
 
 def _apply_dropout(module, x: np.ndarray) -> np.ndarray:
@@ -49,64 +74,105 @@ def _apply_dropout(module, x: np.ndarray) -> np.ndarray:
 def _linear(fc, x: np.ndarray) -> np.ndarray:
     out = x @ fc.weight.data
     if fc.bias is not None:
-        out = out + fc.bias.data
+        out += fc.bias.data
     return out
 
 
 def _layer_norm(ln, x: np.ndarray) -> np.ndarray:
+    # Mutates ``x`` (every caller passes an owned temporary); the arithmetic
+    # runs in the reference order, so results stay bit-identical while the
+    # (B, T, D) intermediates reuse one buffer instead of allocating four.
     dt = x.dtype.type
     inv = dt(1.0 / x.shape[-1])
     mu = x.sum(axis=-1, keepdims=True) * inv
-    centered = x - mu
-    var = (centered * centered).sum(axis=-1, keepdims=True) * inv
-    normed = centered / np.sqrt(var + dt(ln.eps))
-    return normed * ln.gamma.data + ln.beta.data
+    x -= mu
+    var = (x * x).sum(axis=-1, keepdims=True) * inv
+    var += dt(ln.eps)
+    np.sqrt(var, out=var)
+    x /= var
+    x *= ln.gamma.data
+    x += ln.beta.data
+    return x
 
 
 def _gelu(x: np.ndarray) -> np.ndarray:
+    # tanh approximation, evaluated in the reference operation order but
+    # with one scratch buffer for the (B, T, 4D) FFN activations.
     dt = x.dtype.type
-    inner = (x + (x * x * x) * dt(0.044715)) * dt(_SQRT_2_OVER_PI)
-    return x * (np.tanh(inner) + dt(1.0)) * dt(0.5)
+    inner = x * x
+    inner *= x
+    inner *= dt(0.044715)
+    inner += x
+    inner *= dt(_SQRT_2_OVER_PI)
+    np.tanh(inner, out=inner)
+    inner += dt(1.0)
+    inner *= x
+    inner *= dt(0.5)
+    return inner
 
 
 def _softmax(x: np.ndarray) -> np.ndarray:
-    shifted = x - x.max(axis=-1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=-1, keepdims=True)
+    # In place: attention scores are (B, H, T, T), by far the largest
+    # arrays in a forward; callers always hand over a fresh temporary.
+    x -= x.max(axis=-1, keepdims=True)
+    np.exp(x, out=x)
+    x /= x.sum(axis=-1, keepdims=True)
+    return x
 
 
 def _attention(attn, x: np.ndarray,
                score_mask: Optional[np.ndarray]) -> np.ndarray:
     batch, seq, _ = x.shape
 
-    def split(h):
-        return h.reshape(batch, seq, attn.num_heads,
-                         attn.d_head).transpose(0, 2, 1, 3)
+    # One fused (D, 3D) projection instead of three (D, D) GEMMs. The
+    # column-blocked GEMM reduces over the same K axis in the same order,
+    # so each q/k/v element is bit-identical to its separate projection.
+    qkv_weight = np.concatenate(
+        (attn.q_proj.weight.data, attn.k_proj.weight.data,
+         attn.v_proj.weight.data), axis=1)
+    qkv = x @ qkv_weight
+    if attn.q_proj.bias is not None:
+        qkv += np.concatenate(
+            (attn.q_proj.bias.data, attn.k_proj.bias.data,
+             attn.v_proj.bias.data))
 
-    q = split(_linear(attn.q_proj, x))
-    k = split(_linear(attn.k_proj, x))
-    v = split(_linear(attn.v_proj, x))
-    scores = (q @ k.transpose(0, 1, 3, 2)) * x.dtype.type(attn.scale)
+    # (B, T, 3D) -> (B, T, 3, H, d_head): a pure view of the fused output,
+    # so q/k/v never get copied out
+    qkv = qkv.reshape(batch, seq, 3, attn.num_heads, attn.d_head)
+    q = qkv[:, :, 0].transpose(0, 2, 1, 3)
+    k = qkv[:, :, 1].transpose(0, 2, 1, 3)
+    v = qkv[:, :, 2].transpose(0, 2, 1, 3)
+    scores = _scratch_buf("scores", (batch, attn.num_heads, seq, seq), x.dtype)
+    np.matmul(q, k.transpose(0, 1, 3, 2), out=scores)
+    scores *= x.dtype.type(attn.scale)
     if score_mask is not None:
-        scores = np.where(score_mask, x.dtype.type(-1e9), scores)
+        np.copyto(scores, x.dtype.type(-1e9), where=score_mask)
     weights = _apply_dropout(attn.attn_dropout, _softmax(scores))
-    context = (weights @ v).transpose(0, 2, 1, 3)
+    context = _scratch_buf(
+        "context", (batch, attn.num_heads, seq, attn.d_head), x.dtype)
+    np.matmul(weights, v, out=context)
+    context = context.transpose(0, 2, 1, 3)
     return _linear(attn.out_proj, context.reshape(batch, seq, attn.d_model))
 
 
 def encoder_hidden(lm, embeds: np.ndarray,
                    pad_mask: Optional[np.ndarray]) -> np.ndarray:
     """The TransformerEncoder stack on raw arrays: (B, T, D) -> (B, T, D)."""
-    score_mask = pad_mask[:, None, None, :] if pad_mask is not None else None
+    # A no-padding batch (length-homogeneous bucket) masks nothing; skip
+    # the (B, H, T, T) masked fill entirely in that case.
+    score_mask = (pad_mask[:, None, None, :]
+                  if pad_mask is not None and pad_mask.any() else None)
     x = embeds
     for layer in lm.encoder.layers:
         attn_out = _apply_dropout(
             layer.dropout, _attention(layer.attention, x, score_mask))
-        x = _layer_norm(layer.norm1, x + attn_out)
+        attn_out += x  # residual, in place on the fresh projection output
+        x = _layer_norm(layer.norm1, attn_out)
         ffn = layer.ffn
         ffn_out = _apply_dropout(
             ffn.dropout, _linear(ffn.fc2, _gelu(_linear(ffn.fc1, x))))
-        x = _layer_norm(layer.norm2, x + ffn_out)
+        ffn_out += x
+        x = _layer_norm(layer.norm2, ffn_out)
     return x
 
 
@@ -127,8 +193,9 @@ def _cached_dup_flags(lm, encodings, ids: np.ndarray) -> np.ndarray:
 
 def _embed(lm, token_vecs: np.ndarray, flags: np.ndarray) -> np.ndarray:
     seq = token_vecs.shape[1]
-    x = token_vecs + lm.position_embedding.weight.data[:seq]
-    x = x + lm.duplicate_embedding.weight.data[flags]
+    x = token_vecs  # fresh gather (or np.where result) owned by the caller
+    x += lm.position_embedding.weight.data[:seq]
+    x += lm.duplicate_embedding.weight.data[flags]
     return _apply_dropout(lm.embedding_dropout, _layer_norm(lm.embedding_norm, x))
 
 

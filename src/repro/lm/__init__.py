@@ -1,12 +1,63 @@
-"""MiniLM: the pre-trained masked language model substrate."""
+"""MiniLM: the pre-trained masked language model substrate.
 
-from .config import LMConfig
-from .model import MiniLM, pad_batch
-from .pretrain import IGNORE_INDEX, PretrainConfig, PretrainResult, mask_tokens, pretrain
-from .zoo import available_models, default_cache_dir, load_pretrained
+Lazily exported (PEP 562): serving processes import :class:`MiniLM` and
+:class:`LMConfig` from their defining modules without touching the
+pre-training loop in :mod:`repro.lm.pretrain` (which :mod:`repro.lm.zoo`
+pulls in for cache-miss training).
+"""
 
-__all__ = [
-    "LMConfig", "MiniLM", "pad_batch",
-    "PretrainConfig", "PretrainResult", "pretrain", "mask_tokens", "IGNORE_INDEX",
-    "load_pretrained", "available_models", "default_cache_dir",
-]
+#: public name -> defining submodule, resolved on first attribute access
+_EXPORTS = {
+    "LMConfig": "repro.lm.config",
+    "MiniLM": "repro.lm.model",
+    "pad_batch": "repro.lm.model",
+    "IGNORE_INDEX": "repro.lm.pretrain",
+    "PretrainConfig": "repro.lm.pretrain",
+    "PretrainResult": "repro.lm.pretrain",
+    "mask_tokens": "repro.lm.pretrain",
+    "pretrain": "repro.lm.pretrain",
+    "available_models": "repro.lm.zoo",
+    "default_cache_dir": "repro.lm.zoo",
+    "load_pretrained": "repro.lm.zoo",
+}
+
+_SUBMODULES = frozenset({"config", "model", "pretrain", "zoo"})
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    import importlib
+
+    # exports first: ``pretrain`` names both the function and its module
+    target = _EXPORTS.get(name)
+    if target is not None:
+        return getattr(importlib.import_module(target), name)
+    if name in _SUBMODULES:
+        return importlib.import_module(f"{__name__}.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+class _Package(__import__("types").ModuleType):
+    """Keeps ``repro.lm.pretrain`` bound to the *function*.
+
+    When any code imports the :mod:`repro.lm.pretrain` submodule (zoo does,
+    on a cache miss), the import system binds that module object onto this
+    package, which would permanently shadow the lazily exported ``pretrain``
+    function -- ``__getattr__`` never fires for attributes that exist. Skip
+    that one binding; the module stays reachable through ``sys.modules``.
+    """
+
+    def __setattr__(self, name, value):
+        import types
+
+        if name in _EXPORTS and isinstance(value, types.ModuleType):
+            return
+        super().__setattr__(name, value)
+
+
+__import__("sys").modules[__name__].__class__ = _Package
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,41 @@
+"""Online matching service: model bundles, micro-batching, hot swap.
+
+The serving layer turns the offline reproduction into a query-shaped
+service (the deployment form real EM systems take):
+
+* :class:`ModelBundle` -- a one-directory artifact (weights, vocabulary,
+  template, verbalizer, tuned threshold) that a server loads without
+  importing any training code;
+* :class:`ServingIndex` -- an incrementally maintained inverted-index
+  catalog with top-k candidate retrieval;
+* :class:`MatchServer` -- bounded request queue, dynamic micro-batching
+  under a max-wait deadline and token budget, explicit
+  :class:`Overloaded` shedding, and atomic bundle hot-swap between
+  batches;
+* :mod:`repro.serve.http` -- a stdlib HTTP front end plus a socket-free
+  JSONL request driver.
+
+See ``docs/SERVING.md`` for the bundle format, scheduler knobs,
+backpressure semantics, and the hot-swap contract.
+"""
+
+from .bundle import BUNDLE_SCHEMA_VERSION, BundleError, ModelBundle
+from .http import (
+    MatchHTTPServer, ProtocolError, handle_request, read_jsonl,
+    serve_requests,
+)
+from .index import ServingIndex
+from .server import (
+    MatchCandidate, MatchResponse, MatchServer, Overloaded, PendingMatch,
+    PendingResponse, ScoreResponse, ServerConfig,
+)
+
+__all__ = [
+    "ModelBundle", "BundleError", "BUNDLE_SCHEMA_VERSION",
+    "ServingIndex",
+    "MatchServer", "ServerConfig", "Overloaded",
+    "ScoreResponse", "MatchResponse", "MatchCandidate",
+    "PendingResponse", "PendingMatch",
+    "MatchHTTPServer", "serve_requests", "handle_request", "read_jsonl",
+    "ProtocolError",
+]

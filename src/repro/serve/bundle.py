@@ -1,0 +1,160 @@
+"""ModelBundle: one directory holding everything a server needs to score.
+
+A bundle packages the fitted :class:`~repro.core.prompt_model.PromptModel`
+-- weights, vocabulary, template spec, verbalizer label words, and the
+tuned decision threshold -- so a serving process can reconstruct the exact
+matcher without the training stack. Loading imports only model-side
+modules (the lazy package inits in :mod:`repro`, :mod:`repro.core` and
+:mod:`repro.lm` guarantee the trainer / self-training / pre-training
+modules stay out of ``sys.modules``; ``tests/serve/test_bundle.py`` pins
+this in a fresh subprocess).
+
+Layout on disk (``save``/``load`` round-trip)::
+
+    bundle_dir/
+      weights.npz   # module state dict via autograd.serialization
+      bundle.json   # schema version, lm config, template/verbalizer spec,
+                    # decision threshold, vocabulary tokens
+
+The loaded model reproduces the saved model's predictions bit for bit:
+same vocabulary ids (special tokens are pinned to ids 0..6), same template
+rendering, same weights, same threshold.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..autograd.serialization import load_checkpoint, save_checkpoint
+from ..core.prompt_model import PromptModel
+from ..core.templates import make_template
+from ..core.verbalizer import Verbalizer
+from ..lm.config import LMConfig
+from ..lm.model import MiniLM
+from ..text.tokenizer import Tokenizer
+from ..text.vocab import SPECIAL_TOKENS, Vocabulary
+
+PathLike = Union[str, Path]
+
+#: bundle.json schema; bump when the manifest layout changes
+BUNDLE_SCHEMA_VERSION = 1
+
+_WEIGHTS_FILE = "weights.npz"
+_MANIFEST_FILE = "bundle.json"
+
+
+class BundleError(ValueError):
+    """A bundle directory is missing, incomplete, or incompatible."""
+
+
+def _template_spec(model: PromptModel) -> Dict[str, Any]:
+    template = model.template
+    layout = getattr(template, "layout", None)
+    if layout is None:
+        # hard templates encode their layout in the class name
+        layout = "t1" if type(template).__name__.endswith("T1") else "t2"
+    return {
+        "name": layout,
+        "continuous": template.num_prompt_tokens > 0,
+        "max_len": template.max_len,
+        "tokens_per_slot": getattr(template, "tokens_per_slot", 2),
+    }
+
+
+class ModelBundle:
+    """A deployable matcher artifact: model + threshold + identity.
+
+    ``version`` is a free-form deploy label (defaults to ``name``); the
+    server's hot-swap machinery adds its own monotonically increasing
+    version counter on top, so two bundles with the same label are still
+    distinguishable in responses.
+    """
+
+    def __init__(self, model: PromptModel, threshold: Optional[float] = None,
+                 name: str = "bundle", manifest: Optional[dict] = None) -> None:
+        self.model = model
+        self.threshold = threshold
+        self.name = name
+        self.manifest = manifest if manifest is not None else {}
+        if threshold is not None:
+            model.decision_threshold = float(threshold)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model: PromptModel,
+                   threshold: Optional[float] = None,
+                   name: str = "bundle") -> "ModelBundle":
+        """Wrap a fitted model; the threshold defaults to its calibrated one."""
+        if not isinstance(model, PromptModel):
+            raise BundleError(
+                f"bundles package PromptModel instances, got {type(model).__name__}")
+        if threshold is None:
+            threshold = getattr(model, "decision_threshold", None)
+        return cls(model, threshold=threshold, name=name)
+
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Write the bundle directory; returns its path."""
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        model = self.model
+        manifest = {
+            "schema_version": BUNDLE_SCHEMA_VERSION,
+            "name": self.name,
+            "threshold": self.threshold,
+            "lm_config": model.lm.config.to_dict(),
+            "template": _template_spec(model),
+            "verbalizer": {
+                "positive": model.verbalizer.words[1],
+                "negative": model.verbalizer.words[0],
+            },
+            # special tokens occupy fixed ids 0..6; persist only the tail
+            "vocab": model.tokenizer.vocab.tokens()[len(SPECIAL_TOKENS):],
+        }
+        save_checkpoint(model, path / _WEIGHTS_FILE,
+                        metadata={"schema_version": BUNDLE_SCHEMA_VERSION,
+                                  "name": self.name})
+        with open(path / _MANIFEST_FILE, "w") as f:
+            json.dump(manifest, f)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ModelBundle":
+        """Rebuild a bundle saved with :meth:`save` (eval mode, no grads)."""
+        path = Path(path)
+        manifest_path = path / _MANIFEST_FILE
+        weights_path = path / _WEIGHTS_FILE
+        if not manifest_path.exists() or not weights_path.exists():
+            raise BundleError(f"{path} is not a model bundle "
+                              f"(need {_MANIFEST_FILE} and {_WEIGHTS_FILE})")
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+        schema = manifest.get("schema_version")
+        if schema != BUNDLE_SCHEMA_VERSION:
+            raise BundleError(f"bundle schema {schema!r} is not supported "
+                              f"(expected {BUNDLE_SCHEMA_VERSION})")
+
+        vocab = Vocabulary(manifest["vocab"])
+        tokenizer = Tokenizer(vocab)
+        lm = MiniLM(LMConfig.from_dict(manifest["lm_config"]))
+        spec = manifest["template"]
+        template = make_template(spec["name"], tokenizer,
+                                 continuous=spec["continuous"],
+                                 max_len=spec["max_len"],
+                                 tokens_per_slot=spec["tokens_per_slot"])
+        words = manifest["verbalizer"]
+        verbalizer = Verbalizer(vocab, words["positive"], words["negative"])
+        model = PromptModel(lm, tokenizer, template, verbalizer)
+        load_checkpoint(model, weights_path)
+        model.eval()
+        threshold = manifest.get("threshold")
+        bundle = cls(model, threshold=threshold,
+                     name=manifest.get("name", "bundle"), manifest=manifest)
+        return bundle
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (f"ModelBundle(name={self.name!r}, threshold={self.threshold}, "
+                f"params={self.model.num_parameters()})")

@@ -1,0 +1,228 @@
+"""Wire front ends for :class:`~repro.serve.server.MatchServer`.
+
+Two transports over one JSON protocol:
+
+* :func:`serve_requests` -- offline/batch driver: an iterable of request
+  dicts (e.g. parsed from a JSONL file) in, response dicts out, no
+  sockets. The CLI's ``repro serve --requests`` mode and the tests use
+  this; it exercises the exact same admission/batching path.
+* :class:`MatchHTTPServer` -- a stdlib ``ThreadingHTTPServer`` exposing
+
+  - ``POST /score``  ``{"left": <record>, "right": <record>}``
+  - ``POST /match``  ``{"record": <record>, "k": 5}``
+  - ``POST /admin/swap``  ``{"bundle": "<bundle dir>"}``
+  - ``POST /admin/catalog``  ``{"add": [<record>...], "remove": [<id>...]}``
+  - ``GET /stats`` and ``GET /healthz``
+
+Records use the dataset-bundle JSON shape (``{"id", "kind", "values"}``).
+A shed request answers ``503 {"status": "overloaded"}`` -- explicit
+backpressure, never silent buffering.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..data.dataset import CandidatePair
+from ..data.io import _record_from_dict, _record_to_dict
+from .bundle import ModelBundle
+from .server import MatchResponse, MatchServer, Overloaded, ScoreResponse
+
+
+class ProtocolError(ValueError):
+    """A request dict is malformed (unknown op, missing fields)."""
+
+
+# ----------------------------------------------------------------------
+# JSON codec
+# ----------------------------------------------------------------------
+def score_response_to_dict(response: ScoreResponse) -> dict:
+    return {
+        "status": "ok",
+        "op": "score",
+        "probs": [float(p) for p in response.probs],
+        "prediction": response.prediction,
+        "match_probability": response.match_probability,
+        "model_version": response.model_version,
+        "bundle": response.bundle_name,
+        "batch_id": response.batch_id,
+        "batch_size": response.batch_size,
+    }
+
+
+def match_response_to_dict(response: MatchResponse) -> dict:
+    return {
+        "status": "ok",
+        "op": "match",
+        "record_id": response.record_id,
+        "candidates": [{
+            "record": _record_to_dict(candidate.record),
+            "block_score": candidate.block_score,
+            "probability": candidate.probability,
+            "is_match": candidate.is_match,
+            "model_version": candidate.response.model_version,
+        } for candidate in response.candidates],
+    }
+
+
+def overloaded_to_dict(error: Overloaded) -> dict:
+    return {"status": "overloaded", "detail": str(error),
+            "queue_depth": error.queue_depth}
+
+
+def handle_request(server: MatchServer, request: dict,
+                   timeout: Optional[float] = 30.0) -> dict:
+    """Dispatch one request dict; returns a response dict (including the
+    explicit ``overloaded`` response when admission sheds)."""
+    op = request.get("op", "score")
+    try:
+        if op == "score":
+            try:
+                pair = CandidatePair(_record_from_dict(request["left"]),
+                                     _record_from_dict(request["right"]))
+            except KeyError as missing:
+                raise ProtocolError(f"score request needs {missing} record")
+            return score_response_to_dict(server.score(pair, timeout=timeout))
+        if op == "match":
+            if "record" not in request:
+                raise ProtocolError("match request needs a record")
+            record = _record_from_dict(request["record"])
+            k = request.get("k")
+            return match_response_to_dict(
+                server.match(record, k=k, timeout=timeout))
+        raise ProtocolError(f"unknown op {op!r}")
+    except Overloaded as error:
+        return overloaded_to_dict(error)
+
+
+def serve_requests(server: MatchServer, requests: Iterable[dict],
+                   timeout: Optional[float] = 30.0) -> Iterator[dict]:
+    """Batch driver: yield one response dict per request dict."""
+    for request in requests:
+        yield handle_request(server, request, timeout=timeout)
+
+
+def read_jsonl(path) -> List[dict]:
+    with open(path) as f:
+        return [json.loads(line) for line in f if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    # set by MatchHTTPServer
+    match_server: MatchServer = None
+    request_timeout: float = 30.0
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            return {}
+        return json.loads(self.rfile.read(length).decode("utf-8"))
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok",
+                              "model_version": self.match_server.version})
+        elif self.path == "/stats":
+            self._reply(200, self.match_server.stats())
+        else:
+            self._reply(404, {"status": "error", "detail": "unknown path"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
+        try:
+            payload = self._read_json()
+        except (ValueError, UnicodeDecodeError) as error:
+            self._reply(400, {"status": "error", "detail": str(error)})
+            return
+        try:
+            if self.path == "/score":
+                response = handle_request(
+                    self.match_server, {**payload, "op": "score"},
+                    timeout=self.request_timeout)
+            elif self.path == "/match":
+                response = handle_request(
+                    self.match_server, {**payload, "op": "match"},
+                    timeout=self.request_timeout)
+            elif self.path == "/admin/swap":
+                bundle = ModelBundle.load(payload["bundle"])
+                version = self.match_server.swap(bundle)
+                response = {"status": "ok", "model_version": version,
+                            "bundle": bundle.name}
+            elif self.path == "/admin/catalog":
+                added = self.match_server.index.add_many(
+                    _record_from_dict(r) for r in payload.get("add", []))
+                removed = sum(bool(self.match_server.index.remove(rid))
+                              for rid in payload.get("remove", []))
+                response = {"status": "ok", "added": added,
+                            "removed": removed,
+                            "size": len(self.match_server.index)}
+            else:
+                self._reply(404, {"status": "error", "detail": "unknown path"})
+                return
+        except (ProtocolError, KeyError, ValueError) as error:
+            self._reply(400, {"status": "error", "detail": str(error)})
+            return
+        if response.get("status") == "overloaded":
+            self._reply(503, response)
+        else:
+            self._reply(200, response)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging goes through repro.obs, not stderr
+
+
+class MatchHTTPServer:
+    """HTTP wrapper owning a :class:`MatchServer` scheduler thread."""
+
+    def __init__(self, server: MatchServer, host: str = "127.0.0.1",
+                 port: int = 0, request_timeout: float = 30.0) -> None:
+        self.match_server = server
+        handler = type("BoundHandler", (_Handler,), {
+            "match_server": server, "request_timeout": request_timeout})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+
+    @property
+    def address(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop (the CLI's foreground mode)."""
+        self.match_server.start()
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.shutdown()
+
+    def start_background(self) -> "MatchHTTPServer":
+        """Run the accept loop on a daemon thread (tests)."""
+        import threading
+
+        self.match_server.start()
+        thread = threading.Thread(target=self.httpd.serve_forever,
+                                  name="repro-serve-http", daemon=True)
+        thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.match_server.stop()
+
+    def __enter__(self) -> "MatchHTTPServer":
+        return self.start_background()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

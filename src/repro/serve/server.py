@@ -1,0 +1,560 @@
+"""MatchServer: dynamic micro-batching over a bounded request queue.
+
+Request path
+------------
+
+Clients ``submit()`` score requests (or ``submit_match()`` queries, which
+fan out into per-candidate score requests through the same queue). A
+scheduler -- either the background thread started by :meth:`start` or the
+caller itself via the synchronous :meth:`process_once` driver -- forms
+micro-batches:
+
+* the first queued request opens a batch and starts its **max-wait
+  deadline**; the batch closes when the deadline passes, when
+  ``max_batch_pairs`` rows are gathered, or when admitting the next
+  request would push ``rows x longest-encoding`` past ``token_budget``
+  (the same packing rule as :func:`repro.infer.engine.pack_buckets`,
+  which the engine re-applies inside the batch);
+* the scheduler snapshots ``(bundle, version)`` **once per batch** under
+  the swap lock, so every request in a batch -- and therefore every
+  response -- is attributable to exactly one model version even while
+  :meth:`swap` installs a new :class:`~repro.serve.bundle.ModelBundle`;
+* the batch is scored by ``InferenceEngine.predict_proba`` -- the exact
+  offline inference path, so served probabilities are bit-identical to an
+  offline engine replaying the same micro-batches (``bench_serving.py``
+  asserts this).
+
+Backpressure is explicit: a full queue rejects the request with
+:class:`Overloaded` at admission time (counted on the ``serve.shed``
+metric) instead of buffering unboundedly; clients decide whether to retry.
+
+Hot swap reuses the version-counter pattern of
+:class:`repro.parallel.shm.ParameterPublisher`: ``swap()`` bumps a
+monotonic counter under a lock, the scheduler adopts the newest
+``(bundle, version)`` at its next batch boundary, and in-flight batches
+finish on the snapshot they started with.
+
+Everything is instrumented through :mod:`repro.obs` when a telemetry
+session is active: ``serve.queue_depth`` gauge, ``serve.batch_size`` and
+``serve.batch_seconds`` histograms, ``serve.request_seconds`` quantiles,
+``serve.shed`` / ``serve.requests`` / ``serve.responses`` counters, and a
+``serve.batch`` span per scored batch (recorded from the scheduler
+thread).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import CandidatePair
+from ..data.records import EntityRecord
+from ..infer import EngineConfig, InferenceEngine
+from ..obs import get_telemetry
+from .bundle import ModelBundle
+from .index import ServingIndex
+
+
+class Overloaded(RuntimeError):
+    """Admission control rejected the request: the queue is full (or the
+    server has been stopped). Carries ``queue_depth`` at rejection time."""
+
+    def __init__(self, message: str, queue_depth: int = 0) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+
+
+@dataclass
+class ServerConfig:
+    """Scheduler and admission-control knobs."""
+
+    #: bounded queue size; admission beyond this sheds with Overloaded
+    max_queue: int = 256
+    #: hard cap on requests per micro-batch
+    max_batch_pairs: int = 32
+    #: close a batch when rows x longest-encoding would exceed this
+    #: (the engine re-buckets inside the batch under the same budget)
+    token_budget: int = 2048
+    #: how long the first request of a batch waits for company (seconds)
+    max_wait_s: float = 0.002
+    #: encoding-cache entries shared across batches and bundle versions
+    cache_capacity: int = 8192
+    #: top-k candidates a match query scores when the caller passes none
+    default_top_k: int = 5
+    #: keep (batch_id, version, pairs) tuples for offline replay/audit
+    record_batches: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.max_batch_pairs < 1:
+            raise ValueError("max_batch_pairs must be >= 1")
+        if self.token_budget < 1:
+            raise ValueError("token_budget must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+@dataclass
+class ScoreResponse:
+    """One scored pair, tagged with the model version that produced it."""
+
+    probs: np.ndarray            # (2,) class probabilities
+    prediction: int              # thresholded (or argmax) decision
+    model_version: int           # server-side monotonic bundle version
+    bundle_name: str
+    batch_id: int
+    batch_size: int
+    queue_seconds: float         # admission -> batch formation
+    service_seconds: float       # batch formation -> response
+
+    @property
+    def match_probability(self) -> float:
+        return float(self.probs[1])
+
+
+@dataclass
+class MatchCandidate:
+    """One ranked candidate of a match query."""
+
+    record: EntityRecord
+    block_score: float           # overlap coefficient from the index
+    response: ScoreResponse
+
+    @property
+    def probability(self) -> float:
+        return self.response.match_probability
+
+    @property
+    def is_match(self) -> bool:
+        return bool(self.response.prediction)
+
+
+@dataclass
+class MatchResponse:
+    """Ranked candidates for one query record (highest probability first)."""
+
+    record_id: str
+    candidates: List[MatchCandidate] = field(default_factory=list)
+
+    @property
+    def best(self) -> Optional[MatchCandidate]:
+        return self.candidates[0] if self.candidates else None
+
+    def matches(self) -> List[MatchCandidate]:
+        return [c for c in self.candidates if c.is_match]
+
+
+class PendingResponse:
+    """A one-shot future for a queued request.
+
+    Resolution is guarded: resolving twice raises, which is how the
+    hot-swap test proves no request is ever double-answered.
+    """
+
+    __slots__ = ("_event", "_response", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: Optional[ScoreResponse] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ScoreResponse:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not resolved in time")
+        if self._error is not None:
+            raise self._error
+        return self._response
+
+    def _resolve(self, response: ScoreResponse) -> None:
+        if self._event.is_set():
+            raise RuntimeError("request resolved twice")
+        self._response = response
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        if self._event.is_set():
+            raise RuntimeError("request resolved twice")
+        self._error = error
+        self._event.set()
+
+
+class PendingMatch:
+    """Aggregates the per-candidate pendings of one match query."""
+
+    __slots__ = ("record_id", "_entries")
+
+    def __init__(self, record_id: str,
+                 entries: List[Tuple[EntityRecord, float, PendingResponse]]
+                 ) -> None:
+        self.record_id = record_id
+        self._entries = entries
+
+    def done(self) -> bool:
+        return all(pending.done() for _, _, pending in self._entries)
+
+    def result(self, timeout: Optional[float] = None) -> MatchResponse:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        candidates = []
+        for record, block_score, pending in self._entries:
+            remaining = None if deadline is None \
+                else max(deadline - time.monotonic(), 0.0)
+            response = pending.result(remaining)
+            candidates.append(MatchCandidate(record, block_score, response))
+        candidates.sort(key=lambda c: (-c.probability, -c.block_score,
+                                       c.record.record_id))
+        return MatchResponse(record_id=self.record_id, candidates=candidates)
+
+
+class _Request:
+    __slots__ = ("pair", "pending", "arrived")
+
+    def __init__(self, pair: CandidatePair, pending: PendingResponse,
+                 arrived: float) -> None:
+        self.pair = pair
+        self.pending = pending
+        self.arrived = arrived
+
+
+class MatchServer:
+    """Online matching service over a hot-swappable model bundle.
+
+    Use either mode:
+
+    * **threaded** -- ``with server: ...`` (or ``start()``/``stop()``)
+      runs the scheduler on a daemon thread; clients block on
+      ``PendingResponse.result()``;
+    * **synchronous driver** -- skip ``start()`` and call
+      :meth:`process_once` / :meth:`score_batch` / :meth:`match` from the
+      test or benchmark thread; batch formation is identical, minus the
+      waiting.
+    """
+
+    def __init__(self, bundle: ModelBundle,
+                 config: Optional[ServerConfig] = None,
+                 index: Optional[ServingIndex] = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.index = index if index is not None else ServingIndex()
+        self._swap_lock = threading.Lock()
+        self._bundle = bundle
+        self._version = 1
+        self._queue: Deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+        self._closed = False
+        self._batch_id = 0
+        self.batch_log: List[dict] = []
+        self.shed_count = 0
+        self.request_count = 0
+        self.response_count = 0
+        self.engine = InferenceEngine(EngineConfig(
+            token_budget=self.config.token_budget,
+            max_batch_pairs=self.config.max_batch_pairs,
+            cache_capacity=self.config.cache_capacity))
+
+    # ------------------------------------------------------------------
+    # Bundle management
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        with self._swap_lock:
+            return self._version
+
+    @property
+    def bundle(self) -> ModelBundle:
+        with self._swap_lock:
+            return self._bundle
+
+    def swap(self, bundle: ModelBundle) -> int:
+        """Atomically install ``bundle``; scheduler adopts it at the next
+        batch boundary. Returns the new version number."""
+        with self._swap_lock:
+            self._bundle = bundle
+            self._version += 1
+            version = self._version
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("serve.swaps").inc()
+            tel.metrics.gauge("serve.model_version").set(version)
+            tel.event("serve.swap", version=version, bundle=bundle.name)
+        return version
+
+    def _snapshot(self) -> Tuple[ModelBundle, int]:
+        with self._swap_lock:
+            return self._bundle, self._version
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, pair: CandidatePair) -> PendingResponse:
+        """Queue one score request; raises :class:`Overloaded` when full."""
+        return self._submit_many([pair])[0]
+
+    def _submit_many(self, pairs: Sequence[CandidatePair]
+                     ) -> List[PendingResponse]:
+        """All-or-nothing admission of a request group."""
+        now = time.perf_counter()
+        tel = get_telemetry()
+        with self._cond:
+            if self._closed:
+                raise Overloaded("server is stopped",
+                                 queue_depth=len(self._queue))
+            if len(self._queue) + len(pairs) > self.config.max_queue:
+                self.shed_count += 1
+                depth = len(self._queue)
+                if tel.enabled:
+                    tel.metrics.counter("serve.shed").inc()
+                raise Overloaded(
+                    f"queue full ({depth}/{self.config.max_queue})",
+                    queue_depth=depth)
+            pendings = []
+            for pair in pairs:
+                pending = PendingResponse()
+                self._queue.append(_Request(pair, pending, now))
+                pendings.append(pending)
+            self.request_count += len(pairs)
+            depth = len(self._queue)
+            self._cond.notify_all()
+        if tel.enabled:
+            tel.metrics.counter("serve.requests").inc(len(pairs))
+            tel.metrics.gauge("serve.queue_depth").set(depth)
+        return pendings
+
+    def submit_match(self, record: EntityRecord,
+                     k: Optional[int] = None) -> PendingMatch:
+        """Queue a match query: top-k index candidates, one score request
+        each (admitted atomically). No candidates -> an empty, already
+        resolved response."""
+        k = self.config.default_top_k if k is None else k
+        candidates = self.index.candidates(record, k)
+        if not candidates:
+            return PendingMatch(record.record_id, [])
+        pairs = [CandidatePair(record, candidate)
+                 for candidate, _ in candidates]
+        pendings = self._submit_many(pairs)
+        entries = [(candidate, score, pending)
+                   for (candidate, score), pending in zip(candidates, pendings)]
+        return PendingMatch(record.record_id, entries)
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _encoding_length(self, model, pair: CandidatePair) -> int:
+        return len(self.engine.encodings(model, [pair])[0])
+
+    def _form_batch(self, model, wait: bool) -> List[_Request]:
+        """Drain a micro-batch: first request opens it, the max-wait
+        deadline / row cap / token budget close it. FIFO order is kept; a
+        request that would blow the budget is pushed back for the next
+        batch."""
+        cfg = self.config
+        with self._cond:
+            if not self._queue:
+                return []
+            batch = [self._queue.popleft()]
+        longest = self._encoding_length(model, batch[0].pair)
+        deadline = time.monotonic() + cfg.max_wait_s if wait else None
+        while len(batch) < cfg.max_batch_pairs:
+            with self._cond:
+                if not self._queue and deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    while remaining > 0 and not self._queue and self._running:
+                        self._cond.wait(remaining)
+                        remaining = deadline - time.monotonic()
+                if not self._queue:
+                    break
+                request = self._queue.popleft()
+            length = self._encoding_length(model, request.pair)
+            rows = len(batch) + 1
+            if rows * max(longest, length) > cfg.token_budget:
+                with self._cond:
+                    self._queue.appendleft(request)
+                break
+            batch.append(request)
+            longest = max(longest, length)
+        return batch
+
+    def process_once(self, wait: bool = False) -> int:
+        """Form and score one micro-batch inline; returns requests served.
+
+        This is the synchronous driver: benchmarks and tests call it in a
+        loop (or via :meth:`score_batch`) instead of running the thread.
+        """
+        bundle, version = self._snapshot()
+        model = bundle.model
+        batch = self._form_batch(model, wait=wait)
+        if not batch:
+            return 0
+        formed = time.perf_counter()
+        tel = get_telemetry()
+        batch_id = self._batch_id
+        self._batch_id += 1
+        pairs = [request.pair for request in batch]
+        try:
+            if tel.enabled:
+                with tel.span("serve.batch", size=len(batch),
+                              version=version):
+                    probs = self.engine.predict_proba(model, pairs)
+            else:
+                probs = self.engine.predict_proba(model, pairs)
+        except BaseException as error:
+            for request in batch:
+                request.pending._fail(error)
+            raise
+        served = time.perf_counter()
+        threshold = bundle.threshold
+        if threshold is None:
+            predictions = probs.argmax(axis=1)
+        else:
+            predictions = (probs[:, 1] > threshold).astype(np.int64)
+        for row, request in enumerate(batch):
+            request.pending._resolve(ScoreResponse(
+                probs=probs[row], prediction=int(predictions[row]),
+                model_version=version, bundle_name=bundle.name,
+                batch_id=batch_id, batch_size=len(batch),
+                queue_seconds=formed - request.arrived,
+                service_seconds=served - formed))
+        self.response_count += len(batch)
+        if self.config.record_batches:
+            self.batch_log.append({"batch_id": batch_id, "version": version,
+                                   "pairs": pairs})
+        if tel.enabled:
+            metrics = tel.metrics
+            metrics.counter("serve.responses").inc(len(batch))
+            metrics.counter("serve.batches").inc()
+            metrics.histogram("serve.batch_size").observe(len(batch))
+            metrics.timer("serve.batch_seconds").observe(served - formed)
+            quantiles = metrics.quantiles("serve.request_seconds")
+            for request in batch:
+                quantiles.observe(served - request.arrived)
+            with self._cond:
+                depth = len(self._queue)
+            metrics.gauge("serve.queue_depth").set(depth)
+        return len(batch)
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while self._running and not self._queue:
+                    self._cond.wait()
+                if not self._running and not self._queue:
+                    return
+            self.process_once(wait=True)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MatchServer":
+        if self.is_running:
+            return self
+        with self._cond:
+            self._closed = False
+            self._running = True
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-serve-scheduler",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop accepting requests; by default the scheduler finishes the
+        queue before exiting so nothing queued is dropped."""
+        thread = self._thread
+        with self._cond:
+            self._closed = True
+            if not drain:
+                while self._queue:
+                    request = self._queue.popleft()
+                    request.pending._fail(
+                        Overloaded("server stopped before scoring"))
+            self._running = False
+            self._cond.notify_all()
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None
+        if drain:
+            while self.process_once():
+                pass
+
+    def __enter__(self) -> "MatchServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Synchronous conveniences
+    # ------------------------------------------------------------------
+    def score(self, pair: CandidatePair,
+              timeout: Optional[float] = None) -> ScoreResponse:
+        """Submit one pair and wait for its response (threaded mode), or
+        score it inline when no scheduler thread is running."""
+        pending = self.submit(pair)
+        if not self.is_running:
+            while not pending.done():
+                self.process_once()
+        return pending.result(timeout)
+
+    def score_batch(self, pairs: Sequence[CandidatePair],
+                    timeout: Optional[float] = None) -> List[ScoreResponse]:
+        """Score many pairs through the full admission + batching path.
+
+        Respects the queue bound by draining inline (no thread) or backing
+        off briefly (threaded) when admission sheds.
+        """
+        pendings: List[PendingResponse] = []
+        for pair in pairs:
+            while True:
+                try:
+                    pendings.append(self.submit(pair))
+                    break
+                except Overloaded:
+                    if self.is_running:
+                        time.sleep(0.0005)
+                    else:
+                        self.process_once()
+        if not self.is_running:
+            while any(not pending.done() for pending in pendings):
+                if not self.process_once():
+                    break
+        return [pending.result(timeout) for pending in pendings]
+
+    def match(self, record: EntityRecord, k: Optional[int] = None,
+              timeout: Optional[float] = None) -> MatchResponse:
+        """Top-k candidates for ``record``, scored and ranked."""
+        pending = self.submit_match(record, k)
+        if not self.is_running:
+            while not pending.done():
+                if not self.process_once():
+                    break
+        return pending.result(timeout)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service counters plus the underlying engine's stats."""
+        with self._cond:
+            depth = len(self._queue)
+        return {
+            "queue_depth": depth,
+            "requests": self.request_count,
+            "responses": self.response_count,
+            "shed": self.shed_count,
+            "batches": self._batch_id,
+            "model_version": self.version,
+            "bundle": self.bundle.name,
+            "index": self.index.stats(),
+            "engine": self.engine.stats_dict(),
+        }

@@ -103,3 +103,57 @@ class TestCalibratedPredict:
                                      calibrate_threshold=False)).fit(
             view.labeled, valid=view.valid)
         assert not hasattr(model, "decision_threshold")
+
+
+class TestTieBreaking:
+    """tune_threshold's deterministic tie rule: among cuts within 1e-12 of
+    the best F1, prefer the 0.5 default, else the smallest cut."""
+
+    def test_exact_tie_prefers_default(self):
+        # duplicate scores on both sides of 0.5: the 0.5 cut and the 0.6
+        # midpoint produce identical confusion matrices (F1 = 0.5)
+        probs = np.array([[0.6, 0.4], [0.6, 0.4], [0.2, 0.8], [0.2, 0.8]])
+        labels = np.array([0, 1, 0, 1])
+        assert tune_threshold(probs, labels) == 0.5
+
+    def test_all_cuts_tied_returns_default(self):
+        # all-negative labels: every cut scores F1 = 0, a maximal tie
+        probs = np.array([[0.9, 0.1], [0.7, 0.3], [0.4, 0.6]])
+        labels = np.array([0, 0, 0])
+        assert tune_threshold(probs, labels) == 0.5
+
+    def test_permutation_invariant(self):
+        rng = np.random.default_rng(7)
+        scores = rng.random(60)
+        labels = rng.integers(0, 2, size=60)
+        probs = np.stack([1 - scores, scores], axis=1)
+        reference = tune_threshold(probs, labels)
+        for seed in range(5):
+            perm = np.random.default_rng(seed).permutation(60)
+            assert tune_threshold(probs[perm], labels[perm]) == reference
+
+    def test_matches_brute_force_with_tie_rule(self):
+        """Across random inputs the result achieves the brute-force max F1
+        and is exactly the cut the tie rule selects."""
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(4, 30))
+            # coarse grid so duplicate scores (and hence ties) are common
+            scores = rng.integers(0, 8, size=n) / 8.0
+            labels = rng.integers(0, 2, size=n)
+            probs = np.stack([1 - scores, scores], axis=1)
+
+            unique = np.unique(scores)
+            cuts = [0.5] + [(a + b) / 2
+                            for a, b in zip(unique[:-1], unique[1:])]
+            f1s = np.array([ConfusionMatrix.from_labels(
+                labels, (scores > cut).astype(int)).f1 for cut in cuts])
+            tied = [cut for cut, f1 in zip(cuts, f1s)
+                    if f1 >= f1s.max() - 1e-12]
+            expected = 0.5 if 0.5 in tied else min(tied)
+
+            got = tune_threshold(probs, labels)
+            assert got == expected, (seed, tied, got)
+            achieved = ConfusionMatrix.from_labels(
+                labels, (scores > got).astype(int)).f1
+            assert achieved == pytest.approx(f1s.max(), abs=1e-12)

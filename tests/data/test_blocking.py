@@ -38,3 +38,66 @@ class TestOverlapBlocker:
 
     def test_reduction_ratio_empty(self):
         assert BlockingResult(candidates=[], total_pairs=0).reduction_ratio == 0.0
+
+
+class TestEdgeCases:
+    """Boundary behavior shared with the serving-side index (the two use
+    the same record_tokens rule)."""
+
+    @staticmethod
+    def _table(name, texts):
+        from repro.data.records import EntityRecord, Table
+
+        return Table(name=name, kind="text", records=[
+            EntityRecord.text_record(f"{name}{i}", text)
+            for i, text in enumerate(texts)])
+
+    def test_empty_tables(self):
+        blocker = OverlapBlocker(threshold=0.2)
+        result = blocker.block(self._table("l", []), self._table("r", []))
+        assert result.candidates == []
+        assert result.total_pairs == 0
+        assert result.reduction_ratio == 0.0
+
+    def test_empty_left_only(self):
+        blocker = OverlapBlocker(threshold=0.2)
+        result = blocker.block(self._table("l", []),
+                               self._table("r", ["some right rows"]))
+        assert result.candidates == [] and result.total_pairs == 0
+
+    def test_no_shared_tokens_yields_no_candidates(self):
+        blocker = OverlapBlocker(threshold=0.0)
+        result = blocker.block(self._table("l", ["alpha beta gamma"]),
+                               self._table("r", ["delta epsilon zeta"]))
+        assert result.candidates == []
+        assert result.total_pairs == 1
+        assert result.reduction_ratio == 1.0
+
+    def test_records_with_only_dropped_tokens(self):
+        # 1-char tokens are excluded from the blocking token set, so these
+        # records have no tokens and can never be candidates
+        blocker = OverlapBlocker(threshold=0.0)
+        result = blocker.block(self._table("l", ["a b c"]),
+                               self._table("r", ["a b c"]))
+        assert result.candidates == []
+
+    def test_record_tokens_drops_markers_and_short_tokens(self):
+        from repro.data.blocking import record_tokens
+        from repro.data.records import EntityRecord
+
+        record = EntityRecord(record_id="x", kind="relational",
+                              values={"title": "a DB of things"})
+        tokens = record_tokens(record)
+        assert "[COL]" not in tokens and "[VAL]" not in tokens
+        assert "a" not in tokens  # single-char dropped
+        assert "db" in tokens or "DB" in tokens
+
+    def test_min_shared_tokens_gate(self):
+        blocker = OverlapBlocker(threshold=0.0, min_shared_tokens=2)
+        result = blocker.block(self._table("l", ["apple banana"]),
+                               self._table("r", ["apple cherry"]))
+        assert result.candidates == []  # only one shared token
+        blocker = OverlapBlocker(threshold=0.0, min_shared_tokens=1)
+        result = blocker.block(self._table("l", ["apple banana"]),
+                               self._table("r", ["apple cherry"]))
+        assert len(result.candidates) == 1

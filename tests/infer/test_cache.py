@@ -79,3 +79,73 @@ def test_counters_dict_matches_attributes():
         "hit_rate": cache.hit_rate,
     }
     assert cache.counters()["hit_rate"] == 1 / 3
+
+
+class TestThreadSafety:
+    def test_interleaved_lookups_keep_counters_consistent(self):
+        """Hammer one cache from several threads; the accounting invariant
+        ``hits + misses == lookups`` must survive, and the entry count must
+        never exceed capacity. Before the cache took a lock, interleaved
+        ``+=`` on the counters lost updates and concurrent inserts could
+        push the dict past its bound."""
+        import threading
+
+        cache = EncodingCache(capacity=64)
+        lookups_per_thread = 2000
+        threads_n = 4
+        barrier = threading.Barrier(threads_n)
+        errors = []
+
+        def worker(seed):
+            try:
+                barrier.wait()
+                for i in range(lookups_per_thread):
+                    key = (seed * i) % 96  # some keys shared across threads
+                    value = cache.get_or_encode(key, lambda k=key: k * 2)
+                    assert value == key * 2
+                    assert len(cache) <= 64
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in (1, 5, 7, 11)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        counters = cache.counters()
+        assert counters["hits"] + counters["misses"] \
+            == threads_n * lookups_per_thread
+        assert counters["evictions"] <= counters["misses"]
+        assert counters["entries"] <= 64
+
+    def test_racing_misses_converge_to_one_value(self):
+        """Two threads missing on the same key both get a value, but the
+        cache keeps exactly one object for the key afterwards."""
+        import threading
+
+        cache = EncodingCache(capacity=8)
+        release = threading.Event()
+        results = []
+
+        def slow_encode():
+            release.wait(1.0)
+            return object()
+
+        def worker():
+            results.append(cache.get_or_encode("k", slow_encode))
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join()
+
+        cached = cache.get_or_encode("k", lambda: object())
+        assert len(results) == 2
+        # whichever encode won the race, every caller got the kept object
+        assert all(value is cached for value in results)
+        assert cache.counters()["entries"] == 1

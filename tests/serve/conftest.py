@@ -1,0 +1,38 @@
+"""Shared fixtures for the serving tests: one tiny backbone, one fitted
+prompt model wrapped as a bundle, and a handful of benchmark pairs."""
+
+import pytest
+
+from repro.core import PromptModel, Verbalizer, make_template
+from repro.data import load_dataset
+from repro.lm import load_pretrained
+from repro.serve import ModelBundle
+
+
+@pytest.fixture(scope="package")
+def backbone():
+    return load_pretrained("minilm-tiny")
+
+
+@pytest.fixture(scope="package")
+def dataset():
+    return load_dataset("REL-HETER")
+
+
+@pytest.fixture(scope="package")
+def pairs(dataset):
+    return dataset.test[:12]
+
+
+def make_model(backbone, max_len=96):
+    lm, tok = backbone
+    template = make_template("t1", tok, max_len=max_len)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="package")
+def bundle(backbone):
+    return ModelBundle.from_model(make_model(backbone), threshold=0.5,
+                                  name="tiny")

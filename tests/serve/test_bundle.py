@@ -1,0 +1,113 @@
+"""ModelBundle round-trip: predictions, threshold, and import isolation."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.infer import EngineConfig, InferenceEngine
+from repro.serve import BUNDLE_SCHEMA_VERSION, BundleError, ModelBundle
+
+from .conftest import make_model
+
+
+class TestRoundTrip:
+    def test_save_load_reproduces_predictions(self, backbone, pairs, tmp_path):
+        model = make_model(backbone)
+        bundle = ModelBundle.from_model(model, threshold=0.41, name="rt")
+        bundle.save(tmp_path / "b")
+
+        loaded = ModelBundle.load(tmp_path / "b")
+        assert loaded.name == "rt"
+        assert loaded.threshold == 0.41
+        assert loaded.model.decision_threshold == 0.41
+
+        engine = InferenceEngine(EngineConfig())
+        original = engine.predict_proba(model, pairs)
+        engine2 = InferenceEngine(EngineConfig())
+        reloaded = engine2.predict_proba(loaded.model, pairs)
+        assert np.array_equal(original, reloaded)
+
+    def test_threshold_defaults_from_calibrated_model(self, backbone):
+        model = make_model(backbone)
+        model.decision_threshold = 0.37
+        bundle = ModelBundle.from_model(model)
+        assert bundle.threshold == 0.37
+
+    def test_vocab_and_template_survive(self, backbone, tmp_path):
+        model = make_model(backbone, max_len=64)
+        ModelBundle.from_model(model, name="v").save(tmp_path / "b")
+        loaded = ModelBundle.load(tmp_path / "b")
+        assert len(loaded.model.tokenizer.vocab) == len(model.tokenizer.vocab)
+        assert loaded.model.template.max_len == 64
+        # identical token <-> id mapping, not just identical size
+        vocab = model.tokenizer.vocab
+        loaded_vocab = loaded.model.tokenizer.vocab
+        assert vocab.tokens() == loaded_vocab.tokens()
+
+
+class TestErrors:
+    def test_non_prompt_model_rejected(self):
+        with pytest.raises(BundleError):
+            ModelBundle.from_model(object())
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(BundleError):
+            ModelBundle.load(tmp_path / "nope")
+
+    def test_unsupported_schema(self, backbone, tmp_path):
+        ModelBundle.from_model(make_model(backbone)).save(tmp_path / "b")
+        manifest_path = tmp_path / "b" / "bundle.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = BUNDLE_SCHEMA_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(BundleError):
+            ModelBundle.load(tmp_path / "b")
+
+
+class TestImportIsolation:
+    def test_fresh_process_loads_without_training_modules(
+            self, backbone, pairs, tmp_path):
+        """A serving process that only loads a bundle and scores must never
+        import the trainer / self-training / pre-training stack."""
+        model = make_model(backbone)
+        ModelBundle.from_model(model, threshold=0.5).save(tmp_path / "b")
+        engine = InferenceEngine(EngineConfig())
+        expected = engine.predict_proba(model, list(pairs[:4]))
+
+        pair_dicts = []
+        for pair in pairs[:4]:
+            from repro.data.io import _record_to_dict
+            pair_dicts.append({"left": _record_to_dict(pair.left),
+                               "right": _record_to_dict(pair.right)})
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        code = f"""
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.serve import ModelBundle
+from repro.data.dataset import CandidatePair
+from repro.data.io import _record_from_dict
+from repro.infer import EngineConfig, InferenceEngine
+
+bundle = ModelBundle.load({str(tmp_path / "b")!r})
+pairs = [CandidatePair(_record_from_dict(d["left"]),
+                       _record_from_dict(d["right"]))
+         for d in json.loads(sys.argv[1])]
+probs = InferenceEngine(EngineConfig()).predict_proba(bundle.model, pairs)
+banned = [m for m in sys.modules if m.endswith((
+    "core.trainer", "core.self_training", "core.matcher", "core.active",
+    "core.el2n", "core.uncertainty", "core.finetune",
+    "lm.pretrain", "lm.zoo"))]
+print(json.dumps({{"banned": banned, "threshold": bundle.threshold,
+                   "probs": probs.tolist()}}))
+"""
+        result = subprocess.run(
+            [sys.executable, "-c", code, json.dumps(pair_dicts)],
+            capture_output=True, text=True, check=True)
+        payload = json.loads(result.stdout)
+        assert payload["banned"] == []
+        assert payload["threshold"] == 0.5
+        assert np.array_equal(np.array(payload["probs"]), expected)

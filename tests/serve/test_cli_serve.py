@@ -1,0 +1,78 @@
+"""CLI: the ``serve`` subcommand and ``run --save-bundle`` flag."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import _record_to_dict
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--bundle", "b"])
+        assert args.bundle == "b"
+        assert args.port == 8080
+        assert args.max_queue == 256
+        assert args.max_batch_pairs == 32
+        assert args.token_budget == 2048
+        assert args.max_wait_ms == 2.0
+        assert args.requests is None and args.catalog is None
+
+    def test_serve_requires_bundle(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_run_accepts_save_bundle(self):
+        args = build_parser().parse_args(["run", "--save-bundle", "out"])
+        assert args.save_bundle == "out"
+
+    def test_console_script_entry_point_declared(self):
+        import re
+        from pathlib import Path
+
+        pyproject = (Path(__file__).resolve().parents[2] /
+                     "pyproject.toml").read_text()
+        assert re.search(r'^\s*repro\s*=\s*"repro\.cli:main"\s*$',
+                         pyproject, re.M)
+
+
+class TestServeJSONLMode:
+    def test_batch_requests_roundtrip(self, bundle, dataset, pairs,
+                                      tmp_path, capsys):
+        bundle.save(tmp_path / "b")
+        requests = tmp_path / "req.jsonl"
+        with open(requests, "w") as f:
+            for pair in pairs[:4]:
+                f.write(json.dumps({
+                    "op": "score",
+                    "left": _record_to_dict(pair.left),
+                    "right": _record_to_dict(pair.right)}) + "\n")
+            f.write(json.dumps({
+                "op": "match", "k": 2,
+                "record": _record_to_dict(
+                    dataset.left_table.records[0])}) + "\n")
+
+        catalog = tmp_path / "catalog.jsonl"
+        with open(catalog, "w") as f:
+            for record in dataset.right_table:
+                f.write(json.dumps(_record_to_dict(record)) + "\n")
+
+        output = tmp_path / "out.jsonl"
+        code = main(["serve", "--bundle", str(tmp_path / "b"),
+                     "--requests", str(requests),
+                     "--output", str(output),
+                     "--catalog", str(catalog),
+                     "--max-batch-pairs", "4"])
+        assert code == 0
+        responses = [json.loads(line)
+                     for line in output.read_text().splitlines()]
+        assert len(responses) == 5
+        for response in responses[:4]:
+            assert response["status"] == "ok"
+            assert response["op"] == "score"
+            assert response["model_version"] == 1
+        assert responses[4]["op"] == "match"
+        assert responses[4]["candidates"]
+        err = capsys.readouterr().err
+        assert "indexed" in err and "served" in err

@@ -1,0 +1,169 @@
+"""ServingIndex: incremental catalog maintenance and top-k retrieval."""
+
+import threading
+
+import pytest
+
+from repro.data import load_dataset
+from repro.data.records import EntityRecord
+from repro.serve import ServingIndex
+
+
+def rec(rid, text):
+    return EntityRecord.text_record(rid, text)
+
+
+class TestMutation:
+    def test_add_remove_roundtrip(self):
+        index = ServingIndex()
+        assert index.add(rec("a", "vldb conference paper"))
+        assert "a" in index and len(index) == 1
+        assert index.get("a").record_id == "a"
+        assert index.remove("a")
+        assert "a" not in index and len(index) == 0
+        assert index.stats() == {"records": 0, "tokens": 0, "postings": 0}
+
+    def test_duplicate_add_replaces(self):
+        index = ServingIndex()
+        assert index.add(rec("a", "entity matching survey"))
+        # same id again: reported as a replacement, old tokens unlinked
+        assert not index.add(rec("a", "database systems tutorial"))
+        assert len(index) == 1
+        results = index.candidates(rec("q", "entity matching"))
+        assert results == []  # old version's tokens must be gone
+        results = index.candidates(rec("q", "database systems"))
+        assert [r.record_id for r, _ in results] == ["a"]
+
+    def test_remove_unknown_id(self):
+        index = ServingIndex()
+        assert not index.remove("ghost")
+
+    def test_remove_then_query(self):
+        index = ServingIndex()
+        index.add(rec("a", "prompt tuning language models"))
+        index.add(rec("b", "prompt engineering guide"))
+        index.remove("a")
+        results = index.candidates(rec("q", "prompt tuning"))
+        assert [r.record_id for r, _ in results] == ["b"]
+
+    def test_add_many_counts_new_only(self):
+        index = ServingIndex()
+        added = index.add_many([rec("a", "one two"), rec("b", "three four"),
+                                rec("a", "five six")])
+        assert added == 2 and len(index) == 2
+
+
+class TestRetrieval:
+    def test_top_k_order_deterministic(self):
+        # equal-size records so the overlap coefficient (normalized by the
+        # smaller token set) strictly tracks the shared-token count
+        index = ServingIndex()
+        index.add(rec("low", "alpha epsilon zeta"))
+        index.add(rec("mid", "alpha beta delta"))
+        index.add(rec("high", "alpha beta gamma"))
+        results = index.candidates(rec("q", "alpha beta gamma"), k=3)
+        assert [r.record_id for r, _ in results] == ["high", "mid", "low"]
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_equal_scores_tie_break_on_id(self):
+        index = ServingIndex()
+        for rid in ("zeta", "alpha", "mike"):
+            index.add(rec(rid, "shared token"))
+        results = index.candidates(rec("q", "shared token"), k=3)
+        assert [r.record_id for r, _ in results] == ["alpha", "mike", "zeta"]
+
+    def test_k_truncates(self):
+        index = ServingIndex()
+        for i in range(10):
+            index.add(rec(f"r{i}", "common words here"))
+        assert len(index.candidates(rec("q", "common words"), k=3)) == 3
+
+    def test_empty_catalog(self):
+        assert ServingIndex().candidates(rec("q", "anything at all")) == []
+
+    def test_query_with_no_tokens(self):
+        index = ServingIndex()
+        index.add(rec("a", "real content"))
+        # single-char tokens are dropped by the shared tokenizer rule
+        assert index.candidates(rec("q", "a b c")) == []
+
+    def test_no_shared_tokens(self):
+        index = ServingIndex()
+        index.add(rec("a", "completely different subject"))
+        assert index.candidates(rec("q", "unrelated query terms")) == []
+
+    def test_min_shared_tokens_filter(self):
+        index = ServingIndex(min_shared_tokens=2)
+        index.add(rec("one", "apple banana"))
+        index.add(rec("two", "apple cherry"))
+        results = index.candidates(rec("q", "apple banana"))
+        assert [r.record_id for r, _ in results] == ["one"]
+
+    def test_invalid_k(self):
+        index = ServingIndex()
+        with pytest.raises(ValueError):
+            index.candidates(rec("q", "word"), k=0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ServingIndex(threshold=1.5)
+        with pytest.raises(ValueError):
+            ServingIndex(min_shared_tokens=0)
+        with pytest.raises(ValueError):
+            ServingIndex(default_k=0)
+
+
+class TestAgainstBlocker:
+    def test_matches_offline_blocker_candidates(self):
+        """The index over the right table retrieves the same candidate set
+        the offline blocker pairs up, for the same threshold."""
+        from repro.data import OverlapBlocker
+
+        ds = load_dataset("REL-HETER")
+        blocker = OverlapBlocker(threshold=0.3)
+        offline = blocker.block(ds.left_table, ds.right_table)
+        expected = {}
+        for left, right in offline.candidates:
+            expected.setdefault(left.record_id, set()).add(right.record_id)
+
+        index = ServingIndex(threshold=0.3)
+        index.add_many(ds.right_table)
+        for left in ds.left_table:
+            got = {r.record_id
+                   for r, _ in index.candidates(left, k=len(ds.right_table))}
+            assert got == expected.get(left.record_id, set())
+
+
+class TestConcurrency:
+    def test_concurrent_mutation_and_query(self):
+        index = ServingIndex()
+        for i in range(50):
+            index.add(rec(f"seed{i}", f"token{i % 5} shared"))
+        errors = []
+
+        def churn():
+            try:
+                for i in range(200):
+                    index.add(rec(f"churn{i % 10}", f"token{i % 5} shared"))
+                    index.remove(f"churn{(i + 5) % 10}")
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        def query():
+            try:
+                for _ in range(200):
+                    index.candidates(rec("q", "shared token0"), k=5)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=churn),
+                   threading.Thread(target=query),
+                   threading.Thread(target=query)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = index.stats()
+        assert stats["records"] == len(index)

@@ -1,0 +1,178 @@
+"""MatchServer: micro-batch formation, bit-identity, backpressure."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CandidatePair
+from repro.infer import EngineConfig, InferenceEngine
+from repro.serve import MatchServer, Overloaded, ServerConfig, ServingIndex
+
+
+def offline_engine(config: ServerConfig) -> InferenceEngine:
+    return InferenceEngine(EngineConfig(
+        token_budget=config.token_budget,
+        max_batch_pairs=config.max_batch_pairs,
+        cache_capacity=config.cache_capacity))
+
+
+class TestConfig:
+    def test_invalid_knobs_rejected(self):
+        for kwargs in ({"max_queue": 0}, {"max_batch_pairs": 0},
+                       {"token_budget": 0}, {"max_wait_s": -1}):
+            with pytest.raises(ValueError):
+                ServerConfig(**kwargs)
+
+
+class TestSynchronousDriver:
+    def test_score_batch_bit_identical_to_offline_replay(self, bundle, pairs):
+        """Served probabilities must equal an offline engine replaying the
+        same micro-batches -- the acceptance contract of the subsystem."""
+        config = ServerConfig(max_batch_pairs=4, token_budget=512,
+                              record_batches=True)
+        server = MatchServer(bundle, config)
+        pairs = list(pairs)
+        responses = server.score_batch(pairs)
+        assert len(responses) == len(pairs)
+        assert server.batch_log, "record_batches must keep the batch log"
+
+        position = {id(pair): i for i, pair in enumerate(pairs)}
+        engine = offline_engine(config)
+        replayed_rows = 0
+        for entry in server.batch_log:
+            replayed = engine.predict_proba(bundle.model, entry["pairs"])
+            for row, pair in enumerate(entry["pairs"]):
+                response = responses[position[id(pair)]]
+                assert np.array_equal(response.probs, replayed[row])
+                replayed_rows += 1
+        assert replayed_rows == len(pairs)
+
+    def test_predictions_use_bundle_threshold(self, bundle, pairs):
+        server = MatchServer(bundle, ServerConfig(max_batch_pairs=8))
+        responses = server.score_batch(list(pairs))
+        for response in responses:
+            expected = int(response.probs[1] > bundle.threshold)
+            assert response.prediction == expected
+            assert response.model_version == 1
+            assert response.bundle_name == "tiny"
+
+    def test_single_score_roundtrip(self, bundle, pairs):
+        server = MatchServer(bundle)
+        response = server.score(pairs[0])
+        assert response.batch_size == 1
+        assert 0.0 <= response.match_probability <= 1.0
+
+    def test_max_batch_pairs_respected(self, bundle, pairs):
+        config = ServerConfig(max_batch_pairs=3, token_budget=10_000)
+        server = MatchServer(bundle, config)
+        responses = server.score_batch(list(pairs))
+        assert max(r.batch_size for r in responses) <= 3
+
+    def test_token_budget_splits_batches(self, bundle, pairs):
+        """A budget below rows x longest-encoding forces multi-batch."""
+        config = ServerConfig(max_batch_pairs=32, token_budget=200)
+        server = MatchServer(bundle, config)
+        responses = server.score_batch(list(pairs))
+        assert len({r.batch_id for r in responses}) > 1
+
+    def test_stats_counts(self, bundle, pairs):
+        server = MatchServer(bundle, ServerConfig(max_batch_pairs=4))
+        server.score_batch(list(pairs))
+        stats = server.stats()
+        assert stats["requests"] == len(pairs)
+        assert stats["responses"] == len(pairs)
+        assert stats["queue_depth"] == 0
+        assert stats["shed"] == 0
+        assert stats["model_version"] == 1
+        assert stats["batches"] >= 1
+
+
+class TestBackpressure:
+    def test_overloaded_when_queue_full(self, bundle, pairs):
+        server = MatchServer(bundle, ServerConfig(max_queue=2))
+        server.submit(pairs[0])
+        server.submit(pairs[1])
+        with pytest.raises(Overloaded) as excinfo:
+            server.submit(pairs[2])
+        assert excinfo.value.queue_depth == 2
+        assert server.shed_count == 1
+        # draining makes room again
+        while server.process_once():
+            pass
+        server.submit(pairs[2])
+
+    def test_group_admission_all_or_nothing(self, bundle, pairs, dataset):
+        """A match query only enters the queue if all its candidate pairs
+        fit; a partial group would deadlock the aggregate future."""
+        index = ServingIndex()
+        index.add_many(dataset.right_table)
+        server = MatchServer(bundle, ServerConfig(max_queue=2), index=index)
+        record = dataset.left_table.records[0]
+        k = len(index.candidates(record, k=5))
+        if k <= 2:
+            pytest.skip("need >2 candidates to exercise group shedding")
+        with pytest.raises(Overloaded):
+            server.submit_match(record, k=k)
+        assert server.stats()["queue_depth"] == 0
+
+    def test_stopped_server_sheds(self, bundle, pairs):
+        server = MatchServer(bundle)
+        server.start()
+        server.stop()
+        with pytest.raises(Overloaded):
+            server.submit(pairs[0])
+
+
+class TestMatchQueries:
+    def test_match_ranks_candidates(self, bundle, dataset):
+        index = ServingIndex()
+        index.add_many(dataset.right_table)
+        server = MatchServer(bundle, ServerConfig(max_batch_pairs=8),
+                             index=index)
+        record = dataset.left_table.records[0]
+        response = server.match(record, k=4)
+        assert response.record_id == record.record_id
+        assert response.candidates
+        probs = [c.probability for c in response.candidates]
+        assert probs == sorted(probs, reverse=True)
+        assert response.best is response.candidates[0]
+        for candidate in response.matches():
+            assert candidate.is_match
+
+    def test_match_without_candidates_resolves_empty(self, bundle):
+        from repro.data.records import EntityRecord
+
+        server = MatchServer(bundle)
+        response = server.match(
+            EntityRecord.text_record("q", "zzqx wvut nothing"))
+        assert response.candidates == [] and response.best is None
+
+
+class TestThreadedMode:
+    def test_threaded_scoring_matches_sync(self, bundle, pairs):
+        config = ServerConfig(max_batch_pairs=4, token_budget=512)
+        sync_server = MatchServer(bundle, config)
+        expected = [r.probs for r in sync_server.score_batch(list(pairs))]
+
+        with MatchServer(bundle, config) as server:
+            pendings = [server.submit(pair) for pair in pairs]
+            got = [p.result(timeout=30.0).probs for p in pendings]
+        # batch composition may differ under the scheduler's timing, so
+        # compare numerically rather than bitwise here (bitwise identity
+        # per identical batch is pinned above and in the benchmark)
+        assert np.allclose(np.array(got), np.array(expected), atol=1e-5)
+
+    def test_stop_drains_queue(self, bundle, pairs):
+        server = MatchServer(bundle, ServerConfig(max_batch_pairs=4))
+        server.start()
+        pendings = [server.submit(pair) for pair in pairs]
+        server.stop(drain=True)
+        for pending in pendings:
+            assert pending.result(timeout=1.0) is not None
+
+    def test_stop_without_drain_fails_pending(self, bundle, pairs):
+        server = MatchServer(bundle, ServerConfig(max_wait_s=5.0))
+        # not started: queue requests, then stop without draining
+        pending = server.submit(pairs[0])
+        server.stop(drain=False)
+        with pytest.raises(Overloaded):
+            pending.result(timeout=1.0)

@@ -1,0 +1,44 @@
+"""Tier-1 smoke pass over the serving benchmark logic.
+
+Runs :func:`benchmarks.bench_serving.run_serving_comparison` on the tiny
+cached backbone and checks its structural outputs -- all three arms
+produce throughput numbers, the served probabilities are bit-identical to the
+offline replay of the logged micro-batches -- WITHOUT asserting anything
+about wall-clock speed, so the test is stable on loaded CI machines. The
+real 1-by-1 vs micro-batched timing comparison lives in
+``benchmarks/bench_serving.py``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from bench_serving import run_serving_comparison  # noqa: E402
+from repro.data import load_dataset  # noqa: E402
+from repro.serve import ModelBundle  # noqa: E402
+
+from .conftest import make_model  # noqa: E402
+
+
+@pytest.mark.smoke
+def test_serving_benchmark_smoke(backbone):
+    bundle = ModelBundle.from_model(make_model(backbone, max_len=64),
+                                    threshold=0.5, name="tiny")
+    pairs = load_dataset("REL-HETER").test[:10]
+
+    result = run_serving_comparison(bundle, pairs, iterations=1,
+                                    max_batch_pairs=8, token_budget=1024)
+    assert result["pairs"] == 10 and result["iterations"] == 1
+    assert result["naive_pps"] > 0 and result["single_pps"] > 0
+    assert result["batched_pps"] > 0
+    assert result["speedup"] > 0 and result["speedup_vs_single"] > 0
+    assert result["batches"] >= 1
+    assert result["mean_batch_size"] > 1.0  # micro-batching actually batches
+    assert result["shed"] == 0
+    assert result["p95_latency_ms"] >= result["p50_latency_ms"] >= 0.0
+    # the serving-identity contract, at smoke scale
+    assert result["bit_identical"] is True
+    assert result["max_abs_diff"] < 1e-6
