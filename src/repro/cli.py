@@ -242,7 +242,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"(shed {stats['shed']})", file=sys.stderr)
             _print_trace_summary(tel)
             return 0
-        http = MatchHTTPServer(server, host=args.host, port=args.port)
+        http = MatchHTTPServer(server, host=args.host, port=args.port,
+                               admin_token=args.admin_token)
         print(f"serving {bundle.name} (model version {server.version}) "
               f"on {http.address}", file=sys.stderr)
         try:
@@ -322,6 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bundle directory written by run --save-bundle")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--admin-token", default=None,
+                       help="require this X-Admin-Token header on /admin/* "
+                            "routes; without it admin calls are loopback-only")
     serve.add_argument("--requests", metavar="JSONL",
                        help="answer requests from this JSONL file instead of "
                             "binding a socket")

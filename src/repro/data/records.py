@@ -17,6 +17,15 @@ TEXT = "text"
 KINDS = (RELATIONAL, SEMI, TEXT)
 
 
+def _freeze(value: Any) -> Any:
+    """Recursively convert a values payload into a hashable equivalent."""
+    if isinstance(value, dict):
+        return tuple((k, _freeze(v)) for k, v in value.items())
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
 @dataclass
 class EntityRecord:
     """One entity in one of the three GEM formats.
@@ -46,6 +55,22 @@ class EntityRecord:
     @classmethod
     def text_record(cls, record_id: str, text: str) -> "EntityRecord":
         return cls(record_id=record_id, kind=TEXT, values={"text": text})
+
+    def content_key(self) -> tuple:
+        """Hashable identity of the record *content*, not just its id.
+
+        Long-lived caches must key on this rather than ``record_id``: a
+        serving catalog may replace a record under the same id, and HTTP
+        clients reuse ids like ``"left"`` across requests with different
+        values, so the key embeds the kind and every value. The key is
+        memoized on the instance — records are treated as immutable after
+        construction (replacement always builds a new object).
+        """
+        key = self.__dict__.get("_content_key")
+        if key is None:
+            key = (self.record_id, self.kind, _freeze(self.values))
+            self.__dict__["_content_key"] = key
+        return key
 
     @property
     def text(self) -> str:

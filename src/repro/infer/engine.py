@@ -172,7 +172,12 @@ class InferenceEngine:
                    pairs: Sequence[CandidatePair]) -> List[PairEncoding]:
         fingerprint = model.encoding_fingerprint() \
             if hasattr(model, "encoding_fingerprint") else id(model)
-        keys = [(fingerprint, pair.left.record_id, pair.right.record_id)
+        # keys are content-addressed (id + kind + values), not id-only: the
+        # serving path shares this cache across requests and may replace a
+        # catalog record under an existing id, which must not hit the old
+        # entry
+        keys = [(fingerprint, pair.left.content_key(),
+                 pair.right.content_key())
                 for pair in pairs]
         prefetched = self._parallel_encode(model, pairs, keys)
         out = []

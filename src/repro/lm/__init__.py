@@ -45,13 +45,17 @@ class _Package(__import__("types").ModuleType):
     on a cache miss), the import system binds that module object onto this
     package, which would permanently shadow the lazily exported ``pretrain``
     function -- ``__getattr__`` never fires for attributes that exist. Skip
-    that one binding; the module stays reachable through ``sys.modules``.
+    exactly that one binding (the import machinery setting the real
+    submodule object); the module stays reachable through ``sys.modules``,
+    and any *other* assignment -- a test monkeypatching a stub module, a
+    future colliding submodule -- goes through normally.
     """
 
     def __setattr__(self, name, value):
-        import types
+        import sys
 
-        if name in _EXPORTS and isinstance(value, types.ModuleType):
+        if name == "pretrain" \
+                and value is sys.modules.get(f"{__name__}.pretrain"):
             return
         super().__setattr__(name, value)
 

@@ -5,7 +5,9 @@ Two transports over one JSON protocol:
 * :func:`serve_requests` -- offline/batch driver: an iterable of request
   dicts (e.g. parsed from a JSONL file) in, response dicts out, no
   sockets. The CLI's ``repro serve --requests`` mode and the tests use
-  this; it exercises the exact same admission/batching path.
+  this; it submits a *window* of requests ahead of collection so the
+  scheduler forms real micro-batches from the stream, through the exact
+  same admission/batching path as the HTTP transport.
 * :class:`MatchHTTPServer` -- a stdlib ``ThreadingHTTPServer`` exposing
 
   - ``POST /score``  ``{"left": <record>, "right": <record>}``
@@ -17,13 +19,23 @@ Two transports over one JSON protocol:
 Records use the dataset-bundle JSON shape (``{"id", "kind", "values"}``).
 A shed request answers ``503 {"status": "overloaded"}`` -- explicit
 backpressure, never silent buffering.
+
+The ``/admin/*`` routes mutate the server (model swap from a filesystem
+path, catalog edits), so they are gated: with an ``admin_token``
+configured, callers must present it in the ``X-Admin-Token`` header;
+without one, only loopback clients are accepted -- a server bound to a
+non-local interface answers ``403`` rather than exposing model
+replacement to the network.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
+import time
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..data.dataset import CandidatePair
 from ..data.io import _record_from_dict, _record_to_dict
@@ -98,10 +110,75 @@ def handle_request(server: MatchServer, request: dict,
 
 
 def serve_requests(server: MatchServer, requests: Iterable[dict],
-                   timeout: Optional[float] = 30.0) -> Iterator[dict]:
-    """Batch driver: yield one response dict per request dict."""
+                   timeout: Optional[float] = 30.0,
+                   window: Optional[int] = None) -> Iterator[dict]:
+    """Pipelined batch driver: yield one response dict per request dict,
+    in request order.
+
+    Up to ``window`` requests (default: the server's ``max_batch_pairs``)
+    are submitted before the oldest response is collected, so the
+    scheduler can form real micro-batches from the stream instead of
+    scoring one request at a time. Admission that sheds is retried after
+    freeing queue space, preserving the mode's serve-everything
+    semantics; only a stopped server yields ``overloaded`` responses.
+    """
+    if window is None:
+        window = server.config.max_batch_pairs
+    window = max(1, int(window))
+    pending: Deque[Tuple[str, object]] = deque()
+
+    def collect() -> dict:
+        kind, item = pending.popleft()
+        if not server.is_running:
+            while not item.done():
+                if not server.process_once():
+                    break
+        try:
+            if kind == "score":
+                return score_response_to_dict(item.result(timeout))
+            return match_response_to_dict(item.result(timeout))
+        except Overloaded as error:  # failed by stop(drain=False)
+            return overloaded_to_dict(error)
+
     for request in requests:
-        yield handle_request(server, request, timeout=timeout)
+        op = request.get("op", "score")
+        if op == "score":
+            try:
+                pair = CandidatePair(_record_from_dict(request["left"]),
+                                     _record_from_dict(request["right"]))
+            except KeyError as missing:
+                raise ProtocolError(f"score request needs {missing} record")
+
+            def submit(p=pair):
+                return "score", server.submit(p)
+        elif op == "match":
+            if "record" not in request:
+                raise ProtocolError("match request needs a record")
+            record = _record_from_dict(request["record"])
+            k = request.get("k")
+
+            def submit(r=record, k=k):
+                return "match", server.submit_match(r, k=k)
+        else:
+            raise ProtocolError(f"unknown op {op!r}")
+        while True:
+            try:
+                pending.append(submit())
+                break
+            except Overloaded as error:
+                if pending:
+                    yield collect()
+                elif server.is_running:
+                    time.sleep(0.0005)
+                elif not server.process_once():
+                    # nothing of ours queued and nothing to drain: the
+                    # server is stopped (or another client owns the queue)
+                    yield overloaded_to_dict(error)
+                    break
+        while len(pending) >= window:
+            yield collect()
+    while pending:
+        yield collect()
 
 
 def read_jsonl(path) -> List[dict]:
@@ -112,10 +189,22 @@ def read_jsonl(path) -> List[dict]:
 # ----------------------------------------------------------------------
 # HTTP transport
 # ----------------------------------------------------------------------
+#: loopback peer addresses allowed to use /admin/* without a token
+_LOOPBACK = ("127.0.0.1", "::1", "::ffff:127.0.0.1")
+
+
 class _Handler(BaseHTTPRequestHandler):
     # set by MatchHTTPServer
     match_server: MatchServer = None
     request_timeout: float = 30.0
+    admin_token: Optional[str] = None
+
+    def _admin_allowed(self) -> bool:
+        """Token when configured; otherwise loopback clients only."""
+        if self.admin_token is not None:
+            supplied = self.headers.get("X-Admin-Token", "")
+            return hmac.compare_digest(supplied, self.admin_token)
+        return self.client_address[0] in _LOOPBACK
 
     def _reply(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -145,6 +234,12 @@ class _Handler(BaseHTTPRequestHandler):
             payload = self._read_json()
         except (ValueError, UnicodeDecodeError) as error:
             self._reply(400, {"status": "error", "detail": str(error)})
+            return
+        if self.path.startswith("/admin/") and not self._admin_allowed():
+            self._reply(403, {
+                "status": "error",
+                "detail": "admin API denied: present X-Admin-Token, or "
+                          "connect from loopback when no token is set"})
             return
         try:
             if self.path == "/score":
@@ -184,13 +279,22 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class MatchHTTPServer:
-    """HTTP wrapper owning a :class:`MatchServer` scheduler thread."""
+    """HTTP wrapper owning a :class:`MatchServer` scheduler thread.
+
+    ``admin_token`` gates the mutating ``/admin/*`` routes: when set,
+    every admin call must carry it in ``X-Admin-Token``; when ``None``
+    (the default), admin calls are only accepted from loopback peers, so
+    binding a non-local ``host`` never exposes model swap or catalog
+    edits without an explicit token.
+    """
 
     def __init__(self, server: MatchServer, host: str = "127.0.0.1",
-                 port: int = 0, request_timeout: float = 30.0) -> None:
+                 port: int = 0, request_timeout: float = 30.0,
+                 admin_token: Optional[str] = None) -> None:
         self.match_server = server
         handler = type("BoundHandler", (_Handler,), {
-            "match_server": server, "request_timeout": request_timeout})
+            "match_server": server, "request_timeout": request_timeout,
+            "admin_token": admin_token})
         self.httpd = ThreadingHTTPServer((host, port), handler)
 
     @property

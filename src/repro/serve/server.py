@@ -28,6 +28,12 @@ Backpressure is explicit: a full queue rejects the request with
 :class:`Overloaded` at admission time (counted on the ``serve.shed``
 metric) instead of buffering unboundedly; clients decide whether to retry.
 
+Failures are contained the same way: a record that cannot be encoded
+fails only its own request (``serve.request_errors``), and a batch whose
+scoring raises fails only that batch's pendings (``serve.batch_errors``)
+-- the scheduler thread survives both and keeps serving the rest of the
+queue.
+
 Hot swap reuses the version-counter pattern of
 :class:`repro.parallel.shm.ParameterPublisher`: ``swap()`` bumps a
 monotonic counter under a lock, the scheduler adopts the newest
@@ -256,6 +262,7 @@ class MatchServer:
         self.shed_count = 0
         self.request_count = 0
         self.response_count = 0
+        self.error_count = 0
         self.engine = InferenceEngine(EngineConfig(
             token_budget=self.config.token_budget,
             max_batch_pairs=self.config.max_batch_pairs,
@@ -351,21 +358,33 @@ class MatchServer:
     def _encoding_length(self, model, pair: CandidatePair) -> int:
         return len(self.engine.encodings(model, [pair])[0])
 
+    def _safe_length(self, model, request: _Request) -> Optional[int]:
+        """Encoding length of a request, failing its pending on encode
+        errors so one malformed record rejects one request instead of
+        poisoning the batch (or the scheduler loop) it would have joined."""
+        try:
+            return self._encoding_length(model, request.pair)
+        except Exception as error:
+            request.pending._fail(error)
+            self.error_count += 1
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.metrics.counter("serve.request_errors").inc()
+            return None
+
     def _form_batch(self, model, wait: bool) -> List[_Request]:
         """Drain a micro-batch: first request opens it, the max-wait
         deadline / row cap / token budget close it. FIFO order is kept; a
         request that would blow the budget is pushed back for the next
-        batch."""
+        batch, and a request whose record cannot be encoded is failed
+        individually and skipped."""
         cfg = self.config
-        with self._cond:
-            if not self._queue:
-                return []
-            batch = [self._queue.popleft()]
-        longest = self._encoding_length(model, batch[0].pair)
-        deadline = time.monotonic() + cfg.max_wait_s if wait else None
+        batch: List[_Request] = []
+        longest = 0
+        deadline = None
         while len(batch) < cfg.max_batch_pairs:
             with self._cond:
-                if not self._queue and deadline is not None:
+                if batch and not self._queue and deadline is not None:
                     remaining = deadline - time.monotonic()
                     while remaining > 0 and not self._queue and self._running:
                         self._cond.wait(remaining)
@@ -373,14 +392,18 @@ class MatchServer:
                 if not self._queue:
                     break
                 request = self._queue.popleft()
-            length = self._encoding_length(model, request.pair)
-            rows = len(batch) + 1
-            if rows * max(longest, length) > cfg.token_budget:
+            length = self._safe_length(model, request)
+            if length is None:
+                continue
+            if batch and (len(batch) + 1) * max(longest, length) \
+                    > cfg.token_budget:
                 with self._cond:
                     self._queue.appendleft(request)
                 break
             batch.append(request)
             longest = max(longest, length)
+            if deadline is None and wait:
+                deadline = time.monotonic() + cfg.max_wait_s
         return batch
 
     def process_once(self, wait: bool = False) -> int:
@@ -448,7 +471,17 @@ class MatchServer:
                     self._cond.wait()
                 if not self._running and not self._queue:
                     return
-            self.process_once(wait=True)
+            try:
+                self.process_once(wait=True)
+            except Exception:
+                # process_once already failed the batch's pendings before
+                # re-raising, so those clients got the error; the scheduler
+                # must outlive a bad batch or everything still queued (and
+                # every future request) would hang until timeout.
+                self.error_count += 1
+                tel = get_telemetry()
+                if tel.enabled:
+                    tel.metrics.counter("serve.batch_errors").inc()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -486,8 +519,14 @@ class MatchServer:
             thread.join(timeout)
             self._thread = None
         if drain:
-            while self.process_once():
-                pass
+            while True:
+                try:
+                    if not self.process_once():
+                        break
+                except Exception:
+                    # the failed batch's pendings carry the error; keep
+                    # draining so the rest of the queue is still answered
+                    self.error_count += 1
 
     def __enter__(self) -> "MatchServer":
         return self.start()
@@ -552,6 +591,7 @@ class MatchServer:
             "requests": self.request_count,
             "responses": self.response_count,
             "shed": self.shed_count,
+            "errors": self.error_count,
             "batches": self._batch_id,
             "model_version": self.version,
             "bundle": self.bundle.name,

@@ -105,6 +105,27 @@ class TestCacheAccounting:
         warm = engine.predict_proba(prompt_model, pairs)
         np.testing.assert_array_equal(cold, warm)
 
+    def test_same_id_different_content_re_encodes(self, prompt_model, pairs):
+        """Cache keys are content-addressed: a record replaced under the
+        same id (the serving catalog supports this) must miss, not hit the
+        stale entry."""
+        from repro.data.dataset import CandidatePair
+        from repro.data.records import EntityRecord
+
+        engine = small_engine()
+        original = pairs[0]
+        replaced = CandidatePair(
+            original.left,
+            EntityRecord(record_id=original.right.record_id,
+                         kind=original.right.kind,
+                         values=dict(pairs[1].right.values)))
+        engine.predict_proba(prompt_model, [original])
+        assert engine.stats.cache_misses == 1
+        fresh = engine.predict_proba(prompt_model, [replaced])
+        assert engine.stats.cache_misses == 2  # new content re-encoded
+        expected = small_engine().predict_proba(prompt_model, [replaced])
+        np.testing.assert_array_equal(fresh, expected)
+
     def test_stats_dict_keys(self, prompt_model, pairs):
         engine = small_engine()
         engine.predict_proba(prompt_model, pairs)

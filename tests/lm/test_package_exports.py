@@ -1,0 +1,33 @@
+"""Lazy-export guard of the repro.lm package: importing the
+``repro.lm.pretrain`` submodule must not shadow the ``pretrain`` function,
+while deliberate attribute assignment (monkeypatched stubs) must still
+take effect instead of being silently dropped (REVIEW)."""
+
+import importlib
+import sys
+import types
+
+import repro.lm
+
+
+def test_pretrain_stays_a_function_after_submodule_import():
+    module = importlib.import_module("repro.lm.pretrain")
+    assert isinstance(module, types.ModuleType)
+    assert callable(repro.lm.pretrain)
+    assert repro.lm.pretrain is module.pretrain
+
+
+def test_monkeypatched_stub_module_is_honoured(monkeypatch):
+    stub = types.ModuleType("stub_pretrain")
+    stub.marker = "stubbed"
+    monkeypatch.setattr(repro.lm, "pretrain", stub)
+    assert repro.lm.pretrain is stub
+    monkeypatch.undo()
+    assert callable(repro.lm.pretrain)
+
+
+def test_import_machinery_binding_still_skipped():
+    importlib.import_module("repro.lm.pretrain")
+    # simulate the import system re-binding the submodule onto the package
+    repro.lm.pretrain = sys.modules["repro.lm.pretrain"]
+    assert callable(repro.lm.pretrain)

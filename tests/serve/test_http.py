@@ -67,6 +67,40 @@ class TestJSONLDriver:
         assert response["status"] == "overloaded"
         assert response["queue_depth"] == 1
 
+    def test_pipelined_driver_forms_microbatches(self, bundle, pairs):
+        """The JSONL driver submits a window ahead of collection, so the
+        scheduler sees real micro-batches, not size-1 batches (REVIEW)."""
+        server = MatchServer(bundle, ServerConfig(max_batch_pairs=4))
+        responses = list(serve_requests(
+            server, [score_request(p) for p in pairs[:8]]))
+        assert len(responses) == 8
+        assert max(r["batch_size"] for r in responses) > 1
+        assert server.stats()["batches"] < 8
+        # responses stay in request order; batch composition differs from
+        # solo scoring, so compare numerically (bit-identity per identical
+        # batch is pinned in test_server.py and the benchmark)
+        solo = MatchServer(bundle)
+        for response, pair in zip(responses, pairs[:8]):
+            expected = solo.score(pair)
+            assert response["probs"] == pytest.approx(
+                [float(p) for p in expected.probs], abs=1e-5)
+
+    def test_pipelined_driver_respects_queue_bound(self, bundle, pairs):
+        """A window larger than the queue retries instead of shedding."""
+        server = MatchServer(bundle, ServerConfig(max_queue=2,
+                                                  max_batch_pairs=4))
+        responses = list(serve_requests(
+            server, [score_request(p) for p in pairs[:6]], window=8))
+        assert len(responses) == 6
+        assert all(r["status"] == "ok" for r in responses)
+
+    def test_stopped_server_yields_overloaded(self, bundle, pairs):
+        server = MatchServer(bundle)
+        server.stop(drain=False)
+        responses = list(serve_requests(server,
+                                        [score_request(pairs[0])]))
+        assert responses[0]["status"] == "overloaded"
+
     def test_read_jsonl(self, tmp_path, pairs):
         path = tmp_path / "req.jsonl"
         with open(path, "w") as f:
@@ -143,3 +177,56 @@ class TestHTTPServer:
         assert status == 400
         status, body = self.post(http, "/nope", {})
         assert status == 404
+
+
+class TestAdminAuth:
+    """/admin/* routes are gated: token when configured, loopback-only
+    otherwise (REVIEW: they used to be open to any client)."""
+
+    @pytest.fixture()
+    def http(self, bundle):
+        server = MatchServer(bundle)
+        try:
+            wrapper = MatchHTTPServer(server, port=0, admin_token="sekrit")
+        except OSError as error:  # pragma: no cover - sandboxed CI
+            pytest.skip(f"cannot bind a local socket: {error}")
+        with wrapper:
+            yield wrapper
+
+    def post(self, http, path, payload, token=None):
+        headers = {"Content-Type": "application/json"}
+        if token is not None:
+            headers["X-Admin-Token"] = token
+        request = urllib.request.Request(
+            http.address + path, data=json.dumps(payload).encode(),
+            headers=headers, method="POST")
+        try:
+            with urllib.request.urlopen(request, timeout=30) as reply:
+                return reply.status, json.loads(reply.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_admin_requires_token_when_configured(self, http):
+        payload = {"add": [{"id": "a1", "kind": "text",
+                            "values": {"text": "gated entry"}}]}
+        status, body = self.post(http, "/admin/catalog", payload)
+        assert status == 403 and body["status"] == "error"
+        status, _ = self.post(http, "/admin/catalog", payload, token="wrong")
+        assert status == 403
+        status, body = self.post(http, "/admin/catalog", payload,
+                                 token="sekrit")
+        assert status == 200 and body["added"] == 1
+
+    def test_swap_requires_token(self, http, bundle, tmp_path):
+        bundle.save(tmp_path / "gated")
+        status, _ = self.post(http, "/admin/swap",
+                              {"bundle": str(tmp_path / "gated")})
+        assert status == 403
+        status, body = self.post(http, "/admin/swap",
+                                 {"bundle": str(tmp_path / "gated")},
+                                 token="sekrit")
+        assert status == 200 and body["model_version"] == 2
+
+    def test_scoring_routes_stay_open(self, http, pairs):
+        status, body = self.post(http, "/score", score_request(pairs[0]))
+        assert status == 200 and body["status"] == "ok"

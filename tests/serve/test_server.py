@@ -176,3 +176,93 @@ class TestThreadedMode:
         server.stop(drain=False)
         with pytest.raises(Overloaded):
             pending.result(timeout=1.0)
+
+
+class TestFailureContainment:
+    """One bad request or batch must never take the scheduler down with it
+    (REVIEW: a raising process_once used to kill the daemon thread)."""
+
+    def test_scheduler_survives_batch_error(self, bundle, pairs):
+        server = MatchServer(bundle, ServerConfig(max_wait_s=0.0))
+        real = server.engine.predict_proba
+        armed = {"boom": True}
+
+        def flaky(model, batch):
+            if armed["boom"]:
+                armed["boom"] = False
+                raise RuntimeError("scoring exploded")
+            return real(model, batch)
+
+        server.engine.predict_proba = flaky
+        with server:
+            bad = server.submit(pairs[0])
+            with pytest.raises(RuntimeError):
+                bad.result(timeout=10.0)
+            # the scheduler thread must still be alive and serving
+            good = server.submit(pairs[1])
+            assert good.result(timeout=10.0).probs.shape == (2,)
+        assert server.error_count >= 1
+        assert server.stats()["errors"] >= 1
+
+    def test_unencodable_request_fails_individually(self, bundle, pairs):
+        from repro.data.records import EntityRecord
+
+        server = MatchServer(bundle)
+        real = server.engine.encodings
+
+        def picky(model, batch):
+            if any(p.left.record_id == "poison" for p in batch):
+                raise ValueError("cannot encode")
+            return real(model, batch)
+
+        server.engine.encodings = picky
+        poison = CandidatePair(EntityRecord.text_record("poison", "boom"),
+                               pairs[0].right)
+        bad = server.submit(poison)
+        good = server.submit(pairs[0])
+        while not good.done():
+            server.process_once()
+        with pytest.raises(ValueError):
+            bad.result(timeout=0)
+        assert good.result(timeout=0).prediction in (0, 1)
+        assert server.error_count == 1
+
+    def test_stop_drain_survives_batch_error(self, bundle, pairs):
+        server = MatchServer(bundle, ServerConfig(max_batch_pairs=1))
+        real = server.engine.predict_proba
+        armed = {"boom": True}
+
+        def flaky(model, batch):
+            if armed["boom"]:
+                armed["boom"] = False
+                raise RuntimeError("scoring exploded")
+            return real(model, batch)
+
+        server.engine.predict_proba = flaky
+        bad = server.submit(pairs[0])
+        good = server.submit(pairs[1])
+        server.stop(drain=True)
+        with pytest.raises(RuntimeError):
+            bad.result(timeout=0)
+        assert good.result(timeout=0).probs.shape == (2,)
+
+
+class TestContentAddressedCache:
+    """Replacing a record under an existing id must never be served a
+    stale cached encoding (REVIEW: keys used to be id-only)."""
+
+    def test_replaced_record_same_id_not_served_stale(self, bundle, dataset):
+        from repro.data.records import EntityRecord
+
+        left = dataset.left_table.records[0]
+        right_a = dataset.right_table.records[0]
+        donor = dataset.right_table.records[1]
+        right_b = EntityRecord(record_id=right_a.record_id,
+                               kind=right_a.kind,
+                               values=dict(donor.values))
+
+        server = MatchServer(bundle)
+        server.score(CandidatePair(left, right_a))  # warms the cache
+        served = server.score(CandidatePair(left, right_b))
+        fresh = MatchServer(bundle).score(CandidatePair(left, right_b))
+        assert np.array_equal(served.probs, fresh.probs)
