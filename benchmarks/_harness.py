@@ -103,7 +103,39 @@ def warm_backbone() -> None:
     load_pretrained(MODEL_NAME)
 
 
-def emit(table: str, name: str, data=None) -> str:
+#: fractional slack when comparing headline speedups across runs: timing
+#: noise on shared CI boxes should not trip the regression guard, a real
+#: regression should
+_SPEEDUP_SLACK = 0.90
+
+
+class BenchRegression(RuntimeError):
+    """Refusing to overwrite a BENCH_*.json with a worse headline speedup.
+
+    Raised by :func:`emit` when the new run's headline speedup falls below
+    ``_SPEEDUP_SLACK`` x the committed one at the same scale. Re-run with
+    ``force=True`` (or ``REPRO_BENCH_FORCE=1``) to record the regression
+    deliberately -- e.g. after an intentional trade-off."""
+
+
+def _headline_speedup(payload) -> float:
+    """Max value under any key containing "speedup", recursively; 0 when
+    the payload carries none."""
+    best = 0.0
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            if "speedup" in str(key) and isinstance(value, (int, float)):
+                best = max(best, float(value))
+            else:
+                best = max(best, _headline_speedup(value))
+    elif isinstance(payload, (list, tuple)):
+        for value in payload:
+            best = max(best, _headline_speedup(value))
+    return best
+
+
+def emit(table: str, name: str, data=None, force: bool = False,
+         results_dir=None) -> str:
     """Print a result table and persist it under benchmarks/results/.
 
     pytest captures stdout by default, so the persisted copy is what the
@@ -112,14 +144,21 @@ def emit(table: str, name: str, data=None) -> str:
     structured numbers (throughput, speedups, parity deltas -- whatever
     ``data`` carries) so the perf trajectory is diffable across PRs; with
     no ``data``, the JSON still captures scale + table for tracking.
+
+    Overwrite protection: when a committed ``BENCH_<name>.json`` at the
+    *same scale* carries a higher headline speedup (the max over any
+    ``*speedup*`` key, with :data:`_SPEEDUP_SLACK` noise slack), emit
+    raises :class:`BenchRegression` instead of silently regressing the
+    recorded trajectory. Pass ``force=True`` or set ``REPRO_BENCH_FORCE=1``
+    to overwrite anyway.
     """
     import json
     import os
     from pathlib import Path
 
-    results = Path(__file__).resolve().parent / "results"
+    results = Path(results_dir) if results_dir is not None else \
+        Path(__file__).resolve().parent / "results"
     results.mkdir(exist_ok=True)
-    (results / f"{name}.txt").write_text(table + "\n")
     payload = {
         "bench": name,
         "scale": os.environ.get("REPRO_BENCH_SCALE", "paper"),
@@ -127,8 +166,27 @@ def emit(table: str, name: str, data=None) -> str:
     }
     if data is not None:
         payload["data"] = _jsonable(data)
-    (results / f"BENCH_{name}.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    target = results / f"BENCH_{name}.json"
+    force = force or os.environ.get("REPRO_BENCH_FORCE", "") == "1"
+    if target.exists() and not force:
+        try:
+            committed = json.loads(target.read_text())
+        except ValueError:
+            committed = {}
+        if committed.get("scale") == payload["scale"]:
+            old = _headline_speedup(committed.get("data"))
+            new = _headline_speedup(payload.get("data"))
+            if old > 0 and new < old * _SPEEDUP_SLACK:
+                raise BenchRegression(
+                    f"refusing to overwrite {target.name}: headline "
+                    f"speedup {new:.2f}x is below the committed "
+                    f"{old:.2f}x (slack {_SPEEDUP_SLACK}); pass "
+                    f"force=True or set REPRO_BENCH_FORCE=1 to record "
+                    f"the regression deliberately")
+
+    (results / f"{name}.txt").write_text(table + "\n")
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print("\n" + table)
     return table
 

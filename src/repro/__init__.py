@@ -40,8 +40,8 @@ _EXPORTS = {
 
 #: subpackages reachable as ``repro.<name>`` without an explicit import
 _SUBMODULES = frozenset({
-    "autograd", "baselines", "cli", "core", "data", "eval", "infer", "lm",
-    "obs", "parallel", "serve", "text",
+    "ann", "autograd", "baselines", "cli", "core", "data", "eval", "infer",
+    "lm", "obs", "parallel", "serve", "text",
 })
 
 __all__ = [*_EXPORTS, "__version__"]

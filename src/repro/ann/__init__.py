@@ -1,0 +1,38 @@
+"""Sub-linear dense candidate generation: embeddings + ANN indexes.
+
+The token blockers (:class:`repro.data.OverlapBlocker`,
+:class:`repro.serve.ServingIndex`) walk postings -- linear in catalog
+size per query.  This package adds the dense path:
+
+* :class:`RecordEncoder` -- frozen siamese bi-encoder (the SentenceBERT
+  recipe off the pre-trained checkpoint, no fit) turning records into
+  L2-normalized float32 vectors, batched and content-cached;
+* :class:`LshIndex` / :class:`IvfIndex` behind one :class:`AnnIndex`
+  interface -- incremental ``add``/``remove`` with replace-on-readd and
+  deterministic ``(-score, record_id)`` ordering, stored as int8 codes
+  and scored with the fused kernels in :mod:`repro.ann.kernels`;
+* :class:`DenseBlocker` -- the offline blocking stage on top, emitting
+  the same :class:`~repro.data.blocking.BlockingResult` contract as the
+  sparse blocker, with built-in recall bookkeeping against exact top-k.
+
+The online counterpart lives in :class:`repro.serve.DenseCandidateIndex`.
+See ``docs/BLOCKING.md`` for the sparse-vs-dense trade-off, quantization
+error bounds, and recall tuning.
+"""
+
+from .blocker import DenseBlocker, exact_dense_topk
+from .encoder import RecordEncoder
+from .index import AnnIndex, IvfIndex, LshIndex, kmeans, make_index
+from .kernels import (
+    blocked_topk_dot, dequantize_int8, exact_topk_dot, fused_scaled_dot,
+    gather_scaled_dot, quantize_int8, topk_candidates,
+)
+
+__all__ = [
+    "RecordEncoder",
+    "AnnIndex", "LshIndex", "IvfIndex", "make_index", "kmeans",
+    "DenseBlocker", "exact_dense_topk",
+    "quantize_int8", "dequantize_int8", "fused_scaled_dot",
+    "gather_scaled_dot", "blocked_topk_dot", "exact_topk_dot",
+    "topk_candidates",
+]

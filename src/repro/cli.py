@@ -205,8 +205,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
     from .serve import (
-        MatchHTTPServer, MatchServer, ModelBundle, ServerConfig, ServingIndex,
-        read_jsonl, serve_requests,
+        DenseCandidateIndex, MatchHTTPServer, MatchServer, ModelBundle,
+        ServerConfig, ServingIndex, read_jsonl, serve_requests,
     )
 
     bundle = ModelBundle.load(args.bundle)
@@ -219,13 +219,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_top_k=args.top_k,
     )
     index = ServingIndex(default_k=args.top_k)
+    dense_index = None
+    if args.blocker == "dense" or args.ann:
+        from .ann import RecordEncoder
+
+        encoder = RecordEncoder(model_name=args.encoder_model)
+        dense_index = DenseCandidateIndex(
+            encoder, kind=args.ann or "ivf", default_k=args.top_k,
+            seed=args.seed)
     if args.catalog:
-        added = index.add_many(_load_catalog(args.catalog))
+        records = _load_catalog(args.catalog)
+        added = index.add_many(records)
+        if dense_index is not None:
+            dense_index.add_many(records)
+            dense_index.train()
         print(f"indexed {added} catalog records from {args.catalog}",
               file=sys.stderr)
 
     with _telemetry(args) as tel:
-        server = MatchServer(bundle, config, index=index)
+        server = MatchServer(bundle, config, index=index,
+                             dense_index=dense_index,
+                             candidate_mode=args.blocker)
         if args.requests:
             out = (open(args.output, "w") if args.output else sys.stdout)
             try:
@@ -251,6 +265,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             http.shutdown()
         _print_trace_summary(tel)
+    return 0
+
+
+def _cmd_ann_index(args: argparse.Namespace) -> int:
+    """Build a dense index over a catalog and report the numbers that
+    matter for tuning: build/embed time, recall vs exact top-k, latency."""
+    import time
+
+    import numpy as np
+
+    from .ann import RecordEncoder, exact_dense_topk, make_index
+
+    records = _load_catalog(args.catalog)
+    if not records:
+        raise SystemExit(f"catalog {args.catalog!r} holds no records")
+    encoder = RecordEncoder(model_name=args.model, max_len=args.max_len)
+
+    started = time.perf_counter()
+    vectors = encoder.encode_records(records)
+    embedded = time.perf_counter()
+
+    kwargs = ({"nlist": args.nlist, "nprobe": args.nprobe}
+              if args.kind == "ivf" else
+              {"num_bands": args.num_bands, "band_bits": args.band_bits,
+               "probes": args.probes})
+    index = make_index(args.kind, encoder.dim, seed=args.seed, **kwargs)
+    if hasattr(index, "train"):
+        index.train(vectors)
+    ids = [record.record_id for record in records]
+    index.add_many(zip(ids, vectors))
+    built = time.perf_counter()
+
+    rng = np.random.default_rng(args.seed)
+    n_queries = min(args.queries, len(records))
+    picks = sorted(rng.choice(len(records), size=n_queries, replace=False)
+                   .tolist())
+    hits = wanted = 0
+    latencies = []
+    for row in picks:
+        t0 = time.perf_counter()
+        found = index.search(vectors[row], args.k)
+        latencies.append(time.perf_counter() - t0)
+        exact = exact_dense_topk(vectors[row], vectors, ids, args.k)
+        got = {record_id for record_id, _ in found}
+        hits += sum(1 for record_id in exact if record_id in got)
+        wanted += len(exact)
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2] * 1e3
+    p95 = latencies[min(len(latencies) - 1,
+                        int(len(latencies) * 0.95))] * 1e3
+
+    print(f"indexed {len(records)} records from {args.catalog} "
+          f"({args.kind}, dim {encoder.dim})")
+    print(f"embed: {embedded - started:.2f}s  "
+          f"index build: {built - embedded:.2f}s")
+    print(f"recall@{args.k} vs exact dense top-k: "
+          f"{hits / wanted:.4f} over {n_queries} queries")
+    print(f"query latency: p50 {p50:.3f}ms  p95 {p95:.3f}ms")
+    print(f"stats: {index.stats()}")
     return 0
 
 
@@ -344,7 +417,50 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-capacity", type=int, default=8192)
     serve.add_argument("--top-k", type=int, default=5,
                        help="candidates returned by /match")
+    serve.add_argument("--blocker", choices=["sparse", "dense"],
+                       default="sparse",
+                       help="candidate generator for /match: token overlap "
+                            "(sparse) or ANN over embeddings (dense); "
+                            "flippable at runtime via POST /admin/candidates")
+    serve.add_argument("--ann", choices=["ivf", "lsh"], default=None,
+                       help="also build a dense ANN index of this kind even "
+                            "when starting in sparse mode (default ivf when "
+                            "--blocker dense)")
+    serve.add_argument("--encoder-model", default="minilm-base",
+                       help="checkpoint for the frozen bi-encoder behind the "
+                            "dense index")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for ANN index construction")
     _add_telemetry_flags(serve)
+
+    ann = sub.add_parser(
+        "ann-index",
+        help="build a dense ANN index over a catalog and report "
+             "build time, recall vs exact top-k, and query latency")
+    ann.add_argument("--catalog", required=True, metavar="PATH_OR_NAME",
+                     help="records to index: a record JSONL, a dataset "
+                          "bundle JSON, or a benchmark name")
+    ann.add_argument("--model", default="minilm-base",
+                     help="checkpoint for the frozen bi-encoder")
+    ann.add_argument("--kind", choices=["ivf", "lsh"], default="ivf")
+    ann.add_argument("--k", type=int, default=10,
+                     help="neighbours per query")
+    ann.add_argument("--queries", type=int, default=100,
+                     help="number of indexed records replayed as queries")
+    ann.add_argument("--seed", type=int, default=0)
+    ann.add_argument("--nlist", type=int, default=64,
+                     help="IVF coarse clusters")
+    ann.add_argument("--nprobe", type=int, default=8,
+                     help="IVF lists probed per query")
+    ann.add_argument("--num-bands", type=int, default=16,
+                     help="LSH signature bands")
+    ann.add_argument("--band-bits", type=int, default=12,
+                     help="LSH bits per band")
+    ann.add_argument("--probes", type=int, default=0,
+                     help="LSH multi-probe bit flips per band")
+    ann.add_argument("--max-len", type=int, default=48,
+                     help="encoder truncation length")
+    _add_telemetry_flags(ann)
     return parser
 
 
@@ -354,6 +470,7 @@ _COMMANDS = {
     "pretrain": _cmd_pretrain,
     "run": _cmd_run,
     "serve": _cmd_serve,
+    "ann-index": _cmd_ann_index,
 }
 
 

@@ -4,39 +4,90 @@ The paper focuses on *matching* and assumes candidate pairs already exist
 (Section 2.1), but a complete system needs the blocking step: enumerate
 left x right, keep pairs whose serialized token overlap clears a threshold,
 reducing the quadratic candidate space while retaining recall.
+
+For the dense (embedding-based) alternative that scales past token
+postings, see :class:`repro.ann.DenseBlocker` and ``docs/BLOCKING.md``.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+import threading
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..text.tokenizer import basic_tokenize
 from .records import EntityRecord, Table
 from .serialize import serialize
 
+#: entries kept in the record_tokens memo below
+_TOKEN_CACHE_CAP = 32768
 
-def record_tokens(record: EntityRecord) -> Set[str]:
+_token_cache: "OrderedDict[tuple, FrozenSet[str]]" = OrderedDict()
+_token_cache_lock = threading.Lock()
+
+
+def record_tokens(record: EntityRecord) -> FrozenSet[str]:
     """Blocking token set of a record: serialized, markers and 1-char
     tokens dropped. Shared by :class:`OverlapBlocker` and the serving-side
     :class:`repro.serve.ServingIndex` so offline and online candidate
-    generation agree on what counts as overlap."""
-    return {t for t in basic_tokenize(serialize(record))
-            if t not in ("[COL]", "[VAL]") and len(t) > 1}
+    generation agree on what counts as overlap.
+
+    Memoized on record *content* (:meth:`EntityRecord.content_key`, like
+    the engine's encoding cache): every ``OverlapBlocker.block`` sweep and
+    every ``ServingIndex.add`` used to re-serialize and re-tokenize the
+    same record.  Content addressing means a record replaced under an
+    existing id can never be served the old version's token set.  The
+    returned set is a shared frozenset -- callers must not mutate it.
+    """
+    key = record.content_key()
+    with _token_cache_lock:
+        tokens = _token_cache.get(key)
+        if tokens is not None:
+            _token_cache.move_to_end(key)
+            return tokens
+    tokens = frozenset(t for t in basic_tokenize(serialize(record))
+                       if t not in ("[COL]", "[VAL]") and len(t) > 1)
+    with _token_cache_lock:
+        existing = _token_cache.get(key)
+        if existing is not None:
+            return existing
+        _token_cache[key] = tokens
+        if len(_token_cache) > _TOKEN_CACHE_CAP:
+            _token_cache.popitem(last=False)
+    return tokens
+
+
+def clear_token_cache() -> None:
+    """Drop the record_tokens memo (tests and memory-pressure hooks)."""
+    with _token_cache_lock:
+        _token_cache.clear()
 
 
 @dataclass
 class BlockingResult:
-    """Candidate pairs surviving the blocker, plus bookkeeping for recall."""
+    """Candidate pairs surviving the blocker, plus bookkeeping for recall.
+
+    ``recall_at_k`` is filled by blockers that can measure themselves
+    against an exact reference (the dense blocker's ANN-vs-exact-top-k
+    bookkeeping); token blockers leave it ``None``.
+    """
 
     candidates: List[Tuple[EntityRecord, EntityRecord]]
     total_pairs: int
+    recall_at_k: Optional[float] = None
 
     @property
     def reduction_ratio(self) -> float:
+        """Fraction of the cross product pruned.
+
+        An empty cross product reports ``1.0`` by convention: with nothing
+        to prune, "everything pruned" is vacuously true, and both the
+        sparse and dense blockers agree on it (a ``0.0`` here used to make
+        an empty sweep look like the blocker kept everything).
+        """
         if self.total_pairs == 0:
-            return 0.0
+            return 1.0
         return 1.0 - len(self.candidates) / self.total_pairs
 
 

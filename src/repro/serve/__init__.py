@@ -8,6 +8,10 @@ service (the deployment form real EM systems take):
   importing any training code;
 * :class:`ServingIndex` -- an incrementally maintained inverted-index
   catalog with top-k candidate retrieval;
+* :class:`DenseCandidateIndex` -- the same catalog protocol over a
+  :mod:`repro.ann` embedding index (sub-linear dense retrieval), selected
+  per-server via ``candidate_mode`` and flippable through
+  ``POST /admin/candidates``;
 * :class:`MatchServer` -- bounded request queue, dynamic micro-batching
   under a max-wait deadline and token budget, explicit
   :class:`Overloaded` shedding, and atomic bundle hot-swap between
@@ -32,10 +36,21 @@ from .server import (
 
 __all__ = [
     "ModelBundle", "BundleError", "BUNDLE_SCHEMA_VERSION",
-    "ServingIndex",
+    "ServingIndex", "DenseCandidateIndex",
     "MatchServer", "ServerConfig", "Overloaded",
     "ScoreResponse", "MatchResponse", "MatchCandidate",
     "PendingResponse", "PendingMatch",
     "MatchHTTPServer", "serve_requests", "handle_request", "read_jsonl",
     "ProtocolError",
 ]
+
+
+def __getattr__(name):  # PEP 562
+    # resolved lazily because the dense path pulls in the bi-encoder
+    # stack (repro.ann -> repro.baselines); a sparse-only server that
+    # just loads a bundle must stay free of training-adjacent imports
+    if name == "DenseCandidateIndex":
+        from .dense import DenseCandidateIndex
+
+        return DenseCandidateIndex
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,6 +14,10 @@ Two transports over one JSON protocol:
   - ``POST /match``  ``{"record": <record>, "k": 5}``
   - ``POST /admin/swap``  ``{"bundle": "<bundle dir>"}``
   - ``POST /admin/catalog``  ``{"add": [<record>...], "remove": [<id>...]}``
+    (applied to the sparse token index *and* the dense ANN index when one
+    is configured, so the two catalogs stay hot-add consistent)
+  - ``POST /admin/candidates``  ``{"mode": "sparse" | "dense"}`` -- flip
+    the candidate generator match queries use
   - ``GET /stats`` and ``GET /healthz``
 
 Records use the dataset-bundle JSON shape (``{"id", "kind", "values"}``).
@@ -256,13 +260,17 @@ class _Handler(BaseHTTPRequestHandler):
                 response = {"status": "ok", "model_version": version,
                             "bundle": bundle.name}
             elif self.path == "/admin/catalog":
-                added = self.match_server.index.add_many(
+                added = self.match_server.catalog_add(
                     _record_from_dict(r) for r in payload.get("add", []))
-                removed = sum(bool(self.match_server.index.remove(rid))
-                              for rid in payload.get("remove", []))
+                removed = self.match_server.catalog_remove(
+                    payload.get("remove", []))
                 response = {"status": "ok", "added": added,
                             "removed": removed,
                             "size": len(self.match_server.index)}
+            elif self.path == "/admin/candidates":
+                mode = self.match_server.set_candidate_mode(
+                    payload.get("mode", ""))
+                response = {"status": "ok", "candidate_mode": mode}
             else:
                 self._reply(404, {"status": "error", "detail": "unknown path"})
                 return

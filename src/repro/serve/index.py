@@ -16,9 +16,12 @@ Token semantics are shared with the blocker through
 :func:`repro.data.blocking.record_tokens`, which keeps offline candidate
 generation and online retrieval consistent.
 
-Mutations and queries are guarded by an internal lock: the
-:class:`~repro.serve.server.MatchServer` mutates the catalog from admin
-calls while its scheduler thread resolves ``match`` requests.
+Mutations are guarded by an internal lock; ``candidates`` holds that lock
+only long enough to snapshot the postings a query touches (plus token
+sizes and record refs) and scores *outside* it, so the
+:class:`~repro.serve.server.MatchServer` can mutate the catalog from
+admin calls while its scheduler thread resolves ``match`` requests
+without queries serializing every mutator behind the scoring loop.
 """
 
 from __future__ import annotations
@@ -124,22 +127,36 @@ class ServingIndex:
         query_tokens = record_tokens(record)
         if not query_tokens:
             return []
+        # Snapshot under the lock, score outside it: the scoring loop is
+        # the expensive part and used to serialize every mutator behind
+        # every query.  One lock acquisition copies the postings touched
+        # by the query plus the matching records' token sizes and record
+        # refs, so the scored view is internally consistent (no torn
+        # reads) while adds/removes proceed concurrently.
         with self._lock:
-            counts: Dict[str, int] = {}
-            for token in query_tokens:
-                for rid in self._postings.get(token, ()):
-                    counts[rid] = counts.get(rid, 0) + 1
-            scored: List[Tuple[float, str]] = []
-            for rid, shared in counts.items():
-                if shared < self.min_shared_tokens:
-                    continue
-                smaller = min(len(query_tokens), len(self._tokens[rid]))
-                score = shared / smaller if smaller else 0.0
-                if score >= self.threshold:
-                    scored.append((score, rid))
-            scored.sort(key=lambda item: (-item[0], item[1]))
-            return [(self._records[rid], score)
-                    for score, rid in scored[:k]]
+            postings = [tuple(self._postings.get(token, ()))
+                        for token in query_tokens]
+            sizes: Dict[str, int] = {}
+            records: Dict[str, EntityRecord] = {}
+            for posting in postings:
+                for rid in posting:
+                    if rid not in sizes:
+                        sizes[rid] = len(self._tokens[rid])
+                        records[rid] = self._records[rid]
+        counts: Dict[str, int] = {}
+        for posting in postings:
+            for rid in posting:
+                counts[rid] = counts.get(rid, 0) + 1
+        scored: List[Tuple[float, str]] = []
+        for rid, shared in counts.items():
+            if shared < self.min_shared_tokens:
+                continue
+            smaller = min(len(query_tokens), sizes[rid])
+            score = shared / smaller if smaller else 0.0
+            if score >= self.threshold:
+                scored.append((score, rid))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [(records[rid], score) for score, rid in scored[:k]]
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

@@ -129,7 +129,8 @@ class MatchCandidate:
     """One ranked candidate of a match query."""
 
     record: EntityRecord
-    block_score: float           # overlap coefficient from the index
+    block_score: float           # overlap coefficient (sparse mode) or
+                                 # quantized cosine (dense mode)
     response: ScoreResponse
 
     @property
@@ -246,9 +247,17 @@ class MatchServer:
 
     def __init__(self, bundle: ModelBundle,
                  config: Optional[ServerConfig] = None,
-                 index: Optional[ServingIndex] = None) -> None:
+                 index: Optional[ServingIndex] = None,
+                 dense_index=None,
+                 candidate_mode: str = "sparse") -> None:
         self.config = config if config is not None else ServerConfig()
         self.index = index if index is not None else ServingIndex()
+        #: optional repro.serve.dense.DenseCandidateIndex; when present the
+        #: catalog helpers keep it in lockstep with the sparse index and
+        #: ``candidate_mode`` selects which one answers match queries
+        self.dense_index = dense_index
+        self._candidate_mode = "sparse"
+        self.set_candidate_mode(candidate_mode)
         self._swap_lock = threading.Lock()
         self._bundle = bundle
         self._version = 1
@@ -300,6 +309,53 @@ class MatchServer:
             return self._bundle, self._version
 
     # ------------------------------------------------------------------
+    # Candidate generation (sparse token index vs dense ANN index)
+    # ------------------------------------------------------------------
+    @property
+    def candidate_mode(self) -> str:
+        return self._candidate_mode
+
+    def set_candidate_mode(self, mode: str) -> str:
+        """Select the candidate generator for match queries: ``"sparse"``
+        (token overlap, always available) or ``"dense"`` (ANN over
+        embeddings; requires a ``dense_index``). Admin-flippable at
+        runtime -- in-flight queries finish on the index they probed."""
+        if mode not in ("sparse", "dense"):
+            raise ValueError("candidate_mode must be 'sparse' or 'dense'")
+        if mode == "dense" and self.dense_index is None:
+            raise ValueError("no dense index configured")
+        self._candidate_mode = mode
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.event("serve.candidate_mode", mode=mode)
+        return mode
+
+    def _candidate_index(self):
+        return self.dense_index if self._candidate_mode == "dense" \
+            else self.index
+
+    def catalog_add(self, records) -> int:
+        """Add records to every configured candidate index (sparse always,
+        dense when present), keeping the two catalogs hot-add consistent.
+        Returns the number of ids new to the sparse index."""
+        records = list(records)
+        fresh = self.index.add_many(records)
+        if self.dense_index is not None:
+            self.dense_index.add_many(records)
+        return fresh
+
+    def catalog_remove(self, record_ids) -> int:
+        """Remove ids from every configured candidate index; returns how
+        many the sparse index actually dropped."""
+        removed = 0
+        for record_id in record_ids:
+            if self.index.remove(record_id):
+                removed += 1
+            if self.dense_index is not None:
+                self.dense_index.remove(record_id)
+        return removed
+
+    # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
     def submit(self, pair: CandidatePair) -> PendingResponse:
@@ -342,7 +398,7 @@ class MatchServer:
         each (admitted atomically). No candidates -> an empty, already
         resolved response."""
         k = self.config.default_top_k if k is None else k
-        candidates = self.index.candidates(record, k)
+        candidates = self._candidate_index().candidates(record, k)
         if not candidates:
             return PendingMatch(record.record_id, [])
         pairs = [CandidatePair(record, candidate)
@@ -586,7 +642,7 @@ class MatchServer:
         """Service counters plus the underlying engine's stats."""
         with self._cond:
             depth = len(self._queue)
-        return {
+        stats = {
             "queue_depth": depth,
             "requests": self.request_count,
             "responses": self.response_count,
@@ -595,6 +651,10 @@ class MatchServer:
             "batches": self._batch_id,
             "model_version": self.version,
             "bundle": self.bundle.name,
+            "candidate_mode": self._candidate_mode,
             "index": self.index.stats(),
             "engine": self.engine.stats_dict(),
         }
+        if self.dense_index is not None:
+            stats["dense_index"] = self.dense_index.stats()
+        return stats

@@ -1,0 +1,45 @@
+"""Shared fixtures for the ANN tests: a tiny backbone-backed encoder and
+seeded clustered vectors with well-separated neighborhoods."""
+
+import numpy as np
+import pytest
+
+from repro.ann import RecordEncoder
+from repro.lm import load_pretrained
+
+
+@pytest.fixture(scope="package")
+def tiny_encoder():
+    lm, tok = load_pretrained("minilm-tiny")
+    return RecordEncoder(lm=lm, tokenizer=tok, max_len=32)
+
+
+def grouped_vectors(n, dim=64, group=10, seed=0, noise=0.15):
+    """Unit vectors in duplicate groups of size ``group`` (the EM blocking
+    shape: each entity has a handful of near-copies, everything else far).
+    A query's top-``group`` is its own group with a wide score margin to
+    rank group+1, so int8-vs-float32 top-k membership is stable."""
+    rng = np.random.default_rng(seed)
+    entities = -(-n // group)  # ceil
+    protos = rng.normal(size=(entities, dim)).astype(np.float32)
+    protos /= np.linalg.norm(protos, axis=1, keepdims=True)
+    vectors = np.repeat(protos, group, axis=0)[:n]
+    jitter = rng.normal(size=(n, dim)).astype(np.float32)
+    jitter *= noise / np.linalg.norm(jitter, axis=1, keepdims=True)
+    vectors = vectors + jitter          # perturbation norm == noise
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors.astype(np.float32)
+
+
+def clustered_vectors(n, dim=32, clusters=10, seed=0, noise=0.12):
+    """Unit vectors in tight clusters: nearest neighbors are unambiguous
+    (same-cluster cosines far above cross-cluster ones), so ANN recall and
+    int8 agreement are meaningful rather than tie-dominated."""
+    rng = np.random.default_rng(seed)
+    protos = rng.normal(size=(clusters, dim)).astype(np.float32)
+    protos /= np.linalg.norm(protos, axis=1, keepdims=True)
+    assign = rng.integers(0, clusters, size=n)
+    vectors = protos[assign] + noise * rng.normal(size=(n, dim)).astype(
+        np.float32)
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors.astype(np.float32)

@@ -1,0 +1,124 @@
+"""DenseBlocker tests: BlockingResult contract, recall bookkeeping,
+determinism, and parity with the serving-side DenseCandidateIndex."""
+
+import numpy as np
+import pytest
+
+from repro.ann import DenseBlocker, exact_dense_topk
+from repro.data.records import EntityRecord, Table
+from repro.serve import DenseCandidateIndex
+
+from .conftest import clustered_vectors
+
+
+def _table(name, texts):
+    return Table(name=name, kind="text", records=[
+        EntityRecord.text_record(f"{name}{i}", text)
+        for i, text in enumerate(texts)])
+
+
+LEFT = ["red mountain bicycle", "espresso coffee machine",
+        "wireless noise cancelling headphones"]
+RIGHT = ["red mountain bike", "blue city bicycle",
+         "espresso machine deluxe", "drip coffee maker",
+         "wireless headphones", "wired earbuds",
+         "mechanical keyboard", "gaming laptop computer"]
+
+
+class TestDenseBlocker:
+    @pytest.mark.parametrize("kind,kwargs", [
+        ("ivf", {"nlist": 4, "nprobe": 4}),
+        ("lsh", {"num_bands": 8, "band_bits": 4, "probes": 2}),
+    ])
+    def test_contract_and_determinism(self, tiny_encoder, kind, kwargs):
+        blocker = DenseBlocker(encoder=tiny_encoder, kind=kind, k=3,
+                               **kwargs)
+        left, right = _table("l", LEFT), _table("r", RIGHT)
+        result = blocker.block(left, right, measure_recall=True)
+        again = blocker.block(left, right, measure_recall=True)
+        assert result.total_pairs == len(LEFT) * len(RIGHT)
+        assert 0 < len(result.candidates) <= len(LEFT) * 3
+        assert 0.0 <= result.recall_at_k <= 1.0
+        pairs = [(l.record_id, r.record_id) for l, r in result.candidates]
+        assert pairs == [(l.record_id, r.record_id)
+                         for l, r in again.candidates]
+        assert result.recall_at_k == again.recall_at_k
+
+    def test_recall_none_unless_measured(self, tiny_encoder):
+        blocker = DenseBlocker(encoder=tiny_encoder, kind="ivf", k=2,
+                               nlist=2, nprobe=2)
+        result = blocker.block(_table("l", LEFT), _table("r", RIGHT))
+        assert result.recall_at_k is None
+
+    def test_full_probe_recall_is_high(self, tiny_encoder):
+        # probing every list makes ANN == full int8 scan; recall against
+        # exact float32 is then limited only by quantization ties
+        blocker = DenseBlocker(encoder=tiny_encoder, kind="ivf", k=3,
+                               nlist=2, nprobe=2)
+        result = blocker.block(_table("l", LEFT), _table("r", RIGHT),
+                               measure_recall=True)
+        assert result.recall_at_k >= 0.8
+
+    def test_empty_tables(self, tiny_encoder):
+        blocker = DenseBlocker(encoder=tiny_encoder, k=2)
+        result = blocker.block(_table("l", []), _table("r", []),
+                               measure_recall=True)
+        assert result.candidates == [] and result.total_pairs == 0
+        assert result.recall_at_k == 1.0
+        assert result.reduction_ratio == 1.0
+
+    def test_min_score_filters(self, tiny_encoder):
+        loose = DenseBlocker(encoder=tiny_encoder, kind="ivf", k=5,
+                             nlist=2, nprobe=2)
+        tight = DenseBlocker(encoder=tiny_encoder, kind="ivf", k=5,
+                             nlist=2, nprobe=2, min_score=0.9999)
+        left, right = _table("l", LEFT), _table("r", RIGHT)
+        assert len(tight.block(left, right).candidates) <= \
+            len(loose.block(left, right).candidates)
+
+    def test_rejects_bad_k(self, tiny_encoder):
+        with pytest.raises(ValueError):
+            DenseBlocker(encoder=tiny_encoder, k=0)
+
+
+class TestExactDenseTopk:
+    def test_ordering_rule(self):
+        vectors = np.eye(4, dtype=np.float32)
+        ids = ["d", "c", "b", "a"]
+        query = np.array([1.0, 1.0, 0.0, 0.0], dtype=np.float32)
+        # rows 0 and 1 tie at 1.0 -> ordered by id: "c" before "d"
+        assert exact_dense_topk(query, vectors, ids, 2) == ["c", "d"]
+
+
+class TestServingParity:
+    def test_blocker_matches_dense_candidate_index(self, tiny_encoder):
+        """Offline DenseBlocker and online DenseCandidateIndex must agree:
+        same encoder, same index kind/seed => same candidates per query,
+        same order, same scores."""
+        left, right = _table("l", LEFT), _table("r", RIGHT)
+        blocker = DenseBlocker(encoder=tiny_encoder, kind="ivf", k=3,
+                               nlist=4, nprobe=4)
+        result = blocker.block(left, right)
+        offline = {}
+        for l, r in result.candidates:
+            offline.setdefault(l.record_id, []).append(r.record_id)
+
+        serving = DenseCandidateIndex(tiny_encoder, kind="ivf",
+                                      nlist=4, nprobe=4, default_k=3)
+        serving.add_many(list(right))
+        serving.train()
+        for record in left:
+            online = [r.record_id
+                      for r, _ in serving.candidates(record, 3)]
+            assert online == offline.get(record.record_id, [])
+
+    def test_index_reuse_via_build_index(self, tiny_encoder):
+        right = _table("r", RIGHT)
+        blocker = DenseBlocker(encoder=tiny_encoder, kind="lsh", k=2,
+                               num_bands=8, band_bits=4, probes=2)
+        index = blocker.build_index(right)
+        assert blocker.last_index is index
+        assert len(index) == len(RIGHT)
+        query = tiny_encoder.encode_record(
+            EntityRecord.text_record("q", "red mountain bike"))
+        assert index.search(query, 2)

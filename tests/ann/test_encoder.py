@@ -1,0 +1,63 @@
+"""RecordEncoder tests: determinism, batching parity, content-addressed
+caching, and degenerate records."""
+
+import numpy as np
+
+from repro.data.records import EntityRecord
+
+
+def _records(texts, prefix="e"):
+    return [EntityRecord.text_record(f"{prefix}{i}", text)
+            for i, text in enumerate(texts)]
+
+
+class TestEncoder:
+    def test_unit_norm_float32(self, tiny_encoder):
+        vectors = tiny_encoder.encode_records(
+            _records(["alpha beta", "laptop computer", "red bicycle"]))
+        assert vectors.dtype == np.float32
+        assert vectors.shape == (3, tiny_encoder.dim)
+        np.testing.assert_allclose(np.linalg.norm(vectors, axis=1), 1.0,
+                                   atol=1e-5)
+
+    def test_deterministic(self, tiny_encoder):
+        records = _records(["alpha beta gamma", "delta epsilon"])
+        first = tiny_encoder.encode_records(records)
+        second = tiny_encoder.encode_records(records)
+        np.testing.assert_array_equal(first, second)
+
+    def test_batched_matches_single(self, tiny_encoder):
+        records = _records(["one two", "three four five", "six", "seven"],
+                           prefix="b")
+        batched = tiny_encoder.encode_records(records)
+        singles = np.stack([tiny_encoder.encode_record(r) for r in records])
+        np.testing.assert_allclose(batched, singles, atol=1e-6)
+
+    def test_cache_keyed_on_content(self, tiny_encoder):
+        old = EntityRecord.text_record("same-id", "alpha beta")
+        new = EntityRecord.text_record("same-id", "completely different")
+        v_old = tiny_encoder.encode_record(old)
+        v_new = tiny_encoder.encode_record(new)
+        # same id, different content: the cache must not serve stale vectors
+        assert not np.array_equal(v_old, v_new)
+        np.testing.assert_array_equal(tiny_encoder.encode_record(old), v_old)
+
+    def test_duplicate_records_one_forward(self, tiny_encoder):
+        record = EntityRecord.text_record("dup", "duplicate text here")
+        vectors = tiny_encoder.encode_records([record, record, record])
+        assert np.array_equal(vectors[0], vectors[1])
+        assert np.array_equal(vectors[0], vectors[2])
+
+    def test_empty_record_is_finite(self, tiny_encoder):
+        vectors = tiny_encoder.encode_records(
+            [EntityRecord.text_record("empty", ""),
+             EntityRecord(record_id="novals", kind="relational", values={})])
+        assert np.all(np.isfinite(vectors))
+
+    def test_empty_batch(self, tiny_encoder):
+        out = tiny_encoder.encode_records([])
+        assert out.shape == (0, tiny_encoder.dim)
+
+    def test_fingerprint_pins_recipe(self, tiny_encoder):
+        fp = tiny_encoder.encoding_fingerprint()
+        assert "record-encoder" in fp and tiny_encoder.model_name in fp

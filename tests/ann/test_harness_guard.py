@@ -1,0 +1,93 @@
+"""The emit() bench-regression guard: a committed BENCH_*.json with a
+higher headline speedup at the same scale must not be silently
+overwritten by a worse run."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from _harness import BenchRegression, _headline_speedup, emit  # noqa: E402
+
+
+def _read(results_dir, name):
+    return json.loads((results_dir / f"BENCH_{name}.json").read_text())
+
+
+@pytest.mark.smoke
+class TestHeadlineSpeedup:
+    def test_recursive_max_over_speedup_keys(self):
+        payload = {"speedup": 3.0,
+                   "configs": [{"config_speedup": 9.5, "recall": 0.9},
+                               {"config_speedup": 2.0}],
+                   "nested": {"speedup_vs_single": 4.0}}
+        assert _headline_speedup(payload) == 9.5
+
+    def test_no_speedup_keys(self):
+        assert _headline_speedup({"qps": 100.0, "recall": 1.0}) == 0.0
+        assert _headline_speedup(None) == 0.0
+        assert _headline_speedup([1, "x", {"f1": 0.9}]) == 0.0
+
+    def test_non_numeric_speedup_ignored(self):
+        assert _headline_speedup({"speedup": "12x"}) == 0.0
+
+
+@pytest.mark.smoke
+class TestEmitGuard:
+    def test_refuses_lower_speedup_same_scale(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        monkeypatch.delenv("REPRO_BENCH_FORCE", raising=False)
+        emit("t", "guard", data={"speedup": 10.0}, results_dir=tmp_path)
+        with pytest.raises(BenchRegression):
+            emit("t", "guard", data={"speedup": 4.0}, results_dir=tmp_path)
+        # the committed file is untouched by the refused write
+        assert _read(tmp_path, "guard")["data"]["speedup"] == 10.0
+
+    def test_slack_tolerates_timing_noise(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        monkeypatch.delenv("REPRO_BENCH_FORCE", raising=False)
+        emit("t", "guard", data={"speedup": 10.0}, results_dir=tmp_path)
+        emit("t", "guard", data={"speedup": 9.5}, results_dir=tmp_path)
+        assert _read(tmp_path, "guard")["data"]["speedup"] == 9.5
+
+    def test_force_param_overwrites(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        monkeypatch.delenv("REPRO_BENCH_FORCE", raising=False)
+        emit("t", "guard", data={"speedup": 10.0}, results_dir=tmp_path)
+        emit("t", "guard", data={"speedup": 1.0}, force=True,
+             results_dir=tmp_path)
+        assert _read(tmp_path, "guard")["data"]["speedup"] == 1.0
+
+    def test_force_env_overwrites(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        emit("t", "guard", data={"speedup": 10.0}, results_dir=tmp_path)
+        monkeypatch.setenv("REPRO_BENCH_FORCE", "1")
+        emit("t", "guard", data={"speedup": 1.0}, results_dir=tmp_path)
+        assert _read(tmp_path, "guard")["data"]["speedup"] == 1.0
+
+    def test_different_scale_not_guarded(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FORCE", raising=False)
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        emit("t", "guard", data={"speedup": 10.0}, results_dir=tmp_path)
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        emit("t", "guard", data={"speedup": 1.0}, results_dir=tmp_path)
+        assert _read(tmp_path, "guard")["scale"] == "smoke"
+
+    def test_payload_without_speedups_never_guarded(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        monkeypatch.delenv("REPRO_BENCH_FORCE", raising=False)
+        emit("t", "guard", data={"f1": 0.91}, results_dir=tmp_path)
+        emit("t", "guard", data={"f1": 0.50}, results_dir=tmp_path)
+        emit("t", "guard", results_dir=tmp_path)  # no data at all
+        assert "data" not in _read(tmp_path, "guard")
+
+    def test_corrupt_committed_json_not_fatal(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        monkeypatch.delenv("REPRO_BENCH_FORCE", raising=False)
+        (tmp_path / "BENCH_guard.json").write_text("{not json")
+        emit("t", "guard", data={"speedup": 2.0}, results_dir=tmp_path)
+        assert _read(tmp_path, "guard")["data"]["speedup"] == 2.0

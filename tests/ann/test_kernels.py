@@ -1,0 +1,139 @@
+"""Kernel-level tests: quantization error bounds, fused-dot parity with
+the naive dequantize-then-matmul reference, and tie-aware top-k."""
+
+import numpy as np
+import pytest
+
+from repro.ann import (
+    blocked_topk_dot, dequantize_int8, exact_topk_dot, fused_scaled_dot,
+    gather_scaled_dot, quantize_int8, topk_candidates,
+)
+from repro.ann.kernels import BLOCK_ROWS
+
+from .conftest import clustered_vectors, grouped_vectors
+
+
+class TestQuantization:
+    def test_roundtrip_error_bound(self):
+        vectors = clustered_vectors(200, dim=48, seed=1)
+        codes, scales = quantize_int8(vectors)
+        assert codes.dtype == np.int8 and scales.dtype == np.float32
+        # symmetric quantization: per-element error <= scale / 2
+        err = np.abs(dequantize_int8(codes, scales) - vectors)
+        assert np.all(err <= scales[:, None] / 2 + 1e-7)
+
+    def test_codes_span_full_range(self):
+        vectors = clustered_vectors(100, seed=2)
+        codes, _ = quantize_int8(vectors)
+        # the per-vector peak maps to +/-127 exactly
+        assert np.abs(codes).max(axis=1).min() == 127
+
+    def test_zero_vector_safe(self):
+        vectors = np.zeros((3, 8), dtype=np.float32)
+        codes, scales = quantize_int8(vectors)
+        assert np.all(codes == 0) and np.all(scales == 1.0)
+        assert np.all(dequantize_int8(codes, scales) == 0.0)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            quantize_int8(np.zeros(8, dtype=np.float32))
+
+    def test_empty_input(self):
+        codes, scales = quantize_int8(np.zeros((0, 8), dtype=np.float32))
+        assert codes.shape == (0, 8) and scales.shape == (0,)
+
+
+class TestFusedDot:
+    def test_matches_dequantized_matmul(self):
+        vectors = clustered_vectors(300, dim=32, seed=3)
+        codes, scales = quantize_int8(vectors)
+        query = vectors[5]
+        fused = fused_scaled_dot(query, codes, scales)
+        naive = dequantize_int8(codes, scales) @ query
+        np.testing.assert_allclose(fused, naive, rtol=0, atol=1e-5)
+
+    def test_blocking_boundary_exact(self):
+        # spill over one block boundary: rows BLOCK_ROWS-2 .. BLOCK_ROWS+2
+        n = BLOCK_ROWS + 3
+        rng = np.random.default_rng(4)
+        vectors = rng.normal(size=(n, 8)).astype(np.float32)
+        codes, scales = quantize_int8(vectors)
+        query = vectors[0] / np.linalg.norm(vectors[0])
+        fused = fused_scaled_dot(query, codes, scales)
+        naive = dequantize_int8(codes, scales) @ query
+        np.testing.assert_allclose(fused, naive, rtol=0, atol=1e-4)
+
+    def test_gather_matches_full(self):
+        vectors = clustered_vectors(200, seed=5)
+        codes, scales = quantize_int8(vectors)
+        query = vectors[9]
+        full = fused_scaled_dot(query, codes, scales)
+        rows = np.array([0, 3, 199, 42, 42])  # repeats allowed
+        np.testing.assert_array_equal(
+            gather_scaled_dot(query, codes, scales, rows), full[rows])
+
+    def test_empty_rows(self):
+        vectors = clustered_vectors(10, seed=6)
+        codes, scales = quantize_int8(vectors)
+        out = gather_scaled_dot(vectors[0], codes, scales,
+                                np.empty(0, dtype=np.int64))
+        assert out.shape == (0,)
+        assert fused_scaled_dot(vectors[0], codes[:0], scales[:0]).shape \
+            == (0,)
+
+
+class TestTopK:
+    def test_includes_all_ties_at_kth(self):
+        scores = np.array([5.0, 3.0, 3.0, 3.0, 1.0], dtype=np.float32)
+        keep = set(topk_candidates(scores, 2).tolist())
+        # k-th (2nd) score is 3.0 -- every row tied at 3.0 must survive
+        assert keep == {0, 1, 2, 3}
+
+    def test_short_input_returns_everything(self):
+        scores = np.array([1.0, 2.0], dtype=np.float32)
+        assert set(topk_candidates(scores, 10).tolist()) == {0, 1}
+
+    def test_blocked_matches_exact_membership(self):
+        vectors = clustered_vectors(5000, dim=24, seed=7)
+        codes, scales = quantize_int8(vectors)
+        for qi in (0, 17, 4999):
+            rows, scores = blocked_topk_dot(vectors[qi], codes, scales, 10)
+            ref = fused_scaled_dot(vectors[qi], codes, scales)
+            ref_rows = topk_candidates(ref, 10)
+            assert set(rows.tolist()) == set(ref_rows.tolist())
+            np.testing.assert_allclose(scores, ref[rows], atol=1e-6)
+
+    def test_blocked_streaming_crosses_block_boundary(self):
+        n = BLOCK_ROWS + 50
+        rng = np.random.default_rng(8)
+        vectors = rng.normal(size=(n, 8)).astype(np.float32)
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        codes, scales = quantize_int8(vectors)
+        query = vectors[n - 1]
+        rows, _ = blocked_topk_dot(query, codes, scales, 5)
+        ref = fused_scaled_dot(query, codes, scales)
+        assert set(rows.tolist()) == set(topk_candidates(ref, 5).tolist())
+
+    def test_exact_topk_is_float32_reference(self):
+        vectors = clustered_vectors(1000, seed=9)
+        query = vectors[3]
+        rows, scores = exact_topk_dot(query, vectors, 5)
+        full = vectors @ query
+        assert set(rows.tolist()) == set(topk_candidates(full, 5).tolist())
+        np.testing.assert_allclose(scores, full[rows], atol=1e-6)
+
+    def test_int8_agreement_on_separated_data(self):
+        # the acceptance-bar property at test scale: int8 top-k membership
+        # agrees with float32 top-k on >= 99% of slots (duplicate-group
+        # data, the EM blocking shape -- wide rank-k margins)
+        vectors = grouped_vectors(2000, dim=64, group=10, seed=10)
+        codes, scales = quantize_int8(vectors)
+        agree = total = 0
+        for qi in range(0, 2000, 40):
+            exact_rows, _ = exact_topk_dot(vectors[qi], vectors, 10)
+            int8_rows, _ = blocked_topk_dot(vectors[qi], codes, scales, 10)
+            exact = set(exact_rows.tolist())
+            got = set(int8_rows.tolist())
+            agree += len(exact & got)
+            total += min(10, len(exact))
+        assert agree / total >= 0.99
