@@ -203,6 +203,8 @@ def _load_catalog(spec: str) -> List:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
+    import signal
+    import threading
 
     from .serve import (
         DenseCandidateIndex, MatchHTTPServer, MatchServer, ModelBundle,
@@ -218,52 +220,102 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         default_top_k=args.top_k,
     )
-    index = ServingIndex(default_k=args.top_k)
-    dense_index = None
+    encoder = None
     if args.blocker == "dense" or args.ann:
         from .ann import RecordEncoder
 
         encoder = RecordEncoder(model_name=args.encoder_model)
-        dense_index = DenseCandidateIndex(
-            encoder, kind=args.ann or "ivf", default_k=args.top_k,
-            seed=args.seed)
-    if args.catalog:
-        records = _load_catalog(args.catalog)
-        added = index.add_many(records)
-        if dense_index is not None:
-            dense_index.add_many(records)
-            dense_index.train()
-        print(f"indexed {added} catalog records from {args.catalog}",
-              file=sys.stderr)
 
-    with _telemetry(args) as tel:
+    if args.replicas > 0:
+        # replicated pool: shared-memory weights, sharded catalog; the
+        # catalog is journaled before start so every replica forks with it
+        from .serve.pool import PoolConfig, ServingPool
+
+        server = ServingPool(
+            bundle,
+            PoolConfig(replicas=args.replicas, shards=args.shards,
+                       server=config),
+            encoder=encoder, dense_kind=args.ann or "ivf",
+            dense_seed=args.seed, candidate_mode=args.blocker)
+        if args.catalog:
+            added = server.catalog_add(_load_catalog(args.catalog))
+            print(f"indexed {added} catalog records from {args.catalog} "
+                  f"across {server.config.shards} shards", file=sys.stderr)
+    else:
+        index = ServingIndex(default_k=args.top_k)
+        dense_index = None
+        if encoder is not None:
+            dense_index = DenseCandidateIndex(
+                encoder, kind=args.ann or "ivf", default_k=args.top_k,
+                seed=args.seed)
+        if args.catalog:
+            records = _load_catalog(args.catalog)
+            added = index.add_many(records)
+            if dense_index is not None:
+                dense_index.add_many(records)
+                dense_index.train()
+            print(f"indexed {added} catalog records from {args.catalog}",
+                  file=sys.stderr)
         server = MatchServer(bundle, config, index=index,
                              dense_index=dense_index,
                              candidate_mode=args.blocker)
+
+    stop_event = threading.Event()
+
+    with _telemetry(args) as tel:
         if args.requests:
+            # graceful stop: the signal closes intake; serve_requests then
+            # drains its pending window, so every accepted request is
+            # still answered before the process exits 0
+            signal.signal(signal.SIGTERM, lambda *_: stop_event.set())
+            signal.signal(signal.SIGINT, lambda *_: stop_event.set())
+
+            def intake(requests):
+                for request in requests:
+                    if stop_event.is_set():
+                        return
+                    yield request
+
             out = (open(args.output, "w") if args.output else sys.stdout)
             try:
                 with server:
                     for response in serve_requests(
-                            server, read_jsonl(args.requests)):
+                            server, intake(read_jsonl(args.requests))):
                         out.write(json.dumps(response) + "\n")
             finally:
                 if out is not sys.stdout:
                     out.close()
             stats = server.stats()
             print(f"served {stats['responses']} responses "
-                  f"in {stats['batches']} batches "
                   f"(shed {stats['shed']})", file=sys.stderr)
+            if stop_event.is_set():
+                print("stopped on signal after draining", file=sys.stderr)
             _print_trace_summary(tel)
             return 0
         http = MatchHTTPServer(server, host=args.host, port=args.port,
                                admin_token=args.admin_token)
-        print(f"serving {bundle.name} (model version {server.version}) "
-              f"on {http.address}", file=sys.stderr)
+
+        def _graceful(signum, frame):
+            # serve_forever blocks the main thread; httpd.shutdown() must
+            # run elsewhere or it deadlocks waiting on the serve loop it
+            # interrupted.  Unblocking it triggers MatchHTTPServer's
+            # shutdown path, which stops the server/pool with drain=True.
+            stop_event.set()
+            threading.Thread(target=http.httpd.shutdown,
+                             daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+        topology = (f"{args.replicas} replicas / {server.config.shards} "
+                    f"shards" if args.replicas > 0 else "single process")
+        print(f"serving {bundle.name} (model version {server.version}, "
+              f"{topology}) on {http.address}", file=sys.stderr)
         try:
             http.serve_forever()
         except KeyboardInterrupt:
             http.shutdown()
+        if stop_event.is_set():
+            print("shut down gracefully on signal", file=sys.stderr)
         _print_trace_summary(tel)
     return 0
 
@@ -407,6 +459,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--catalog", metavar="PATH_OR_NAME",
                        help="records to index for /match: a record JSONL, a "
                             "dataset bundle JSON, or a benchmark name")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="serve through a replicated pool of N forked "
+                            "workers over shared-memory weights (0 = "
+                            "classic single-process server)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="candidate-catalog hash shards (default: one "
+                            "per replica); shard s lives in replica "
+                            "s %% N")
     serve.add_argument("--max-queue", type=int, default=256,
                        help="admission-control queue bound (shed above this)")
     serve.add_argument("--max-batch-pairs", type=int, default=32)

@@ -16,8 +16,13 @@ service (the deployment form real EM systems take):
   under a max-wait deadline and token budget, explicit
   :class:`Overloaded` shedding, and atomic bundle hot-swap between
   batches;
+* :class:`ServingPool` -- N forked replica workers over one
+  shared-memory weight map (:class:`SharedBundleWeights`), a load-aware
+  front router with per-replica bounded queues and redispatch-on-death,
+  and a hash-sharded candidate layer (:class:`ShardedServingIndex` /
+  :class:`ShardedDenseCandidateIndex`);
 * :mod:`repro.serve.http` -- a stdlib HTTP front end plus a socket-free
-  JSONL request driver.
+  JSONL request driver; both drive a server or a pool interchangeably.
 
 See ``docs/SERVING.md`` for the bundle format, scheduler knobs,
 backpressure semantics, and the hot-swap contract.
@@ -33,11 +38,16 @@ from .server import (
     MatchCandidate, MatchResponse, MatchServer, Overloaded, PendingMatch,
     PendingResponse, ScoreResponse, ServerConfig,
 )
+from .shard import ShardedServingIndex, merge_topk, shard_of
+from .weights import SharedBundleWeights
 
 __all__ = [
     "ModelBundle", "BundleError", "BUNDLE_SCHEMA_VERSION",
     "ServingIndex", "DenseCandidateIndex",
+    "ShardedServingIndex", "ShardedDenseCandidateIndex",
+    "shard_of", "merge_topk",
     "MatchServer", "ServerConfig", "Overloaded",
+    "ServingPool", "PoolConfig", "SharedBundleWeights",
     "ScoreResponse", "MatchResponse", "MatchCandidate",
     "PendingResponse", "PendingMatch",
     "MatchHTTPServer", "serve_requests", "handle_request", "read_jsonl",
@@ -53,4 +63,12 @@ def __getattr__(name):  # PEP 562
         from .dense import DenseCandidateIndex
 
         return DenseCandidateIndex
+    if name == "ShardedDenseCandidateIndex":
+        from .shard import ShardedDenseCandidateIndex
+
+        return ShardedDenseCandidateIndex
+    if name in ("ServingPool", "PoolConfig"):
+        from . import pool
+
+        return getattr(pool, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -64,7 +64,11 @@ class DenseCandidateIndex:
     def add(self, record: EntityRecord) -> bool:
         """Insert ``record``; ``False`` when it replaced an earlier record
         with the same id.  The embedding is computed outside the lock."""
-        vector = self.encoder.encode_record(record)
+        return self.add_vector(record, self.encoder.encode_record(record))
+
+    def add_vector(self, record: EntityRecord, vector) -> bool:
+        """Insert a record whose embedding the caller already holds (the
+        sharded index embeds a batch once, then routes vectors here)."""
         with self._lock:
             fresh = record.record_id not in self._records
             self._records[record.record_id] = record
@@ -130,7 +134,14 @@ class DenseCandidateIndex:
         k = self.default_k if k is None else int(k)
         if k < 1:
             raise ValueError("k must be >= 1")
-        query = self.encoder.encode_record(record)
+        return self.candidates_from_vector(self.encoder.encode_record(record),
+                                           k)
+
+    def candidates_from_vector(self, query, k: int
+                               ) -> List[Tuple[EntityRecord, float]]:
+        """:meth:`candidates` for an already-embedded query vector."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
         found = self.index.search(query, k)
         if self.min_score is not None:
             found = [(rid, score) for rid, score in found

@@ -17,8 +17,18 @@ Two transports over one JSON protocol:
     (applied to the sparse token index *and* the dense ANN index when one
     is configured, so the two catalogs stay hot-add consistent)
   - ``POST /admin/candidates``  ``{"mode": "sparse" | "dense"}`` -- flip
-    the candidate generator match queries use
+    the candidate generator match queries use (pool-wide when serving a
+    :class:`~repro.serve.pool.ServingPool`)
   - ``GET /stats`` and ``GET /healthz``
+  - ``GET /metrics`` -- the active :class:`repro.obs.MetricsRegistry`
+    snapshot as JSON (gated exactly like ``/admin/*``: metric names and
+    latency distributions are operational detail, not public surface)
+
+Both transports are duck-typed over the server argument: a
+:class:`~repro.serve.server.MatchServer` and a
+:class:`~repro.serve.pool.ServingPool` expose the same submit/score/admin
+surface, so ``repro serve --replicas N`` swaps the pool in without
+touching this module's request path.
 
 Records use the dataset-bundle JSON shape (``{"id", "kind", "values"}``).
 A shed request answers ``503 {"status": "overloaded"}`` -- explicit
@@ -43,6 +53,7 @@ from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..data.dataset import CandidatePair
 from ..data.io import _record_from_dict, _record_to_dict
+from ..obs import get_telemetry
 from .bundle import ModelBundle
 from .server import MatchResponse, MatchServer, Overloaded, ScoreResponse
 
@@ -65,6 +76,7 @@ def score_response_to_dict(response: ScoreResponse) -> dict:
         "bundle": response.bundle_name,
         "batch_id": response.batch_id,
         "batch_size": response.batch_size,
+        "replica": response.replica,
     }
 
 
@@ -127,7 +139,12 @@ def serve_requests(server: MatchServer, requests: Iterable[dict],
     semantics; only a stopped server yields ``overloaded`` responses.
     """
     if window is None:
-        window = server.config.max_batch_pairs
+        # a MatchServer's config carries max_batch_pairs directly; a
+        # ServingPool nests it under config.server
+        config = server.config
+        window = getattr(config, "max_batch_pairs", None)
+        if window is None:
+            window = config.server.max_batch_pairs
     window = max(1, int(window))
     pending: Deque[Tuple[str, object]] = deque()
 
@@ -230,6 +247,17 @@ class _Handler(BaseHTTPRequestHandler):
                               "model_version": self.match_server.version})
         elif self.path == "/stats":
             self._reply(200, self.match_server.stats())
+        elif self.path == "/metrics":
+            if not self._admin_allowed():
+                self._reply(403, {
+                    "status": "error",
+                    "detail": "metrics denied: present X-Admin-Token, or "
+                              "connect from loopback when no token is set"})
+                return
+            telemetry = get_telemetry()
+            self._reply(200, {"status": "ok",
+                              "enabled": telemetry.enabled,
+                              "metrics": telemetry.metrics.snapshot()})
         else:
             self._reply(404, {"status": "error", "detail": "unknown path"})
 
@@ -266,7 +294,7 @@ class _Handler(BaseHTTPRequestHandler):
                     payload.get("remove", []))
                 response = {"status": "ok", "added": added,
                             "removed": removed,
-                            "size": len(self.match_server.index)}
+                            "size": self.match_server.catalog_size()}
             elif self.path == "/admin/candidates":
                 mode = self.match_server.set_candidate_mode(
                     payload.get("mode", ""))

@@ -1,0 +1,1156 @@
+"""ServingPool: replicated, sharded online matching.
+
+One :class:`~repro.serve.server.MatchServer` is a single process with one
+model copy and one catalog.  The pool keeps that server *as the replica
+unit* and adds the multi-worker topology around it:
+
+* **N replica workers** -- forked processes, each running the unmodified
+  ``MatchServer`` scheduler loop over the same inference engine.  Model
+  weights are **not** copied per replica: every replica maps the
+  published :class:`~repro.serve.bundle.ModelBundle` weights zero-copy
+  from the :class:`~repro.serve.weights.SharedBundleWeights` store
+  (double-buffered shm slots built on
+  :class:`repro.parallel.shm.SharedArray`), and adopts the newest version
+  at its batch boundary -- so :meth:`ServingPool.swap` flips **all**
+  replicas atomically via one version bump, and no batch ever mixes two
+  versions (the store's overwrite guard keeps a slot intact until every
+  live replica has moved past it).
+
+* **A front router** -- per-replica bounded queues with load-aware
+  dispatch: a request goes to the live replica with the fewest
+  outstanding pairs, ties broken by the smaller outstanding token
+  estimate (a cheap whitespace proxy for encoding length -- the router
+  deliberately does not tokenize), then by replica index.  Admission is
+  explicit: when the pool-wide queue bound or every per-replica queue is
+  full, ``submit`` raises :class:`~repro.serve.server.Overloaded` -- the
+  same shed-don't-buffer contract as the single server.
+
+* **Fault containment** -- a replica that dies mid-flight is detected by
+  its pipe EOF; its in-flight requests are *re-dispatched* to surviving
+  replicas (scoring is pure, so re-execution is safe and an accepted
+  request is never lost), and the replica is respawned: the fresh fork
+  inherits the current catalog journal and adopts the current weight
+  version, so the pool heals without draining.
+
+* **A sharded candidate layer** -- the catalog is hash-partitioned by
+  ``record_id`` (:func:`~repro.serve.shard.shard_of`); shard ``s`` lives
+  inside replica ``s % N``, so postings and ANN rows scale out with the
+  pool instead of piling into one process.  A match query scatters to
+  every live replica (each answers for its own shards, dense queries are
+  embedded once in the router), and the router merges the partial top-k
+  lists in the deterministic ``(-score, record_id)`` order
+  (:func:`~repro.serve.shard.merge_topk`).  ``catalog_add`` /
+  ``catalog_remove`` route to the owning shard's replica; the router
+  additionally keeps a per-shard **journal** of raw records -- the
+  respawn source -- while the index structures themselves (postings,
+  int8 ANN rows) exist only in the owning replica.
+
+Where fork (or real shared memory) is unavailable the pool degrades to a
+**serial fallback**: one in-process ``MatchServer`` over the same
+:class:`~repro.serve.shard.ShardedServingIndex` /
+:class:`~repro.serve.shard.ShardedDenseCandidateIndex` structures, same
+API, zero processes -- mirroring :mod:`repro.parallel.pool`.
+
+Everything is observable through :mod:`repro.obs`: per-replica queue
+depth gauges (``pool.replica<i>.outstanding``), dispatch latency
+(``pool.dispatch_seconds``), the swap-version gauge
+(``pool.swap_version``), and counters for sheds, deaths, respawns and
+re-dispatches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing as mp
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import CandidatePair
+from ..data.records import EntityRecord
+from ..obs import get_telemetry
+from ..parallel.pool import fork_available
+from .bundle import ModelBundle
+from .index import ServingIndex
+from .server import (
+    MatchServer, Overloaded, PendingMatch, PendingResponse, ScoreResponse,
+    ServerConfig,
+)
+from .shard import ShardedServingIndex, merge_topk, shard_of
+from .weights import SharedBundleWeights
+
+
+@dataclass
+class PoolConfig:
+    """Topology and routing knobs of a :class:`ServingPool`."""
+
+    #: replica worker processes (each runs one MatchServer scheduler)
+    replicas: int = 2
+    #: candidate-catalog shards; shard s is owned by replica s % replicas.
+    #: None -> one shard per replica
+    shards: Optional[int] = None
+    #: per-replica scheduler knobs (the MatchServer config inside each
+    #: worker); ``max_queue`` doubles as the pool-wide admission bound
+    server: ServerConfig = field(default_factory=ServerConfig)
+    #: per-replica bounded queue: dispatch never puts more than this many
+    #: outstanding pairs on one replica (re-dispatch after a death may)
+    max_outstanding: int = 64
+    #: scatter/gather wait for candidates / stats / acks
+    gather_timeout_s: float = 10.0
+    #: how long a publish may wait for a slow replica to vacate a slot
+    guard_timeout_s: float = 5.0
+    #: respawn dead replicas (the fault-containment loop)
+    respawn: bool = True
+    #: stop(drain=True) waits this long for in-flight work to finish
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.shards is None:
+            self.shards = self.replicas
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+
+
+def _approx_tokens(pair: CandidatePair) -> int:
+    """Cheap token-count proxy used for token-budget-aware dispatch.
+
+    Whitespace words of both records' values: roughly proportional to the
+    encoding length without importing the tokenizer into the router's hot
+    path.  Only relative magnitudes matter (it breaks ties between
+    equally-loaded replicas), so a proxy is enough.
+    """
+    count = 0
+    for record in (pair.left, pair.right):
+        for value in record.values.values():
+            count += len(str(value).split())
+    return max(count, 1)
+
+
+class _ReplyGather:
+    """Collects one control reply per wanted replica, with drop-on-death."""
+
+    __slots__ = ("want", "replies", "event")
+
+    def __init__(self, want) -> None:
+        self.want = set(want)
+        self.replies: Dict[int, object] = {}
+        self.event = threading.Event()
+        self._check()
+
+    def _check(self) -> None:
+        if self.want <= set(self.replies):
+            self.event.set()
+
+    def reply(self, replica: int, payload) -> None:
+        self.replies[replica] = payload
+        self._check()
+
+    def drop(self, replica: int) -> None:
+        self.want.discard(replica)
+        self._check()
+
+    def wait(self, timeout: float) -> Dict[int, object]:
+        self.event.wait(timeout)
+        return self.replies
+
+
+class _Inflight:
+    __slots__ = ("pending", "pair", "replica", "tokens", "arrived")
+
+    def __init__(self, pending: PendingResponse, pair: CandidatePair,
+                 replica: int, tokens: int, arrived: float) -> None:
+        self.pending = pending
+        self.pair = pair
+        self.replica = replica
+        self.tokens = tokens
+        self.arrived = arrived
+
+
+class _Replica:
+    """Router-side handle of one worker process."""
+
+    __slots__ = ("index", "proc", "conn", "send_lock", "outstanding_pairs",
+                 "outstanding_tokens", "live")
+
+    def __init__(self, index: int, proc, conn) -> None:
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.outstanding_pairs = 0
+        self.outstanding_tokens = 0
+        self.live = True
+
+    def send(self, message) -> None:
+        with self.send_lock:
+            self.conn.send(message)
+
+
+class ReplicaMatchServer(MatchServer):
+    """A MatchServer whose model/version snapshot comes from the shared
+    weight store instead of a local ``swap()``.
+
+    The scheduler loop, batching, shedding and failure containment are
+    inherited unchanged; only ``_snapshot`` -- the per-batch boundary --
+    is redirected: it adopts the newest published version (rebinding the
+    parameter views, threshold and bundle name) and reports that version,
+    which is what extends the exactly-one-version-per-batch guarantee
+    across the whole pool.
+    """
+
+    def __init__(self, bundle: ModelBundle, config: ServerConfig,
+                 store: SharedBundleWeights, replica: int) -> None:
+        super().__init__(bundle, config)
+        self._store = store
+        self._replica_index = replica
+        self._seen_version = 0
+        with self._swap_lock:
+            self._adopt_locked()
+
+    def _adopt_locked(self) -> None:
+        version = self._store.adopt(self._bundle.model, self._replica_index,
+                                    self._seen_version)
+        if version != self._seen_version:
+            self._seen_version = version
+            name, threshold = self._store.read_meta(version)
+            if name:
+                self._bundle.name = name
+            self._bundle.threshold = threshold
+            self._version = version
+
+    def _snapshot(self) -> Tuple[ModelBundle, int]:
+        with self._swap_lock:
+            self._adopt_locked()
+            return self._bundle, self._version
+
+    def swap(self, bundle: ModelBundle) -> int:  # pragma: no cover - guard
+        raise RuntimeError("replica servers adopt published weights; "
+                           "swap through the pool")
+
+
+# ----------------------------------------------------------------------
+# Replica worker process
+# ----------------------------------------------------------------------
+def _owned_shards(replica: int, replicas: int, shards: int) -> List[int]:
+    return [s for s in range(shards) if s % replicas == replica]
+
+
+def _replica_main(conn, replica: int, bundle: ModelBundle,
+                  store: SharedBundleWeights, config: ServerConfig,
+                  pool_config: PoolConfig, journal: Sequence[dict],
+                  encoder, dense_spec: Optional[dict],
+                  candidate_mode: str) -> None:
+    """Worker entry point (fork start method: arguments arrive by
+    inheritance, nothing is pickled).
+
+    Runs three threads: the inherited MatchServer scheduler, a collector
+    that streams resolved responses back in admission order, and the main
+    thread serving the control pipe (score admission, candidate scatter,
+    catalog ops for the shards this replica owns, stats, stop).
+    """
+    # detach the parent's telemetry session: the run log must have exactly
+    # one writer, and these counters are reported back via ("stats",)
+    from ..obs import telemetry as _telemetry_module
+    _telemetry_module._ACTIVE = _telemetry_module.DISABLED
+
+    owned = _owned_shards(replica, pool_config.replicas, pool_config.shards)
+    # child-side scheduler: queue bound >= the pool-wide bound, so parent
+    # admission (and death re-dispatch) can never be shed inside a replica
+    child_config = dataclasses.replace(
+        config, max_queue=max(config.max_queue * 2,
+                              pool_config.max_outstanding * 2))
+    server = ReplicaMatchServer(bundle, child_config, store, replica)
+
+    # build the owned shards from the journal snapshot inherited at fork
+    sparse: Dict[int, ServingIndex] = {}
+    dense: Dict[int, object] = {}
+    for shard in owned:
+        index = ServingIndex(default_k=config.default_top_k)
+        index.add_many(journal[shard].values())
+        sparse[shard] = index
+    if dense_spec is not None:
+        from .dense import DenseCandidateIndex
+
+        for shard in owned:
+            dindex = DenseCandidateIndex(
+                encoder, kind=dense_spec["kind"],
+                default_k=config.default_top_k, seed=dense_spec["seed"],
+                **dense_spec.get("kwargs", {}))
+            dindex.add_many(list(journal[shard].values()))
+            if dense_spec.get("train") and len(dindex):
+                dindex.train()
+            dense[shard] = dindex
+    mode = candidate_mode
+
+    send_lock = threading.Lock()
+
+    def send(message) -> None:
+        with send_lock:
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError):  # router gone: nothing to do
+                pass
+
+    results: "queue.Queue" = queue.Queue()
+
+    def collect() -> None:
+        while True:
+            item = results.get()
+            if item is None:
+                return
+            req_id, pending = item
+            try:
+                response = pending.result(timeout=None)
+            except BaseException as error:
+                send(("error", req_id, f"{type(error).__name__}: {error}"))
+            else:
+                send(("response", req_id, response.probs,
+                      response.prediction, response.model_version,
+                      response.bundle_name, response.batch_id,
+                      response.batch_size, response.queue_seconds,
+                      response.service_seconds))
+
+    collector = threading.Thread(target=collect, name="repro-pool-collect",
+                                 daemon=True)
+    collector.start()
+    server.start()
+
+    def shard_candidates(record, k, vector) -> list:
+        partials = []
+        for shard in owned:
+            if mode == "dense" and dense:
+                index = dense[shard]
+                if vector is not None:
+                    partials.append(index.candidates_from_vector(vector, k))
+                else:
+                    partials.append(index.candidates(record, k))
+            else:
+                partials.append(sparse[shard].candidates(record, k))
+        return merge_topk(partials, k)
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "score":
+                _, req_id, pair = message
+                try:
+                    pending = server.submit(pair)
+                except Overloaded as error:
+                    send(("error", req_id, f"Overloaded: {error}"))
+                else:
+                    results.put((req_id, pending))
+            elif kind == "candidates":
+                _, qid, record, k, vector = message
+                try:
+                    send(("reply", qid, shard_candidates(record, k, vector)))
+                except Exception as error:
+                    send(("reply", qid, {"error": repr(error)}))
+            elif kind == "catalog_add":
+                _, qid, per_shard = message
+                fresh = 0
+                for shard, records in per_shard.items():
+                    fresh += sparse[shard].add_many(records)
+                    if shard in dense:
+                        dense[shard].add_many(records)
+                send(("reply", qid, fresh))
+            elif kind == "catalog_remove":
+                _, qid, per_shard = message
+                removed = 0
+                for shard, record_ids in per_shard.items():
+                    for record_id in record_ids:
+                        if sparse[shard].remove(record_id):
+                            removed += 1
+                        if shard in dense:
+                            dense[shard].remove(record_id)
+                send(("reply", qid, removed))
+            elif kind == "candidate_mode":
+                mode = message[1]
+            elif kind == "stats":
+                _, qid = message
+                stats = server.stats()
+                stats["replica"] = replica
+                stats["shards"] = sorted(owned)
+                stats["candidate_mode"] = mode
+                send(("reply", qid, stats))
+            elif kind == "batch_log":
+                _, qid = message
+                send(("reply", qid, list(server.batch_log)))
+            elif kind == "stop":
+                _, qid, drain = message
+                server.stop(drain=drain)
+                results.put(None)
+                collector.join(timeout=10.0)
+                send(("reply", qid, {"replica": replica,
+                                     "responses": server.response_count}))
+                break
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# Router / pool
+# ----------------------------------------------------------------------
+class ServingPool:
+    """Replicated, sharded serving over one shared-memory weight map.
+
+    API-compatible with :class:`MatchServer` where the front ends touch
+    it: ``submit`` / ``submit_match`` / ``score`` / ``score_batch`` /
+    ``match`` / ``swap`` / ``catalog_add`` / ``catalog_remove`` /
+    ``set_candidate_mode`` / ``stats`` / ``version`` / ``stop`` -- the
+    HTTP and JSONL transports drive either interchangeably.
+    """
+
+    def __init__(self, bundle: ModelBundle,
+                 config: Optional[PoolConfig] = None,
+                 encoder=None, dense_kind: str = "ivf", dense_seed: int = 0,
+                 dense_kwargs: Optional[dict] = None,
+                 dense_train: bool = True,
+                 candidate_mode: str = "sparse") -> None:
+        self.config = config if config is not None else PoolConfig()
+        self._bundle = bundle
+        self._encoder = encoder
+        self._dense_spec = None if encoder is None else {
+            "kind": dense_kind, "seed": dense_seed,
+            "kwargs": dict(dense_kwargs or {}), "train": dense_train}
+        if candidate_mode not in ("sparse", "dense"):
+            raise ValueError("candidate_mode must be 'sparse' or 'dense'")
+        if candidate_mode == "dense" and encoder is None:
+            raise ValueError("dense candidate_mode needs an encoder")
+        self._candidate_mode = candidate_mode
+
+        #: per-shard journal of raw records: the source respawned replicas
+        #: rebuild their shards from (the postings/ANN structures
+        #: themselves live only inside the owning replica)
+        self._catalog: List[Dict[str, EntityRecord]] = [
+            {} for _ in range(self.config.shards)]
+        self._catalog_lock = threading.RLock()
+
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._inflight: Dict[int, _Inflight] = {}
+        self._gathers: Dict[int, _ReplyGather] = {}
+        self._req_ids = itertools.count(1)
+        self._replicas: List[_Replica] = []
+        self._collector: Optional[threading.Thread] = None
+        self._wake_recv = None
+        self._wake_send = None
+        self._store: Optional[SharedBundleWeights] = None
+        self._server: Optional[MatchServer] = None   # serial fallback
+        self._serial = False
+        self._started = False
+        self._closed = False
+        self._stopping = False      # suppresses respawn/redispatch
+        self._collector_halt = False  # router thread exit flag
+        self._swap_lock = threading.Lock()
+
+        self.request_count = 0
+        self.response_count = 0
+        self.shed_count = 0
+        self.redispatch_count = 0
+        self.respawn_count = 0
+        self.death_count = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        return self._started and not self._closed
+
+    @property
+    def serial(self) -> bool:
+        """True when running the in-process fallback (no fork / no shm)."""
+        return self._serial
+
+    def start(self) -> "ServingPool":
+        if self._started:
+            return self
+        self._closed = False
+        self._stopping = False
+        self._collector_halt = False
+        if fork_available():
+            store = SharedBundleWeights(
+                self._bundle.model, replicas=self.config.replicas,
+                guard_timeout_s=self.config.guard_timeout_s)
+            if store.is_shared:
+                self._store = store
+                self._store.publish(self._bundle.model, self._bundle.name,
+                                    self._bundle.threshold,
+                                    live=())  # nobody to guard against yet
+            else:  # no /dev/shm: publishes would be invisible after fork
+                store.close()
+        if self._store is None:
+            self._start_serial()
+        else:
+            self._start_forked()
+        self._started = True
+        return self
+
+    def _start_serial(self) -> None:
+        self._serial = True
+        index = ShardedServingIndex(self.config.shards,
+                                    default_k=self.config.server.default_top_k)
+        dense_index = None
+        if self._encoder is not None:
+            from .shard import ShardedDenseCandidateIndex
+
+            spec = self._dense_spec
+            dense_index = ShardedDenseCandidateIndex(
+                self._encoder, self.config.shards, kind=spec["kind"],
+                default_k=self.config.server.default_top_k,
+                seed=spec["seed"], **spec["kwargs"])
+        self._server = MatchServer(self._bundle, self.config.server,
+                                   index=index, dense_index=dense_index,
+                                   candidate_mode=self._candidate_mode)
+        with self._catalog_lock:
+            records = [record for shard in self._catalog
+                       for record in shard.values()]
+        if records:
+            self._server.catalog_add(records)
+            if dense_index is not None and self._dense_spec.get("train"):
+                dense_index.train()
+        self._server.start()
+
+    def _start_forked(self) -> None:
+        ctx = mp.get_context("fork")
+        self._wake_recv, self._wake_send = ctx.Pipe(duplex=False)
+        self._replicas = [self._spawn_replica(index)
+                          for index in range(self.config.replicas)]
+        self._collector = threading.Thread(target=self._collect_loop,
+                                           name="repro-pool-router",
+                                           daemon=True)
+        self._collector.start()
+
+    def _spawn_replica(self, index: int) -> _Replica:
+        ctx = mp.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        # hold the catalog lock across the fork so the journal the child
+        # inherits is not mid-mutation
+        with self._catalog_lock:
+            proc = ctx.Process(
+                target=_replica_main,
+                args=(child_conn, index, self._bundle, self._store,
+                      self.config.server, self.config, self._catalog,
+                      self._encoder, self._dense_spec, self._candidate_mode),
+                daemon=True, name=f"repro-pool-replica-{index}")
+            proc.start()
+        child_conn.close()
+        return _Replica(index, proc, parent_conn)
+
+    def __enter__(self) -> "ServingPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Pool-wide graceful stop: close admission, finish (or fail) the
+        in-flight work, stop every replica with the same ``drain``
+        semantics, reap the processes and release the shared segments."""
+        if not self._started:
+            self._closed = True
+            return
+        timeout = self.config.drain_timeout_s if timeout is None else timeout
+        with self._lock:
+            self._closed = True
+        if self._serial:
+            self._server.stop(drain=drain)
+            self._started = False
+            return
+        if drain:
+            deadline = time.monotonic() + timeout
+            with self._drained:
+                while self._inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._drained.wait(remaining)
+        with self._lock:
+            leftovers = list(self._inflight.values())
+            self._inflight.clear()
+            for replica in self._replicas:
+                replica.outstanding_pairs = 0
+                replica.outstanding_tokens = 0
+        for inflight in leftovers:
+            try:
+                inflight.pending._fail(
+                    Overloaded("pool stopped before scoring"))
+            except RuntimeError:  # pragma: no cover - resolved in a race
+                pass
+        self._stopping = True
+        # the collector keeps running here: it must still deliver the
+        # replicas' final responses and the stop acks
+        acks = self._scatter_control(("stop", None, drain),
+                                     timeout=max(timeout, 1.0))
+        del acks  # best-effort: a wedged replica is terminated below
+        for replica in self._replicas:
+            replica.proc.join(timeout=5.0)
+            if replica.proc.is_alive():  # pragma: no cover - wedged child
+                replica.proc.terminate()
+                replica.proc.join(timeout=1.0)
+            replica.live = False
+        self._collector_halt = True
+        self._wake()
+        if self._collector is not None:
+            self._collector.join(timeout=5.0)
+            self._collector = None
+        for replica in self._replicas:
+            try:
+                replica.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+        self._started = False
+
+    def _wake(self) -> None:
+        if self._wake_send is not None:
+            try:
+                self._wake_send.send(0)
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _pick_replica(self) -> Optional[_Replica]:
+        """Least-outstanding-pairs dispatch with a token-estimate
+        tiebreak; None when every live replica is at its queue bound.
+        Caller holds ``_lock``."""
+        best = None
+        for replica in self._replicas:
+            if not replica.live:
+                continue
+            if replica.outstanding_pairs >= self.config.max_outstanding:
+                continue
+            key = (replica.outstanding_pairs, replica.outstanding_tokens,
+                   replica.index)
+            if best is None or key < best[0]:
+                best = (key, replica)
+        return best[1] if best is not None else None
+
+    def submit(self, pair: CandidatePair) -> PendingResponse:
+        """Queue one score request on the least-loaded replica; raises
+        :class:`Overloaded` when the pool (or every replica queue) is
+        full."""
+        return self._submit_many([pair])[0]
+
+    def _submit_many(self, pairs: Sequence[CandidatePair]
+                     ) -> List[PendingResponse]:
+        """All-or-nothing admission of a request group (a match query's
+        candidate fan-out is one group, like the single server's)."""
+        if self._serial:
+            return self._server._submit_many(pairs)
+        started = time.perf_counter()
+        tel = get_telemetry()
+        assignments: List[Tuple[int, _Replica]] = []
+        pendings: List[PendingResponse] = []
+        with self._lock:
+            if self._closed or not self._started:
+                raise Overloaded("pool is stopped",
+                                 queue_depth=len(self._inflight))
+            if len(self._inflight) + len(pairs) > self.config.server.max_queue:
+                self.shed_count += 1
+                if tel.enabled:
+                    tel.metrics.counter("pool.shed").inc()
+                raise Overloaded(
+                    f"pool queue full ({len(self._inflight)}"
+                    f"/{self.config.server.max_queue})",
+                    queue_depth=len(self._inflight))
+            staged: List[Tuple[_Replica, int]] = []
+            for pair in pairs:
+                replica = self._pick_replica()
+                if replica is None:
+                    for staged_replica, tokens in staged:  # roll back
+                        staged_replica.outstanding_pairs -= 1
+                        staged_replica.outstanding_tokens -= tokens
+                    self.shed_count += 1
+                    if tel.enabled:
+                        tel.metrics.counter("pool.shed").inc()
+                    raise Overloaded("every replica queue is full",
+                                     queue_depth=len(self._inflight))
+                tokens = _approx_tokens(pair)
+                replica.outstanding_pairs += 1
+                replica.outstanding_tokens += tokens
+                staged.append((replica, tokens))
+            arrived = time.perf_counter()
+            for pair, (replica, tokens) in zip(pairs, staged):
+                req_id = next(self._req_ids)
+                pending = PendingResponse()
+                self._inflight[req_id] = _Inflight(pending, pair,
+                                                   replica.index, tokens,
+                                                   arrived)
+                pendings.append(pending)
+                assignments.append((req_id, replica))
+            self.request_count += len(pairs)
+        dead: List[Tuple[int, _Replica]] = []
+        for (req_id, replica), pair in zip(assignments, pairs):
+            try:
+                replica.send(("score", req_id, pair))
+            except (BrokenPipeError, OSError):
+                dead.append((req_id, replica))
+        for req_id, replica in dead:
+            self._on_replica_death(replica)
+        if tel.enabled:
+            tel.metrics.counter("pool.dispatches").inc(len(pairs))
+            tel.metrics.timer("pool.dispatch_seconds").observe(
+                time.perf_counter() - started)
+            self._gauge_outstanding(tel)
+        return pendings
+
+    def _gauge_outstanding(self, tel) -> None:
+        for replica in self._replicas:
+            tel.metrics.gauge(
+                f"pool.replica{replica.index}.outstanding").set(
+                    replica.outstanding_pairs)
+
+    def submit_match(self, record: EntityRecord,
+                     k: Optional[int] = None) -> PendingMatch:
+        """Scatter the candidate query across every replica's shards,
+        merge the per-shard top-k, then admit one score request per
+        candidate (atomically, like the single server)."""
+        if self._serial:
+            return self._server.submit_match(record, k)
+        k = self.config.server.default_top_k if k is None else int(k)
+        candidates = self._gather_candidates(record, k)
+        if not candidates:
+            return PendingMatch(record.record_id, [])
+        pairs = [CandidatePair(record, candidate)
+                 for candidate, _ in candidates]
+        pendings = self._submit_many(pairs)
+        entries = [(candidate, score, pending)
+                   for (candidate, score), pending in zip(candidates,
+                                                          pendings)]
+        return PendingMatch(record.record_id, entries)
+
+    def _gather_candidates(self, record: EntityRecord, k: int
+                           ) -> List[Tuple[EntityRecord, float]]:
+        vector = None
+        if self._candidate_mode == "dense" and self._encoder is not None:
+            # embed once in the router; every shard re-ranks this vector
+            vector = self._encoder.encode_record(record)
+        replies = self._scatter_control(
+            ("candidates", None, record, k, vector),
+            timeout=self.config.gather_timeout_s)
+        partials = [payload for payload in replies.values()
+                    if isinstance(payload, list)]
+        if len(partials) < len(replies) or not replies:
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.metrics.counter("pool.partial_gathers").inc()
+        return merge_topk(partials, k)
+
+    def _scatter_control(self, template: tuple, timeout: float
+                         ) -> Dict[int, object]:
+        """Send ``template`` (with the qid filled into slot 1) to every
+        live replica and gather one reply per survivor."""
+        with self._lock:
+            live = [replica for replica in self._replicas if replica.live]
+            qid = next(self._req_ids)
+            gather = _ReplyGather(replica.index for replica in live)
+            self._gathers[qid] = gather
+        message = (template[0], qid) + template[2:]
+        for replica in live:
+            try:
+                replica.send(message)
+            except (BrokenPipeError, OSError):
+                self._on_replica_death(replica)
+        replies = gather.wait(timeout)
+        with self._lock:
+            self._gathers.pop(qid, None)
+        return dict(replies)
+
+    # ------------------------------------------------------------------
+    # Collector / fault containment
+    # ------------------------------------------------------------------
+    def _collect_loop(self) -> None:
+        while not self._collector_halt:
+            with self._lock:
+                conns = {replica.conn: replica
+                         for replica in self._replicas if replica.live}
+            try:
+                ready = _conn_wait(list(conns) + [self._wake_recv],
+                                   timeout=0.25)
+            except OSError:  # pragma: no cover - torn down mid-wait
+                continue
+            for obj in ready:
+                if obj is self._wake_recv:
+                    try:
+                        self._wake_recv.recv()
+                    except (EOFError, OSError):  # pragma: no cover
+                        pass
+                    continue
+                replica = conns.get(obj)
+                if replica is None:
+                    continue
+                try:
+                    message = obj.recv()
+                except (EOFError, OSError):
+                    self._on_replica_death(replica)
+                    continue
+                self._handle_message(replica, message)
+
+    def _handle_message(self, replica: _Replica, message) -> None:
+        kind = message[0]
+        if kind == "response":
+            (_, req_id, probs, prediction, version, bundle_name,
+             batch_id, batch_size, queue_seconds, service_seconds) = message
+            self._resolve(req_id, replica, ScoreResponse(
+                probs=np.asarray(probs), prediction=int(prediction),
+                model_version=int(version), bundle_name=bundle_name,
+                batch_id=int(batch_id), batch_size=int(batch_size),
+                queue_seconds=float(queue_seconds),
+                service_seconds=float(service_seconds),
+                replica=replica.index))
+        elif kind == "error":
+            _, req_id, detail = message
+            inflight = self._finish(req_id, replica)
+            if inflight is not None:
+                try:
+                    inflight.pending._fail(RuntimeError(detail))
+                except RuntimeError:  # pragma: no cover - double resolve
+                    pass
+        elif kind == "reply":
+            _, qid, payload = message
+            with self._lock:
+                gather = self._gathers.get(qid)
+            if gather is not None:
+                gather.reply(replica.index, payload)
+
+    def _finish(self, req_id: int, replica: _Replica) -> Optional[_Inflight]:
+        with self._lock:
+            inflight = self._inflight.pop(req_id, None)
+            if inflight is not None:
+                replica.outstanding_pairs -= 1
+                replica.outstanding_tokens -= inflight.tokens
+                if not self._inflight:
+                    self._drained.notify_all()
+        return inflight
+
+    def _resolve(self, req_id: int, replica: _Replica,
+                 response: ScoreResponse) -> None:
+        inflight = self._finish(req_id, replica)
+        if inflight is None:  # late answer for a re-dispatched request
+            return
+        self.response_count += 1
+        try:
+            inflight.pending._resolve(response)
+        except RuntimeError:  # pragma: no cover - double resolve
+            pass
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("pool.responses").inc()
+            tel.metrics.quantiles("pool.request_seconds").observe(
+                time.perf_counter() - inflight.arrived)
+
+    def _on_replica_death(self, replica: _Replica) -> None:
+        """Contain a dead worker: detach it, re-dispatch its in-flight
+        requests to survivors (scoring is pure; nothing accepted is
+        lost), and respawn a replacement over the current journal."""
+        with self._lock:
+            if not replica.live:
+                return
+            replica.live = False
+            orphans = [(req_id, inflight)
+                       for req_id, inflight in self._inflight.items()
+                       if inflight.replica == replica.index]
+            for gather in self._gathers.values():
+                gather.drop(replica.index)
+        self.death_count += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("pool.replica_deaths").inc()
+        try:
+            replica.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if not self._stopping and self.config.respawn:
+            fresh = self._spawn_replica(replica.index)
+            with self._lock:
+                self._replicas[replica.index] = fresh
+            self.respawn_count += 1
+            if tel.enabled:
+                tel.metrics.counter("pool.respawns").inc()
+            self._wake()  # collector must add the new pipe to its wait set
+        for req_id, inflight in orphans:
+            self._redispatch(req_id, inflight)
+
+    def _redispatch(self, req_id: int, inflight: _Inflight) -> None:
+        """Move an accepted request to a live replica.  Queue bounds are
+        deliberately ignored: admission happened once; a death must not
+        turn an accepted request into a shed one."""
+        while True:
+            with self._lock:
+                if req_id not in self._inflight:
+                    return
+                target = None
+                for replica in self._replicas:
+                    if replica.live and (
+                            target is None
+                            or replica.outstanding_pairs
+                            < target.outstanding_pairs):
+                        target = replica
+                if target is None:
+                    inflight_obj = self._inflight.pop(req_id)
+                    if not self._inflight:
+                        self._drained.notify_all()
+                else:
+                    inflight.replica = target.index
+                    target.outstanding_pairs += 1
+                    target.outstanding_tokens += inflight.tokens
+            if target is None:
+                try:
+                    inflight.pending._fail(Overloaded(
+                        "request lost: no live replica to re-dispatch to"))
+                except RuntimeError:  # pragma: no cover
+                    pass
+                return
+            try:
+                target.send(("score", req_id, inflight.pair))
+            except (BrokenPipeError, OSError):
+                self._on_replica_death(target)
+                continue
+            self.redispatch_count += 1
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.metrics.counter("pool.redispatched").inc()
+            return
+
+    # ------------------------------------------------------------------
+    # Model management
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        if self._serial:
+            return self._server.version
+        if self._store is not None:
+            return self._store.version
+        return 1
+
+    @property
+    def bundle(self) -> ModelBundle:
+        return self._bundle
+
+    def swap(self, bundle: ModelBundle) -> int:
+        """Publish ``bundle`` into the shared store: one version bump
+        atomically flips every replica at its next batch boundary."""
+        with self._swap_lock:
+            if self._serial:
+                self._bundle = bundle
+                return self._server.swap(bundle)
+            if self._store is None:
+                raise RuntimeError("pool is not started")
+            with self._lock:
+                live = [replica.index for replica in self._replicas
+                        if replica.live]
+            version = self._store.publish(bundle.model, bundle.name,
+                                          bundle.threshold, live=live)
+            self._bundle = bundle
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("pool.swaps").inc()
+            tel.event("pool.swap", version=version, bundle=bundle.name)
+        return version
+
+    # ------------------------------------------------------------------
+    # Candidate catalog
+    # ------------------------------------------------------------------
+    @property
+    def candidate_mode(self) -> str:
+        if self._serial and self._server is not None:
+            return self._server.candidate_mode
+        return self._candidate_mode
+
+    def set_candidate_mode(self, mode: str) -> str:
+        """Flip the candidate generator pool-wide; replicas adopt it for
+        every subsequent scatter (in-flight gathers finish on the old)."""
+        if mode not in ("sparse", "dense"):
+            raise ValueError("candidate_mode must be 'sparse' or 'dense'")
+        if mode == "dense" and self._encoder is None:
+            raise ValueError("no dense index configured")
+        if self._serial:
+            self._server.set_candidate_mode(mode)
+            self._candidate_mode = mode
+            return mode
+        self._candidate_mode = mode
+        with self._lock:
+            live = [replica for replica in self._replicas if replica.live]
+        for replica in live:
+            try:
+                replica.send(("candidate_mode", mode))
+            except (BrokenPipeError, OSError):
+                self._on_replica_death(replica)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.event("pool.candidate_mode", mode=mode)
+        return mode
+
+    def catalog_size(self) -> int:
+        with self._catalog_lock:
+            return sum(len(shard) for shard in self._catalog)
+
+    def catalog_add(self, records) -> int:
+        """Route records to their owning shards (journal + live replica);
+        returns the number of ids new to the catalog."""
+        records = list(records)
+        per_shard: Dict[int, List[EntityRecord]] = {}
+        fresh = 0
+        with self._catalog_lock:
+            for record in records:
+                shard = shard_of(record.record_id, self.config.shards)
+                if record.record_id not in self._catalog[shard]:
+                    fresh += 1
+                self._catalog[shard][record.record_id] = record
+                per_shard.setdefault(shard, []).append(record)
+        if self._serial and self._server is not None:
+            self._server.catalog_add(records)
+        elif self._started:
+            self._route_catalog("catalog_add", per_shard)
+        return fresh
+
+    def catalog_remove(self, record_ids) -> int:
+        removed = 0
+        per_shard: Dict[int, List[str]] = {}
+        with self._catalog_lock:
+            for record_id in record_ids:
+                shard = shard_of(record_id, self.config.shards)
+                if self._catalog[shard].pop(record_id, None) is not None:
+                    removed += 1
+                per_shard.setdefault(shard, []).append(record_id)
+        if self._serial and self._server is not None:
+            self._server.catalog_remove(
+                [rid for rids in per_shard.values() for rid in rids])
+        elif self._started:
+            self._route_catalog("catalog_remove", per_shard)
+        return removed
+
+    def _route_catalog(self, op: str, per_shard: Dict[int, list]) -> None:
+        """Forward per-shard catalog mutations to the owning replicas and
+        wait for their acks (read-your-writes for subsequent matches).  A
+        dead owner is skipped: its respawn rebuilds from the journal,
+        which was already updated."""
+        by_replica: Dict[int, Dict[int, list]] = {}
+        for shard, payload in per_shard.items():
+            owner = shard % self.config.replicas
+            by_replica.setdefault(owner, {})[shard] = payload
+        gathers = []
+        with self._lock:
+            live = {replica.index: replica for replica in self._replicas
+                    if replica.live}
+        for owner, shard_payload in by_replica.items():
+            replica = live.get(owner)
+            if replica is None:
+                continue
+            with self._lock:
+                qid = next(self._req_ids)
+                gather = _ReplyGather((owner,))
+                self._gathers[qid] = gather
+            try:
+                replica.send((op, qid, shard_payload))
+                gathers.append((qid, gather))
+            except (BrokenPipeError, OSError):
+                with self._lock:
+                    self._gathers.pop(qid, None)
+                self._on_replica_death(replica)
+        for qid, gather in gathers:
+            gather.wait(self.config.gather_timeout_s)
+            with self._lock:
+                self._gathers.pop(qid, None)
+
+    # ------------------------------------------------------------------
+    # Synchronous conveniences (mirror MatchServer's)
+    # ------------------------------------------------------------------
+    def process_once(self, wait: bool = False) -> int:
+        """Pool scheduling happens in the replicas; there is nothing to
+        drive inline.  Exists for front-end compatibility."""
+        return 0
+
+    def score(self, pair: CandidatePair,
+              timeout: Optional[float] = None) -> ScoreResponse:
+        return self.submit(pair).result(timeout)
+
+    def score_batch(self, pairs: Sequence[CandidatePair],
+                    timeout: Optional[float] = None) -> List[ScoreResponse]:
+        pendings = []
+        for pair in pairs:
+            while True:
+                try:
+                    pendings.append(self.submit(pair))
+                    break
+                except Overloaded:
+                    if not self.is_running:
+                        raise
+                    time.sleep(0.0005)
+        return [pending.result(timeout) for pending in pendings]
+
+    def match(self, record: EntityRecord, k: Optional[int] = None,
+              timeout: Optional[float] = None):
+        return self.submit_match(record, k).result(timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def batch_logs(self) -> Dict[int, list]:
+        """Per-replica micro-batch logs (requires ``record_batches``);
+        the pool benchmark replays these offline for the bit-identity
+        contract."""
+        if self._serial:
+            return {0: list(self._server.batch_log)}
+        replies = self._scatter_control(("batch_log", None),
+                                        timeout=self.config.gather_timeout_s)
+        return {replica: payload for replica, payload in replies.items()
+                if isinstance(payload, list)}
+
+    def stats(self) -> dict:
+        with self._lock:
+            outstanding = {replica.index: replica.outstanding_pairs
+                           for replica in self._replicas}
+            live = [replica.index for replica in self._replicas
+                    if replica.live]
+            depth = len(self._inflight)
+        stats = {
+            "mode": "serial" if self._serial else "pool",
+            "replicas": self.config.replicas,
+            "shards": self.config.shards,
+            "live": live,
+            "model_version": self.version,
+            "candidate_mode": self.candidate_mode,
+            "queue_depth": depth,
+            "outstanding": outstanding,
+            "requests": self.request_count,
+            "responses": self.response_count,
+            "shed": self.shed_count,
+            "redispatched": self.redispatch_count,
+            "deaths": self.death_count,
+            "respawns": self.respawn_count,
+            "catalog_records": self.catalog_size(),
+        }
+        if self._serial and self._server is not None:
+            stats["server"] = self._server.stats()
+            stats["requests"] = self._server.request_count
+            stats["responses"] = self._server.response_count
+            stats["shed"] = self._server.shed_count
+        elif self._started:
+            replies = self._scatter_control(
+                ("stats", None), timeout=self.config.gather_timeout_s)
+            stats["replica_stats"] = {index: payload for index, payload
+                                      in sorted(replies.items())}
+        return stats

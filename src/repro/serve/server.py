@@ -118,6 +118,7 @@ class ScoreResponse:
     batch_size: int
     queue_seconds: float         # admission -> batch formation
     service_seconds: float       # batch formation -> response
+    replica: Optional[int] = None  # which pool replica scored it (pool mode)
 
     @property
     def match_probability(self) -> float:
@@ -343,6 +344,11 @@ class MatchServer:
         if self.dense_index is not None:
             self.dense_index.add_many(records)
         return fresh
+
+    def catalog_size(self) -> int:
+        """Records in the (sparse) catalog -- the transports use this so a
+        :class:`~repro.serve.pool.ServingPool` can stand in for a server."""
+        return len(self.index)
 
     def catalog_remove(self, record_ids) -> int:
         """Remove ids from every configured candidate index; returns how

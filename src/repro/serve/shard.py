@@ -1,0 +1,235 @@
+"""Hash-partitioned candidate catalogs with scatter/gather top-k merge.
+
+One catalog object cannot outgrow one process, so the pool splits the
+candidate layer by ``record_id``: :func:`shard_of` maps every id to a
+shard with a crc32 hash (salted python ``hash()`` would disagree across
+processes), writes route to the owning shard only, and a query scatters
+to every shard, takes each shard's local top-k, and merges the partial
+rankings in the same deterministic ``(-score, record_id)`` order the
+unsharded indexes use.
+
+The merge is *exact*, not approximate: both underlying indexes rank by a
+total order and a record's score depends only on the (query, record)
+pair -- never on which other records share its shard -- so the global
+top-k is always contained in the union of per-shard top-ks.  That is why
+``tests/serve/test_shard.py`` can require bit-identical candidates
+against the unsharded :class:`~repro.serve.index.ServingIndex` at shard
+counts 1/2/4, including after add/remove/replace churn.
+
+Dense parity holds to float32 reduction tolerance rather than bitwise:
+the per-record int8 codes and scales are shard-independent, but
+``repro.ann.kernels.fused_scaled_dot`` scores each probed block with one
+BLAS gemv, and gemv accumulation order varies with the row count, so a
+shard's scores can differ from the unsharded index's in the last ulp
+(~1e-7).  Rankings still agree (the tests assert identical ranked ids
+and approx-equal scores).
+
+Two further caveats are inherited from the ANN layer: a *trained* IVF
+shard fits its k-means quantizer on its own records, so its probe sets
+(and therefore its recall, not its scoring) can differ from an unsharded
+trained IVF index.  LSH shards share seeded hyperplanes, which makes
+their probed row sets an exact partition of the unsharded buckets; the
+parity tests use LSH and untrained (flat-scan) IVF.
+
+Both sharded classes expose the full catalog protocol of their unsharded
+counterparts (``add`` / ``add_many`` / ``remove`` / ``get`` /
+``candidates`` / ``stats``), so a :class:`~repro.serve.server.MatchServer`
+can use them directly -- the pool's serial fallback does exactly that --
+while :class:`~repro.serve.pool.ServingPool` places whole shards inside
+replica processes and runs the same scatter/gather over pipes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.records import EntityRecord
+from .index import ServingIndex
+
+
+def shard_of(record_id: str, shards: int) -> int:
+    """Owning shard of a record id: stable across processes and runs."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    return zlib.crc32(record_id.encode("utf-8")) % shards
+
+
+def merge_topk(partials: Iterable[Sequence[Tuple[EntityRecord, float]]],
+               k: int) -> List[Tuple[EntityRecord, float]]:
+    """Merge per-shard ``(record, score)`` rankings into one global top-k.
+
+    Every partial list is already ordered by ``(-score, record_id)``; the
+    merge re-sorts their union under the same total order, so the result
+    is identical to ranking all shards' records in one index.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    merged = [entry for partial in partials for entry in partial]
+    merged.sort(key=lambda entry: (-entry[1], entry[0].record_id))
+    return merged[:k]
+
+
+class ShardedServingIndex:
+    """``shards`` x :class:`ServingIndex` behind the one-catalog protocol.
+
+    Writes touch exactly one shard (one lock), queries scatter to all of
+    them; per-record scoring is unchanged, so candidates are bit-identical
+    to an unsharded index at any shard count.
+    """
+
+    def __init__(self, shards: int = 1, threshold: float = 0.0,
+                 min_shared_tokens: int = 1, default_k: int = 5) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.default_k = default_k
+        self.shards = [ServingIndex(threshold=threshold,
+                                    min_shared_tokens=min_shared_tokens,
+                                    default_k=default_k)
+                       for _ in range(shards)]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, record_id: str) -> ServingIndex:
+        return self.shards[shard_of(record_id, len(self.shards))]
+
+    # -- catalog protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self.shard_for(record_id)
+
+    def get(self, record_id: str) -> Optional[EntityRecord]:
+        return self.shard_for(record_id).get(record_id)
+
+    def add(self, record: EntityRecord) -> bool:
+        return self.shard_for(record.record_id).add(record)
+
+    def add_many(self, records) -> int:
+        return sum(1 for record in records if self.add(record))
+
+    def remove(self, record_id: str) -> bool:
+        return self.shard_for(record_id).remove(record_id)
+
+    # -- scatter/gather -------------------------------------------------
+    def candidates(self, record: EntityRecord,
+                   k: Optional[int] = None
+                   ) -> List[Tuple[EntityRecord, float]]:
+        k = self.default_k if k is None else int(k)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return merge_topk((shard.candidates(record, k)
+                           for shard in self.shards), k)
+
+    def stats(self) -> dict:
+        per_shard = [shard.stats() for shard in self.shards]
+        return {
+            "shards": len(self.shards),
+            "records": sum(s["records"] for s in per_shard),
+            "tokens": sum(s["tokens"] for s in per_shard),
+            "postings": sum(s["postings"] for s in per_shard),
+            "per_shard": per_shard,
+        }
+
+
+class ShardedDenseCandidateIndex:
+    """``shards`` x :class:`~repro.serve.dense.DenseCandidateIndex` over
+    one shared encoder.
+
+    The query is embedded **once** and the vector scattered, so sharding
+    adds no per-shard encoder cost; each shard re-ranks only its own int8
+    rows.  Per-vector quantization means a record's score never depends
+    on its shard-mates, which keeps the merged ranking exact (see the
+    module docstring for the trained-IVF probe caveat).
+    """
+
+    def __init__(self, encoder, shards: int = 1, kind: str = "ivf",
+                 min_score: Optional[float] = None, default_k: int = 5,
+                 seed: int = 0, **index_kwargs) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        from .dense import DenseCandidateIndex
+
+        self.encoder = encoder
+        self.default_k = default_k
+        #: every shard shares the encoder (and its content-addressed
+        #: cache) and the same seed, so LSH shards hash against identical
+        #: hyperplanes -- their buckets partition the unsharded ones
+        self.shards = [DenseCandidateIndex(encoder, kind=kind,
+                                           min_score=min_score,
+                                           default_k=default_k, seed=seed,
+                                           **index_kwargs)
+                       for _ in range(shards)]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, record_id: str):
+        return self.shards[shard_of(record_id, len(self.shards))]
+
+    # -- catalog protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self.shard_for(record_id)
+
+    def get(self, record_id: str) -> Optional[EntityRecord]:
+        return self.shard_for(record_id).get(record_id)
+
+    def add(self, record: EntityRecord) -> bool:
+        return self.shard_for(record.record_id).add(record)
+
+    def add_many(self, records) -> int:
+        """Bulk insert: one cache-aware embedding sweep, then one routed
+        vector-level insert per record."""
+        records = list(records)
+        if not records:
+            return 0
+        vectors = self.encoder.encode_records(records)
+        fresh = 0
+        for i, record in enumerate(records):
+            shard = self.shard_for(record.record_id)
+            if shard.add_vector(record, vectors[i]):
+                fresh += 1
+        return fresh
+
+    def remove(self, record_id: str) -> bool:
+        return self.shard_for(record_id).remove(record_id)
+
+    def train(self) -> "ShardedDenseCandidateIndex":
+        """(Re)train each trainable shard on its own records."""
+        for shard in self.shards:
+            shard.train()
+        return self
+
+    # -- scatter/gather -------------------------------------------------
+    def candidates(self, record: EntityRecord,
+                   k: Optional[int] = None
+                   ) -> List[Tuple[EntityRecord, float]]:
+        k = self.default_k if k is None else int(k)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        query = self.encoder.encode_record(record)
+        return self.candidates_from_vector(query, k)
+
+    def candidates_from_vector(self, query: np.ndarray, k: int
+                               ) -> List[Tuple[EntityRecord, float]]:
+        """Scatter an already-embedded query; the pool's router uses this
+        so a match query is embedded once, not once per shard."""
+        return merge_topk((shard.candidates_from_vector(query, k)
+                           for shard in self.shards), k)
+
+    def stats(self) -> dict:
+        per_shard = [shard.stats() for shard in self.shards]
+        return {
+            "shards": len(self.shards),
+            "records": sum(s["records"] for s in per_shard),
+            "per_shard": per_shard,
+        }

@@ -1,0 +1,53 @@
+"""Tier-1 smoke pass over the serving-pool benchmark logic.
+
+Runs :func:`benchmarks.bench_serving_pool.run_pool_comparison` on the
+tiny cached backbone at 1 and 2 replicas and checks its structural
+outputs -- throughput numbers exist, every replica's logged micro-batches
+replay bit-identically offline, and the pool's responses match the
+single-process server's to float32 reduction tolerance -- WITHOUT
+asserting anything about wall-clock
+speed, so the test is stable on loaded (or single-core) CI machines. The
+real replica-scaling comparison lives in
+``benchmarks/bench_serving_pool.py``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from bench_serving_pool import run_pool_comparison  # noqa: E402
+from repro.data import load_dataset  # noqa: E402
+from repro.parallel.pool import fork_available  # noqa: E402
+from repro.serve import ModelBundle  # noqa: E402
+
+from .conftest import make_model  # noqa: E402
+
+
+@pytest.mark.smoke
+def test_pool_benchmark_smoke(backbone):
+    bundle = ModelBundle.from_model(make_model(backbone, max_len=64),
+                                    threshold=0.5, name="tiny")
+    pairs = load_dataset("REL-HETER").test[:10]
+
+    result = run_pool_comparison(bundle, pairs, replica_counts=(1, 2),
+                                 iterations=1, max_batch_pairs=8,
+                                 token_budget=1024)
+    assert result["pairs"] == 10 and result["iterations"] == 1
+    assert result["single_pps"] > 0
+    expected_mode = "pool" if fork_available() else "serial"
+    assert result["mode"] == expected_mode
+    assert set(result["arms"]) == {1, 2}
+    for replicas, arm in result["arms"].items():
+        assert arm["pairs_per_sec"] > 0
+        assert arm["speedup_vs_single"] > 0
+        assert arm["shed"] == 0 and arm["deaths"] == 0
+        # the identity contract, at smoke scale and every replica count
+        assert arm["bit_identical"] is True
+        assert arm["replayed_rows"] == 10
+        assert arm["matches_single"] is True
+        assert arm["max_abs_vs_single"] < 1e-5
+        if fork_available():
+            assert arm["replicas_used"] == list(range(replicas))

@@ -1,0 +1,117 @@
+"""Fault containment: a SIGKILLed replica is detected, its in-flight
+requests are re-dispatched to survivors (zero accepted requests lost),
+and a replacement is respawned from the current catalog journal."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.records import EntityRecord
+from repro.parallel.pool import fork_available
+from repro.serve import MatchServer, Overloaded, ServerConfig
+from repro.serve.pool import PoolConfig, ServingPool
+from repro.serve.shard import shard_of
+
+pytestmark = pytest.mark.skipif(not fork_available(),
+                                reason="fork start method unavailable")
+
+
+def submit_with_retry(pool, pair, deadline=30.0):
+    end = time.monotonic() + deadline
+    while True:
+        try:
+            return pool.submit(pair)
+        except Overloaded:
+            if time.monotonic() > end:
+                raise
+            time.sleep(0.002)
+
+
+class TestReplicaDeath:
+    def test_kill_one_replica_loses_nothing(self, bundle, dataset):
+        """The acceptance scenario: a stream is in flight, one replica is
+        SIGKILLed, and every accepted request still resolves."""
+        pairs = (list(dataset.test) * 3)[:36]
+        pool = ServingPool(bundle, PoolConfig(
+            replicas=2, shards=2, server=ServerConfig(max_queue=1024)))
+        with pool:
+            pendings = [pool.submit(pair) for pair in pairs[:24]]
+            os.kill(pool._replicas[0].proc.pid, signal.SIGKILL)
+            pendings += [submit_with_retry(pool, pair)
+                         for pair in pairs[24:]]
+            responses = [p.result(timeout=60.0) for p in pendings]
+            assert len(responses) == len(pairs)
+
+            stats = pool.stats()
+            assert stats["deaths"] == 1
+            assert stats["respawns"] == 1
+            assert stats["redispatched"] >= 1
+            assert stats["live"] == [0, 1]  # healed
+
+            # the respawned replica serves again (its shards rebuilt from
+            # the journal) and scores are still the model's numbers
+            reference = MatchServer(bundle, ServerConfig())
+            again = pool.score(pairs[0], timeout=30.0)
+            assert np.array_equal(again.probs,
+                                  reference.score(pairs[0]).probs)
+
+    def test_respawned_replica_rebuilds_catalog_shards(self, bundle,
+                                                       dataset):
+        catalog = list(dataset.right_table)
+        pool = ServingPool(bundle, PoolConfig(replicas=2, shards=2))
+        pool.catalog_add(catalog)
+        with pool:
+            query = dataset.test[0].left
+            before = pool.match(query, k=4, timeout=30.0)
+            assert before.candidates
+            for victim in list(pool._replicas):
+                os.kill(victim.proc.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while pool.stats()["respawns"] < 2:
+                assert time.monotonic() < deadline, "respawn never happened"
+                time.sleep(0.01)
+            after = pool.match(query, k=4, timeout=60.0)
+            assert [c.record.record_id for c in after.candidates] == \
+                [c.record.record_id for c in before.candidates]
+
+    def test_respawn_disabled_degrades_to_survivors(self, bundle, dataset):
+        pool = ServingPool(bundle, PoolConfig(replicas=2, shards=2,
+                                              respawn=False))
+        with pool:
+            os.kill(pool._replicas[1].proc.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while pool.stats()["deaths"] < 1:
+                assert time.monotonic() < deadline, "death never detected"
+                time.sleep(0.01)
+            assert pool.stats()["live"] == [0]
+            assert pool.stats()["respawns"] == 0
+            response = pool.score(dataset.test[0], timeout=30.0)
+            assert response.replica == 0
+
+    def test_catalog_update_with_dead_owner_survives_respawn(self, bundle,
+                                                             dataset):
+        """A record added while its shard's owner is dead must still be
+        servable afterwards -- the journal, not the dead process, is the
+        source of truth the respawn rebuilds from."""
+        pool = ServingPool(bundle, PoolConfig(replicas=2, shards=2))
+        with pool:
+            fresh = EntityRecord.text_record(
+                "fault-fresh", "blue habor mexican downtown")
+            owner = shard_of(fresh.record_id, pool.config.shards) \
+                % pool.config.replicas
+            os.kill(pool._replicas[owner].proc.pid, signal.SIGKILL)
+            # race the respawn on purpose: whether the add lands on the
+            # dead handle, the dying gap, or the fresh fork, the journal
+            # keeps it and the owning shard must end up serving it
+            assert pool.catalog_add([fresh]) == 1
+            deadline = time.monotonic() + 30.0
+            while pool.stats()["respawns"] < 1:
+                assert time.monotonic() < deadline, "respawn never happened"
+                time.sleep(0.01)
+            assert pool.catalog_add([fresh]) == 0  # journaled already
+            found = pool.match(fresh, k=3, timeout=60.0)
+            assert found.candidates
+            assert found.candidates[0].record.record_id == "fault-fresh"
