@@ -1,0 +1,354 @@
+"""PEFT multi-tenant benchmark: soft prompts/adapters over one backbone.
+
+Three claims, measured:
+
+* **memory** -- a tenant's :class:`repro.serve.DeltaBundle` carries only
+  the parameters PEFT actually moved (a soft-prompt matrix, optionally
+  bottleneck adapters), so serving T tenants costs one backbone plus T
+  KB-scale deltas instead of T full bundles. Measured from real on-disk
+  bundle directories and from a :class:`repro.serve.TenantRegistry`
+  holding every delta resident at once, at T in {1, 10, 100}.
+* **tuning cost and F1 parity** -- freezing the backbone shrinks the
+  optimizer to the delta (hundreds of parameters, not tens of thousands)
+  and skips the frozen weight-gradient kernels in backward. Each arm
+  (full fine-tuning / soft prompt / soft prompt + adapters) trains on the
+  same low-resource split of the same generator datasets; the PEFT arms
+  must land within 2 F1 points of full tuning (``within_2_f1``).
+* **serving throughput** -- a mixed-tenant request stream served with
+  micro-batch fusion (per-row gathered prompt embeddings, one fused
+  forward) against the naive arm that splits every batch per tenant and
+  hot-swaps deltas serially (``fuse_tenants=False``). Throughput scaling
+  is modest on a single-core container -- fusion saves scheduling and
+  bind overhead, not model FLOPs, and both arms share one CPU; the JSON
+  records ``cores``. Bit-identity is hardware-independent: every served
+  probability, grouped by tenant, must equal an offline
+  :class:`repro.infer.InferenceEngine` replay with that tenant's delta
+  bound, bit for bit (``bit_identical_per_tenant``).
+
+Runnable under pytest (the CI smoke job) or directly::
+
+    python benchmarks/bench_peft_tenants.py --smoke
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+from _harness import MODEL_NAME, emit  # noqa: E402
+from repro.core import (  # noqa: E402
+    PromptModel, Trainer, TrainerConfig, Verbalizer, apply_peft,
+    evaluate_f1, make_template, trainable_fraction,
+)
+from repro.data import load_dataset  # noqa: E402
+from repro.eval import bench_scale, render_table  # noqa: E402
+from repro.infer import InferenceEngine  # noqa: E402
+from repro.lm import load_pretrained  # noqa: E402
+from repro.serve import (  # noqa: E402
+    DeltaBundle, MatchServer, ModelBundle, ServerConfig, TenantRegistry,
+)
+
+#: tenant counts for the memory table
+TENANT_COUNTS = (1, 10, 100)
+
+#: PEFT arms measured against full fine-tuning
+PEFT_KINDS = ("soft_prompt", "adapter")
+
+
+def fresh_model(template_name: str = "t1", max_len: int = 96) -> PromptModel:
+    """A brand-new backbone + prompt model (arms must not share weights)."""
+    lm, tok = load_pretrained(MODEL_NAME)
+    template = make_template(template_name, tok, max_len=max_len)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+    model.eval()
+    return model
+
+
+def dir_bytes(path) -> int:
+    return sum(f.stat().st_size for f in Path(path).rglob("*") if f.is_file())
+
+
+# ----------------------------------------------------------------------
+# Arm 1: tuning cost + F1 parity
+# ----------------------------------------------------------------------
+def run_tuning_arm(dataset_names, epochs: int, seed: int = 0) -> dict:
+    out = {}
+    for name in dataset_names:
+        view = load_dataset(name).low_resource(seed=seed)
+        arms = {}
+        for kind in ("full",) + PEFT_KINDS:
+            model = fresh_model()
+            if kind == "full":
+                config = TrainerConfig(epochs=epochs, seed=seed)
+            else:
+                # the delta is tiny; PEFT wants a larger step and can
+                # afford more epochs inside the same wall-clock budget.
+                # bottleneck 4 keeps the adapter delta under 2% of the
+                # backbone's parameter count
+                apply_peft(model, kind, bottleneck=4, seed=seed)
+                config = TrainerConfig(epochs=3 * epochs, lr=1e-2,
+                                       seed=seed)
+            trainer = Trainer(model, config)
+            started = time.perf_counter()
+            trainer.fit(view.labeled, view.valid)
+            elapsed = time.perf_counter() - started
+            arms[kind] = {
+                "f1": 100.0 * evaluate_f1(model, view.test),
+                "fit_seconds": elapsed,
+                "seconds_per_epoch": elapsed / config.epochs,
+                "epochs": config.epochs,
+                "trainable_fraction": trainable_fraction(model),
+                "trainable_params": model.num_trainable_parameters(),
+            }
+        full = arms["full"]
+        for kind in PEFT_KINDS:
+            arm = arms[kind]
+            arm["f1_delta_vs_full"] = arm["f1"] - full["f1"]
+            # one-sided: "within 2 points" bounds the loss vs full
+            # fine-tuning; beating it is a pass, not a deviation
+            arm["within_2_f1"] = bool(arm["f1"] >= full["f1"] - 2.0)
+            arm["epoch_speedup_vs_full"] = (
+                full["seconds_per_epoch"] / arm["seconds_per_epoch"]
+                if arm["seconds_per_epoch"] else 0.0)
+        arms["peft_within_2_f1"] = bool(
+            any(arms[kind]["within_2_f1"] for kind in PEFT_KINDS))
+        out[name] = arms
+    out["f1_parity_datasets"] = sum(
+        1 for name in dataset_names if out[name]["peft_within_2_f1"])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Arm 2: per-tenant memory, on disk and resident
+# ----------------------------------------------------------------------
+def make_tenant_deltas(base_dir, count: int, seed: int = 0):
+    """``count`` distinct soft-prompt deltas (perturbed, not trained --
+    the memory arm measures format overhead, not model quality)."""
+    model = fresh_model()
+    apply_peft(model, "soft_prompt", seed=seed)
+    emb = model.prompt_encoder.embeddings.data
+    pristine = emb.copy()
+    paths = []
+    for i in range(count):
+        rng = np.random.default_rng((seed, i))
+        emb[...] = pristine + (rng.standard_normal(emb.shape)
+                               * 0.05).astype(emb.dtype)
+        path = Path(base_dir) / f"tenant{i:03d}"
+        DeltaBundle.from_model(model, name=f"tenant{i:03d}",
+                               threshold=0.5).save(path)
+        paths.append(path)
+    return paths
+
+
+def run_memory_arm(workdir) -> dict:
+    model = fresh_model()
+    bundle_dir = Path(workdir) / "base_bundle"
+    bundle = ModelBundle.from_model(model, threshold=0.5, name=MODEL_NAME)
+    bundle.save(bundle_dir)
+    full_bytes = dir_bytes(bundle_dir)
+
+    tenants_dir = Path(workdir) / "tenants"
+    tenants_dir.mkdir()
+    make_tenant_deltas(tenants_dir, max(TENANT_COUNTS))
+    delta_bytes = dir_bytes(tenants_dir) // max(TENANT_COUNTS)
+
+    # every delta resident at once: registry-reported delta memory must
+    # stay KB-scale while the backbone is held exactly once
+    registry = TenantRegistry(capacity=2 * max(TENANT_COUNTS),
+                              tenants_dir=tenants_dir)
+    registry.attach(bundle.model)
+    for name in registry.tenants():
+        registry.entry(name)
+    stats = registry.stats()
+
+    backbone_params = bundle.model.num_parameters()
+    delta_params = DeltaBundle.load(
+        tenants_dir / "tenant000").param_count
+    counts = {}
+    for tenants in TENANT_COUNTS:
+        shared = full_bytes + tenants * delta_bytes
+        naive = tenants * full_bytes
+        counts[tenants] = {
+            "shared_backbone_bytes": shared,
+            "full_bundles_bytes": naive,
+            "memory_ratio": naive / shared if shared else 0.0,
+        }
+    return {
+        "full_bundle_bytes": full_bytes,
+        "delta_bundle_bytes": delta_bytes,
+        "backbone_params": backbone_params,
+        "delta_params": delta_params,
+        "delta_param_fraction": delta_params / backbone_params,
+        "delta_within_2pct": bool(delta_params <= 0.02 * backbone_params),
+        "resident_deltas": stats["loaded"],
+        "resident_delta_bytes": stats["delta_bytes"],
+        "tenant_counts": counts,
+    }
+
+
+# ----------------------------------------------------------------------
+# Arm 3: mixed-tenant serving, fused vs serial hot-swap
+# ----------------------------------------------------------------------
+def run_serving_arm(workdir, pairs, tenant_count: int,
+                    iterations: int = 3) -> dict:
+    model = fresh_model()
+    bundle = ModelBundle.from_model(model, threshold=0.5, name=MODEL_NAME)
+    tenants_dir = Path(workdir) / "serving_tenants"
+    tenants_dir.mkdir()
+    make_tenant_deltas(tenants_dir, tenant_count, seed=7)
+    names = sorted(p.name for p in tenants_dir.iterdir())
+    pairs = list(pairs)
+    stream = [names[i % len(names)] for i in range(len(pairs))]
+
+    def run(fuse: bool):
+        registry = TenantRegistry(tenants_dir=tenants_dir)
+        server = MatchServer(
+            ModelBundle.from_model(fresh_model(), threshold=0.5,
+                                   name=MODEL_NAME),
+            ServerConfig(max_batch_pairs=16, token_budget=4096,
+                         max_queue=max(1024, 4 * len(pairs)),
+                         record_batches=True, fuse_tenants=fuse),
+            tenants=registry)
+        server.score_batch(pairs, tenants=stream)  # warm caches + deltas
+        started = time.perf_counter()
+        for _ in range(iterations - 1):
+            server.score_batch(pairs, tenants=stream)
+        responses = server.score_batch(pairs, tenants=stream)
+        elapsed = time.perf_counter() - started
+        batches = len(server.batch_log)
+        return responses, elapsed, batches
+
+    fused_responses, fused_elapsed, fused_batches = run(fuse=True)
+    serial_responses, serial_elapsed, serial_batches = run(fuse=False)
+    scored = iterations * len(pairs)
+    fused_pps = scored / fused_elapsed if fused_elapsed else 0.0
+    serial_pps = scored / serial_elapsed if serial_elapsed else 0.0
+
+    # bit-identity: served rows, grouped by tenant, against an offline
+    # replay with that tenant's delta bound on a fresh backbone
+    replay_model = ModelBundle.from_model(fresh_model(), threshold=0.5,
+                                          name=MODEL_NAME).model
+    registry = TenantRegistry(tenants_dir=tenants_dir)
+    registry.attach(replay_model)
+    engine = InferenceEngine()
+    bit_identical = True
+    max_abs = 0.0
+    for responses in (fused_responses, serial_responses):
+        for tenant in names:
+            rows = [i for i, t in enumerate(stream) if t == tenant]
+            if not rows:
+                continue
+            registry.bind(tenant)
+            want = engine.predict_proba(replay_model,
+                                        [pairs[i] for i in rows])
+            got = np.stack([responses[i].probs for i in rows])
+            max_abs = max(max_abs, float(np.max(np.abs(got - want))))
+            bit_identical = bit_identical and np.array_equal(got, want)
+
+    return {
+        "tenants": tenant_count,
+        "pairs": len(pairs),
+        "iterations": iterations,
+        "fused_pairs_per_sec": fused_pps,
+        "serial_pairs_per_sec": serial_pps,
+        "fused_speedup_vs_serial": (fused_pps / serial_pps
+                                    if serial_pps else 0.0),
+        "fused_batches": fused_batches,
+        "serial_batches": serial_batches,
+        "bit_identical_per_tenant": bool(bit_identical),
+        "max_abs_vs_offline": max_abs,
+    }
+
+
+def run_peft_tenants_bench():
+    scale = bench_scale()
+    cores = os.cpu_count() or 1
+    workdir = tempfile.mkdtemp(prefix="bench_peft_")
+    try:
+        tuning = run_tuning_arm(list(scale.datasets)[:2],
+                                epochs=scale.teacher_epochs)
+        memory = run_memory_arm(workdir)
+
+        dataset = load_dataset(scale.datasets[0])
+        pairs = (dataset.train + dataset.test)[:4 * scale.unlabeled_cap]
+        tenant_count = 4 if scale.name == "smoke" else 8
+        serving = run_serving_arm(workdir, pairs, tenant_count)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    results = {
+        "cores_detected": cores,
+        "tuning": tuning,
+        "memory": memory,
+        "serving": serving,
+    }
+
+    rows = []
+    for name, arms in tuning.items():
+        if not isinstance(arms, dict):
+            continue
+        for kind in ("full",) + PEFT_KINDS:
+            arm = arms[kind]
+            rows.append([
+                name, kind, f"{arm['f1']:.1f}",
+                f"{arm.get('f1_delta_vs_full', 0.0):+.1f}",
+                str(arm.get("within_2_f1", "-")),
+                f"{arm['seconds_per_epoch']:.2f}s",
+                f"{arm['trainable_fraction']:.2%}",
+            ])
+    tuning_table = render_table(
+        ["Dataset", "Tuning", "F1", "dF1", "<=2pts", "s/epoch", "Trainable"],
+        rows, title=f"PEFT tuning vs full fine-tuning (scale={scale.name})")
+
+    mem_rows = [[tenants,
+                 f"{memory['tenant_counts'][tenants]['shared_backbone_bytes']:,}",
+                 f"{memory['tenant_counts'][tenants]['full_bundles_bytes']:,}",
+                 f"{memory['tenant_counts'][tenants]['memory_ratio']:.1f}x"]
+                for tenants in TENANT_COUNTS]
+    mem_table = render_table(
+        ["Tenants", "Backbone+deltas", "Full bundles", "Saved"],
+        mem_rows,
+        title=f"Tenant memory: {memory['delta_bundle_bytes']:,}B delta vs "
+              f"{memory['full_bundle_bytes']:,}B full bundle "
+              f"({memory['delta_param_fraction']:.2%} of backbone params)")
+
+    serve_table = render_table(
+        ["Tenants", "Fused p/s", "Serial p/s", "Fused x", "Bit-identical"],
+        [[serving["tenants"], f"{serving['fused_pairs_per_sec']:.1f}",
+          f"{serving['serial_pairs_per_sec']:.1f}",
+          f"{serving['fused_speedup_vs_serial']:.2f}x",
+          str(serving["bit_identical_per_tenant"])]],
+        title=f"Mixed-tenant serving, fused vs serial hot-swap "
+              f"(cores={cores}; fusion saves batching overhead, not FLOPs; "
+              "bit-identity is core-count-independent)")
+
+    table = "\n".join([tuning_table, "", mem_table, "", serve_table])
+    return table, results
+
+
+def test_peft_tenants(benchmark):
+    table, data = benchmark.pedantic(run_peft_tenants_bench, rounds=1,
+                                     iterations=1)
+    emit(table, "peft_tenants", data=data)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run at smoke scale (sets REPRO_BENCH_SCALE)")
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite a better committed result")
+    cli_args = parser.parse_args()
+    if cli_args.smoke:
+        os.environ["REPRO_BENCH_SCALE"] = "smoke"
+    bench_table, bench_data = run_peft_tenants_bench()
+    emit(bench_table, "peft_tenants", data=bench_data,
+         force=cli_args.force)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Collate every ``benchmarks/results/BENCH_*.json`` into one markdown
+trajectory table.
+
+Each benchmark's :func:`emit` (see ``benchmarks/_harness.py``) persists a
+machine-readable ``BENCH_<name>.json`` next to the human-readable table.
+This script is the cross-PR view: one row per benchmark with its headline
+speedup (the max over any ``*speedup*`` key, the same definition the
+regression guard uses), the scale it was recorded at, and when.
+
+Usage::
+
+    python scripts/bench_report.py                 # markdown to stdout
+    python scripts/bench_report.py --out BENCH.md  # write a file
+"""
+
+import argparse
+import datetime
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from _harness import _headline_speedup  # noqa: E402
+
+
+def collect(results_dir: Path) -> list:
+    rows = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+        except (OSError, ValueError) as error:
+            rows.append({"name": path.stem, "error": str(error)})
+            continue
+        speedup = _headline_speedup(payload.get("data"))
+        recorded = datetime.date.fromtimestamp(path.stat().st_mtime)
+        rows.append({
+            "name": payload.get("bench", path.stem.replace("BENCH_", "")),
+            "speedup": speedup,
+            "scale": payload.get("scale", "?"),
+            "date": recorded.isoformat(),
+            "file": path.name,
+        })
+    return rows
+
+
+def render(rows: list) -> str:
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "One row per committed `BENCH_*.json`; the headline speedup is the",
+        "max over any `*speedup*` key in the payload (the same number the",
+        "`emit()` regression guard protects). A dash means the benchmark",
+        "records parity/identity contracts rather than a speedup.",
+        "",
+        "| Benchmark | Headline speedup | Scale | Recorded |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        if "error" in row:
+            lines.append(f"| {row['name']} | unreadable: {row['error']} "
+                         f"| - | - |")
+            continue
+        speedup = (f"{row['speedup']:.2f}x" if row["speedup"] > 0 else "-")
+        lines.append(f"| {row['name']} | {speedup} | {row['scale']} "
+                     f"| {row['date']} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", default=REPO / "benchmarks" / "results",
+                        type=Path, help="directory of BENCH_*.json files")
+    parser.add_argument("--out", default=None,
+                        help="write markdown here instead of stdout")
+    args = parser.parse_args(argv)
+    rows = collect(args.results)
+    if not rows:
+        print(f"no BENCH_*.json under {args.results}", file=sys.stderr)
+        return 1
+    report = render(rows)
+    if args.out:
+        Path(args.out).write_text(report)
+        print(f"wrote {args.out} ({len(rows)} benchmarks)", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,10 +15,38 @@ from .tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A tensor that is always a leaf requiring gradients."""
+    """A tensor that is always a leaf requiring gradients.
 
-    def __init__(self, data, name: str = "") -> None:
-        super().__init__(data, requires_grad=True, name=name)
+    ``trainable`` is the parameter-efficient-tuning switch: a frozen
+    parameter (``trainable=False``) still participates in the forward and
+    backward passes (upstream gradients must flow *through* a frozen
+    backbone to reach soft prompts / adapters), but optimizers exclude it
+    from their flat buffer entirely -- no optimizer state, no fused
+    update, its data never moves.
+    """
+
+    def __init__(self, data, name: str = "", trainable: bool = True) -> None:
+        super().__init__(data, requires_grad=trainable, name=name)
+        self.trainable = trainable
+
+    def freeze_(self) -> "Parameter":
+        """Freeze in place: no optimizer state, no gradient accumulation.
+
+        Gradients still flow *through* ops that consume this parameter
+        whenever another input is trainable (graph recording keys off any
+        grad-requiring input), so prompts/adapters downstream of a frozen
+        backbone train normally -- only the dead-end accumulation into
+        this leaf is skipped.
+        """
+        self.trainable = False
+        self.requires_grad = False
+        self.grad = None
+        return self
+
+    def unfreeze_(self) -> "Parameter":
+        self.trainable = True
+        self.requires_grad = True
+        return self
 
 
 class Module:
@@ -63,6 +91,31 @@ class Module:
 
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
+
+    def named_trainable_parameters(self, prefix: str = ""
+                                   ) -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self.named_parameters(prefix=prefix):
+            if getattr(param, "trainable", True):
+                yield (name, param)
+
+    def trainable_parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_trainable_parameters():
+            yield param
+
+    def num_trainable_parameters(self) -> int:
+        return sum(p.size for p in self.trainable_parameters())
+
+    def freeze(self) -> "Module":
+        """Freeze every parameter (recursively); see :meth:`Parameter.freeze_`."""
+        for param in self.parameters():
+            param.freeze_()
+        return self
+
+    def unfreeze(self) -> "Module":
+        """Mark every parameter (recursively) trainable again."""
+        for param in self.parameters():
+            param.unfreeze_()
+        return self
 
     # ------------------------------------------------------------------
     # Modes

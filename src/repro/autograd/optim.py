@@ -17,7 +17,11 @@ Semantics preserved from the looped seed implementation:
   ``step()`` call regardless of which parameters received gradients;
 * code that assigns a fresh array to ``param.data`` (``load_state_dict``,
   a second optimizer adopting the same parameters) is detected on the next
-  ``step`` and the views are re-adopted, so the buffer never goes stale.
+  ``step`` and the views are re-adopted, so the buffer never goes stale;
+* parameters frozen with ``Parameter.trainable = False`` are filtered out
+  at construction: the flat buffer, optimizer state, and every fused
+  update cover trainable slots only (the parameter-efficient-tuning
+  fastpath -- tuning a KB-scale delta allocates KB-scale moments).
 
 The flat layout also makes optimizer state trivially serializable:
 ``state_dict`` / ``load_state_dict`` round-trip the moment buffers as plain
@@ -61,9 +65,20 @@ class Optimizer:
     """Base optimizer over a fixed parameter list, viewed as one flat buffer."""
 
     def __init__(self, parameters: Iterable[Parameter]) -> None:
-        self.parameters: List[Parameter] = list(parameters)
-        if not self.parameters:
+        supplied = list(parameters)
+        if not supplied:
             raise ValueError("optimizer received no parameters")
+        # PEFT contract: frozen parameters never enter the flat buffer --
+        # no optimizer state is allocated for them and the fused update
+        # cannot touch them.  With everything trainable (the default) the
+        # filtered list is the supplied list and behavior is bit-identical
+        # to the pre-flag optimizer.
+        self.parameters: List[Parameter] = [
+            p for p in supplied if getattr(p, "trainable", True)]
+        if not self.parameters:
+            raise ValueError(
+                "optimizer received no trainable parameters "
+                f"({len(supplied)} supplied, all frozen)")
         self._shapes = [p.data.shape for p in self.parameters]
         sizes = [int(p.data.size) for p in self.parameters]
         self._offsets = [0]

@@ -45,8 +45,19 @@ class TransformerEncoderLayer(Module):
         self.dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
 
     def forward(self, x: Tensor, pad_mask: Optional[np.ndarray] = None) -> Tensor:
-        x = self.norm1(x + self.dropout(self.attention(x, pad_mask=pad_mask)))
-        x = self.norm2(x + self.ffn(x))
+        # Optional PEFT bottleneck adapters (repro.core.peft) hang off the
+        # layer as ``adapter_attn``/``adapter_ffn``; absent attributes keep
+        # this the exact pre-PEFT graph.
+        attn_out = self.dropout(self.attention(x, pad_mask=pad_mask))
+        adapter = getattr(self, "adapter_attn", None)
+        if adapter is not None:
+            attn_out = adapter(attn_out)
+        x = self.norm1(x + attn_out)
+        ffn_out = self.ffn(x)
+        adapter = getattr(self, "adapter_ffn", None)
+        if adapter is not None:
+            ffn_out = adapter(ffn_out)
+        x = self.norm2(x + ffn_out)
         return x
 
 

@@ -10,6 +10,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run --dataset REL-HETER --save-bundle bundle_dir
     python -m repro.cli serve --bundle bundle_dir --port 8080
     python -m repro.cli serve --bundle bundle_dir --requests req.jsonl
+    python -m repro.cli tune --bundle bundle_dir --peft soft_prompt \
+        --dataset REL-HETER --out tenants/rel-heter
+    python -m repro.cli serve --bundle bundle_dir --tenants tenants
+    python -m repro.cli bundle-info tenants/rel-heter
 
 The ``repro`` console script (``[project.scripts]`` in pyproject.toml)
 maps to :func:`main`, so ``repro serve ...`` works after installation.
@@ -182,6 +186,89 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Parameter-efficient tenant tuning: freeze a bundle's backbone,
+    train only a soft prompt (optionally adapters), write a DeltaBundle."""
+    from .core import (
+        Trainer, TrainerConfig, apply_peft, evaluate_f1, trainable_fraction,
+    )
+    from .data import load_dataset, load_dataset_file
+    from .serve import DeltaBundle, ModelBundle
+
+    bundle = ModelBundle.load(args.bundle)
+    model = bundle.model
+    dataset = (load_dataset_file(args.from_file) if args.from_file
+               else load_dataset(args.dataset))
+    if args.count:
+        view = dataset.low_resource_count(args.count, seed=args.seed)
+    else:
+        view = dataset.low_resource(rate=args.rate, seed=args.seed)
+    apply_peft(model, args.peft, bottleneck=args.bottleneck, seed=args.seed)
+    fraction = trainable_fraction(model)
+    print(f"{args.peft} tuning on {dataset.name}: "
+          f"{model.num_trainable_parameters()} trainable / "
+          f"{model.num_parameters()} total parameters ({fraction:.2%})")
+
+    with _telemetry(args) as tel:
+        start = time.time()
+        trainer = Trainer(model, TrainerConfig(
+            epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+            seed=args.seed))
+        with tel.span("tune.fit", peft=args.peft):
+            trainer.fit(view.labeled, view.valid)
+        elapsed = time.time() - start
+        f1 = evaluate_f1(model, view.test) if view.test else float("nan")
+        _print_trace_summary(tel)
+
+    name = args.name or dataset.name
+    delta = DeltaBundle.from_model(model, name=name)
+    delta.save(args.out)
+    print(f"test F1={f1:.1f} (tuned in {elapsed:.1f}s)")
+    print(f"saved delta bundle {name!r} to {args.out}: "
+          f"{delta.param_count} parameters, {delta.nbytes()} bytes, "
+          f"threshold {delta.threshold}, pin {delta.fingerprint[:12]}")
+    return 0
+
+
+def _cmd_bundle_info(args: argparse.Namespace) -> int:
+    """Inspect a bundle directory: schema, kind, parameter counts."""
+    import json
+    import os
+
+    manifest_path = os.path.join(args.bundle, "bundle.json")
+    if not os.path.exists(manifest_path):
+        raise SystemExit(f"{args.bundle} is not a bundle (no bundle.json)")
+    with open(manifest_path) as f:
+        manifest = json.load(f)
+    kind = manifest.get("kind", "full")
+    print(f"path:           {args.bundle}")
+    print(f"schema version: {manifest.get('schema_version')}")
+    print(f"kind:           {kind}")
+    if kind == "delta":
+        from .serve import DeltaBundle
+
+        delta = DeltaBundle.load(args.bundle)
+        print(f"name:           {delta.name}")
+        print(f"peft:           {delta.peft}")
+        if delta.bottleneck is not None:
+            print(f"bottleneck:     {delta.bottleneck}")
+        print(f"parameters:     {delta.param_count} (all trainable; "
+              f"{delta.nbytes()} bytes)")
+        print(f"threshold:      {delta.threshold}")
+        print(f"backbone pin:   {delta.fingerprint}")
+    else:
+        from .serve import ModelBundle, backbone_fingerprint
+
+        bundle = ModelBundle.load(args.bundle)
+        total = bundle.model.num_parameters()
+        trainable = bundle.model.num_trainable_parameters()
+        print(f"name:           {bundle.name}")
+        print(f"parameters:     {total} total, {trainable} trainable")
+        print(f"threshold:      {bundle.threshold}")
+        print(f"fingerprint:    {backbone_fingerprint(bundle.model.lm)}")
+    return 0
+
+
 def _load_catalog(spec: str) -> List:
     """Records to index: a ``.jsonl`` of record dicts, a dataset-bundle
     JSON, or a benchmark name (indexes both tables)."""
@@ -219,7 +306,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_s=args.max_wait_ms / 1000.0,
         cache_capacity=args.cache_capacity,
         default_top_k=args.top_k,
+        fuse_tenants=not args.no_fuse_tenants,
     )
+    tenants = None
+    if args.tenants:
+        from .serve import TenantRegistry
+
+        tenants = TenantRegistry(capacity=args.tenant_capacity,
+                                 tenants_dir=args.tenants)
+        print(f"tenant registry: {len(tenants.tenants())} delta bundles "
+              f"from {args.tenants} (capacity {args.tenant_capacity})",
+              file=sys.stderr)
     encoder = None
     if args.blocker == "dense" or args.ann:
         from .ann import RecordEncoder
@@ -234,7 +331,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = ServingPool(
             bundle,
             PoolConfig(replicas=args.replicas, shards=args.shards,
-                       server=config),
+                       server=config, tenants_dir=args.tenants,
+                       tenant_capacity=args.tenant_capacity),
             encoder=encoder, dense_kind=args.ann or "ivf",
             dense_seed=args.seed, candidate_mode=args.blocker)
         if args.catalog:
@@ -258,66 +356,81 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   file=sys.stderr)
         server = MatchServer(bundle, config, index=index,
                              dense_index=dense_index,
-                             candidate_mode=args.blocker)
+                             candidate_mode=args.blocker,
+                             tenants=tenants)
 
     stop_event = threading.Event()
 
-    with _telemetry(args) as tel:
-        if args.requests:
-            # graceful stop: the signal closes intake; serve_requests then
-            # drains its pending window, so every accepted request is
-            # still answered before the process exits 0
-            signal.signal(signal.SIGTERM, lambda *_: stop_event.set())
-            signal.signal(signal.SIGINT, lambda *_: stop_event.set())
+    # install graceful-stop handlers for the serving loop, but put the
+    # previous dispositions back on the way out: this function may run
+    # inside a larger process (tests, notebooks), and a leftover handler
+    # would silently swallow SIGTERM/SIGINT there -- including in any
+    # process forked later (e.g. pool replicas), making them unkillable
+    previous_handlers = (signal.getsignal(signal.SIGTERM),
+                         signal.getsignal(signal.SIGINT))
+    try:
+        with _telemetry(args) as tel:
+            if args.requests:
+                # graceful stop: the signal closes intake; serve_requests
+                # then drains its pending window, so every accepted
+                # request is still answered before the process exits 0
+                signal.signal(signal.SIGTERM, lambda *_: stop_event.set())
+                signal.signal(signal.SIGINT, lambda *_: stop_event.set())
 
-            def intake(requests):
-                for request in requests:
-                    if stop_event.is_set():
-                        return
-                    yield request
+                def intake(requests):
+                    for request in requests:
+                        if stop_event.is_set():
+                            return
+                        yield request
 
-            out = (open(args.output, "w") if args.output else sys.stdout)
+                out = (open(args.output, "w") if args.output else sys.stdout)
+                try:
+                    with server:
+                        for response in serve_requests(
+                                server, intake(read_jsonl(args.requests))):
+                            out.write(json.dumps(response) + "\n")
+                finally:
+                    if out is not sys.stdout:
+                        out.close()
+                stats = server.stats()
+                print(f"served {stats['responses']} responses "
+                      f"(shed {stats['shed']})", file=sys.stderr)
+                if stop_event.is_set():
+                    print("stopped on signal after draining",
+                          file=sys.stderr)
+                _print_trace_summary(tel)
+                return 0
+            http = MatchHTTPServer(server, host=args.host, port=args.port,
+                                   admin_token=args.admin_token)
+
+            def _graceful(signum, frame):
+                # serve_forever blocks the main thread; httpd.shutdown()
+                # must run elsewhere or it deadlocks waiting on the serve
+                # loop it interrupted.  Unblocking it triggers
+                # MatchHTTPServer's shutdown path, which stops the
+                # server/pool with drain=True.
+                stop_event.set()
+                threading.Thread(target=http.httpd.shutdown,
+                                 daemon=True).start()
+
+            signal.signal(signal.SIGTERM, _graceful)
+            signal.signal(signal.SIGINT, _graceful)
+            topology = (f"{args.replicas} replicas / "
+                        f"{server.config.shards} shards"
+                        if args.replicas > 0 else "single process")
+            print(f"serving {bundle.name} (model version {server.version}, "
+                  f"{topology}) on {http.address}", file=sys.stderr)
             try:
-                with server:
-                    for response in serve_requests(
-                            server, intake(read_jsonl(args.requests))):
-                        out.write(json.dumps(response) + "\n")
-            finally:
-                if out is not sys.stdout:
-                    out.close()
-            stats = server.stats()
-            print(f"served {stats['responses']} responses "
-                  f"(shed {stats['shed']})", file=sys.stderr)
+                http.serve_forever()
+            except KeyboardInterrupt:
+                http.shutdown()
             if stop_event.is_set():
-                print("stopped on signal after draining", file=sys.stderr)
+                print("shut down gracefully on signal", file=sys.stderr)
             _print_trace_summary(tel)
-            return 0
-        http = MatchHTTPServer(server, host=args.host, port=args.port,
-                               admin_token=args.admin_token)
-
-        def _graceful(signum, frame):
-            # serve_forever blocks the main thread; httpd.shutdown() must
-            # run elsewhere or it deadlocks waiting on the serve loop it
-            # interrupted.  Unblocking it triggers MatchHTTPServer's
-            # shutdown path, which stops the server/pool with drain=True.
-            stop_event.set()
-            threading.Thread(target=http.httpd.shutdown,
-                             daemon=True).start()
-
-        signal.signal(signal.SIGTERM, _graceful)
-        signal.signal(signal.SIGINT, _graceful)
-        topology = (f"{args.replicas} replicas / {server.config.shards} "
-                    f"shards" if args.replicas > 0 else "single process")
-        print(f"serving {bundle.name} (model version {server.version}, "
-              f"{topology}) on {http.address}", file=sys.stderr)
-        try:
-            http.serve_forever()
-        except KeyboardInterrupt:
-            http.shutdown()
-        if stop_event.is_set():
-            print("shut down gracefully on signal", file=sys.stderr)
-        _print_trace_summary(tel)
-    return 0
+        return 0
+    finally:
+        signal.signal(signal.SIGTERM, previous_handlers[0])
+        signal.signal(signal.SIGINT, previous_handlers[1])
 
 
 def _cmd_ann_index(args: argparse.Namespace) -> int:
@@ -491,7 +604,55 @@ def build_parser() -> argparse.ArgumentParser:
                             "dense index")
     serve.add_argument("--seed", type=int, default=0,
                        help="seed for ANN index construction")
+    serve.add_argument("--tenants", metavar="DIR", default=None,
+                       help="directory of per-tenant delta bundles (one "
+                            "subdirectory each, written by repro tune); "
+                            "requests may then carry a 'tenant' id")
+    serve.add_argument("--tenant-capacity", type=int, default=64,
+                       help="LRU bound on resident (materialized) tenant "
+                            "deltas; evicted tenants reload from disk on "
+                            "next use")
+    serve.add_argument("--no-fuse-tenants", action="store_true",
+                       help="disable mixed-tenant micro-batch fusion "
+                            "(fall back to same-tenant-only batches)")
     _add_telemetry_flags(serve)
+
+    tune = sub.add_parser(
+        "tune", help="parameter-efficient tenant tuning: train a soft "
+                     "prompt (or adapters) over a frozen bundle backbone "
+                     "and save a KB-scale delta bundle")
+    tune.add_argument("--bundle", required=True,
+                      help="base full bundle (the shared backbone)")
+    tune.add_argument("--out", required=True,
+                      help="directory to write the tenant delta bundle")
+    tune.add_argument("--peft", choices=["soft_prompt", "adapter"],
+                      default="soft_prompt",
+                      help="what to train: prompt embeddings only, or "
+                           "prompt embeddings + bottleneck adapters")
+    tune.add_argument("--dataset", default="REL-HETER",
+                      help="the tenant's labeled data (benchmark name)")
+    tune.add_argument("--from-file", help="load a dataset bundle JSON instead")
+    tune.add_argument("--name", default=None,
+                      help="tenant name recorded in the delta manifest "
+                           "(default: dataset name)")
+    tune.add_argument("--rate", type=float, default=None,
+                      help="labeled fraction (default: dataset's rate)")
+    tune.add_argument("--count", type=int, default=None,
+                      help="exact number of labels (overrides --rate)")
+    tune.add_argument("--bottleneck", type=int, default=8,
+                      help="adapter bottleneck width (--peft adapter)")
+    tune.add_argument("--epochs", type=int, default=10)
+    tune.add_argument("--batch-size", type=int, default=16)
+    tune.add_argument("--lr", type=float, default=1e-2,
+                      help="PEFT wants a larger step than full fine-tuning")
+    tune.add_argument("--seed", type=int, default=0)
+    _add_telemetry_flags(tune)
+
+    info = sub.add_parser(
+        "bundle-info",
+        help="inspect a bundle directory: schema version, kind "
+             "(full/delta), parameter counts, backbone fingerprint")
+    info.add_argument("bundle", help="bundle directory to inspect")
 
     ann = sub.add_parser(
         "ann-index",
@@ -531,6 +692,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "serve": _cmd_serve,
     "ann-index": _cmd_ann_index,
+    "tune": _cmd_tune,
+    "bundle-info": _cmd_bundle_info,
 }
 
 

@@ -20,6 +20,18 @@ _EXPORTS = {
     "select_prunable": "repro.core.el2n",
     "SequenceClassifier": "repro.core.finetune",
     "PromptEM": "repro.core.matcher",
+    "Adapter": "repro.core.peft",
+    "PEFT_KINDS": "repro.core.peft",
+    "SoftPrompt": "repro.core.peft",
+    "SoftPromptModel": "repro.core.peft",
+    "apply_peft": "repro.core.peft",
+    "has_adapters": "repro.core.peft",
+    "install_adapters": "repro.core.peft",
+    "load_peft_state": "repro.core.peft",
+    "peft_kind": "repro.core.peft",
+    "peft_state": "repro.core.peft",
+    "remove_adapters": "repro.core.peft",
+    "trainable_fraction": "repro.core.peft",
     "PromptModel": "repro.core.prompt_model",
     "LightweightSelfTrainer": "repro.core.self_training",
     "SelfTrainingConfig": "repro.core.self_training",
@@ -52,8 +64,9 @@ _EXPORTS = {
 }
 
 _SUBMODULES = frozenset({
-    "active", "config", "el2n", "finetune", "matcher", "prompt_model",
-    "self_training", "templates", "trainer", "uncertainty", "verbalizer",
+    "active", "config", "el2n", "finetune", "matcher", "peft",
+    "prompt_model", "self_training", "templates", "trainer", "uncertainty",
+    "verbalizer",
 })
 
 __all__ = sorted(_EXPORTS)

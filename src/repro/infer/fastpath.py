@@ -166,13 +166,30 @@ def encoder_hidden(lm, embeds: np.ndarray,
     for layer in lm.encoder.layers:
         attn_out = _apply_dropout(
             layer.dropout, _attention(layer.attention, x, score_mask))
+        adapter = getattr(layer, "adapter_attn", None)
+        if adapter is not None:
+            _adapter(adapter, attn_out)
         attn_out += x  # residual, in place on the fresh projection output
         x = _layer_norm(layer.norm1, attn_out)
         ffn = layer.ffn
         ffn_out = _apply_dropout(
             ffn.dropout, _linear(ffn.fc2, _gelu(_linear(ffn.fc1, x))))
+        adapter = getattr(layer, "adapter_ffn", None)
+        if adapter is not None:
+            _adapter(adapter, ffn_out)
         ffn_out += x
         x = _layer_norm(layer.norm2, ffn_out)
+    return x
+
+
+def _adapter(adapter, x: np.ndarray) -> np.ndarray:
+    """PEFT bottleneck residual, in place on the owned sublayer output.
+
+    Matches ``repro.core.peft.Adapter.forward`` elementwise: the delta is
+    computed from the unmutated input, then added (``_gelu`` mutates only
+    the owned down-projection temporary).
+    """
+    x += _linear(adapter.up, _gelu(_linear(adapter.down, x)))
     return x
 
 

@@ -43,6 +43,8 @@ from .weights import SharedBundleWeights
 
 __all__ = [
     "ModelBundle", "BundleError", "BUNDLE_SCHEMA_VERSION",
+    "DeltaBundle", "DELTA_SCHEMA_VERSION", "backbone_fingerprint",
+    "TenantRegistry", "TenantEntry", "TenantError", "UnknownTenant",
     "ServingIndex", "DenseCandidateIndex",
     "ShardedServingIndex", "ShardedDenseCandidateIndex",
     "shard_of", "merge_topk",
@@ -71,4 +73,16 @@ def __getattr__(name):  # PEP 562
         from . import pool
 
         return getattr(pool, name)
+    # delta/tenant machinery pulls in repro.core.peft; a single-tenant
+    # server that just loads a full bundle should not pay for it
+    if name in ("DeltaBundle", "DELTA_SCHEMA_VERSION",
+                "backbone_fingerprint"):
+        from . import delta
+
+        return getattr(delta, name)
+    if name in ("TenantRegistry", "TenantEntry", "TenantError",
+                "UnknownTenant"):
+        from . import tenants
+
+        return getattr(tenants, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -102,6 +102,7 @@ class ModelBundle:
         model = self.model
         manifest = {
             "schema_version": BUNDLE_SCHEMA_VERSION,
+            "kind": "full",
             "name": self.name,
             "threshold": self.threshold,
             "lm_config": model.lm.config.to_dict(),
@@ -126,15 +127,28 @@ class ModelBundle:
         path = Path(path)
         manifest_path = path / _MANIFEST_FILE
         weights_path = path / _WEIGHTS_FILE
-        if not manifest_path.exists() or not weights_path.exists():
+        if not manifest_path.exists():
             raise BundleError(f"{path} is not a model bundle "
-                              f"(need {_MANIFEST_FILE} and {_WEIGHTS_FILE})")
+                              f"(no {_MANIFEST_FILE})")
         with open(manifest_path) as f:
             manifest = json.load(f)
+        # Forward-compat: diagnose schema/kind before complaining about
+        # missing files -- a delta bundle has no weights.npz and the
+        # actionable error is "wrong loader", not "incomplete bundle".
         schema = manifest.get("schema_version")
-        if schema != BUNDLE_SCHEMA_VERSION:
-            raise BundleError(f"bundle schema {schema!r} is not supported "
-                              f"(expected {BUNDLE_SCHEMA_VERSION})")
+        kind = manifest.get("kind", "full")
+        if schema != BUNDLE_SCHEMA_VERSION or kind != "full":
+            hint = ("; this is a delta bundle -- load it with "
+                    "repro.serve.DeltaBundle or serve it through a "
+                    "TenantRegistry over its backbone bundle"
+                    if kind == "delta" else "")
+            raise BundleError(
+                f"bundle schema {schema!r} (kind {kind!r}) is not supported "
+                f"by ModelBundle.load, which supports kind 'full' at schema "
+                f"{BUNDLE_SCHEMA_VERSION}{hint}")
+        if not weights_path.exists():
+            raise BundleError(f"{path} is not a model bundle "
+                              f"(no {_WEIGHTS_FILE})")
 
         vocab = Vocabulary(manifest["vocab"])
         tokenizer = Tokenizer(vocab)

@@ -1,0 +1,185 @@
+"""DeltaBundle: a KB-scale per-tenant artifact over one shared backbone.
+
+A full :class:`~repro.serve.bundle.ModelBundle` ships every backbone
+weight, so T tenants cost T MiniLM copies on disk and in memory. A delta
+bundle ships only what parameter-efficient tuning actually moved -- the
+trainable set left by :func:`repro.core.peft.apply_peft` (a soft-prompt
+matrix, optionally bottleneck adapters), a tuned decision threshold, and
+a **backbone fingerprint pin**: the sha1 of the backbone weights the
+delta was tuned against. A :class:`~repro.serve.tenants.TenantRegistry`
+refuses to bind a delta whose pin does not match the backbone it serves
+-- a delta is meaningless (silently wrong, not loudly broken) on any
+other weights.
+
+Layout on disk::
+
+    tenant_dir/
+      delta.npz     # trainable parameters only, by qualified name
+      bundle.json   # schema 2, kind "delta", peft kind, fingerprint pin,
+                    # threshold, adapter bottleneck, parameter counts
+
+``bundle.json`` deliberately reuses the full-bundle manifest filename so
+pointing the plain ``ModelBundle`` loader at a tenant directory fails
+with the found-vs-supported schema error instead of a confusing
+missing-file one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .bundle import BundleError, _MANIFEST_FILE
+
+PathLike = Union[str, Path]
+
+#: delta bundles bump the shared bundle.json schema: a kind-"delta"
+#: manifest is schema 2, and the full-bundle loader must reject it
+DELTA_SCHEMA_VERSION = 2
+
+_DELTA_WEIGHTS_FILE = "delta.npz"
+
+
+def backbone_fingerprint(lm) -> str:
+    """sha1 over the backbone's parameter names, shapes, dtypes, bytes.
+
+    Adapter parameters are excluded (by the ``adapter`` name component the
+    PEFT layer reserves), so a backbone's fingerprint is stable whether or
+    not a tenant's adapters happen to be bound at call time.
+    """
+    digest = hashlib.sha1()
+    for name, param in sorted(lm.named_parameters()):
+        if "adapter" in name:
+            continue
+        data = np.ascontiguousarray(param.data)
+        digest.update(name.encode())
+        digest.update(str(data.shape).encode())
+        digest.update(str(data.dtype).encode())
+        digest.update(data.tobytes())
+    return digest.hexdigest()
+
+
+class DeltaBundle:
+    """Per-tenant delta: trainable weights + threshold + fingerprint pin."""
+
+    def __init__(self, state: Dict[str, np.ndarray], peft: str,
+                 fingerprint: str, threshold: Optional[float] = None,
+                 name: str = "tenant", bottleneck: Optional[int] = None,
+                 manifest: Optional[dict] = None) -> None:
+        self.state = state
+        self.peft = peft
+        self.fingerprint = fingerprint
+        self.threshold = threshold
+        self.name = name
+        self.bottleneck = bottleneck
+        self.manifest = manifest if manifest is not None else {}
+
+    # ------------------------------------------------------------------
+    @property
+    def param_count(self) -> int:
+        return int(sum(v.size for v in self.state.values()))
+
+    def nbytes(self) -> int:
+        return int(sum(v.nbytes for v in self.state.values()))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model, name: str = "tenant",
+                   threshold: Optional[float] = None) -> "DeltaBundle":
+        """Extract the delta a PEFT-tuned model carries.
+
+        ``model`` must have been through :func:`repro.core.peft.apply_peft`
+        (equivalently: have a frozen backbone with a non-empty trainable
+        set) -- an all-trainable model would ship the whole backbone and
+        defeat the format.
+        """
+        from ..core.peft import peft_kind, peft_state
+
+        state = peft_state(model)
+        if not state:
+            raise BundleError("model has no trainable parameters; "
+                              "apply_peft before extracting a delta")
+        total = model.num_parameters()
+        trainable = sum(v.size for v in state.values())
+        if trainable >= total:
+            raise BundleError(
+                "every parameter is trainable; a delta bundle only makes "
+                "sense over a frozen backbone (apply_peft first)")
+        kind = peft_kind(model) or "soft_prompt"
+        bottleneck = None
+        if kind == "adapter":
+            from ..core.peft import iter_adapters
+
+            adapters = iter_adapters(model.lm)
+            bottleneck = adapters[0].bottleneck if adapters else None
+        if threshold is None:
+            threshold = getattr(model, "decision_threshold", None)
+        return cls(state, peft=kind,
+                   fingerprint=backbone_fingerprint(model.lm),
+                   threshold=threshold, name=name, bottleneck=bottleneck)
+
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "schema_version": DELTA_SCHEMA_VERSION,
+            "kind": "delta",
+            "name": self.name,
+            "peft": self.peft,
+            "backbone_fingerprint": self.fingerprint,
+            "threshold": self.threshold,
+            "adapter_bottleneck": self.bottleneck,
+            "param_count": self.param_count,
+        }
+        # npz member names may not contain path separators on some numpy
+        # versions; qualified parameter names only use dots, so they are
+        # safe as-is
+        buffer = io.BytesIO()
+        np.savez(buffer, **self.state)
+        (path / _DELTA_WEIGHTS_FILE).write_bytes(buffer.getvalue())
+        with open(path / _MANIFEST_FILE, "w") as f:
+            json.dump(manifest, f)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "DeltaBundle":
+        path = Path(path)
+        manifest_path = path / _MANIFEST_FILE
+        weights_path = path / _DELTA_WEIGHTS_FILE
+        if not manifest_path.exists():
+            raise BundleError(f"{path} is not a delta bundle "
+                              f"(no {_MANIFEST_FILE})")
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+        schema = manifest.get("schema_version")
+        kind = manifest.get("kind", "full")
+        if schema != DELTA_SCHEMA_VERSION or kind != "delta":
+            hint = ("; this is a full bundle -- load it with "
+                    "repro.serve.ModelBundle" if kind == "full" else "")
+            raise BundleError(
+                f"bundle schema {schema!r} (kind {kind!r}) is not supported "
+                f"by DeltaBundle.load, which supports kind 'delta' at "
+                f"schema {DELTA_SCHEMA_VERSION}{hint}")
+        if not weights_path.exists():
+            raise BundleError(f"{path} is not a delta bundle "
+                              f"(no {_DELTA_WEIGHTS_FILE})")
+        with np.load(weights_path) as archive:
+            state = {key: archive[key].copy() for key in archive.files}
+        return cls(state,
+                   peft=manifest.get("peft", "soft_prompt"),
+                   fingerprint=manifest.get("backbone_fingerprint", ""),
+                   threshold=manifest.get("threshold"),
+                   name=manifest.get("name", path.name),
+                   bottleneck=manifest.get("adapter_bottleneck"),
+                   manifest=manifest)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (f"DeltaBundle(name={self.name!r}, peft={self.peft!r}, "
+                f"params={self.param_count}, pin={self.fingerprint[:10]})")

@@ -10,8 +10,11 @@ Two transports over one JSON protocol:
   same admission/batching path as the HTTP transport.
 * :class:`MatchHTTPServer` -- a stdlib ``ThreadingHTTPServer`` exposing
 
-  - ``POST /score``  ``{"left": <record>, "right": <record>}``
-  - ``POST /match``  ``{"record": <record>, "k": 5}``
+  - ``POST /score``  ``{"left": <record>, "right": <record>}`` -- plus an
+    optional ``"tenant": "<id>"`` routing to that tenant's delta when the
+    server carries a :class:`~repro.serve.tenants.TenantRegistry`
+  - ``POST /match``  ``{"record": <record>, "k": 5}`` (same optional
+    ``tenant`` field)
   - ``POST /admin/swap``  ``{"bundle": "<bundle dir>"}``
   - ``POST /admin/catalog``  ``{"add": [<record>...], "remove": [<id>...]}``
     (applied to the sparse token index *and* the dense ANN index when one
@@ -77,6 +80,7 @@ def score_response_to_dict(response: ScoreResponse) -> dict:
         "batch_id": response.batch_id,
         "batch_size": response.batch_size,
         "replica": response.replica,
+        "tenant": response.tenant,
     }
 
 
@@ -105,6 +109,7 @@ def handle_request(server: MatchServer, request: dict,
     """Dispatch one request dict; returns a response dict (including the
     explicit ``overloaded`` response when admission sheds)."""
     op = request.get("op", "score")
+    tenant = request.get("tenant")
     try:
         if op == "score":
             try:
@@ -112,14 +117,15 @@ def handle_request(server: MatchServer, request: dict,
                                      _record_from_dict(request["right"]))
             except KeyError as missing:
                 raise ProtocolError(f"score request needs {missing} record")
-            return score_response_to_dict(server.score(pair, timeout=timeout))
+            return score_response_to_dict(
+                server.score(pair, timeout=timeout, tenant=tenant))
         if op == "match":
             if "record" not in request:
                 raise ProtocolError("match request needs a record")
             record = _record_from_dict(request["record"])
             k = request.get("k")
             return match_response_to_dict(
-                server.match(record, k=k, timeout=timeout))
+                server.match(record, k=k, timeout=timeout, tenant=tenant))
         raise ProtocolError(f"unknown op {op!r}")
     except Overloaded as error:
         return overloaded_to_dict(error)
@@ -163,6 +169,7 @@ def serve_requests(server: MatchServer, requests: Iterable[dict],
 
     for request in requests:
         op = request.get("op", "score")
+        tenant = request.get("tenant")
         if op == "score":
             try:
                 pair = CandidatePair(_record_from_dict(request["left"]),
@@ -170,16 +177,16 @@ def serve_requests(server: MatchServer, requests: Iterable[dict],
             except KeyError as missing:
                 raise ProtocolError(f"score request needs {missing} record")
 
-            def submit(p=pair):
-                return "score", server.submit(p)
+            def submit(p=pair, t=tenant):
+                return "score", server.submit(p, tenant=t)
         elif op == "match":
             if "record" not in request:
                 raise ProtocolError("match request needs a record")
             record = _record_from_dict(request["record"])
             k = request.get("k")
 
-            def submit(r=record, k=k):
-                return "match", server.submit_match(r, k=k)
+            def submit(r=record, k=k, t=tenant):
+                return "match", server.submit_match(r, k=k, tenant=t)
         else:
             raise ProtocolError(f"unknown op {op!r}")
         while True:

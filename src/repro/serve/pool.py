@@ -109,6 +109,12 @@ class PoolConfig:
     respawn: bool = True
     #: stop(drain=True) waits this long for in-flight work to finish
     drain_timeout_s: float = 30.0
+    #: directory of per-tenant DeltaBundles; every replica builds its own
+    #: TenantRegistry over it (deltas are KBs -- loading them per replica
+    #: is cheap; only the backbone weights are shared via shm)
+    tenants_dir: Optional[str] = None
+    #: per-replica LRU capacity for resident tenant deltas
+    tenant_capacity: int = 64
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -165,15 +171,17 @@ class _ReplyGather:
 
 
 class _Inflight:
-    __slots__ = ("pending", "pair", "replica", "tokens", "arrived")
+    __slots__ = ("pending", "pair", "replica", "tokens", "arrived", "tenant")
 
     def __init__(self, pending: PendingResponse, pair: CandidatePair,
-                 replica: int, tokens: int, arrived: float) -> None:
+                 replica: int, tokens: int, arrived: float,
+                 tenant: Optional[str] = None) -> None:
         self.pending = pending
         self.pair = pair
         self.replica = replica
         self.tokens = tokens
         self.arrived = arrived
+        self.tenant = tenant
 
 
 class _Replica:
@@ -209,8 +217,9 @@ class ReplicaMatchServer(MatchServer):
     """
 
     def __init__(self, bundle: ModelBundle, config: ServerConfig,
-                 store: SharedBundleWeights, replica: int) -> None:
-        super().__init__(bundle, config)
+                 store: SharedBundleWeights, replica: int,
+                 tenants=None) -> None:
+        super().__init__(bundle, config, tenants=tenants)
         self._store = store
         self._replica_index = replica
         self._seen_version = 0
@@ -218,6 +227,15 @@ class ReplicaMatchServer(MatchServer):
             self._adopt_locked()
 
     def _adopt_locked(self) -> None:
+        if (self.tenants is not None
+                and self._store.version != self._seen_version
+                and self.tenants.model is self._bundle.model):
+            # a publish landed: adoption re-points every parameter view,
+            # which requires the pristine backbone topology -- a bound
+            # adapter tenant adds parameters the store's fingerprint
+            # check refuses, and a bound soft prompt would get the base
+            # slot's weights written over its delta
+            self.tenants.bind(None)
         version = self._store.adopt(self._bundle.model, self._replica_index,
                                     self._seen_version)
         if version != self._seen_version:
@@ -227,6 +245,12 @@ class ReplicaMatchServer(MatchServer):
                 self._bundle.name = name
             self._bundle.threshold = threshold
             self._version = version
+            # adoption re-points the weights of the *same* model object, so
+            # the registry's identity-based lazy re-attach never fires --
+            # its backbone fingerprint (and any materialized deltas pinned
+            # to it) must be recomputed here
+            if self.tenants is not None:
+                self.tenants.attach(self._bundle.model)
 
     def _snapshot(self) -> Tuple[ModelBundle, int]:
         with self._swap_lock:
@@ -269,7 +293,16 @@ def _replica_main(conn, replica: int, bundle: ModelBundle,
     child_config = dataclasses.replace(
         config, max_queue=max(config.max_queue * 2,
                               pool_config.max_outstanding * 2))
-    server = ReplicaMatchServer(bundle, child_config, store, replica)
+    tenants = None
+    if pool_config.tenants_dir is not None:
+        from .tenants import TenantRegistry
+
+        # deltas are KBs each: every replica keeps its own registry over
+        # the shared directory (only the backbone rides in shm)
+        tenants = TenantRegistry(capacity=pool_config.tenant_capacity,
+                                 tenants_dir=pool_config.tenants_dir)
+    server = ReplicaMatchServer(bundle, child_config, store, replica,
+                                tenants=tenants)
 
     # build the owned shards from the journal snapshot inherited at fork
     sparse: Dict[int, ServingIndex] = {}
@@ -318,7 +351,7 @@ def _replica_main(conn, replica: int, bundle: ModelBundle,
                       response.prediction, response.model_version,
                       response.bundle_name, response.batch_id,
                       response.batch_size, response.queue_seconds,
-                      response.service_seconds))
+                      response.service_seconds, response.tenant))
 
     collector = threading.Thread(target=collect, name="repro-pool-collect",
                                  daemon=True)
@@ -346,11 +379,14 @@ def _replica_main(conn, replica: int, bundle: ModelBundle,
                 break
             kind = message[0]
             if kind == "score":
-                _, req_id, pair = message
+                _, req_id, pair, tenant = message
                 try:
-                    pending = server.submit(pair)
+                    pending = server.submit(pair, tenant=tenant)
                 except Overloaded as error:
                     send(("error", req_id, f"Overloaded: {error}"))
+                except Exception as error:  # e.g. UnknownTenant on races
+                    send(("error", req_id,
+                          f"{type(error).__name__}: {error}"))
                 else:
                     results.put((req_id, pending))
             elif kind == "candidates":
@@ -435,6 +471,17 @@ class ServingPool:
             raise ValueError("dense candidate_mode needs an encoder")
         self._candidate_mode = candidate_mode
 
+        # router-side tenant registry: in forked mode it only validates
+        # tenant ids at admission (paths, no model); the serial fallback
+        # hands it whole to its in-process MatchServer
+        self._tenants = None
+        if self.config.tenants_dir is not None:
+            from .tenants import TenantRegistry
+
+            self._tenants = TenantRegistry(
+                capacity=self.config.tenant_capacity,
+                tenants_dir=self.config.tenants_dir)
+
         #: per-shard journal of raw records: the source respawned replicas
         #: rebuild their shards from (the postings/ANN structures
         #: themselves live only inside the owning replica)
@@ -518,7 +565,8 @@ class ServingPool:
                 seed=spec["seed"], **spec["kwargs"])
         self._server = MatchServer(self._bundle, self.config.server,
                                    index=index, dense_index=dense_index,
-                                   candidate_mode=self._candidate_mode)
+                                   candidate_mode=self._candidate_mode,
+                                   tenants=self._tenants)
         with self._catalog_lock:
             records = [record for shard in self._catalog
                        for record in shard.values()]
@@ -605,6 +653,11 @@ class ServingPool:
             if replica.proc.is_alive():  # pragma: no cover - wedged child
                 replica.proc.terminate()
                 replica.proc.join(timeout=1.0)
+            if replica.proc.is_alive():  # pragma: no cover - SIGTERM is
+                # caught or masked in the child (forked replicas inherit
+                # whatever handlers the host application installed)
+                replica.proc.kill()
+                replica.proc.join(timeout=1.0)
             replica.live = False
         self._collector_halt = True
         self._wake()
@@ -647,18 +700,28 @@ class ServingPool:
                 best = (key, replica)
         return best[1] if best is not None else None
 
-    def submit(self, pair: CandidatePair) -> PendingResponse:
+    def submit(self, pair: CandidatePair,
+               tenant: Optional[str] = None) -> PendingResponse:
         """Queue one score request on the least-loaded replica; raises
         :class:`Overloaded` when the pool (or every replica queue) is
         full."""
-        return self._submit_many([pair])[0]
+        return self._submit_many([pair], tenant=tenant)[0]
 
-    def _submit_many(self, pairs: Sequence[CandidatePair]
-                     ) -> List[PendingResponse]:
+    def _submit_many(self, pairs: Sequence[CandidatePair],
+                     tenant: Optional[str] = None) -> List[PendingResponse]:
         """All-or-nothing admission of a request group (a match query's
         candidate fan-out is one group, like the single server's)."""
+        if tenant is not None and not self._serial:
+            # validate at the router, against a paths-only registry: an
+            # unknown tenant must fail fast in the caller, not surface as
+            # an opaque error reply from a replica
+            registry = self._tenants
+            if registry is None or not registry.has(tenant):
+                from .tenants import UnknownTenant
+
+                raise UnknownTenant(tenant)
         if self._serial:
-            return self._server._submit_many(pairs)
+            return self._server._submit_many(pairs, tenant=tenant)
         started = time.perf_counter()
         tel = get_telemetry()
         assignments: List[Tuple[int, _Replica]] = []
@@ -697,14 +760,14 @@ class ServingPool:
                 pending = PendingResponse()
                 self._inflight[req_id] = _Inflight(pending, pair,
                                                    replica.index, tokens,
-                                                   arrived)
+                                                   arrived, tenant=tenant)
                 pendings.append(pending)
                 assignments.append((req_id, replica))
             self.request_count += len(pairs)
         dead: List[Tuple[int, _Replica]] = []
         for (req_id, replica), pair in zip(assignments, pairs):
             try:
-                replica.send(("score", req_id, pair))
+                replica.send(("score", req_id, pair, tenant))
             except (BrokenPipeError, OSError):
                 dead.append((req_id, replica))
         for req_id, replica in dead:
@@ -723,19 +786,20 @@ class ServingPool:
                     replica.outstanding_pairs)
 
     def submit_match(self, record: EntityRecord,
-                     k: Optional[int] = None) -> PendingMatch:
+                     k: Optional[int] = None,
+                     tenant: Optional[str] = None) -> PendingMatch:
         """Scatter the candidate query across every replica's shards,
         merge the per-shard top-k, then admit one score request per
         candidate (atomically, like the single server)."""
         if self._serial:
-            return self._server.submit_match(record, k)
+            return self._server.submit_match(record, k, tenant=tenant)
         k = self.config.server.default_top_k if k is None else int(k)
         candidates = self._gather_candidates(record, k)
         if not candidates:
             return PendingMatch(record.record_id, [])
         pairs = [CandidatePair(record, candidate)
                  for candidate, _ in candidates]
-        pendings = self._submit_many(pairs)
+        pendings = self._submit_many(pairs, tenant=tenant)
         entries = [(candidate, score, pending)
                    for (candidate, score), pending in zip(candidates,
                                                           pendings)]
@@ -812,14 +876,15 @@ class ServingPool:
         kind = message[0]
         if kind == "response":
             (_, req_id, probs, prediction, version, bundle_name,
-             batch_id, batch_size, queue_seconds, service_seconds) = message
+             batch_id, batch_size, queue_seconds, service_seconds,
+             tenant) = message
             self._resolve(req_id, replica, ScoreResponse(
                 probs=np.asarray(probs), prediction=int(prediction),
                 model_version=int(version), bundle_name=bundle_name,
                 batch_id=int(batch_id), batch_size=int(batch_size),
                 queue_seconds=float(queue_seconds),
                 service_seconds=float(service_seconds),
-                replica=replica.index))
+                replica=replica.index, tenant=tenant))
         elif kind == "error":
             _, req_id, detail = message
             inflight = self._finish(req_id, replica)
@@ -924,7 +989,8 @@ class ServingPool:
                     pass
                 return
             try:
-                target.send(("score", req_id, inflight.pair))
+                target.send(("score", req_id, inflight.pair,
+                             inflight.tenant))
             except (BrokenPipeError, OSError):
                 self._on_replica_death(target)
                 continue
@@ -1084,16 +1150,24 @@ class ServingPool:
         return 0
 
     def score(self, pair: CandidatePair,
-              timeout: Optional[float] = None) -> ScoreResponse:
-        return self.submit(pair).result(timeout)
+              timeout: Optional[float] = None,
+              tenant: Optional[str] = None) -> ScoreResponse:
+        return self.submit(pair, tenant=tenant).result(timeout)
 
     def score_batch(self, pairs: Sequence[CandidatePair],
-                    timeout: Optional[float] = None) -> List[ScoreResponse]:
+                    timeout: Optional[float] = None,
+                    tenants: Optional[Sequence[Optional[str]]] = None
+                    ) -> List[ScoreResponse]:
+        if tenants is None:
+            tenants = [None] * len(pairs)
+        if len(tenants) != len(pairs):
+            raise ValueError(f"tenants has {len(tenants)} entries for "
+                             f"{len(pairs)} pairs")
         pendings = []
-        for pair in pairs:
+        for pair, tenant in zip(pairs, tenants):
             while True:
                 try:
-                    pendings.append(self.submit(pair))
+                    pendings.append(self.submit(pair, tenant=tenant))
                     break
                 except Overloaded:
                     if not self.is_running:
@@ -1102,8 +1176,9 @@ class ServingPool:
         return [pending.result(timeout) for pending in pendings]
 
     def match(self, record: EntityRecord, k: Optional[int] = None,
-              timeout: Optional[float] = None):
-        return self.submit_match(record, k).result(timeout)
+              timeout: Optional[float] = None,
+              tenant: Optional[str] = None):
+        return self.submit_match(record, k, tenant=tenant).result(timeout)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -94,6 +94,10 @@ class ServerConfig:
     default_top_k: int = 5
     #: keep (batch_id, version, pairs) tuples for offline replay/audit
     record_batches: bool = False
+    #: allow one micro-batch to mix rows of different soft-prompt tenants
+    #: (scored in a single fused fastpath call); adapter tenants always
+    #: batch same-tenant-only regardless of this flag
+    fuse_tenants: bool = True
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -119,6 +123,7 @@ class ScoreResponse:
     queue_seconds: float         # admission -> batch formation
     service_seconds: float       # batch formation -> response
     replica: Optional[int] = None  # which pool replica scored it (pool mode)
+    tenant: Optional[str] = None   # which tenant delta scored it (if any)
 
     @property
     def match_probability(self) -> float:
@@ -223,13 +228,14 @@ class PendingMatch:
 
 
 class _Request:
-    __slots__ = ("pair", "pending", "arrived")
+    __slots__ = ("pair", "pending", "arrived", "tenant")
 
     def __init__(self, pair: CandidatePair, pending: PendingResponse,
-                 arrived: float) -> None:
+                 arrived: float, tenant: Optional[str] = None) -> None:
         self.pair = pair
         self.pending = pending
         self.arrived = arrived
+        self.tenant = tenant
 
 
 class MatchServer:
@@ -250,8 +256,16 @@ class MatchServer:
                  config: Optional[ServerConfig] = None,
                  index: Optional[ServingIndex] = None,
                  dense_index=None,
-                 candidate_mode: str = "sparse") -> None:
+                 candidate_mode: str = "sparse",
+                 tenants=None) -> None:
         self.config = config if config is not None else ServerConfig()
+        #: optional repro.serve.tenants.TenantRegistry; when present,
+        #: requests may carry a tenant id and the scheduler binds that
+        #: tenant's delta (or fuses several soft-prompt tenants into one
+        #: batch) before scoring
+        self.tenants = tenants
+        if tenants is not None:
+            tenants.attach(bundle.model)
         self.index = index if index is not None else ServingIndex()
         #: optional repro.serve.dense.DenseCandidateIndex; when present the
         #: catalog helpers keep it in lockstep with the sparse index and
@@ -364,13 +378,23 @@ class MatchServer:
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    def submit(self, pair: CandidatePair) -> PendingResponse:
-        """Queue one score request; raises :class:`Overloaded` when full."""
-        return self._submit_many([pair])[0]
+    def submit(self, pair: CandidatePair,
+               tenant: Optional[str] = None) -> PendingResponse:
+        """Queue one score request; raises :class:`Overloaded` when full.
 
-    def _submit_many(self, pairs: Sequence[CandidatePair]
-                     ) -> List[PendingResponse]:
+        ``tenant`` routes the request to that tenant's delta; unknown
+        tenants are rejected here, at admission, so a typo never costs a
+        queue slot."""
+        return self._submit_many([pair], tenant=tenant)[0]
+
+    def _submit_many(self, pairs: Sequence[CandidatePair],
+                     tenant: Optional[str] = None) -> List[PendingResponse]:
         """All-or-nothing admission of a request group."""
+        if tenant is not None:
+            from .tenants import UnknownTenant
+
+            if self.tenants is None or not self.tenants.has(tenant):
+                raise UnknownTenant(tenant)
         now = time.perf_counter()
         tel = get_telemetry()
         with self._cond:
@@ -388,7 +412,8 @@ class MatchServer:
             pendings = []
             for pair in pairs:
                 pending = PendingResponse()
-                self._queue.append(_Request(pair, pending, now))
+                self._queue.append(_Request(pair, pending, now,
+                                            tenant=tenant))
                 pendings.append(pending)
             self.request_count += len(pairs)
             depth = len(self._queue)
@@ -399,7 +424,8 @@ class MatchServer:
         return pendings
 
     def submit_match(self, record: EntityRecord,
-                     k: Optional[int] = None) -> PendingMatch:
+                     k: Optional[int] = None,
+                     tenant: Optional[str] = None) -> PendingMatch:
         """Queue a match query: top-k index candidates, one score request
         each (admitted atomically). No candidates -> an empty, already
         resolved response."""
@@ -409,7 +435,7 @@ class MatchServer:
             return PendingMatch(record.record_id, [])
         pairs = [CandidatePair(record, candidate)
                  for candidate, _ in candidates]
-        pendings = self._submit_many(pairs)
+        pendings = self._submit_many(pairs, tenant=tenant)
         entries = [(candidate, score, pending)
                    for (candidate, score), pending in zip(candidates, pendings)]
         return PendingMatch(record.record_id, entries)
@@ -434,14 +460,34 @@ class MatchServer:
                 tel.metrics.counter("serve.request_errors").inc()
             return None
 
+    def _batch_compatible(self, batch: List[_Request],
+                          request: _Request) -> bool:
+        """May ``request`` join ``batch``? Same tenant always; different
+        tenants only when fusion is on and both sides are pure soft-prompt
+        deltas (or the base model), so one fused fastpath call can score
+        the whole batch. Adapter tenants mutate the transformer stack and
+        therefore batch same-tenant-only."""
+        anchor = batch[0].tenant
+        if request.tenant == anchor:
+            return True
+        registry = self.tenants
+        if registry is None or not self.config.fuse_tenants:
+            return False
+        try:
+            return registry.fusable(anchor) and registry.fusable(request.tenant)
+        except Exception:
+            return False
+
     def _form_batch(self, model, wait: bool) -> List[_Request]:
         """Drain a micro-batch: first request opens it, the max-wait
         deadline / row cap / token budget close it. FIFO order is kept; a
-        request that would blow the budget is pushed back for the next
-        batch, and a request whose record cannot be encoded is failed
-        individually and skipped."""
+        request that would blow the budget -- or that names a tenant the
+        open batch cannot share a forward pass with -- is pushed back (in
+        arrival order) for the next batch, and a request whose record
+        cannot be encoded is failed individually and skipped."""
         cfg = self.config
         batch: List[_Request] = []
+        deferred: List[_Request] = []
         longest = 0
         deadline = None
         while len(batch) < cfg.max_batch_pairs:
@@ -454,19 +500,48 @@ class MatchServer:
                 if not self._queue:
                     break
                 request = self._queue.popleft()
+            if batch and not self._batch_compatible(batch, request):
+                deferred.append(request)
+                continue
             length = self._safe_length(model, request)
             if length is None:
                 continue
             if batch and (len(batch) + 1) * max(longest, length) \
                     > cfg.token_budget:
-                with self._cond:
-                    self._queue.appendleft(request)
+                deferred.append(request)
                 break
             batch.append(request)
             longest = max(longest, length)
             if deadline is None and wait:
                 deadline = time.monotonic() + cfg.max_wait_s
+        if deferred:
+            # back to the FRONT in original relative order: the next batch
+            # opens with the oldest deferred request, so an incompatible
+            # tenant is delayed at most one batch, never starved
+            with self._cond:
+                self._queue.extendleft(reversed(deferred))
         return batch
+
+    def _score_pairs(self, model, pairs: Sequence[CandidatePair],
+                     tenants: Sequence[Optional[str]]) -> np.ndarray:
+        """Score one formed batch, binding tenant deltas as needed.
+
+        Single-tenant batches bind that tenant's delta onto the backbone
+        and run the exact offline engine path (served probabilities stay
+        bit-identical to an offline replay with the delta bound); mixed
+        batches go through the registry's fused soft-prompt kernel. The
+        registry re-attaches lazily after a hot swap so a batch scored on
+        the pre-swap snapshot binds deltas onto that same snapshot."""
+        registry = self.tenants
+        if registry is None:
+            return self.engine.predict_proba(model, pairs)
+        if registry.model is not model:
+            registry.attach(model)
+        unique = set(tenants)
+        if len(unique) == 1:
+            registry.bind(next(iter(unique)))
+            return self.engine.predict_proba(model, pairs)
+        return registry.fused_probs(self.engine, pairs, tenants)
 
     def process_once(self, wait: bool = False) -> int:
         """Form and score one micro-batch inline; returns requests served.
@@ -484,34 +559,48 @@ class MatchServer:
         batch_id = self._batch_id
         self._batch_id += 1
         pairs = [request.pair for request in batch]
+        tenants = [request.tenant for request in batch]
         try:
             if tel.enabled:
                 with tel.span("serve.batch", size=len(batch),
                               version=version):
-                    probs = self.engine.predict_proba(model, pairs)
+                    probs = self._score_pairs(model, pairs, tenants)
             else:
-                probs = self.engine.predict_proba(model, pairs)
+                probs = self._score_pairs(model, pairs, tenants)
         except BaseException as error:
             for request in batch:
                 request.pending._fail(error)
             raise
         served = time.perf_counter()
         threshold = bundle.threshold
-        if threshold is None:
-            predictions = probs.argmax(axis=1)
+        registry = self.tenants
+        if registry is None or all(t is None for t in tenants):
+            if threshold is None:
+                predictions = probs.argmax(axis=1)
+            else:
+                predictions = (probs[:, 1] > threshold).astype(np.int64)
         else:
-            predictions = (probs[:, 1] > threshold).astype(np.int64)
+            # per-row decision thresholds: each tenant tunes its own
+            predictions = np.zeros(len(batch), dtype=np.int64)
+            for row, tenant in enumerate(tenants):
+                cut = registry.threshold_for(tenant, threshold)
+                predictions[row] = (int(probs[row].argmax()) if cut is None
+                                    else int(probs[row, 1] > cut))
         for row, request in enumerate(batch):
             request.pending._resolve(ScoreResponse(
                 probs=probs[row], prediction=int(predictions[row]),
                 model_version=version, bundle_name=bundle.name,
                 batch_id=batch_id, batch_size=len(batch),
                 queue_seconds=formed - request.arrived,
-                service_seconds=served - formed))
+                service_seconds=served - formed,
+                tenant=request.tenant))
         self.response_count += len(batch)
+        if registry is not None:
+            for tenant in set(tenants):
+                registry.note_request(tenant, tenants.count(tenant))
         if self.config.record_batches:
             self.batch_log.append({"batch_id": batch_id, "version": version,
-                                   "pairs": pairs})
+                                   "pairs": pairs, "tenants": tenants})
         if tel.enabled:
             metrics = tel.metrics
             metrics.counter("serve.responses").inc(len(batch))
@@ -582,13 +671,31 @@ class MatchServer:
             self._thread = None
         if drain:
             while True:
+                with self._cond:
+                    depth = len(self._queue)
                 try:
                     if not self.process_once():
                         break
-                except Exception:
+                except Exception as error:
                     # the failed batch's pendings carry the error; keep
                     # draining so the rest of the queue is still answered
                     self.error_count += 1
+                    with self._cond:
+                        stuck = len(self._queue) >= depth
+                        leftovers = list(self._queue) if stuck else []
+                        if stuck:
+                            self._queue.clear()
+                    if stuck:
+                        # no progress: the failure precedes batch
+                        # formation (e.g. a snapshot/adopt error), so
+                        # retrying would spin forever -- fail what's
+                        # left and bail out
+                        for request in leftovers:
+                            try:
+                                request.pending._fail(error)
+                            except RuntimeError:  # resolved in a race
+                                pass
+                        break
 
     def __enter__(self) -> "MatchServer":
         return self.start()
@@ -600,27 +707,35 @@ class MatchServer:
     # Synchronous conveniences
     # ------------------------------------------------------------------
     def score(self, pair: CandidatePair,
-              timeout: Optional[float] = None) -> ScoreResponse:
+              timeout: Optional[float] = None,
+              tenant: Optional[str] = None) -> ScoreResponse:
         """Submit one pair and wait for its response (threaded mode), or
         score it inline when no scheduler thread is running."""
-        pending = self.submit(pair)
+        pending = self.submit(pair, tenant=tenant)
         if not self.is_running:
             while not pending.done():
                 self.process_once()
         return pending.result(timeout)
 
     def score_batch(self, pairs: Sequence[CandidatePair],
-                    timeout: Optional[float] = None) -> List[ScoreResponse]:
+                    timeout: Optional[float] = None,
+                    tenants: Optional[Sequence[Optional[str]]] = None
+                    ) -> List[ScoreResponse]:
         """Score many pairs through the full admission + batching path.
 
         Respects the queue bound by draining inline (no thread) or backing
-        off briefly (threaded) when admission sheds.
+        off briefly (threaded) when admission sheds. ``tenants`` routes
+        each pair to its tenant's delta (one id per pair).
         """
+        if tenants is None:
+            tenants = [None] * len(pairs)
+        elif len(tenants) != len(pairs):
+            raise ValueError("one tenant id per pair required")
         pendings: List[PendingResponse] = []
-        for pair in pairs:
+        for pair, tenant in zip(pairs, tenants):
             while True:
                 try:
-                    pendings.append(self.submit(pair))
+                    pendings.append(self.submit(pair, tenant=tenant))
                     break
                 except Overloaded:
                     if self.is_running:
@@ -634,9 +749,10 @@ class MatchServer:
         return [pending.result(timeout) for pending in pendings]
 
     def match(self, record: EntityRecord, k: Optional[int] = None,
-              timeout: Optional[float] = None) -> MatchResponse:
+              timeout: Optional[float] = None,
+              tenant: Optional[str] = None) -> MatchResponse:
         """Top-k candidates for ``record``, scored and ranked."""
-        pending = self.submit_match(record, k)
+        pending = self.submit_match(record, k, tenant=tenant)
         if not self.is_running:
             while not pending.done():
                 if not self.process_once():
@@ -663,4 +779,6 @@ class MatchServer:
         }
         if self.dense_index is not None:
             stats["dense_index"] = self.dense_index.stats()
+        if self.tenants is not None:
+            stats["tenants"] = self.tenants.stats()
         return stats

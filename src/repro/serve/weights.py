@@ -190,11 +190,18 @@ class SharedBundleWeights:
         Called at every batch boundary.  The parameters become views into
         shared memory -- the model must only be *read* (serving forwards
         run under ``no_grad``), never updated in place.
+
+        The no-movement path skips the fingerprint check on purpose: a
+        bound tenant delta may have added parameters (adapters) to the
+        model between batches, and nothing is rebound in that case.  When
+        the version did move the caller must present the pristine
+        backbone topology (unbind tenant deltas first) or the check
+        refuses the rebind.
         """
-        self._check(model)
         version = self.version
         if version == seen:
             return seen
+        self._check(model)
         for view, (_, param) in zip(self.slot_views(version),
                                     model.named_parameters()):
             param.data = view

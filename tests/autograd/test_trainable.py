@@ -1,0 +1,112 @@
+"""The ``trainable`` switch: frozen parameters in forward/backward and
+their exclusion from optimizer state (the PEFT substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import AdamW, Linear, Module, SGD, Tensor
+from repro.autograd import functional as F
+from repro.autograd.module import Parameter
+
+
+class TwoLayer(Module):
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.first = Linear(4, 8, rng=rng)
+        self.second = Linear(8, 2, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.second(F.gelu(self.first(x)))
+
+
+def loss_of(model, x):
+    out = model(Tensor(x))
+    return (out * out).sum()
+
+
+def test_parameter_trainable_default_and_freeze():
+    param = Parameter(np.ones((3, 2)))
+    assert param.trainable and param.requires_grad
+    param.freeze_()
+    assert not param.trainable and not param.requires_grad
+    param.unfreeze_()
+    assert param.trainable and param.requires_grad
+
+
+def test_module_freeze_is_recursive_and_countable():
+    model = TwoLayer()
+    total = model.num_parameters()
+    assert model.num_trainable_parameters() == total
+    model.freeze()
+    assert model.num_trainable_parameters() == 0
+    assert [name for name, _ in model.named_trainable_parameters()] == []
+    model.second.unfreeze()
+    names = [name for name, _ in model.named_trainable_parameters()]
+    assert names == ["second.weight", "second.bias"]
+    assert 0 < model.num_trainable_parameters() < total
+
+
+def test_gradients_flow_through_frozen_layers():
+    """Freezing the first layer must not cut the graph: the second
+    layer's gradients are identical either way, and the frozen layer
+    accumulates nothing."""
+    x = np.random.default_rng(0).standard_normal((5, 4))
+
+    reference = TwoLayer()
+    loss_of(reference, x).backward()
+    want = {name: p.grad.copy()
+            for name, p in reference.named_parameters()
+            if name.startswith("second")}
+
+    frozen = TwoLayer()
+    frozen.first.freeze()
+    loss_of(frozen, x).backward()
+    for name, param in frozen.named_parameters():
+        if name.startswith("second"):
+            assert np.allclose(param.grad, want[name])
+        else:
+            assert param.grad is None
+
+
+def test_optimizer_filters_frozen_parameters():
+    model = TwoLayer()
+    model.first.freeze()
+    optimizer = AdamW(model.parameters(), lr=0.1)
+    first_before = {name: p.data.copy()
+                    for name, p in model.first.named_parameters()}
+    second_before = {name: p.data.copy()
+                     for name, p in model.second.named_parameters()}
+
+    x = np.random.default_rng(1).standard_normal((5, 4))
+    loss_of(model, x).backward()
+    optimizer.step()
+
+    for name, param in model.first.named_parameters():
+        assert np.array_equal(param.data, first_before[name])
+    moved = [name for name, param in model.second.named_parameters()
+             if not np.array_equal(param.data, second_before[name])]
+    assert moved  # the trainable layer actually stepped
+
+
+def test_optimizer_state_sized_to_trainable_slots():
+    model = TwoLayer()
+    model.freeze()
+    model.second.unfreeze()
+    optimizer = AdamW(model.parameters(), lr=0.1)
+    assert len(optimizer.parameters) == 2  # weight + bias of `second` only
+    flat = sum(p.size for p in optimizer.parameters)
+    assert flat == model.num_trainable_parameters()
+
+
+@pytest.mark.parametrize("factory", [AdamW, SGD])
+def test_all_frozen_is_a_loud_error(factory):
+    model = TwoLayer()
+    model.freeze()
+    with pytest.raises(ValueError, match="no trainable parameters"):
+        factory(model.parameters(), lr=0.1)
+
+
+def test_empty_parameter_list_still_errors():
+    with pytest.raises(ValueError, match="no parameters"):
+        AdamW([], lr=0.1)

@@ -1,0 +1,144 @@
+"""PEFT identities: soft prompts and adapters must be bit-exact no-ops
+until trained, train only the delta, and round-trip through state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PromptModel, Trainer, TrainerConfig, Verbalizer, apply_peft,
+    has_adapters, install_adapters, load_peft_state, make_template,
+    peft_kind, peft_state, remove_adapters, trainable_fraction,
+)
+from repro.core.peft import SoftPrompt
+from repro.data import load_dataset
+from repro.infer import InferenceEngine
+from repro.lm import load_pretrained
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    return load_pretrained("minilm-tiny")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("REL-HETER")
+
+
+@pytest.fixture(scope="module")
+def pairs(dataset):
+    return dataset.test[:8]
+
+
+def make_model(backbone, seed=0):
+    lm, tok = load_pretrained("minilm-tiny")  # fresh weights per model
+    template = make_template("t1", tok, max_len=96)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab),
+                        seed=seed)
+    model.eval()
+    return model
+
+
+def probs_of(model, pairs):
+    return InferenceEngine().predict_proba(model, pairs)
+
+
+def test_soft_prompt_warm_start_is_bit_identical(backbone, pairs):
+    model = make_model(backbone)
+    base = probs_of(model, pairs)
+    apply_peft(model, "soft_prompt")
+    assert isinstance(model.prompt_encoder, SoftPrompt)
+    assert np.array_equal(probs_of(model, pairs), base)
+
+
+def test_adapters_zero_init_is_bit_identical(backbone, pairs):
+    model = make_model(backbone)
+    base = probs_of(model, pairs)
+    apply_peft(model, "adapter", bottleneck=4)
+    assert has_adapters(model.lm)
+    assert np.array_equal(probs_of(model, pairs), base)
+
+
+def test_active_adapters_match_reference_path(backbone, pairs):
+    """Once adapters carry real weights, the fastpath and the autograd
+    reference forward must still agree."""
+    model = make_model(backbone)
+    apply_peft(model, "adapter", bottleneck=4)
+    rng = np.random.default_rng(0)
+    for _, param in model.named_trainable_parameters():
+        param.data[...] += (0.05 * rng.standard_normal(param.data.shape)
+                            ).astype(param.data.dtype)
+    fast = probs_of(model, pairs)
+    slow = model(pairs).numpy()  # autograd reference forward
+    np.testing.assert_allclose(fast, slow, rtol=2e-4, atol=2e-5)
+
+
+def test_remove_adapters_restores_base_model(backbone, pairs):
+    model = make_model(backbone)
+    base = probs_of(model, pairs)
+    base_params = dict(model.lm.named_parameters())
+    adapters = install_adapters(model.lm, bottleneck=4)
+    assert len(adapters) > 0
+    assert remove_adapters(model.lm)
+    assert not has_adapters(model.lm)
+    assert dict(model.lm.named_parameters()).keys() == base_params.keys()
+    assert np.array_equal(probs_of(model, pairs), base)
+
+
+def test_apply_peft_freezes_backbone_only(backbone):
+    model = make_model(backbone)
+    apply_peft(model, "soft_prompt")
+    names = [name for name, _ in model.named_trainable_parameters()]
+    assert names == ["prompt_encoder.embeddings"]
+    assert trainable_fraction(model) <= 0.02
+
+
+def test_adapter_fraction_within_budget(backbone):
+    model = make_model(backbone)
+    apply_peft(model, "adapter", bottleneck=4)
+    assert trainable_fraction(model) <= 0.02
+    assert peft_kind(model) == "adapter"
+
+
+def test_unknown_kind_rejected(backbone):
+    model = make_model(backbone)
+    with pytest.raises(ValueError, match="soft_prompt"):
+        apply_peft(model, "lora")
+
+
+def test_training_moves_only_the_delta(backbone, dataset):
+    view = dataset.low_resource(seed=0)
+    model = make_model(backbone)
+    apply_peft(model, "soft_prompt")
+    frozen_before = {name: param.data.copy()
+                     for name, param in model.named_parameters()
+                     if not getattr(param, "trainable", True)}
+    prompt_before = model.prompt_encoder.embeddings.data.copy()
+
+    trainer = Trainer(model, TrainerConfig(epochs=2, batch_size=8, lr=1e-2))
+    trainer.fit(view.labeled[:16], view.valid[:8])
+
+    assert not np.array_equal(model.prompt_encoder.embeddings.data,
+                              prompt_before)
+    for name, param in model.named_parameters():
+        if name in frozen_before:
+            assert np.array_equal(param.data, frozen_before[name]), name
+
+
+def test_peft_state_round_trip(backbone, pairs):
+    donor = make_model(backbone)
+    apply_peft(donor, "adapter", bottleneck=4)
+    rng = np.random.default_rng(3)
+    for _, param in donor.named_trainable_parameters():
+        param.data[...] += (0.1 * rng.standard_normal(param.data.shape)
+                            ).astype(param.data.dtype)
+    state = peft_state(donor)
+    want = probs_of(donor, pairs)
+
+    receiver = make_model(backbone)
+    apply_peft(receiver, "adapter", bottleneck=4)
+    load_peft_state(receiver, state)
+    assert np.array_equal(probs_of(receiver, pairs), want)
+
+    with pytest.raises(KeyError):
+        load_peft_state(make_model(backbone), state)  # no PEFT applied

@@ -76,3 +76,52 @@ class TestServeJSONLMode:
         assert responses[4]["candidates"]
         err = capsys.readouterr().err
         assert "indexed" in err and "served" in err
+
+
+class TestTenantCLI:
+    def test_tune_parser_defaults(self):
+        args = build_parser().parse_args(["tune", "--bundle", "b",
+                                          "--out", "o"])
+        assert args.peft == "soft_prompt"
+        assert args.bottleneck == 8
+        assert args.dataset == "REL-HETER"
+        assert args.lr == 1e-2  # PEFT default, larger than full tuning
+
+    def test_serve_accepts_tenants_dir(self):
+        args = build_parser().parse_args(["serve", "--bundle", "b",
+                                          "--tenants", "deltas"])
+        assert args.tenants == "deltas"
+        assert args.tenant_capacity == 64
+        assert not args.no_fuse_tenants
+
+    def test_bundle_info_full(self, bundle, tmp_path, capsys):
+        bundle.save(tmp_path / "b")
+        assert main(["bundle-info", str(tmp_path / "b")]) == 0
+        out = capsys.readouterr().out
+        assert "kind:           full" in out
+        assert "schema version: 1" in out
+        assert "name:           tiny" in out
+        assert "trainable" in out and "fingerprint:" in out
+
+    def test_bundle_info_delta(self, backbone, tmp_path, capsys):
+        from repro.core import apply_peft
+        from repro.lm import load_pretrained
+        from repro.serve import DeltaBundle
+
+        from .conftest import make_model
+
+        model = make_model(load_pretrained("minilm-tiny"))
+        apply_peft(model, "soft_prompt")
+        DeltaBundle.from_model(model, name="acme",
+                               threshold=0.7).save(tmp_path / "d")
+        assert main(["bundle-info", str(tmp_path / "d")]) == 0
+        out = capsys.readouterr().out
+        assert "kind:           delta" in out
+        assert "peft:           soft_prompt" in out
+        assert "name:           acme" in out
+        assert "threshold:      0.7" in out
+        assert "backbone pin:   " in out
+
+    def test_bundle_info_missing_manifest(self, tmp_path):
+        with pytest.raises(SystemExit, match="bundle.json"):
+            main(["bundle-info", str(tmp_path)])

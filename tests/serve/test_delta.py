@@ -1,0 +1,119 @@
+"""DeltaBundle: round-trip, fingerprint pin, and the schema/kind
+handshake with the full-bundle loader."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import apply_peft
+from repro.lm import load_pretrained
+from repro.serve import (
+    BUNDLE_SCHEMA_VERSION, BundleError, DELTA_SCHEMA_VERSION, DeltaBundle,
+    ModelBundle, backbone_fingerprint,
+)
+
+from .conftest import make_model
+
+
+def fresh_peft_model(kind="soft_prompt", bottleneck=4, seed=0):
+    model = make_model(load_pretrained("minilm-tiny"))
+    apply_peft(model, kind, bottleneck=bottleneck, seed=seed)
+    return model
+
+
+def perturb(model, scale=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    for _, param in model.named_trainable_parameters():
+        param.data[...] += (scale * rng.standard_normal(param.data.shape)
+                            ).astype(param.data.dtype)
+
+
+class TestDeltaRoundTrip:
+    @pytest.mark.parametrize("kind", ["soft_prompt", "adapter"])
+    def test_save_load_preserves_state(self, tmp_path, kind):
+        model = fresh_peft_model(kind)
+        perturb(model)
+        delta = DeltaBundle.from_model(model, name="acme", threshold=0.61)
+        delta.save(tmp_path / "acme")
+
+        loaded = DeltaBundle.load(tmp_path / "acme")
+        assert loaded.name == "acme"
+        assert loaded.peft == kind
+        assert loaded.threshold == 0.61
+        assert loaded.fingerprint == backbone_fingerprint(model.lm)
+        assert set(loaded.state) == set(delta.state)
+        for key, value in delta.state.items():
+            assert np.array_equal(loaded.state[key], value)
+
+    def test_delta_is_kb_scale(self, tmp_path):
+        model = fresh_peft_model("adapter")
+        delta = DeltaBundle.from_model(model, name="small")
+        assert delta.param_count <= 0.02 * model.num_parameters()
+        path = delta.save(tmp_path / "small")
+        on_disk = sum(f.stat().st_size for f in path.rglob("*")
+                      if f.is_file())
+        assert on_disk < 64 * 1024
+
+    def test_from_model_requires_peft(self):
+        model = make_model(load_pretrained("minilm-tiny"))
+        with pytest.raises(BundleError, match="apply_peft"):
+            DeltaBundle.from_model(model)
+
+
+class TestSchemaHandshake:
+    def test_full_loader_rejects_delta_with_versions(self, tmp_path):
+        delta = DeltaBundle.from_model(fresh_peft_model(), name="t")
+        delta.save(tmp_path / "t")
+        with pytest.raises(BundleError) as excinfo:
+            ModelBundle.load(tmp_path / "t")
+        message = str(excinfo.value)
+        assert str(DELTA_SCHEMA_VERSION) in message      # found
+        assert str(BUNDLE_SCHEMA_VERSION) in message     # supported
+        assert "delta" in message and "DeltaBundle" in message
+
+    def test_full_loader_rejects_newer_schema(self, tmp_path, bundle):
+        bundle.save(tmp_path / "b")
+        manifest_path = tmp_path / "b" / "bundle.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = BUNDLE_SCHEMA_VERSION + 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(BundleError) as excinfo:
+            ModelBundle.load(tmp_path / "b")
+        message = str(excinfo.value)
+        assert str(BUNDLE_SCHEMA_VERSION + 99) in message
+        assert str(BUNDLE_SCHEMA_VERSION) in message
+
+    def test_delta_loader_rejects_full_bundle(self, tmp_path, bundle):
+        bundle.save(tmp_path / "full")
+        with pytest.raises(BundleError, match="ModelBundle"):
+            DeltaBundle.load(tmp_path / "full")
+
+    def test_missing_manifest_is_actionable(self, tmp_path):
+        with pytest.raises(BundleError, match="bundle.json"):
+            DeltaBundle.load(tmp_path)
+
+    def test_full_manifest_records_kind(self, tmp_path, bundle):
+        bundle.save(tmp_path / "b")
+        manifest = json.loads((tmp_path / "b" / "bundle.json").read_text())
+        assert manifest["kind"] == "full"
+        assert manifest["schema_version"] == BUNDLE_SCHEMA_VERSION
+
+
+class TestFingerprint:
+    def test_stable_across_adapter_binding(self):
+        model = fresh_peft_model("soft_prompt")
+        before = backbone_fingerprint(model.lm)
+        from repro.core import install_adapters, remove_adapters
+
+        install_adapters(model.lm, bottleneck=4)
+        assert backbone_fingerprint(model.lm) == before
+        remove_adapters(model.lm)
+        assert backbone_fingerprint(model.lm) == before
+
+    def test_sensitive_to_weight_changes(self):
+        model = fresh_peft_model("soft_prompt")
+        before = backbone_fingerprint(model.lm)
+        param = next(iter(model.lm.parameters()))
+        param.data.flat[0] += 1.0
+        assert backbone_fingerprint(model.lm) != before

@@ -247,6 +247,24 @@ class TestFailureContainment:
         assert good.result(timeout=0).probs.shape == (2,)
 
 
+    def test_stop_drain_survives_persistent_pre_batch_failure(
+            self, bundle, pairs):
+        # a failure that precedes batch formation (e.g. a replica's
+        # snapshot/adopt raising) makes no progress on the queue;
+        # stop(drain=True) used to spin on it forever at 100% CPU
+        server = MatchServer(bundle, ServerConfig(max_batch_pairs=4))
+        pending = server.submit(pairs[0])
+
+        def broken_snapshot():
+            raise RuntimeError("adopt failed")
+
+        server._snapshot = broken_snapshot
+        server.stop(drain=True)  # must return, failing the queue
+        with pytest.raises(RuntimeError, match="adopt failed"):
+            pending.result(timeout=1.0)
+        assert server.error_count >= 1
+
+
 class TestContentAddressedCache:
     """Replacing a record under an existing id must never be served a
     stale cached encoding (REVIEW: keys used to be id-only)."""

@@ -1,0 +1,347 @@
+"""TenantRegistry and multi-tenant MatchServer/ServingPool: LRU
+hot-loading, fingerprint pins, bind/fuse bit-identity, and the shared
+encoding-cache regression (a cache hit across a tenant switch must never
+leak another tenant's probabilities)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import apply_peft
+from repro.infer import InferenceEngine
+from repro.lm import load_pretrained
+from repro.obs import telemetry_session
+from repro.parallel.pool import force_serial, fork_available
+from repro.serve import (
+    DeltaBundle, MatchServer, ModelBundle, PoolConfig, ServerConfig,
+    ServingPool, TenantError, TenantRegistry, UnknownTenant,
+)
+
+from .conftest import make_model
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="fork start method unavailable")
+
+
+def fresh_model():
+    # fresh weights per model (disk-cache load), identical bytes -> every
+    # model here shares one backbone fingerprint
+    return make_model(load_pretrained("minilm-tiny"))
+
+
+def make_delta(kind, seed, name, threshold=None):
+    model = fresh_model()
+    apply_peft(model, kind, bottleneck=4, seed=seed)
+    rng = np.random.default_rng(seed)
+    for _, param in model.named_trainable_parameters():
+        param.data[...] += (0.05 * rng.standard_normal(param.data.shape)
+                            ).astype(param.data.dtype)
+    return DeltaBundle.from_model(model, name=name, threshold=threshold)
+
+
+@pytest.fixture(scope="module")
+def tenants_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("tenants")
+    # extreme thresholds make per-tenant decisions observable: t0 can
+    # never predict match, t1 always does
+    make_delta("soft_prompt", 1, "t0", threshold=2.0).save(root / "t0")
+    make_delta("soft_prompt", 2, "t1", threshold=-1.0).save(root / "t1")
+    make_delta("soft_prompt", 3, "t2").save(root / "t2")
+    make_delta("adapter", 4, "ad", threshold=0.5).save(root / "ad")
+    return root
+
+
+def attached_registry(tenants_dir, capacity=8):
+    registry = TenantRegistry(capacity=capacity, tenants_dir=tenants_dir)
+    registry.attach(fresh_model())
+    return registry
+
+
+def offline_probs(tenants_dir, tenant, pairs):
+    """Ground truth: a fresh model with exactly this tenant bound."""
+    registry = attached_registry(tenants_dir)
+    registry.bind(tenant)
+    return InferenceEngine().predict_proba(registry.model, list(pairs))
+
+
+class TestRegistry:
+    def test_load_dir_registers_lazily(self, tenants_dir):
+        registry = TenantRegistry(tenants_dir=tenants_dir)
+        assert registry.tenants() == ["ad", "t0", "t1", "t2"]
+        assert registry.has("t0") and registry.has(None)
+        assert not registry.has("ghost")
+        stats = registry.stats()
+        assert stats["registered"] == 4
+        assert stats["loaded"] == 0  # registration never reads delta.npz
+
+    def test_unknown_tenant(self, tenants_dir):
+        registry = attached_registry(tenants_dir)
+        with pytest.raises(UnknownTenant):
+            registry.entry("ghost")
+
+    def test_lru_eviction_reloads_from_disk(self, tenants_dir):
+        registry = attached_registry(tenants_dir, capacity=2)
+        with telemetry_session() as tel:
+            first = registry.entry("t0")
+            registry.entry("t1")
+            registry.entry("t2")  # capacity 2: evicts t0
+            assert tel.metrics.counter("tenant.loads").value == 3
+            assert tel.metrics.counter("tenant.evictions").value == 1
+            assert registry.stats()["loaded"] == 2
+            again = registry.entry("t0")  # registered path survived
+            assert tel.metrics.counter("tenant.loads").value == 4
+        assert again is not first
+        assert np.array_equal(again.soft_prompt.embeddings.data,
+                              first.soft_prompt.embeddings.data)
+
+    def test_bound_tenant_never_evicted(self, tenants_dir):
+        registry = attached_registry(tenants_dir, capacity=2)
+        with telemetry_session() as tel:
+            registry.bind("t0")
+            registry.entry("t1")
+            registry.entry("t2")  # evicts t1, not the bound t0
+            assert registry.bound == "t0"
+            registry.bind("t0")  # still resident: no reload
+            assert tel.metrics.counter("tenant.loads").value == 3
+
+    def test_fingerprint_pin_mismatch_refused(self, tenants_dir, tmp_path):
+        delta_dir = make_delta("soft_prompt", 9, "alien").save(
+            tmp_path / "alien")
+        manifest_path = delta_dir / "bundle.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["backbone_fingerprint"] = "0" * 40
+        manifest_path.write_text(json.dumps(manifest))
+
+        registry = attached_registry(tenants_dir)
+        registry.register("alien", delta_dir)
+        with pytest.raises(TenantError, match="pinned"):
+            registry.entry("alien")
+
+    def test_threshold_for(self, tenants_dir):
+        registry = attached_registry(tenants_dir)
+        assert registry.threshold_for("t0", 0.5) == 2.0
+        assert registry.threshold_for("t2", 0.5) == 0.5  # delta has none
+        assert registry.threshold_for(None, 0.5) == 0.5
+
+
+class TestBindIdentity:
+    @pytest.mark.parametrize("tenant", ["t0", "ad"])
+    def test_bind_then_unbind_is_bit_identical(self, tenants_dir, pairs,
+                                               tenant):
+        registry = attached_registry(tenants_dir)
+        engine = InferenceEngine()
+        base = engine.predict_proba(registry.model, list(pairs))
+
+        registry.bind(tenant)
+        bound = engine.predict_proba(registry.model, list(pairs))
+        assert not np.array_equal(bound, base)  # the delta actually acts
+        assert np.array_equal(bound,
+                              offline_probs(tenants_dir, tenant, pairs))
+
+        registry.bind(None)
+        assert np.array_equal(
+            engine.predict_proba(registry.model, list(pairs)), base)
+
+    def test_fused_matches_serial_binds(self, tenants_dir, pairs):
+        registry = attached_registry(tenants_dir)
+        engine = InferenceEngine()
+        batch = list(pairs)[:4]
+        tenants = ["t0", "t1", None, "t2"]
+        fused = registry.fused_probs(engine, batch, tenants)
+        # fusion changes the batch composition, so rows agree with a
+        # serial per-tenant bind to float32 accumulation order, while the
+        # fused call itself is deterministic
+        for row, tenant in enumerate(tenants):
+            want = offline_probs(tenants_dir, tenant, [batch[row]])[0]
+            np.testing.assert_allclose(fused[row], want,
+                                       rtol=1e-5, atol=1e-6)
+        again = registry.fused_probs(engine, batch, tenants)
+        assert np.array_equal(fused, again)
+
+    def test_fused_rejects_adapter_tenants(self, tenants_dir, pairs):
+        registry = attached_registry(tenants_dir)
+        assert not registry.fusable("ad")
+        with pytest.raises(TenantError, match="fused"):
+            registry.fused_probs(InferenceEngine(), list(pairs)[:2],
+                                 ["ad", None])
+
+
+def tenant_server(tenants_dir, **config_kwargs):
+    config = ServerConfig(max_batch_pairs=4, token_budget=4096,
+                          record_batches=True, **config_kwargs)
+    bundle = ModelBundle.from_model(fresh_model(), threshold=0.5,
+                                    name="tiny")
+    registry = TenantRegistry(capacity=8, tenants_dir=tenants_dir)
+    return MatchServer(bundle, config, tenants=registry)
+
+
+class TestServerRouting:
+    @pytest.mark.parametrize("fuse", [True, False])
+    def test_mixed_stream_bit_identical_per_tenant(self, tenants_dir,
+                                                   pairs, fuse):
+        """Served probabilities equal an offline replay of the server's
+        own micro-batches with each batch's tenant delta bound (or the
+        same fused call for mixed batches) -- the acceptance contract."""
+        server = tenant_server(tenants_dir, fuse_tenants=fuse)
+        stream = [None, "t0", "t1", "ad"] * 3
+        batch = list(pairs)[:len(stream)]
+        responses = server.score_batch(batch, tenants=stream)
+        for tenant, response in zip(stream, responses):
+            assert response.tenant == tenant  # routing echoed back
+
+        position = {id(pair): i for i, pair in enumerate(batch)}
+        replay = attached_registry(tenants_dir)
+        engine = InferenceEngine()
+        replayed = 0
+        assert server.batch_log
+        for entry in server.batch_log:
+            if len(set(entry["tenants"])) == 1:
+                replay.bind(entry["tenants"][0])
+                probs = engine.predict_proba(replay.model, entry["pairs"])
+            else:
+                assert fuse  # mixed batches only form when fusion is on
+                probs = replay.fused_probs(engine, entry["pairs"],
+                                           entry["tenants"])
+            for row, pair in enumerate(entry["pairs"]):
+                response = responses[position[id(pair)]]
+                assert np.array_equal(response.probs, probs[row])
+                replayed += 1
+        assert replayed == len(batch)
+
+    def test_unknown_tenant_rejected_at_admission(self, tenants_dir,
+                                                  pairs):
+        server = tenant_server(tenants_dir)
+        with pytest.raises(UnknownTenant):
+            server.submit(pairs[0], tenant="ghost")
+        no_registry = MatchServer(
+            ModelBundle.from_model(fresh_model(), threshold=0.5))
+        with pytest.raises(UnknownTenant):
+            no_registry.submit(pairs[0], tenant="t0")
+
+    def test_adapter_tenants_batch_alone(self, tenants_dir, pairs):
+        server = tenant_server(tenants_dir)
+        stream = ["ad", "t0", "ad", "t1", "ad", None] * 2
+        server.score_batch(list(pairs)[:len(stream)], tenants=stream)
+        assert server.batch_log
+        for entry in server.batch_log:
+            seen = set(entry["tenants"])
+            if "ad" in seen:
+                assert seen == {"ad"}, entry["tenants"]
+
+    def test_per_tenant_thresholds_decide(self, tenants_dir, pairs):
+        server = tenant_server(tenants_dir)
+        batch = list(pairs)[:4]
+        never = server.score_batch(batch, tenants=["t0"] * 4)
+        always = server.score_batch(batch, tenants=["t1"] * 4)
+        assert [r.prediction for r in never] == [0] * 4   # threshold 2.0
+        assert [r.prediction for r in always] == [1] * 4  # threshold -1.0
+
+    def test_cache_hits_never_leak_across_tenants(self, tenants_dir,
+                                                  pairs):
+        """The encoding cache is shared (encodings are tenant-independent)
+        but probabilities are tenant-specific: re-scoring a cached pair
+        under another tenant must hit the cache AND produce that tenant's
+        probabilities, not the cached tenant's."""
+        server = tenant_server(tenants_dir)
+        pair = pairs[0]
+        r0 = server.score(pair, tenant="t0")
+        hits_before = server.engine.cache.hits
+        r1 = server.score(pair, tenant="t1")
+        r_base = server.score(pair, tenant=None)
+        assert server.engine.cache.hits >= hits_before + 2  # shared cache
+        assert not np.array_equal(r1.probs, r0.probs)
+        assert not np.array_equal(r_base.probs, r1.probs)
+        for tenant, response in ((None, r_base), ("t0", r0), ("t1", r1)):
+            want = offline_probs(tenants_dir, tenant, [pair])[0]
+            assert np.array_equal(response.probs, want), tenant
+
+    def test_stats_expose_tenants(self, tenants_dir, pairs):
+        server = tenant_server(tenants_dir)
+        server.score(pairs[0], tenant="t0")
+        stats = server.stats()["tenants"]
+        assert stats["registered"] == 4
+        assert stats["loaded"] >= 1
+        assert stats["capacity"] == 8
+
+
+class TestReplicaAdoption:
+    """A bound tenant delta must survive the replica's shared-store
+    adoption cycle.
+
+    Regression: a bound adapter tenant adds parameters to the backbone,
+    and the store's fingerprint check used to refuse every subsequent
+    batch-boundary snapshot -- poisoning the replica (requests after an
+    adapter batch never resolved) and turning stop(drain=True) into a
+    busy loop that outlived the pool."""
+
+    def test_adapter_tenant_survives_snapshot_and_publish(
+            self, tenants_dir, pairs):
+        from repro.serve.pool import ReplicaMatchServer
+        from repro.serve.weights import SharedBundleWeights
+
+        bundle = ModelBundle.from_model(fresh_model(), threshold=0.5,
+                                        name="tiny")
+        store = SharedBundleWeights(bundle.model, replicas=1)
+        store.publish(bundle.model, name="tiny", threshold=0.5)
+        registry = TenantRegistry(capacity=4, tenants_dir=str(tenants_dir))
+        server = ReplicaMatchServer(bundle, ServerConfig(), store, 0,
+                                    tenants=registry)
+        registry.bind("ad")  # adapters now installed on the shared model
+        # steady state (no publish since adoption): the snapshot must
+        # tolerate the adapter-augmented topology and keep the binding
+        _, version = server._snapshot()
+        assert version == 1
+        assert registry.bound == "ad"
+        # a publish re-points every parameter view: the replica unbinds
+        # the tenant first, adopts the new version, and can then re-bind
+        # the tenant and keep serving
+        store.publish(fresh_model(), name="v2", threshold=0.25)
+        snapshot, version = server._snapshot()
+        assert version == 2
+        assert snapshot.threshold == 0.25
+        assert registry.bound is None
+        registry.bind("ad")
+        probs = server.engine.predict_proba(bundle.model, list(pairs)[:2])
+        assert probs.shape == (2, 2)
+        store.close()
+
+
+class TestPoolRouting:
+    def _check_pool(self, pool, tenants_dir, pairs):
+        stream = [None, "t0", "t1", "ad"] * 2
+        batch = list(pairs)[:len(stream)]
+        with pool:
+            responses = pool.score_batch(batch, tenants=stream,
+                                         timeout=60.0)
+            with pytest.raises(UnknownTenant):
+                pool.submit(batch[0], tenant="ghost")
+        by_tenant = {}
+        for pair, tenant, response in zip(batch, stream, responses):
+            assert response.tenant == tenant
+            by_tenant.setdefault(tenant, []).append((pair, response))
+        # replica batch compositions are not observable from the parent,
+        # so the pool check is float32-tolerant; exact per-batch identity
+        # is covered by the MatchServer replay test above
+        for tenant, rows in by_tenant.items():
+            want = offline_probs(tenants_dir, tenant,
+                                 [pair for pair, _ in rows])
+            for row, (_, response) in enumerate(rows):
+                np.testing.assert_allclose(response.probs, want[row],
+                                           rtol=1e-5, atol=1e-6,
+                                           err_msg=str(tenant))
+
+    def test_serial_fallback_routes_tenants(self, tenants_dir, pairs):
+        bundle = ModelBundle.from_model(fresh_model(), threshold=0.5)
+        with force_serial():
+            pool = ServingPool(bundle, PoolConfig(
+                replicas=2, tenants_dir=str(tenants_dir)))
+            self._check_pool(pool, tenants_dir, pairs)
+            assert pool.serial  # set at start, inside force_serial()
+
+    @needs_fork
+    def test_forked_replicas_route_tenants(self, tenants_dir, pairs):
+        bundle = ModelBundle.from_model(fresh_model(), threshold=0.5)
+        pool = ServingPool(bundle, PoolConfig(
+            replicas=2, tenants_dir=str(tenants_dir)))
+        self._check_pool(pool, tenants_dir, pairs)
