@@ -1,0 +1,166 @@
+"""Serving observability overhead benchmark: one request stream, three
+telemetry arms.
+
+The serving observability layer (``docs/OBSERVABILITY.md``) promises two
+things at once: *disabled telemetry is a strict no-op fast path* (within
+the same ~2% budget the training-side ``bench_observability.py`` holds),
+and *enabled telemetry never changes a served byte*. Both are measured
+here by serving the identical pair stream through a fresh
+:class:`repro.serve.MatchServer` under three arms:
+
+* **disabled** -- no telemetry session: the always-on SLO/drift
+  accounting still runs (it is part of the serving path), but every
+  metrics/trace call sites hits the shared null objects;
+* **metrics** -- an in-memory session: registry counters, histograms and
+  drift gauges live, no run log, no request traces;
+* **full** -- a JSONL run log with ``trace=True``: per-request
+  ``TraceContext`` admission, stage timing, stitching, ``serve.trace``
+  events flushed per record.
+
+Every arm gets one untimed warmup sweep (steady-state encoding cache, the
+way a long-lived server runs), then the timed sweeps. The final sweep's
+probabilities are compared bit-for-bit across arms
+(``bit_identical``) -- tracing rides entirely outside the scored path, so
+a single differing byte fails the benchmark's contract.
+"""
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np
+
+from _harness import MODEL_NAME, emit  # noqa: E402
+from repro.core import PromptModel, Verbalizer, make_template  # noqa: E402
+from repro.data import load_dataset  # noqa: E402
+from repro.eval import bench_scale, render_table  # noqa: E402
+from repro.lm import load_pretrained  # noqa: E402
+from repro.obs import telemetry_session  # noqa: E402
+from repro.serve import MatchServer, ModelBundle, ServerConfig  # noqa: E402
+
+#: telemetry arms, in reporting order; "disabled" is the baseline
+ARMS = ("disabled", "metrics", "full")
+
+
+def _serve_sweeps(bundle, pairs, iterations, max_batch_pairs, token_budget):
+    """One fresh server: warmup sweep, then ``iterations`` timed sweeps.
+
+    Returns (elapsed_seconds, responses_of_final_sweep, server).
+    """
+    server = MatchServer(bundle, ServerConfig(
+        max_batch_pairs=max_batch_pairs, token_budget=token_budget,
+        max_queue=max(256, len(pairs))))
+    server.score_batch(pairs)  # warmup: encoding cache, lazy telemetry
+    started = time.perf_counter()
+    for _ in range(iterations - 1):
+        server.score_batch(pairs)
+    responses = server.score_batch(pairs)
+    return time.perf_counter() - started, responses, server
+
+
+def run_obs_overhead(bundle, pairs, iterations=3, max_batch_pairs=32,
+                     token_budget=4096):
+    """Serve the same stream under the three arms; see module docstring.
+
+    Returns a dict with per-arm wall/throughput/overhead, trace counts
+    from the full arm, and the cross-arm ``bit_identical`` verdict.
+    """
+    pairs = list(pairs)
+    arms = {}
+    probs = {}
+    trace_count = 0
+    runlog_records = 0
+    for arm in ARMS:
+        if arm == "disabled":
+            elapsed, responses, server = _serve_sweeps(
+                bundle, pairs, iterations, max_batch_pairs, token_budget)
+        elif arm == "metrics":
+            with telemetry_session():
+                elapsed, responses, server = _serve_sweeps(
+                    bundle, pairs, iterations, max_batch_pairs,
+                    token_budget)
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                with telemetry_session(path=os.path.join(tmp, "s.jsonl"),
+                                       trace=True) as tel:
+                    elapsed, responses, server = _serve_sweeps(
+                        bundle, pairs, iterations, max_batch_pairs,
+                        token_budget)
+                    runlog_records = tel.runlog.records_written
+            tracer = server.request_tracer
+            trace_count = tracer.count if tracer is not None else 0
+            assert all(r.trace is not None for r in responses), \
+                "full arm must attach a stitched tree to every response"
+        probs[arm] = np.stack([response.probs for response in responses])
+        scored = iterations * len(pairs)
+        arms[arm] = {
+            "seconds": elapsed,
+            "requests": scored,
+            "requests_per_sec": scored / elapsed if elapsed > 0 else 0.0,
+        }
+
+    base = arms["disabled"]["seconds"]
+    for arm in ("metrics", "full"):
+        arms[arm]["overhead_pct"] = (
+            100.0 * (arms[arm]["seconds"] - base) / base if base > 0
+            else 0.0)
+
+    bit_identical = all(np.array_equal(probs["disabled"], probs[arm])
+                        for arm in ("metrics", "full"))
+    assert bit_identical, \
+        "telemetry changed a served probability -- contract violation"
+    return {
+        "pairs": len(pairs),
+        "iterations": iterations,
+        "arms": arms,
+        "traced_requests": trace_count,
+        "runlog_records": runlog_records,
+        "bit_identical": bit_identical,
+        "budget_pct": 2.0,
+    }
+
+
+def main() -> None:
+    scale = bench_scale()
+    lm, tok = load_pretrained(MODEL_NAME)
+    template = make_template("t2", tok, max_len=96)
+    model = PromptModel(lm, tok, template, Verbalizer.designed(tok.vocab))
+    model.eval()
+    bundle = ModelBundle.from_model(model, threshold=0.5, name=MODEL_NAME)
+    dataset = load_dataset("REL-HETER")
+    if scale.name == "paper":
+        pairs, iterations = (dataset.train + dataset.test)[:128], 4
+    else:
+        pairs, iterations = dataset.test[:16], 2
+
+    result = run_obs_overhead(bundle, pairs, iterations=iterations)
+    rows = []
+    for arm in ARMS:
+        stats = result["arms"][arm]
+        rows.append([arm, f"{stats['seconds']:.2f}s",
+                     f"{stats['requests_per_sec']:.1f}",
+                     "--" if arm == "disabled"
+                     else f"{stats['overhead_pct']:+.2f}%"])
+    table = render_table(
+        ["Arm", "Wall", "req/s", "Overhead"], rows,
+        title=f"Serving telemetry overhead ({result['pairs']} pairs x "
+              f"{result['iterations']} sweeps, budget "
+              f"{result['budget_pct']:.0f}%, bit_identical="
+              f"{result['bit_identical']})")
+    emit(table, "serving_obs", data=result)
+
+    full_pct = result["arms"]["full"]["overhead_pct"]
+    within = full_pct < result["budget_pct"]
+    print(f"full tracing overhead: {full_pct:+.2f}% "
+          f"({'within' if within else 'OVER'} the "
+          f"{result['budget_pct']:.0f}% budget); "
+          f"{result['traced_requests']} requests traced, "
+          f"{result['runlog_records']} run-log records")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,9 @@ Usage::
     python -m repro.cli run --dataset REL-HETER --telemetry run.jsonl --trace
     python scripts/report_run.py run.jsonl
 
-Sections (each only when the run recorded the events that feed it):
+Thin wrapper around :mod:`repro.obs.report` (also reachable as
+``repro obs-report``), which renders these sections, each only when the
+run recorded the events that feed it:
 
 * **run header**: method, dataset, final P/R/F1 and wall time;
 * **loss curve**: per-epoch training loss and validation F1 from
@@ -18,144 +20,27 @@ Sections (each only when the run recorded the events that feed it):
   ``engine.stats`` events;
 * **worker pool**: per-worker task counts and busy time merged from
   ``pool.map`` events;
+* **request traces**: stage means and sample trace trees from
+  ``serve.trace`` events;
+* **per-tenant SLOs / drift events**: from ``serve.slo`` and
+  ``serve.drift`` events;
 * **per-phase time breakdown**: the span tree with *self* time (wall
-  minus direct children -- parents always include their children).
+  minus direct children); tolerates logs that interleave several span
+  streams (e.g. serving and training events in one file).
 """
 
 import argparse
 import sys
-from collections import defaultdict
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.eval import render_series, render_table  # noqa: E402
 from repro.obs import read_events  # noqa: E402
-
-
-def _by_kind(events):
-    grouped = defaultdict(list)
-    for event in events:
-        grouped[event["kind"]].append(event)
-    return grouped
-
-
-def render_header(grouped) -> str:
-    lines = []
-    for start in grouped.get("run.start", []):
-        lines.append(f"run: {start.get('method', '?')} on "
-                     f"{start.get('dataset', '?')} "
-                     f"(seed {start.get('seed', '?')}, "
-                     f"{start.get('labeled', '?')} labeled / "
-                     f"{start.get('unlabeled', '?')} unlabeled / "
-                     f"{start.get('test', '?')} test)")
-    for summary in grouped.get("run.summary", []):
-        parts = [f"F1={summary['f1']:.1f}"]
-        if "precision" in summary:
-            parts.insert(0, f"P={summary['precision']:.1f}")
-        if "recall" in summary:
-            parts.insert(1, f"R={summary['recall']:.1f}")
-        if "elapsed_seconds" in summary:
-            parts.append(f"in {summary['elapsed_seconds']:.1f}s")
-        lines.append("result: " + " ".join(parts))
-    return "\n".join(lines)
-
-
-def render_loss_curve(grouped) -> str:
-    epochs = grouped.get("trainer.epoch", [])
-    if not epochs:
-        return ""
-    labels = [f"{i}:{e['epoch']}" for i, e in enumerate(epochs)] \
-        if len({e["epoch"] for e in epochs}) != len(epochs) \
-        else [e["epoch"] for e in epochs]
-    series = {"loss": [e["loss"] for e in epochs]}
-    if any(e.get("valid_f1") is not None for e in epochs):
-        series["valid F1"] = [e.get("valid_f1") for e in epochs]
-    return render_series("Loss curve (all fits, in order)", "epoch",
-                         labels, series, decimals=4)
-
-
-def render_throughput(grouped) -> str:
-    epochs = [e for e in grouped.get("trainer.epoch", [])
-              if e.get("tokens_per_sec")]
-    if not epochs:
-        return ""
-    rows = [[i, e["epoch"], e.get("tokens", 0),
-             f"{e['tokens_per_sec']:.0f}",
-             f"{e.get('examples_per_sec', 0.0):.0f}"]
-            for i, e in enumerate(epochs)]
-    return render_table(["#", "epoch", "tokens", "tok/s", "ex/s"], rows,
-                        title="Throughput")
-
-
-def render_self_training(grouped) -> str:
-    rounds = grouped.get("selftrain.round", [])
-    if not rounds:
-        return ""
-    rows = [[r["iteration"], f"{r['teacher_f1']:.3f}",
-             f"{r.get('student_f1', 0.0):.3f}", r["pseudo_added"],
-             r.get("pseudo_positive", "?"), r.get("pruned", 0),
-             r.get("train_size", "?")]
-            for r in rounds]
-    return render_table(
-        ["iter", "teacher F1", "student F1", "pseudo", "+", "pruned",
-         "train"], rows, title="Self-training rounds")
-
-
-def render_engine(grouped) -> str:
-    stats = grouped.get("engine.stats", [])
-    if not stats:
-        return ""
-    rows = [[s.get("scope", "?"), s.get("pairs", 0), s.get("batches", 0),
-             f"{s.get('pairs_per_sec', 0.0):.0f}",
-             f"{s.get('cache_hit_rate', 0.0):.1%}",
-             f"{s.get('padding_fraction', 0.0):.1%}"]
-            for s in stats]
-    return render_table(
-        ["scope", "pairs", "batches", "pairs/s", "cache hit", "padding"],
-        rows, title="Inference engine")
-
-
-def render_pool(grouped) -> str:
-    maps = grouped.get("pool.map", [])
-    if not maps:
-        return ""
-    tasks = defaultdict(int)
-    busy = defaultdict(float)
-    for record in maps:
-        for row in record.get("per_worker", []):
-            tasks[row["worker"]] += row["tasks"]
-            busy[row["worker"]] += row["seconds"]
-    rows = [[w, tasks[w], f"{busy[w]:.2f}s"] for w in sorted(tasks)]
-    rows.append(["total", sum(tasks.values()),
-                 f"{sum(busy.values()):.2f}s"])
-    return render_table(["worker", "tasks", "busy"], rows,
-                        title=f"Worker pool ({len(maps)} map calls)")
-
-
-def render_phases(grouped) -> str:
-    spans = sorted(grouped.get("span", []), key=lambda s: s["index"])
-    if not spans:
-        return ""
-    child_wall = defaultdict(float)
-    for span in spans:
-        if span.get("parent") is not None:
-            child_wall[span["parent"]] += span["wall"]
-    rows = [[("  " * s["depth"]) + s["name"], f"{s['wall']:.3f}s",
-             f"{max(s['wall'] - child_wall[s['index']], 0.0):.3f}s",
-             f"{s['cpu']:.3f}s"]
-            for s in spans]
-    return render_table(["Phase", "Wall", "Self", "CPU"], rows,
-                        title="Per-phase time breakdown")
-
-
-def render_report(events) -> str:
-    grouped = _by_kind(events)
-    sections = [render_header(grouped), render_loss_curve(grouped),
-                render_throughput(grouped), render_self_training(grouped),
-                render_engine(grouped), render_pool(grouped),
-                render_phases(grouped)]
-    return "\n\n".join(s for s in sections if s)
+from repro.obs.report import (  # noqa: E402,F401  (re-exported)
+    group_events, render_drift, render_engine, render_header,
+    render_loss_curve, render_phases, render_pool, render_report,
+    render_self_training, render_slo, render_throughput, render_traces,
+)
 
 
 def main(argv=None) -> int:

@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
         --dataset REL-HETER --out tenants/rel-heter
     python -m repro.cli serve --bundle bundle_dir --tenants tenants
     python -m repro.cli bundle-info tenants/rel-heter
+    python -m repro.cli serve --bundle bundle_dir --telemetry s.jsonl --trace
+    python -m repro.cli obs-report s.jsonl
 
 The ``repro`` console script (``[project.scripts]`` in pyproject.toml)
 maps to :func:`main`, so ``repro serve ...`` works after installation.
@@ -43,12 +45,38 @@ def _telemetry(args: argparse.Namespace):
     return telemetry_session(path=path, trace=trace)
 
 
-def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+def _add_telemetry_flags(parser: argparse.ArgumentParser,
+                         serving: bool = False) -> None:
+    if serving:
+        # same flags, same session semantics as run/pretrain -- only the
+        # help text says what they mean for a serving process
+        parser.add_argument(
+            "--telemetry", metavar="PATH", default=None,
+            help="write structured JSONL serving telemetry here (request "
+                 "traces, drift events, metrics snapshots; render with "
+                 "'repro obs-report PATH')")
+        parser.add_argument(
+            "--trace", action="store_true",
+            help="trace requests end to end: admission -> queue -> batch "
+                 "-> forward -> respond spans per request, stitched "
+                 "across pool replicas")
+        return
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="write structured JSONL run telemetry here")
     parser.add_argument("--trace", action="store_true",
                         help="record hierarchical spans and print a "
                              "per-phase time breakdown")
+
+
+def _emit_serve_slo(tel, server) -> None:
+    """Write the final per-tenant SLO snapshot as one ``serve.slo`` event
+    so ``repro obs-report`` can render the SLO table from the log alone."""
+    snapshot_fn = getattr(server, "slo_snapshot", None)
+    if not getattr(tel, "enabled", False) or not callable(snapshot_fn):
+        return
+    slo = snapshot_fn().get("slo") or {}
+    if slo.get("tenants"):
+        tel.event("serve.slo", **slo)
 
 
 def _print_trace_summary(tel) -> None:
@@ -323,6 +351,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         encoder = RecordEncoder(model_name=args.encoder_model)
 
+    from .obs.serving import (
+        DriftConfig, DriftMonitor, SloObjectives, SloTracker,
+    )
+
+    slo = SloTracker(SloObjectives(latency_s=args.slo_latency_ms / 1000.0,
+                                   latency_quantile=args.slo_quantile))
+    drift = DriftMonitor(DriftConfig(psi_threshold=args.drift_psi,
+                                     reference_size=args.drift_window,
+                                     window=args.drift_window))
+
     if args.replicas > 0:
         # replicated pool: shared-memory weights, sharded catalog; the
         # catalog is journaled before start so every replica forks with it
@@ -334,7 +372,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                        server=config, tenants_dir=args.tenants,
                        tenant_capacity=args.tenant_capacity),
             encoder=encoder, dense_kind=args.ann or "ivf",
-            dense_seed=args.seed, candidate_mode=args.blocker)
+            dense_seed=args.seed, candidate_mode=args.blocker,
+            slo=slo, drift=drift)
         if args.catalog:
             added = server.catalog_add(_load_catalog(args.catalog))
             print(f"indexed {added} catalog records from {args.catalog} "
@@ -357,7 +396,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = MatchServer(bundle, config, index=index,
                              dense_index=dense_index,
                              candidate_mode=args.blocker,
-                             tenants=tenants)
+                             tenants=tenants, slo=slo, drift=drift)
 
     stop_event = threading.Event()
 
@@ -398,6 +437,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 if stop_event.is_set():
                     print("stopped on signal after draining",
                           file=sys.stderr)
+                _emit_serve_slo(tel, server)
                 _print_trace_summary(tel)
                 return 0
             http = MatchHTTPServer(server, host=args.host, port=args.port,
@@ -426,11 +466,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 http.shutdown()
             if stop_event.is_set():
                 print("shut down gracefully on signal", file=sys.stderr)
+            _emit_serve_slo(tel, server)
             _print_trace_summary(tel)
         return 0
     finally:
         signal.signal(signal.SIGTERM, previous_handlers[0])
         signal.signal(signal.SIGINT, previous_handlers[1])
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """Render a telemetry JSONL into the sectioned observability report
+    (training and serving events alike; see repro.obs.report)."""
+    import json
+
+    from .obs import read_events
+    from .obs.report import render_report
+
+    events = read_events(args.path, validate=False)
+    if not events:
+        print(f"{args.path}: no events", file=sys.stderr)
+        return 1
+    if args.kind:
+        for event in events:
+            if event["kind"] == args.kind:
+                print(json.dumps(event, sort_keys=True))
+        return 0
+    print(render_report(events, trace_samples=args.traces))
+    return 0
 
 
 def _cmd_ann_index(args: argparse.Namespace) -> int:
@@ -615,7 +677,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-fuse-tenants", action="store_true",
                        help="disable mixed-tenant micro-batch fusion "
                             "(fall back to same-tenant-only batches)")
-    _add_telemetry_flags(serve)
+    serve.add_argument("--slo-latency-ms", type=float, default=250.0,
+                       help="per-tenant latency objective: the SLO "
+                            "quantile of end-to-end request latency must "
+                            "stay under this (reported by GET /slo)")
+    serve.add_argument("--slo-quantile", type=float, default=0.95,
+                       help="which latency quantile the objective bounds")
+    serve.add_argument("--drift-psi", type=float, default=0.2,
+                       help="PSI threshold for the served score-"
+                            "distribution drift monitor (raises a "
+                            "serve.drift event and flips the "
+                            "serve.drift.active gauge)")
+    serve.add_argument("--drift-window", type=int, default=256,
+                       help="rolling window (and reference size) of the "
+                            "drift monitor, in served scores per tenant")
+    _add_telemetry_flags(serve, serving=True)
 
     tune = sub.add_parser(
         "tune", help="parameter-efficient tenant tuning: train a soft "
@@ -682,6 +758,20 @@ def build_parser() -> argparse.ArgumentParser:
     ann.add_argument("--max-len", type=int, default=48,
                      help="encoder truncation length")
     _add_telemetry_flags(ann)
+
+    report = sub.add_parser(
+        "obs-report",
+        help="summarize a --telemetry JSONL: loss curves and span trees "
+             "for training runs, request traces / SLO table / drift "
+             "events for serving sessions")
+    report.add_argument("path", help="telemetry JSONL written by "
+                                     "--telemetry on any command")
+    report.add_argument("--kind", default=None,
+                        help="dump raw events of one kind instead of "
+                             "rendering the report")
+    report.add_argument("--traces", type=int, default=3,
+                        help="sample request-trace trees to print in the "
+                             "traces section")
     return parser
 
 
@@ -694,6 +784,7 @@ _COMMANDS = {
     "ann-index": _cmd_ann_index,
     "tune": _cmd_tune,
     "bundle-info": _cmd_bundle_info,
+    "obs-report": _cmd_obs_report,
 }
 
 

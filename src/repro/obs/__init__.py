@@ -17,12 +17,17 @@ Enable with :func:`telemetry_session` (the CLI's ``--telemetry out.jsonl``
 ``scripts/report_run.py``. See ``docs/OBSERVABILITY.md``.
 """
 
+from .merge import merge_metric, merge_snapshots
 from .registry import (
     DEFAULT_BUCKETS, NULL_REGISTRY, Counter, EwmaTimer, Gauge, Histogram,
     MetricsRegistry, NullMetric, NullRegistry, QuantileSketch,
 )
 from .resources import (
     ResourceMeter, ResourceReport, format_bytes, format_seconds,
+)
+from .serving import (
+    TRACE_STAGES, DriftConfig, DriftMonitor, RequestTracer, SloObjectives,
+    SloTracker, TraceContext, format_trace, stitch_trace,
 )
 from .runlog import (
     EVENT_FIELDS, SCHEMA_VERSION, VOLATILE_FIELDS, RunLog, is_volatile_field,
@@ -52,4 +57,10 @@ __all__ = [
     "fingerprint_digest",
     # resources (moved from repro.eval.resources)
     "ResourceMeter", "ResourceReport", "format_seconds", "format_bytes",
+    # snapshot merging (pool-wide /metrics)
+    "merge_snapshots", "merge_metric",
+    # serving observability
+    "TraceContext", "RequestTracer", "stitch_trace", "format_trace",
+    "TRACE_STAGES", "SloObjectives", "SloTracker", "DriftConfig",
+    "DriftMonitor",
 ]

@@ -303,7 +303,7 @@ class NullRegistry:
     def timer(self, name: str, alpha: float = 0.2) -> NullMetric:
         return _NULL_METRIC
 
-    def snapshot(self) -> dict:
+    def snapshot(self, include_samples: bool = False) -> dict:
         return {}
 
     def reset(self) -> None:
@@ -362,10 +362,21 @@ class MetricsRegistry:
     def names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._metrics))
 
-    def snapshot(self) -> Dict[str, dict]:
-        """All metrics as plain JSON-able dicts, sorted by name."""
-        return {name: self._metrics[name].snapshot()
-                for name in sorted(self._metrics)}
+    def snapshot(self, include_samples: bool = False) -> Dict[str, dict]:
+        """All metrics as plain JSON-able dicts, sorted by name.
+
+        ``include_samples=True`` attaches each quantile sketch's raw
+        reservoir (``"samples"``) so a pool parent can merge sketches
+        from many processes exactly (see :mod:`repro.obs.merge`).
+        """
+        out: Dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            snap = metric.snapshot()
+            if include_samples and metric.kind == "quantiles":
+                snap["samples"] = list(metric._samples)
+            out[name] = snap
+        return out
 
     def reset(self) -> None:
         self._metrics.clear()

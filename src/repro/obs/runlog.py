@@ -47,6 +47,10 @@ EVENT_FIELDS: Dict[str, tuple] = {
     "engine.stats": ("pairs", "batches", "cache_hit_rate"),
     # worker pool
     "pool.map": ("tasks", "workers", "per_worker"),
+    # serving
+    "serve.trace": ("request_id", "spans"),
+    "serve.drift": ("tenant", "drift_kind"),
+    "serve.slo": ("tenants",),
 }
 
 #: field names whose values are wall-clock or process-identity derived and

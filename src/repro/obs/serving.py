@@ -1,0 +1,551 @@
+"""Serving-side observability: request traces, SLO tracking, score drift.
+
+Three layers, all designed around the serving stack's process split (the
+router and its forked replicas) and its determinism contract (telemetry
+must never touch rng or change served outputs):
+
+* **request tracing** -- a :class:`TraceContext` is attached at admission
+  and carried with the in-flight request; replica-side stage timings ride
+  back on the existing result pipes and :func:`stitch_trace` assembles the
+  parent-side trace tree (admission -> queue -> batch -> forward ->
+  respond). :class:`RequestTracer` keeps a bounded ring of finished trees
+  plus running per-stage aggregates for ``repro obs-report``;
+* **SLO tracking** -- :class:`SloTracker` maintains per-tenant rolling
+  latency windows and error/shed totals against a configurable
+  :class:`SloObjectives`, cheap enough to stay always-on;
+* **drift monitoring** -- :class:`DriftMonitor` captures a fixed-bucket
+  reference histogram of served match probabilities per tenant (bootstrapped
+  from the first scores after a bundle/delta load, or set explicitly),
+  compares a rolling window against it via PSI (population stability
+  index) and tracks a match-rate EWMA. Crossing a threshold fires a
+  rising-edge ``serve.drift`` event -- the hook ROADMAP's continual-
+  learning gate will read.
+
+Everything here is pure bookkeeping over values the serving path already
+computed: no randomness, no mutation of inputs, so enabling it cannot
+change a single served probability.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TraceContext", "RequestTracer", "stitch_trace", "format_trace",
+    "TRACE_STAGES",
+    "SloObjectives", "SloTracker",
+    "DriftConfig", "DriftMonitor",
+]
+
+#: a tenant key of ``None`` (base-model traffic) tracks under this label
+BASE_TENANT = "_base"
+
+#: the fixed stage order of a stitched request trace
+TRACE_STAGES = ("admission", "queue", "batch", "forward", "respond")
+
+
+def _tenant_label(tenant: Optional[str]) -> str:
+    return tenant if tenant is not None else BASE_TENANT
+
+
+# ---------------------------------------------------------------------------
+# request tracing
+# ---------------------------------------------------------------------------
+
+_REQUEST_IDS = itertools.count(1)
+
+
+@dataclass
+class TraceContext:
+    """Identity + router-side timestamps of one in-flight request.
+
+    Created at admission (before dispatch) and carried alongside the
+    request's pending slot; replicas never see it -- their stage timings
+    travel back on the result pipe and are stitched in by the parent.
+    """
+
+    request_id: str
+    tenant: Optional[str] = None
+    t_admit: float = 0.0
+    t_dispatch: float = 0.0
+    replica: Optional[int] = None
+
+    @classmethod
+    def admit(cls, tenant: Optional[str] = None,
+              now: Optional[float] = None) -> "TraceContext":
+        return cls(request_id=f"r{next(_REQUEST_IDS):06d}", tenant=tenant,
+                   t_admit=time.perf_counter() if now is None else now)
+
+    def dispatched(self, replica: Optional[int] = None,
+                   now: Optional[float] = None) -> None:
+        self.t_dispatch = time.perf_counter() if now is None else now
+        self.replica = replica
+
+
+def stitch_trace(ctx: TraceContext, *,
+                 t_done: Optional[float] = None,
+                 queue_seconds: float = 0.0,
+                 batch_seconds: float = 0.0,
+                 forward_seconds: float = 0.0,
+                 forward_cpu_seconds: Optional[float] = None,
+                 batch_id: Optional[int] = None,
+                 batch_size: Optional[int] = None,
+                 replica: Optional[int] = None) -> dict:
+    """Assemble the parent-side trace tree for one finished request.
+
+    The tree is a root ``request`` span with one child per stage in
+    :data:`TRACE_STAGES`. ``admission`` is router-side time between admit
+    and dispatch; ``queue``/``batch``/``forward`` are replica-reported;
+    ``respond`` absorbs the remainder (pipe transit + merge), clamped at
+    zero so replica/parent clock skew cannot produce negative spans.
+    """
+    if t_done is None:
+        t_done = time.perf_counter()
+    dispatch = ctx.t_dispatch if ctx.t_dispatch else ctx.t_admit
+    admission = max(dispatch - ctx.t_admit, 0.0)
+    total = max(t_done - ctx.t_admit, 0.0)
+    accounted = admission + queue_seconds + batch_seconds + forward_seconds
+    respond = max(total - accounted, 0.0)
+    stage_wall = {
+        "admission": admission,
+        "queue": max(queue_seconds, 0.0),
+        "batch": max(batch_seconds, 0.0),
+        "forward": max(forward_seconds, 0.0),
+        "respond": respond,
+    }
+    spans = []
+    for name in TRACE_STAGES:
+        span = {"name": name, "wall": stage_wall[name]}
+        if name == "forward" and forward_cpu_seconds is not None:
+            span["cpu"] = max(forward_cpu_seconds, 0.0)
+        spans.append(span)
+    tree = {
+        "request_id": ctx.request_id,
+        "tenant": _tenant_label(ctx.tenant),
+        "replica": replica if replica is not None else ctx.replica,
+        "wall": total,
+        "spans": spans,
+    }
+    if batch_id is not None:
+        tree["batch_id"] = batch_id
+    if batch_size is not None:
+        tree["batch_size"] = batch_size
+    return tree
+
+
+def format_trace(tree: dict) -> List[str]:
+    """Render one stitched trace tree as indented text lines."""
+    head = (f"request {tree.get('request_id', '?')}"
+            f"  tenant={tree.get('tenant', BASE_TENANT)}")
+    replica = tree.get("replica")
+    if replica is not None:
+        head += f"  replica={replica}"
+    if tree.get("batch_id") is not None:
+        head += (f"  batch={tree['batch_id']}"
+                 f"(n={tree.get('batch_size', '?')})")
+    head += f"  wall={tree.get('wall', 0.0) * 1000:.2f}ms"
+    lines = [head]
+    total = tree.get("wall", 0.0) or 0.0
+    for span in tree.get("spans", ()):
+        wall = span.get("wall", 0.0)
+        share = (wall / total * 100.0) if total > 0 else 0.0
+        line = f"  {span.get('name', '?'):<10s} {wall * 1000:8.3f}ms  {share:5.1f}%"
+        if "cpu" in span:
+            line += f"  cpu={span['cpu'] * 1000:.3f}ms"
+        lines.append(line)
+    return lines
+
+
+class RequestTracer:
+    """Bounded ring of stitched traces plus running per-stage aggregates.
+
+    The ring keeps the most recent ``capacity`` trees (for samples in
+    reports and admin routes); the aggregates cover *every* recorded
+    request so pool-lifetime stage means stay exact after the ring wraps.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._ring: Deque[dict] = deque(maxlen=int(capacity))
+        self.count = 0
+        self._stage_wall = {name: 0.0 for name in TRACE_STAGES}
+        self._total_wall = 0.0
+        self._by_replica: Dict[str, int] = {}
+        self._by_tenant: Dict[str, int] = {}
+
+    def record(self, tree: dict) -> None:
+        self._ring.append(tree)
+        self.count += 1
+        self._total_wall += tree.get("wall", 0.0)
+        for span in tree.get("spans", ()):
+            name = span.get("name")
+            if name in self._stage_wall:
+                self._stage_wall[name] += span.get("wall", 0.0)
+        replica = tree.get("replica")
+        rkey = str(replica) if replica is not None else "-"
+        self._by_replica[rkey] = self._by_replica.get(rkey, 0) + 1
+        tkey = tree.get("tenant", BASE_TENANT)
+        self._by_tenant[tkey] = self._by_tenant.get(tkey, 0) + 1
+
+    def recent(self, n: int = 20) -> List[dict]:
+        if n <= 0:
+            return []
+        return list(self._ring)[-n:]
+
+    def aggregate(self) -> dict:
+        """Lifetime stage means (seconds) and attribution counts."""
+        count = self.count
+        return {
+            "requests": count,
+            "mean_wall_seconds": self._total_wall / count if count else 0.0,
+            "stage_mean_seconds": {
+                name: (self._stage_wall[name] / count if count else 0.0)
+                for name in TRACE_STAGES},
+            "by_replica": dict(sorted(self._by_replica.items())),
+            "by_tenant": dict(sorted(self._by_tenant.items())),
+        }
+
+    def snapshot(self, samples: int = 5) -> dict:
+        snap = self.aggregate()
+        snap["samples"] = self.recent(samples)
+        return snap
+
+
+# ---------------------------------------------------------------------------
+# per-tenant SLOs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SloObjectives:
+    """Targets a tenant's served traffic is held against.
+
+    ``latency_s`` bounds the ``latency_quantile``-quantile of end-to-end
+    request latency over the rolling window; error and shed rates are
+    lifetime ratios.
+    """
+
+    latency_s: float = 0.25
+    latency_quantile: float = 0.95
+    max_error_rate: float = 0.01
+    max_shed_rate: float = 0.05
+    window: int = 512
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.latency_quantile < 1.0:
+            raise ValueError("latency_quantile must be in (0, 1)")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+
+class _TenantSlo:
+    __slots__ = ("latencies", "requests", "errors", "sheds")
+
+    def __init__(self, window: int) -> None:
+        self.latencies: Deque[float] = deque(maxlen=window)
+        self.requests = 0
+        self.errors = 0
+        self.sheds = 0
+
+
+class SloTracker:
+    """Per-tenant latency/error/shed bookkeeping against objectives.
+
+    Pure accounting over latencies the serving path already measured --
+    always-on, no rng, no effect on served outputs. ``None`` tenants
+    (base-model traffic) track under :data:`BASE_TENANT`.
+    """
+
+    def __init__(self, objectives: Optional[SloObjectives] = None) -> None:
+        self.objectives = objectives or SloObjectives()
+        self._tenants: Dict[str, _TenantSlo] = {}
+
+    def _state(self, tenant: Optional[str]) -> _TenantSlo:
+        label = _tenant_label(tenant)
+        state = self._tenants.get(label)
+        if state is None:
+            state = _TenantSlo(self.objectives.window)
+            self._tenants[label] = state
+        return state
+
+    def observe(self, tenant: Optional[str], latency_s: float) -> None:
+        state = self._state(tenant)
+        state.requests += 1
+        state.latencies.append(float(latency_s))
+
+    def observe_error(self, tenant: Optional[str], n: int = 1) -> None:
+        self._state(tenant).errors += n
+
+    def observe_shed(self, tenant: Optional[str], n: int = 1) -> None:
+        self._state(tenant).sheds += n
+
+    @staticmethod
+    def _quantile(values: Sequence[float], q: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        rank = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        obj = self.objectives
+        tenants = {}
+        for label in sorted(self._tenants):
+            state = self._tenants[label]
+            served = state.requests
+            attempted = served + state.errors + state.sheds
+            latency_q = self._quantile(state.latencies, obj.latency_quantile)
+            error_rate = state.errors / attempted if attempted else 0.0
+            shed_rate = state.sheds / attempted if attempted else 0.0
+            latency_ok = (not state.latencies) or latency_q <= obj.latency_s
+            error_ok = error_rate <= obj.max_error_rate
+            shed_ok = shed_rate <= obj.max_shed_rate
+            tenants[label] = {
+                "requests": served,
+                "errors": state.errors,
+                "sheds": state.sheds,
+                "error_rate": error_rate,
+                "shed_rate": shed_rate,
+                "latency_window": len(state.latencies),
+                "latency_q_seconds": latency_q,
+                "latency_mean_seconds": (sum(state.latencies)
+                                         / len(state.latencies)
+                                         if state.latencies else 0.0),
+                "latency_ok": latency_ok,
+                "error_ok": error_ok,
+                "shed_ok": shed_ok,
+                "ok": latency_ok and error_ok and shed_ok,
+            }
+        return {
+            "objectives": {
+                "latency_s": obj.latency_s,
+                "latency_quantile": obj.latency_quantile,
+                "max_error_rate": obj.max_error_rate,
+                "max_shed_rate": obj.max_shed_rate,
+                "window": obj.window,
+            },
+            "tenants": tenants,
+        }
+
+
+# ---------------------------------------------------------------------------
+# score-distribution drift
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Knobs of the streaming score-distribution monitor.
+
+    Scores are match probabilities in ``[0, 1]``, binned into ``buckets``
+    equal-width buckets. The first ``reference_size`` scores after a
+    (re)load bootstrap the reference histogram unless one is set
+    explicitly; the trailing ``window`` scores form the comparison
+    window. PSI above ``psi_threshold`` or a match-rate EWMA further than
+    ``match_rate_tolerance`` (absolute) from the reference rate trips the
+    monitor.
+    """
+
+    buckets: int = 10
+    reference_size: int = 256
+    window: int = 256
+    psi_threshold: float = 0.2
+    match_rate_alpha: float = 0.05
+    match_rate_tolerance: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.buckets < 2:
+            raise ValueError("need at least 2 buckets")
+        if self.reference_size < 1 or self.window < 1:
+            raise ValueError("reference_size and window must be >= 1")
+
+
+class _TenantDrift:
+    __slots__ = ("version", "ref_counts", "ref_total", "ref_matches",
+                 "ref_match_total", "window", "win_counts", "ewma",
+                 "ewma_ready", "psi", "reasons")
+
+    def __init__(self, buckets: int, window: int,
+                 version: Optional[str]) -> None:
+        self.version = version
+        self.ref_counts = [0] * buckets
+        self.ref_total = 0
+        self.ref_matches = 0
+        self.ref_match_total = 0
+        self.window: Deque[int] = deque(maxlen=window)
+        self.win_counts = [0] * buckets
+        self.ewma = 0.0
+        self.ewma_ready = False
+        self.psi = 0.0
+        self.reasons: Tuple[str, ...] = ()
+
+
+class DriftMonitor:
+    """Streaming PSI + match-rate EWMA per tenant, keyed by model version.
+
+    ``observe`` takes a batch of served probabilities (and the matching
+    0/1 predictions), updates the tenant's reference-or-window state and
+    returns the list of drift events that *newly* fired -- rising-edge
+    only, so a sustained shift produces one event, not one per batch. A
+    version change (bundle hot swap, delta reload) resets the tenant and
+    bootstraps a fresh reference.
+    """
+
+    _EPS = 1e-4
+
+    def __init__(self, config: Optional[DriftConfig] = None) -> None:
+        self.config = config or DriftConfig()
+        self._tenants: Dict[str, _TenantDrift] = {}
+
+    # -- state ----------------------------------------------------------
+    def _state(self, tenant: Optional[str],
+               version: Optional[str]) -> _TenantDrift:
+        label = _tenant_label(tenant)
+        state = self._tenants.get(label)
+        if state is None or state.version != version:
+            state = _TenantDrift(self.config.buckets, self.config.window,
+                                 version)
+            self._tenants[label] = state
+        return state
+
+    def _bucket(self, score: float) -> int:
+        buckets = self.config.buckets
+        idx = int(score * buckets)
+        return min(max(idx, 0), buckets - 1)
+
+    def set_reference(self, tenant: Optional[str],
+                      scores: Sequence[float],
+                      matches: Optional[Sequence[int]] = None,
+                      version: Optional[str] = None) -> None:
+        """Install an explicit reference distribution (e.g. from the
+        validation scores captured at bundle/delta load)."""
+        state = self._state(tenant, version)
+        state.ref_counts = [0] * self.config.buckets
+        state.ref_total = 0
+        state.ref_matches = 0
+        state.ref_match_total = 0
+        for i, score in enumerate(scores):
+            state.ref_counts[self._bucket(float(score))] += 1
+            state.ref_total += 1
+            if matches is not None:
+                state.ref_matches += int(matches[i])
+                state.ref_match_total += 1
+
+    # -- observation ----------------------------------------------------
+    def observe(self, tenant: Optional[str],
+                scores: Sequence[float],
+                matches: Optional[Sequence[int]] = None,
+                version: Optional[str] = None) -> List[dict]:
+        state = self._state(tenant, version)
+        cfg = self.config
+        for i, raw in enumerate(scores):
+            bucket = self._bucket(float(raw))
+            match = int(matches[i]) if matches is not None else 0
+            if state.ref_total < cfg.reference_size:
+                # still bootstrapping the post-load reference
+                state.ref_counts[bucket] += 1
+                state.ref_total += 1
+                if matches is not None:
+                    state.ref_matches += match
+                    state.ref_match_total += 1
+                continue
+            if len(state.window) == state.window.maxlen:
+                state.win_counts[state.window[0]] -= 1
+            state.window.append(bucket)
+            state.win_counts[bucket] += 1
+            if matches is not None:
+                if state.ewma_ready:
+                    state.ewma = (cfg.match_rate_alpha * match
+                                  + (1 - cfg.match_rate_alpha) * state.ewma)
+                else:
+                    ref_rate = (state.ref_matches / state.ref_match_total
+                                if state.ref_match_total else float(match))
+                    state.ewma = ref_rate
+                    state.ewma_ready = True
+                    state.ewma = (cfg.match_rate_alpha * match
+                                  + (1 - cfg.match_rate_alpha) * state.ewma)
+        return self._check(_tenant_label(tenant), state)
+
+    # -- evaluation -----------------------------------------------------
+    def _psi(self, state: _TenantDrift) -> float:
+        eps = self._EPS
+        total_ref = state.ref_total
+        total_win = len(state.window)
+        psi = 0.0
+        for ref_count, win_count in zip(state.ref_counts, state.win_counts):
+            p = max(ref_count / total_ref, eps)
+            q = max(win_count / total_win, eps)
+            psi += (q - p) * math.log(q / p)
+        return psi
+
+    def _check(self, label: str, state: _TenantDrift) -> List[dict]:
+        cfg = self.config
+        if state.ref_total < cfg.reference_size or not state.window:
+            return []
+        window_full = len(state.window) == state.window.maxlen
+        reasons = []
+        state.psi = self._psi(state)
+        if window_full and state.psi > cfg.psi_threshold:
+            reasons.append("psi")
+        if (window_full and state.ewma_ready and state.ref_match_total
+                and abs(state.ewma - state.ref_matches
+                        / state.ref_match_total) > cfg.match_rate_tolerance):
+            reasons.append("match_rate")
+        fired = [reason for reason in reasons if reason not in state.reasons]
+        state.reasons = tuple(reasons)
+        events = []
+        for reason in fired:
+            # field is "drift_kind", not "kind": these dicts become the
+            # payload of a "serve.drift" RunLog event whose envelope
+            # already owns the "kind" key
+            event = {"tenant": label, "drift_kind": reason, "psi": state.psi,
+                     "psi_threshold": cfg.psi_threshold}
+            if reason == "match_rate":
+                event["match_rate_ewma"] = state.ewma
+                event["reference_match_rate"] = (state.ref_matches
+                                                 / state.ref_match_total)
+            events.append(event)
+        return events
+
+    # -- introspection --------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return any(state.reasons for state in self._tenants.values())
+
+    def snapshot(self) -> dict:
+        cfg = self.config
+        tenants = {}
+        for label in sorted(self._tenants):
+            state = self._tenants[label]
+            tenants[label] = {
+                "version": state.version,
+                "reference_size": state.ref_total,
+                "reference_ready": state.ref_total >= cfg.reference_size,
+                "reference_match_rate": (state.ref_matches
+                                         / state.ref_match_total
+                                         if state.ref_match_total else None),
+                "window_fill": len(state.window),
+                "psi": state.psi,
+                "match_rate_ewma": (state.ewma if state.ewma_ready
+                                    else None),
+                "active": bool(state.reasons),
+                "reasons": list(state.reasons),
+            }
+        return {
+            "config": {
+                "buckets": cfg.buckets,
+                "reference_size": cfg.reference_size,
+                "window": cfg.window,
+                "psi_threshold": cfg.psi_threshold,
+                "match_rate_alpha": cfg.match_rate_alpha,
+                "match_rate_tolerance": cfg.match_rate_tolerance,
+            },
+            "active": self.active,
+            "tenants": tenants,
+        }

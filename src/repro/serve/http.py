@@ -22,10 +22,16 @@ Two transports over one JSON protocol:
   - ``POST /admin/candidates``  ``{"mode": "sparse" | "dense"}`` -- flip
     the candidate generator match queries use (pool-wide when serving a
     :class:`~repro.serve.pool.ServingPool`)
-  - ``GET /stats`` and ``GET /healthz``
-  - ``GET /metrics`` -- the active :class:`repro.obs.MetricsRegistry`
-    snapshot as JSON (gated exactly like ``/admin/*``: metric names and
-    latency distributions are operational detail, not public surface)
+  - ``GET /stats`` and ``GET /healthz`` -- ``/healthz`` is ungated and
+    cheap (bundle version, catalog size, replica liveness/outstanding,
+    tenant occupancy; no scoring, no scatter), sized for LB probes
+  - ``GET /metrics`` -- the observability snapshot as JSON (gated exactly
+    like ``/admin/*``: metric names and latency distributions are
+    operational detail, not public surface). Against a
+    :class:`~repro.serve.pool.ServingPool` this is the *pool-wide* merged
+    view (router + every replica registry) with per-source snapshots
+  - ``GET /slo`` -- per-tenant SLO compliance, drift-monitor state and
+    request-trace aggregates (gated like ``/admin/*``)
 
 Both transports are duck-typed over the server argument: a
 :class:`~repro.serve.server.MatchServer` and a
@@ -69,7 +75,7 @@ class ProtocolError(ValueError):
 # JSON codec
 # ----------------------------------------------------------------------
 def score_response_to_dict(response: ScoreResponse) -> dict:
-    return {
+    body = {
         "status": "ok",
         "op": "score",
         "probs": [float(p) for p in response.probs],
@@ -82,6 +88,9 @@ def score_response_to_dict(response: ScoreResponse) -> dict:
         "replica": response.replica,
         "tenant": response.tenant,
     }
+    if response.trace is not None:  # observability metadata, --trace only
+        body["trace"] = response.trace
+    return body
 
 
 def match_response_to_dict(response: MatchResponse) -> dict:
@@ -250,8 +259,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
         if self.path == "/healthz":
-            self._reply(200, {"status": "ok",
-                              "model_version": self.match_server.version})
+            # ungated by design: a load balancer probes this; the payload
+            # is liveness topology (versions, counts), not model surface
+            payload = {"status": "ok",
+                       "model_version": self.match_server.version}
+            health = getattr(self.match_server, "health", None)
+            if callable(health):
+                payload.update(health())
+            self._reply(200, payload)
         elif self.path == "/stats":
             self._reply(200, self.match_server.stats())
         elif self.path == "/metrics":
@@ -262,9 +277,31 @@ class _Handler(BaseHTTPRequestHandler):
                               "connect from loopback when no token is set"})
                 return
             telemetry = get_telemetry()
-            self._reply(200, {"status": "ok",
-                              "enabled": telemetry.enabled,
-                              "metrics": telemetry.metrics.snapshot()})
+            snapshot = getattr(self.match_server, "metrics_snapshot", None)
+            if callable(snapshot):
+                # pool-aware path: router + replica registries, merged
+                view = snapshot()
+                self._reply(200, {"status": "ok",
+                                  "enabled": telemetry.enabled,
+                                  "metrics": view["merged"],
+                                  "sources": view["sources"]})
+            else:
+                self._reply(200, {"status": "ok",
+                                  "enabled": telemetry.enabled,
+                                  "metrics": telemetry.metrics.snapshot()})
+        elif self.path == "/slo":
+            if not self._admin_allowed():
+                self._reply(403, {
+                    "status": "error",
+                    "detail": "slo denied: present X-Admin-Token, or "
+                              "connect from loopback when no token is set"})
+                return
+            snapshot = getattr(self.match_server, "slo_snapshot", None)
+            if not callable(snapshot):
+                self._reply(404, {"status": "error",
+                                  "detail": "server has no SLO tracking"})
+                return
+            self._reply(200, {"status": "ok", **snapshot()})
         else:
             self._reply(404, {"status": "error", "detail": "unknown path"})
 

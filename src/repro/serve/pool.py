@@ -74,7 +74,10 @@ import numpy as np
 
 from ..data.dataset import CandidatePair
 from ..data.records import EntityRecord
-from ..obs import get_telemetry
+from ..obs import get_telemetry, merge_snapshots
+from ..obs.serving import (
+    DriftMonitor, RequestTracer, SloTracker, TraceContext, stitch_trace,
+)
 from ..parallel.pool import fork_available
 from .bundle import ModelBundle
 from .index import ServingIndex
@@ -115,6 +118,11 @@ class PoolConfig:
     tenants_dir: Optional[str] = None
     #: per-replica LRU capacity for resident tenant deltas
     tenant_capacity: int = 64
+    #: how often (seconds) a replica pushes its metrics snapshot to the
+    #: router when telemetry is enabled; <= 0 disables periodic pushes
+    #: (the router can still pull, and the stop ack carries the final
+    #: snapshot either way)
+    metrics_interval_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -171,17 +179,20 @@ class _ReplyGather:
 
 
 class _Inflight:
-    __slots__ = ("pending", "pair", "replica", "tokens", "arrived", "tenant")
+    __slots__ = ("pending", "pair", "replica", "tokens", "arrived", "tenant",
+                 "trace")
 
     def __init__(self, pending: PendingResponse, pair: CandidatePair,
                  replica: int, tokens: int, arrived: float,
-                 tenant: Optional[str] = None) -> None:
+                 tenant: Optional[str] = None,
+                 trace: Optional[TraceContext] = None) -> None:
         self.pending = pending
         self.pair = pair
         self.replica = replica
         self.tokens = tokens
         self.arrived = arrived
         self.tenant = tenant
+        self.trace = trace
 
 
 class _Replica:
@@ -219,7 +230,10 @@ class ReplicaMatchServer(MatchServer):
     def __init__(self, bundle: ModelBundle, config: ServerConfig,
                  store: SharedBundleWeights, replica: int,
                  tenants=None) -> None:
-        super().__init__(bundle, config, tenants=tenants)
+        # monitor=False: the router owns the pool-level SLO tracker and
+        # drift monitor (it sees every response); a replica-local view
+        # would double-count and fragment the per-tenant windows
+        super().__init__(bundle, config, tenants=tenants, monitor=False)
         self._store = store
         self._replica_index = replica
         self._seen_version = 0
@@ -282,10 +296,22 @@ def _replica_main(conn, replica: int, bundle: ModelBundle,
     thread serving the control pipe (score admission, candidate scatter,
     catalog ops for the shards this replica owns, stats, stop).
     """
-    # detach the parent's telemetry session: the run log must have exactly
-    # one writer, and these counters are reported back via ("stats",)
+    # detach the parent's telemetry session -- the run log must have
+    # exactly one writer (the router) -- but keep observing: when the
+    # parent had telemetry on at fork time, install a child-local session
+    # (fresh registry, no run log, same trace flag) whose snapshots are
+    # shipped back over this pipe for the router's pool-wide merge
+    from ..obs import MetricsRegistry, Telemetry
     from ..obs import telemetry as _telemetry_module
-    _telemetry_module._ACTIVE = _telemetry_module.DISABLED
+    parent_tel = _telemetry_module._ACTIVE
+    if parent_tel.enabled:
+        child_tel = Telemetry(runlog=None,
+                              trace=getattr(parent_tel, "trace", False),
+                              metrics=MetricsRegistry())
+        _telemetry_module._ACTIVE = child_tel
+    else:
+        child_tel = None
+        _telemetry_module._ACTIVE = _telemetry_module.DISABLED
 
     owned = _owned_shards(replica, pool_config.replicas, pool_config.shards)
     # child-side scheduler: queue bound >= the pool-wide bound, so parent
@@ -351,12 +377,27 @@ def _replica_main(conn, replica: int, bundle: ModelBundle,
                       response.prediction, response.model_version,
                       response.bundle_name, response.batch_id,
                       response.batch_size, response.queue_seconds,
-                      response.service_seconds, response.tenant))
+                      response.service_seconds, response.tenant,
+                      response.trace))
 
     collector = threading.Thread(target=collect, name="repro-pool-collect",
                                  daemon=True)
     collector.start()
     server.start()
+
+    def metrics_snapshot() -> dict:
+        # samples ride along so the router's merged quantiles are exact
+        return child_tel.metrics.snapshot(include_samples=True)
+
+    push_halt = threading.Event()
+    if child_tel is not None and pool_config.metrics_interval_s > 0:
+        def push_metrics() -> None:
+            interval = max(pool_config.metrics_interval_s, 0.05)
+            while not push_halt.wait(interval):
+                send(("metrics_push", replica, metrics_snapshot()))
+
+        threading.Thread(target=push_metrics, name="repro-pool-metrics",
+                         daemon=True).start()
 
     def shard_candidates(record, k, vector) -> list:
         partials = []
@@ -425,13 +466,22 @@ def _replica_main(conn, replica: int, bundle: ModelBundle,
             elif kind == "batch_log":
                 _, qid = message
                 send(("reply", qid, list(server.batch_log)))
+            elif kind == "metrics":
+                _, qid = message
+                send(("reply", qid,
+                      metrics_snapshot() if child_tel is not None else {}))
             elif kind == "stop":
                 _, qid, drain = message
+                push_halt.set()
                 server.stop(drain=drain)
                 results.put(None)
                 collector.join(timeout=10.0)
-                send(("reply", qid, {"replica": replica,
-                                     "responses": server.response_count}))
+                ack = {"replica": replica,
+                       "responses": server.response_count}
+                if child_tel is not None:
+                    # final snapshot: counts from the drain are included
+                    ack["metrics"] = metrics_snapshot()
+                send(("reply", qid, ack))
                 break
     finally:
         try:
@@ -458,7 +508,9 @@ class ServingPool:
                  encoder=None, dense_kind: str = "ivf", dense_seed: int = 0,
                  dense_kwargs: Optional[dict] = None,
                  dense_train: bool = True,
-                 candidate_mode: str = "sparse") -> None:
+                 candidate_mode: str = "sparse",
+                 slo: Optional[SloTracker] = None,
+                 drift: Optional[DriftMonitor] = None) -> None:
         self.config = config if config is not None else PoolConfig()
         self._bundle = bundle
         self._encoder = encoder
@@ -514,6 +566,17 @@ class ServingPool:
         self.respawn_count = 0
         self.death_count = 0
 
+        # router-owned observability: the router sees every admission,
+        # response, shed and error, so pool-level SLO/drift tracking lives
+        # here (replicas run monitor=False); the serial fallback hands
+        # these same objects to its in-process server
+        self._slo = slo if slo is not None else SloTracker()
+        self._drift = drift if drift is not None else DriftMonitor()
+        self.request_tracer = RequestTracer()
+        #: label -> most recent metrics snapshot shipped by that replica
+        self._replica_metrics: Dict[str, dict] = {}
+        self._metrics_lock = threading.Lock()
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -566,7 +629,8 @@ class ServingPool:
         self._server = MatchServer(self._bundle, self.config.server,
                                    index=index, dense_index=dense_index,
                                    candidate_mode=self._candidate_mode,
-                                   tenants=self._tenants)
+                                   tenants=self._tenants,
+                                   slo=self._slo, drift=self._drift)
         with self._catalog_lock:
             records = [record for shard in self._catalog
                        for record in shard.values()]
@@ -647,7 +711,13 @@ class ServingPool:
         # replicas' final responses and the stop acks
         acks = self._scatter_control(("stop", None, drain),
                                      timeout=max(timeout, 1.0))
-        del acks  # best-effort: a wedged replica is terminated below
+        # best-effort: a wedged replica is terminated below. Acks that did
+        # arrive carry each replica's final metrics snapshot -- harvest
+        # them so a post-stop metrics_snapshot() still sums the whole run
+        for index, ack in acks.items():
+            if isinstance(ack, dict) and "metrics" in ack:
+                with self._metrics_lock:
+                    self._replica_metrics[f"replica{index}"] = ack["metrics"]
         for replica in self._replicas:
             replica.proc.join(timeout=5.0)
             if replica.proc.is_alive():  # pragma: no cover - wedged child
@@ -724,6 +794,7 @@ class ServingPool:
             return self._server._submit_many(pairs, tenant=tenant)
         started = time.perf_counter()
         tel = get_telemetry()
+        tracing = tel.enabled and getattr(tel, "trace", False)
         assignments: List[Tuple[int, _Replica]] = []
         pendings: List[PendingResponse] = []
         with self._lock:
@@ -732,6 +803,7 @@ class ServingPool:
                                  queue_depth=len(self._inflight))
             if len(self._inflight) + len(pairs) > self.config.server.max_queue:
                 self.shed_count += 1
+                self._slo.observe_shed(tenant, len(pairs))
                 if tel.enabled:
                     tel.metrics.counter("pool.shed").inc()
                 raise Overloaded(
@@ -746,6 +818,7 @@ class ServingPool:
                         staged_replica.outstanding_pairs -= 1
                         staged_replica.outstanding_tokens -= tokens
                     self.shed_count += 1
+                    self._slo.observe_shed(tenant, len(pairs))
                     if tel.enabled:
                         tel.metrics.counter("pool.shed").inc()
                     raise Overloaded("every replica queue is full",
@@ -758,9 +831,17 @@ class ServingPool:
             for pair, (replica, tokens) in zip(pairs, staged):
                 req_id = next(self._req_ids)
                 pending = PendingResponse()
+                ctx = None
+                if tracing:
+                    # admission spans router-side staging; dispatch is
+                    # stamped here (the pipe write below is fire-and-
+                    # forget), so pipe transit lands in the respond span
+                    ctx = TraceContext.admit(tenant, now=started)
+                    ctx.dispatched(replica.index, now=arrived)
                 self._inflight[req_id] = _Inflight(pending, pair,
                                                    replica.index, tokens,
-                                                   arrived, tenant=tenant)
+                                                   arrived, tenant=tenant,
+                                                   trace=ctx)
                 pendings.append(pending)
                 assignments.append((req_id, replica))
             self.request_count += len(pairs)
@@ -877,22 +958,27 @@ class ServingPool:
         if kind == "response":
             (_, req_id, probs, prediction, version, bundle_name,
              batch_id, batch_size, queue_seconds, service_seconds,
-             tenant) = message
+             tenant, trace) = message
             self._resolve(req_id, replica, ScoreResponse(
                 probs=np.asarray(probs), prediction=int(prediction),
                 model_version=int(version), bundle_name=bundle_name,
                 batch_id=int(batch_id), batch_size=int(batch_size),
                 queue_seconds=float(queue_seconds),
                 service_seconds=float(service_seconds),
-                replica=replica.index, tenant=tenant))
+                replica=replica.index, tenant=tenant, trace=trace))
         elif kind == "error":
             _, req_id, detail = message
             inflight = self._finish(req_id, replica)
             if inflight is not None:
+                self._slo.observe_error(inflight.tenant)
                 try:
                     inflight.pending._fail(RuntimeError(detail))
                 except RuntimeError:  # pragma: no cover - double resolve
                     pass
+        elif kind == "metrics_push":
+            _, index, snapshot = message
+            with self._metrics_lock:
+                self._replica_metrics[f"replica{index}"] = snapshot
         elif kind == "reply":
             _, qid, payload = message
             with self._lock:
@@ -916,15 +1002,46 @@ class ServingPool:
         if inflight is None:  # late answer for a re-dispatched request
             return
         self.response_count += 1
+        now = time.perf_counter()
+        tel = get_telemetry()
+        if inflight.trace is not None:
+            # stitch the replica-reported stage timings into the parent-
+            # side tree BEFORE resolving, so the client's response carries
+            # the finished tree rather than the raw replica payload
+            payload = response.trace if isinstance(response.trace, dict) \
+                else {}
+            encode = float(payload.get("encode_seconds", 0.0))
+            tree = stitch_trace(
+                inflight.trace, t_done=now,
+                queue_seconds=max(response.queue_seconds - encode, 0.0),
+                batch_seconds=encode,
+                forward_seconds=response.service_seconds,
+                forward_cpu_seconds=payload.get("forward_cpu_seconds"),
+                batch_id=response.batch_id,
+                batch_size=response.batch_size,
+                replica=replica.index)
+            response.trace = tree
+            self.request_tracer.record(tree)
+            if tel.enabled:
+                tel.event("serve.trace", **tree)
         try:
             inflight.pending._resolve(response)
         except RuntimeError:  # pragma: no cover - double resolve
             pass
-        tel = get_telemetry()
+        self._slo.observe(inflight.tenant, now - inflight.arrived)
+        fired = self._drift.observe(
+            inflight.tenant, [float(response.probs[1])],
+            [int(response.prediction)],
+            version=f"{response.bundle_name}@{response.model_version}")
         if tel.enabled:
+            for event in fired:
+                tel.metrics.counter("serve.drift.events").inc()
+                tel.event("serve.drift", **event)
+            tel.metrics.gauge("serve.drift.active").set(
+                1.0 if self._drift.active else 0.0)
             tel.metrics.counter("pool.responses").inc()
             tel.metrics.quantiles("pool.request_seconds").observe(
-                time.perf_counter() - inflight.arrived)
+                now - inflight.arrived)
 
     def _on_replica_death(self, replica: _Replica) -> None:
         """Contain a dead worker: detach it, re-dispatch its in-flight
@@ -1193,6 +1310,83 @@ class ServingPool:
                                         timeout=self.config.gather_timeout_s)
         return {replica: payload for replica, payload in replies.items()
                 if isinstance(payload, list)}
+
+    # ------------------------------------------------------------------
+    # Observability surfaces (duck-typed: MatchServer offers the same)
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Cheap liveness payload for ``GET /healthz``: no scatter, no
+        scoring -- only router-side state, safe for LB probes."""
+        with self._lock:
+            live = [replica.index for replica in self._replicas
+                    if replica.live]
+            outstanding = {str(replica.index): replica.outstanding_pairs
+                           for replica in self._replicas}
+            depth = len(self._inflight)
+        payload = {
+            "mode": "serial" if self._serial else "pool",
+            "model_version": self.version,
+            "bundle": self._bundle.name,
+            "catalog_size": self.catalog_size(),
+            "queue_depth": depth,
+            "replicas": {
+                "configured": self.config.replicas,
+                "live": live,
+                "outstanding": outstanding,
+                "deaths": self.death_count,
+                "respawns": self.respawn_count,
+            },
+        }
+        if self._tenants is not None:
+            tstats = self._tenants.stats()
+            payload["tenants"] = {
+                "registered": tstats["registered"],
+                "loaded": tstats["loaded"],
+                "capacity": tstats["capacity"],
+            }
+        return payload
+
+    def slo_snapshot(self) -> dict:
+        """Per-tenant SLO compliance plus drift state for ``GET /slo``."""
+        tracer = self.request_tracer
+        if self._serial and self._server is not None \
+                and self._server.request_tracer is not None:
+            # the in-process fallback server stitches its own traces (it
+            # shares the pool's SLO/drift objects, so those are one view)
+            tracer = self._server.request_tracer
+        return {
+            "slo": self._slo.snapshot(),
+            "drift": self._drift.snapshot(),
+            "traces": tracer.snapshot(),
+        }
+
+    def metrics_snapshot(self, pull: bool = True) -> dict:
+        """Pool-wide merged metrics: the router's registry plus the most
+        recent snapshot of every replica, merged per metric kind.
+
+        ``pull=True`` (the default) scatters a ``metrics`` control
+        message first so the merge reflects right-now counts instead of
+        the last periodic push; pass ``False`` for a cheap cached read.
+        """
+        tel = get_telemetry()
+        router = tel.metrics.snapshot(include_samples=True) \
+            if tel.enabled else {}
+        sources: Dict[str, dict] = {"router": router}
+        if not self._serial:
+            if pull and self._started and not self._closed:
+                replies = self._scatter_control(
+                    ("metrics", None), timeout=self.config.gather_timeout_s)
+                with self._metrics_lock:
+                    for index, snapshot in replies.items():
+                        if isinstance(snapshot, dict):
+                            self._replica_metrics[f"replica{index}"] = \
+                                snapshot
+            with self._metrics_lock:
+                sources.update({label: dict(snapshot) for label, snapshot
+                                in self._replica_metrics.items()})
+        merged = merge_snapshots(sources, strict=False)
+        return {"merged": merged,
+                "sources": dict(sorted(sources.items()))}
 
     def stats(self) -> dict:
         with self._lock:

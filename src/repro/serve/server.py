@@ -62,6 +62,9 @@ from ..data.dataset import CandidatePair
 from ..data.records import EntityRecord
 from ..infer import EngineConfig, InferenceEngine
 from ..obs import get_telemetry
+from ..obs.serving import (
+    DriftMonitor, RequestTracer, SloTracker, TraceContext, stitch_trace,
+)
 from .bundle import ModelBundle
 from .index import ServingIndex
 
@@ -124,6 +127,9 @@ class ScoreResponse:
     service_seconds: float       # batch formation -> response
     replica: Optional[int] = None  # which pool replica scored it (pool mode)
     tenant: Optional[str] = None   # which tenant delta scored it (if any)
+    #: per-stage timing payload (tracing only); never part of the scored
+    #: output -- determinism comparisons ignore it
+    trace: Optional[dict] = None
 
     @property
     def match_probability(self) -> float:
@@ -228,14 +234,18 @@ class PendingMatch:
 
 
 class _Request:
-    __slots__ = ("pair", "pending", "arrived", "tenant")
+    __slots__ = ("pair", "pending", "arrived", "tenant", "trace",
+                 "encode_seconds")
 
     def __init__(self, pair: CandidatePair, pending: PendingResponse,
-                 arrived: float, tenant: Optional[str] = None) -> None:
+                 arrived: float, tenant: Optional[str] = None,
+                 trace: Optional[TraceContext] = None) -> None:
         self.pair = pair
         self.pending = pending
         self.arrived = arrived
         self.tenant = tenant
+        self.trace = trace
+        self.encode_seconds = 0.0
 
 
 class MatchServer:
@@ -257,8 +267,29 @@ class MatchServer:
                  index: Optional[ServingIndex] = None,
                  dense_index=None,
                  candidate_mode: str = "sparse",
-                 tenants=None) -> None:
+                 tenants=None,
+                 slo: Optional[SloTracker] = None,
+                 drift: Optional[DriftMonitor] = None,
+                 monitor: bool = True) -> None:
         self.config = config if config is not None else ServerConfig()
+        #: per-tenant SLO bookkeeping and score-drift monitoring. Both are
+        #: pure accounting over values the scoring path already computed
+        #: (no rng, no output effect), so they default on. ``monitor=False``
+        #: disables them -- pool replicas run that way because the router
+        #: owns the pool-level trackers and a per-replica view would
+        #: double-count. Pass explicit instances to share trackers (the
+        #: pool's serial fallback does).
+        if monitor:
+            self.slo: Optional[SloTracker] = slo if slo is not None \
+                else SloTracker()
+            self.drift: Optional[DriftMonitor] = drift if drift is not None \
+                else DriftMonitor()
+        else:
+            self.slo = slo
+            self.drift = drift
+        self._monitor = monitor
+        #: stitched request traces (tracing sessions only, lazily built)
+        self.request_tracer: Optional[RequestTracer] = None
         #: optional repro.serve.tenants.TenantRegistry; when present,
         #: requests may carry a tenant id and the scheduler binds that
         #: tenant's delta (or fuses several soft-prompt tenants into one
@@ -397,6 +428,8 @@ class MatchServer:
                 raise UnknownTenant(tenant)
         now = time.perf_counter()
         tel = get_telemetry()
+        tracing = self._monitor and tel.enabled and getattr(tel, "trace",
+                                                            False)
         with self._cond:
             if self._closed:
                 raise Overloaded("server is stopped",
@@ -404,6 +437,8 @@ class MatchServer:
             if len(self._queue) + len(pairs) > self.config.max_queue:
                 self.shed_count += 1
                 depth = len(self._queue)
+                if self.slo is not None:
+                    self.slo.observe_shed(tenant, len(pairs))
                 if tel.enabled:
                     tel.metrics.counter("serve.shed").inc()
                 raise Overloaded(
@@ -412,8 +447,14 @@ class MatchServer:
             pendings = []
             for pair in pairs:
                 pending = PendingResponse()
+                ctx = None
+                if tracing:
+                    ctx = TraceContext.admit(tenant, now=now)
+                    # standalone server: dispatch == admission (no router
+                    # hop); the pool stamps real dispatch times itself
+                    ctx.dispatched(now=now)
                 self._queue.append(_Request(pair, pending, now,
-                                            tenant=tenant))
+                                            tenant=tenant, trace=ctx))
                 pendings.append(pending)
             self.request_count += len(pairs)
             depth = len(self._queue)
@@ -451,10 +492,15 @@ class MatchServer:
         errors so one malformed record rejects one request instead of
         poisoning the batch (or the scheduler loop) it would have joined."""
         try:
-            return self._encoding_length(model, request.pair)
+            started = time.perf_counter()
+            length = self._encoding_length(model, request.pair)
+            request.encode_seconds = time.perf_counter() - started
+            return length
         except Exception as error:
             request.pending._fail(error)
             self.error_count += 1
+            if self.slo is not None:
+                self.slo.observe_error(request.tenant)
             tel = get_telemetry()
             if tel.enabled:
                 tel.metrics.counter("serve.request_errors").inc()
@@ -560,16 +606,24 @@ class MatchServer:
         self._batch_id += 1
         pairs = [request.pair for request in batch]
         tenants = [request.tenant for request in batch]
+        tracing = tel.enabled and getattr(tel, "trace", False)
+        forward_cpu = 0.0
         try:
             if tel.enabled:
+                cpu_started = time.process_time() if tracing else 0.0
                 with tel.span("serve.batch", size=len(batch),
                               version=version):
                     probs = self._score_pairs(model, pairs, tenants)
+                if tracing:
+                    forward_cpu = time.process_time() - cpu_started
             else:
                 probs = self._score_pairs(model, pairs, tenants)
         except BaseException as error:
             for request in batch:
                 request.pending._fail(error)
+            if self.slo is not None:
+                for request in batch:
+                    self.slo.observe_error(request.tenant)
             raise
         served = time.perf_counter()
         threshold = bundle.threshold
@@ -586,15 +640,42 @@ class MatchServer:
                 cut = registry.threshold_for(tenant, threshold)
                 predictions[row] = (int(probs[row].argmax()) if cut is None
                                     else int(probs[row, 1] > cut))
+        cpu_share = forward_cpu / len(batch) if tracing else 0.0
         for row, request in enumerate(batch):
+            trace_payload = None
+            if tracing:
+                trace_payload = {
+                    "encode_seconds": request.encode_seconds,
+                    "forward_cpu_seconds": cpu_share,
+                }
+            if request.trace is not None:
+                # standalone tracing mode: stitch the tree right here (the
+                # pool stitches router-side instead, from the pipe
+                # payload) and hand the caller the finished tree
+                if self.request_tracer is None:
+                    self.request_tracer = RequestTracer()
+                queue_wall = max(formed - request.arrived
+                                 - request.encode_seconds, 0.0)
+                tree = stitch_trace(
+                    request.trace, t_done=served,
+                    queue_seconds=queue_wall,
+                    batch_seconds=request.encode_seconds,
+                    forward_seconds=served - formed,
+                    forward_cpu_seconds=cpu_share,
+                    batch_id=batch_id, batch_size=len(batch))
+                self.request_tracer.record(tree)
+                tel.event("serve.trace", **tree)
+                trace_payload = tree
             request.pending._resolve(ScoreResponse(
                 probs=probs[row], prediction=int(predictions[row]),
                 model_version=version, bundle_name=bundle.name,
                 batch_id=batch_id, batch_size=len(batch),
                 queue_seconds=formed - request.arrived,
                 service_seconds=served - formed,
-                tenant=request.tenant))
+                tenant=request.tenant, trace=trace_payload))
         self.response_count += len(batch)
+        self._observe_served(batch, probs, predictions, bundle, version,
+                             served, tel)
         if registry is not None:
             for tenant in set(tenants):
                 registry.note_request(tenant, tenants.count(tenant))
@@ -614,6 +695,39 @@ class MatchServer:
                 depth = len(self._queue)
             metrics.gauge("serve.queue_depth").set(depth)
         return len(batch)
+
+    def _observe_served(self, batch: List[_Request], probs: np.ndarray,
+                        predictions: np.ndarray, bundle: ModelBundle,
+                        version: int, served: float, tel) -> None:
+        """Feed the SLO tracker and drift monitor from one scored batch.
+
+        Pure bookkeeping over values scoring already produced -- it runs
+        after every pending is resolved and can change nothing a client
+        sees, which is what keeps telemetry-on/off outputs bit-identical.
+        """
+        if self.slo is not None:
+            for request in batch:
+                self.slo.observe(request.tenant, served - request.arrived)
+        if self.drift is None:
+            return
+        version_key = f"{bundle.name}@{version}"
+        rows_by_tenant: dict = {}
+        for row, request in enumerate(batch):
+            rows_by_tenant.setdefault(request.tenant, []).append(row)
+        fired = []
+        for tenant, rows in sorted(rows_by_tenant.items(),
+                                   key=lambda item: item[0] or ""):
+            fired.extend(self.drift.observe(
+                tenant,
+                [float(probs[row, 1]) for row in rows],
+                [int(predictions[row]) for row in rows],
+                version=version_key))
+        if tel.enabled:
+            for event in fired:
+                tel.metrics.counter("serve.drift.events").inc()
+                tel.event("serve.drift", **event)
+            tel.metrics.gauge("serve.drift.active").set(
+                1.0 if self.drift.active else 0.0)
 
     def _loop(self) -> None:
         while True:
@@ -758,6 +872,48 @@ class MatchServer:
                 if not self.process_once():
                     break
         return pending.result(timeout)
+
+    # ------------------------------------------------------------------
+    # Observability surfaces (duck-typed: ServingPool offers the same)
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Cheap liveness payload for ``GET /healthz`` (no locks beyond
+        the queue/swap peeks, no scoring, safe for LB probes)."""
+        with self._cond:
+            depth = len(self._queue)
+        bundle, version = self._snapshot()
+        payload = {
+            "mode": "single",
+            "model_version": version,
+            "bundle": bundle.name,
+            "catalog_size": len(self.index),
+            "queue_depth": depth,
+            "scheduler_running": self.is_running,
+        }
+        if self.tenants is not None:
+            tstats = self.tenants.stats()
+            payload["tenants"] = {
+                "registered": tstats["registered"],
+                "loaded": tstats["loaded"],
+                "capacity": tstats["capacity"],
+            }
+        return payload
+
+    def slo_snapshot(self) -> dict:
+        """Per-tenant SLO compliance plus drift state for ``GET /slo``."""
+        return {
+            "slo": self.slo.snapshot() if self.slo is not None else None,
+            "drift": self.drift.snapshot() if self.drift is not None
+            else None,
+            "traces": (self.request_tracer.snapshot()
+                       if self.request_tracer is not None else None),
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """The active registry's snapshot, shaped like the pool's merged
+        view (one source) so ``GET /metrics`` is mode-agnostic."""
+        snap = get_telemetry().metrics.snapshot()
+        return {"merged": snap, "sources": {"server": snap}}
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

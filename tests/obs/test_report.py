@@ -1,0 +1,116 @@
+"""repro.obs.report: section renderers over parsed telemetry streams,
+including logs that interleave serving and training events."""
+
+import json
+
+from repro.obs import RunLog, read_events
+from repro.obs.report import (
+    group_events, render_drift, render_phases, render_report, render_slo,
+    render_traces,
+)
+
+
+def span(index, name, wall, depth=0, parent=None, cpu=0.0):
+    return {"schema": 1, "kind": "span", "ts": 0.0, "index": index,
+            "name": name, "path": name, "depth": depth, "parent": parent,
+            "wall": wall, "cpu": cpu}
+
+
+def trace_event(request_id, tenant="_base", replica=0, wall=0.01):
+    shares = {"admission": 0.1, "queue": 0.2, "batch": 0.1,
+              "forward": 0.5, "respond": 0.1}
+    return {"schema": 1, "kind": "serve.trace", "ts": 0.0,
+            "request_id": request_id, "tenant": tenant, "replica": replica,
+            "wall": wall,
+            "spans": [{"name": name, "wall": wall * share}
+                      for name, share in shares.items()]}
+
+
+class TestInterleavedPhases:
+    def test_repeated_indexes_split_into_streams(self):
+        """Two tracers (a serving process and a training run) writing to
+        one log restart span numbering; attribution must not cross."""
+        events = [span(0, "fit", 2.0), span(1, "epoch", 1.5, 1, parent=0),
+                  span(0, "serve", 3.0), span(1, "batch", 2.5, 1, parent=0)]
+        out = render_phases(group_events(events))
+        assert "stream 0" in out and "stream 1" in out
+        # self time is computed within a stream: fit=2.0-1.5, serve=3.0-2.5
+        assert "0.500s" in out
+        # a cross-stream merge would subtract both children from parent 0
+        assert "fit" in out and "serve" in out
+
+    def test_single_stream_keeps_flat_layout(self):
+        events = [span(0, "fit", 2.0), span(1, "epoch", 1.5, 1, parent=0)]
+        out = render_phases(group_events(events))
+        assert "stream" not in out
+        assert any(line.startswith("fit") for line in out.splitlines())
+
+    def test_missing_optional_fields_tolerated(self):
+        ragged = [{"kind": "span", "name": "x", "index": 0},
+                  {"kind": "span", "name": "x", "index": 0}]
+        assert "x" in render_phases(group_events(ragged))
+
+
+class TestServingSections:
+    def test_traces_section_aggregates_and_samples(self):
+        events = [trace_event(f"r{i:06d}", tenant="t1", replica=i % 2)
+                  for i in range(6)]
+        out = render_traces(group_events(events), samples=2)
+        assert "6 requests" in out
+        assert "forward" in out and "50.0%" in out
+        assert "by replica: 0: 3, 1: 3" in out
+        assert out.count("request r") == 2  # sample trees bounded
+
+    def test_slo_section_reads_final_snapshot(self):
+        snapshot = {
+            "schema": 1, "kind": "serve.slo", "ts": 0.0,
+            "objectives": {"latency_s": 0.25, "latency_quantile": 0.95,
+                           "max_error_rate": 0.01, "max_shed_rate": 0.05,
+                           "window": 512},
+            "tenants": {"t1": {"requests": 9, "errors": 3, "sheds": 0,
+                               "error_rate": 0.25, "shed_rate": 0.0,
+                               "latency_q_seconds": 0.02, "ok": False}}}
+        out = render_slo(group_events([snapshot]))
+        assert "t1" in out and "VIOLATED" in out
+        assert "p95" in out
+
+    def test_drift_section_lists_events(self):
+        events = [{"schema": 1, "kind": "serve.drift", "ts": 0.0,
+                   "tenant": "t1", "drift_kind": "psi", "psi": 0.4,
+                   "psi_threshold": 0.2}]
+        out = render_drift(group_events(events))
+        assert "psi=0.400" in out and "1 fired" in out
+
+    def test_sections_absent_without_events(self):
+        grouped = group_events([])
+        assert render_traces(grouped) == ""
+        assert render_slo(grouped) == ""
+        assert render_drift(grouped) == ""
+
+
+class TestFullReport:
+    def test_mixed_log_renders_all_sections(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        with RunLog(path, clock=lambda: 1.0) as log:
+            log.event("run.start", method="PromptEM", dataset="d",
+                      seed=0, labeled=1, unlabeled=1, test=1)
+            log.event("trainer.epoch", epoch=0, loss=0.5, steps=3)
+            log.event("span", name="fit", path="fit", depth=0, wall=1.0,
+                      cpu=0.5, index=0, parent=None)
+            tree = trace_event("r000001")
+            for key in ("schema", "kind", "ts"):
+                tree.pop(key)
+            log.event("serve.trace", **tree)
+            log.event("serve.drift", tenant="_base", drift_kind="psi",
+                      psi=0.3, psi_threshold=0.2)
+            log.event("span", name="serve", path="serve", depth=0,
+                      wall=2.0, cpu=0.1, index=0, parent=None)
+            log.event("run.summary", f1=90.0)
+        report = render_report(read_events(path))
+        for needle in ("run: PromptEM", "Loss curve", "Request traces",
+                       "Drift events", "stream 0", "stream 1"):
+            assert needle in report
+
+    def test_report_is_plain_text(self):
+        events = [trace_event("r000001")]
+        json.dumps(render_report(events))  # str in, str out

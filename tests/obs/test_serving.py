@@ -1,0 +1,202 @@
+"""Units for the serving observability layer: trace stitching, the
+request tracer ring, per-tenant SLO accounting and the drift monitor."""
+
+import pytest
+
+from repro.obs import (
+    TRACE_STAGES, DriftConfig, DriftMonitor, RequestTracer, SloObjectives,
+    SloTracker, TraceContext, format_trace, stitch_trace,
+)
+
+
+class TestStitchTrace:
+    def make_ctx(self):
+        ctx = TraceContext.admit(tenant="t1", now=10.0)
+        ctx.dispatched(replica=1, now=10.002)
+        return ctx
+
+    def test_stage_walls_add_up_to_total(self):
+        tree = stitch_trace(self.make_ctx(), t_done=10.020,
+                            queue_seconds=0.004, batch_seconds=0.002,
+                            forward_seconds=0.008, batch_id=7, batch_size=3)
+        spans = {span["name"]: span["wall"] for span in tree["spans"]}
+        assert tuple(s["name"] for s in tree["spans"]) == TRACE_STAGES
+        assert spans["admission"] == pytest.approx(0.002)
+        assert spans["queue"] == pytest.approx(0.004)
+        assert spans["batch"] == pytest.approx(0.002)
+        assert spans["forward"] == pytest.approx(0.008)
+        # respond absorbs the unaccounted remainder (pipe transit, merge)
+        assert spans["respond"] == pytest.approx(0.004)
+        assert tree["wall"] == pytest.approx(0.020)
+        assert tree["tenant"] == "t1" and tree["replica"] == 1
+        assert tree["batch_id"] == 7 and tree["batch_size"] == 3
+
+    def test_clock_skew_clamps_to_zero(self):
+        # replica-reported stage times exceeding the parent-observed total
+        # must not produce a negative respond span
+        tree = stitch_trace(self.make_ctx(), t_done=10.004,
+                            queue_seconds=0.5, forward_seconds=0.5)
+        respond = tree["spans"][-1]
+        assert respond["name"] == "respond" and respond["wall"] == 0.0
+
+    def test_forward_cpu_rides_on_forward_span(self):
+        tree = stitch_trace(self.make_ctx(), t_done=10.01,
+                            forward_seconds=0.005,
+                            forward_cpu_seconds=0.004)
+        forward = tree["spans"][3]
+        assert forward["name"] == "forward"
+        assert forward["cpu"] == pytest.approx(0.004)
+
+    def test_base_traffic_gets_base_label_and_fresh_ids(self):
+        a = TraceContext.admit(now=0.0)
+        b = TraceContext.admit(now=0.0)
+        assert a.request_id != b.request_id
+        assert stitch_trace(a, t_done=0.0)["tenant"] == "_base"
+
+    def test_format_trace_renders_every_stage(self):
+        lines = format_trace(stitch_trace(self.make_ctx(), t_done=10.02))
+        assert "tenant=t1" in lines[0] and "replica=1" in lines[0]
+        assert len(lines) == 1 + len(TRACE_STAGES)
+
+
+class TestRequestTracer:
+    def tree(self, tenant="t1", replica=0, wall=0.01):
+        ctx = TraceContext.admit(tenant=tenant, now=0.0)
+        ctx.dispatched(replica, now=0.0)
+        return stitch_trace(ctx, t_done=wall)
+
+    def test_aggregates_survive_ring_wrap(self):
+        tracer = RequestTracer(capacity=2)
+        for _ in range(5):
+            tracer.record(self.tree(wall=0.01))
+        agg = tracer.aggregate()
+        assert agg["requests"] == 5  # lifetime, not ring size
+        assert len(tracer.recent(10)) == 2
+        assert agg["mean_wall_seconds"] == pytest.approx(0.01)
+
+    def test_attribution_by_replica_and_tenant(self):
+        tracer = RequestTracer()
+        tracer.record(self.tree(tenant="a", replica=0))
+        tracer.record(self.tree(tenant="b", replica=1))
+        tracer.record(self.tree(tenant="b", replica=1))
+        agg = tracer.aggregate()
+        assert agg["by_replica"] == {"0": 1, "1": 2}
+        assert agg["by_tenant"] == {"a": 1, "b": 2}
+
+    def test_snapshot_bounds_samples(self):
+        tracer = RequestTracer()
+        for _ in range(10):
+            tracer.record(self.tree())
+        assert len(tracer.snapshot(samples=3)["samples"]) == 3
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RequestTracer(capacity=0)
+
+
+class TestSloTracker:
+    def test_latency_quantile_against_objective(self):
+        slo = SloTracker(SloObjectives(latency_s=0.1,
+                                       latency_quantile=0.5, window=16))
+        for latency in (0.01, 0.02, 0.03):
+            slo.observe("t", latency)
+        snap = slo.snapshot()["tenants"]["t"]
+        assert snap["latency_ok"] and snap["ok"]
+        for latency in (0.5,) * 6:
+            slo.observe("t", latency)
+        snap = slo.snapshot()["tenants"]["t"]
+        assert snap["latency_q_seconds"] >= 0.1
+        assert not snap["latency_ok"] and not snap["ok"]
+
+    def test_shed_and_error_rates_over_attempted(self):
+        slo = SloTracker(SloObjectives(max_shed_rate=0.05))
+        for _ in range(8):
+            slo.observe("t", 0.001)
+        slo.observe_shed("t", 2)
+        snap = slo.snapshot()["tenants"]["t"]
+        assert snap["shed_rate"] == pytest.approx(2 / 10)
+        assert not snap["shed_ok"] and not snap["ok"]
+        assert snap["error_ok"]
+
+    def test_base_traffic_tracks_under_base_label(self):
+        slo = SloTracker()
+        slo.observe(None, 0.01)
+        assert "_base" in slo.snapshot()["tenants"]
+
+    def test_objectives_validated(self):
+        with pytest.raises(ValueError):
+            SloObjectives(latency_quantile=1.5)
+        with pytest.raises(ValueError):
+            SloObjectives(window=0)
+
+
+class TestDriftMonitor:
+    CFG = DriftConfig(reference_size=32, window=32, psi_threshold=0.2,
+                      match_rate_tolerance=0.25)
+
+    @staticmethod
+    def feed(monitor, scores, tenant="t", version="b@1"):
+        fired = []
+        for score in scores:
+            fired += monitor.observe(tenant, [score],
+                                     [1 if score >= 0.5 else 0],
+                                     version=version)
+        return fired
+
+    def test_stationary_traffic_never_fires(self):
+        monitor = DriftMonitor(self.CFG)
+        scores = [0.1 + 0.005 * (i % 10) for i in range(200)]
+        assert self.feed(monitor, scores) == []
+        assert not monitor.active
+
+    def test_shift_fires_within_one_window_rising_edge_only(self):
+        monitor = DriftMonitor(self.CFG)
+        self.feed(monitor, [0.1] * 64)  # reference + a stationary window
+        assert not monitor.active
+        fired = self.feed(monitor, [0.9] * 32)  # exactly one window shifted
+        kinds = sorted(event["drift_kind"] for event in fired)
+        assert kinds == ["match_rate", "psi"]
+        assert monitor.active
+        # sustained shift: the edge already fired, no repeat events
+        assert self.feed(monitor, [0.9] * 64) == []
+        snap = monitor.snapshot()["tenants"]["t"]
+        assert snap["active"] and snap["psi"] > 0.2
+
+    def test_recovery_clears_active_and_rearms(self):
+        monitor = DriftMonitor(self.CFG)
+        self.feed(monitor, [0.1] * 64)
+        assert self.feed(monitor, [0.9] * 32)
+        assert self.feed(monitor, [0.1] * 64) == []  # back to reference
+        assert not monitor.active
+        assert self.feed(monitor, [0.9] * 32)  # re-armed: fires again
+
+    def test_version_change_resets_reference(self):
+        monitor = DriftMonitor(self.CFG)
+        self.feed(monitor, [0.1] * 64)
+        # the new bundle legitimately scores high: a fresh reference is
+        # bootstrapped instead of comparing against the old model's scores
+        fired = self.feed(monitor, [0.9] * 96, version="b@2")
+        assert fired == []
+        snap = monitor.snapshot()["tenants"]["t"]
+        assert snap["version"] == "b@2" and not snap["active"]
+
+    def test_tenants_are_independent(self):
+        monitor = DriftMonitor(self.CFG)
+        self.feed(monitor, [0.1] * 64, tenant="a")
+        self.feed(monitor, [0.5] * 64, tenant="b")
+        fired = self.feed(monitor, [0.9] * 32, tenant="a")
+        assert fired and all(event["tenant"] == "a" for event in fired)
+        assert not monitor.snapshot()["tenants"]["b"]["active"]
+
+    def test_explicit_reference_skips_bootstrap(self):
+        monitor = DriftMonitor(self.CFG)
+        monitor.set_reference("t", [0.1] * 32, [0] * 32, version="b@1")
+        fired = self.feed(monitor, [0.9] * 32)
+        assert sorted(e["drift_kind"] for e in fired) == \
+            ["match_rate", "psi"]
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            DriftConfig(buckets=1)
+        with pytest.raises(ValueError):
+            DriftConfig(window=0)

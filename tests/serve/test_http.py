@@ -138,7 +138,13 @@ class TestHTTPServer:
         with urllib.request.urlopen(http.address + "/healthz",
                                     timeout=10) as reply:
             body = json.loads(reply.read())
-        assert body == {"status": "ok", "model_version": 1}
+        assert body["status"] == "ok"
+        assert body["model_version"] == 1
+        # enriched probe payload: cheap liveness facts for an LB
+        assert body["mode"] == "single"
+        assert body["catalog_size"] >= 0
+        assert "queue_depth" in body
+        assert "scheduler_running" in body
         with urllib.request.urlopen(http.address + "/stats",
                                     timeout=10) as reply:
             stats = json.loads(reply.read())

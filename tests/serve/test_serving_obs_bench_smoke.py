@@ -1,0 +1,48 @@
+"""Tier-1 smoke pass over the serving-observability benchmark logic.
+
+Runs :func:`benchmarks.bench_serving_obs.run_obs_overhead` on the tiny
+cached backbone and checks its structural outputs -- all three telemetry
+arms report throughput, the full arm actually traced every request, and
+the served probabilities are bit-identical across arms -- WITHOUT
+asserting anything about wall-clock overhead, so the test is stable on
+loaded CI machines. The real overhead measurement lives in
+``benchmarks/bench_serving_obs.py``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from bench_serving_obs import ARMS, run_obs_overhead  # noqa: E402
+from repro.data import load_dataset  # noqa: E402
+from repro.serve import ModelBundle  # noqa: E402
+
+from .conftest import make_model  # noqa: E402
+
+
+@pytest.mark.smoke
+def test_serving_obs_benchmark_smoke(backbone):
+    bundle = ModelBundle.from_model(make_model(backbone, max_len=64),
+                                    threshold=0.5, name="tiny")
+    pairs = load_dataset("REL-HETER").test[:8]
+
+    result = run_obs_overhead(bundle, pairs, iterations=2,
+                              max_batch_pairs=8, token_budget=1024)
+    assert result["pairs"] == 8 and result["iterations"] == 2
+    assert set(result["arms"]) == set(ARMS)
+    for arm in ARMS:
+        stats = result["arms"][arm]
+        assert stats["requests"] == 16
+        assert stats["requests_per_sec"] > 0
+    # overhead is reported for the enabled arms only (no speed assertion)
+    assert "overhead_pct" not in result["arms"]["disabled"]
+    assert "overhead_pct" in result["arms"]["full"]
+    # the full arm traced the timed sweeps and flushed them to the log
+    assert result["traced_requests"] >= 16
+    assert result["runlog_records"] >= result["traced_requests"]
+    # the headline contract: telemetry never changes a served byte
+    assert result["bit_identical"] is True
+    assert result["budget_pct"] == 2.0
