@@ -37,9 +37,12 @@ def collect(results_dir: Path) -> list:
             continue
         speedup = _headline_speedup(payload.get("data"))
         recorded = datetime.date.fromtimestamp(path.stat().st_mtime)
+        data = payload.get("data")
+        headline = data.get("headline") if isinstance(data, dict) else None
         rows.append({
             "name": payload.get("bench", path.stem.replace("BENCH_", "")),
             "speedup": speedup,
+            "headline": headline if isinstance(headline, str) else None,
             "scale": payload.get("scale", "?"),
             "date": recorded.isoformat(),
             "file": path.name,
@@ -51,12 +54,14 @@ def render(rows: list) -> str:
     lines = [
         "# Benchmark trajectory",
         "",
-        "One row per committed `BENCH_*.json`; the headline speedup is the",
-        "max over any `*speedup*` key in the payload (the same number the",
-        "`emit()` regression guard protects). A dash means the benchmark",
-        "records parity/identity contracts rather than a speedup.",
+        "One row per committed `BENCH_*.json`. Benchmarks whose payload",
+        "carries a `data.headline` *string* (e.g. a trade-off summary)",
+        "show that; otherwise the headline is the max over any `*speedup*`",
+        "key (the same number the `emit()` regression guard protects). A",
+        "dash means the benchmark records parity/identity contracts",
+        "rather than a speedup.",
         "",
-        "| Benchmark | Headline speedup | Scale | Recorded |",
+        "| Benchmark | Headline | Scale | Recorded |",
         "|---|---|---|---|",
     ]
     for row in rows:
@@ -64,8 +69,12 @@ def render(rows: list) -> str:
             lines.append(f"| {row['name']} | unreadable: {row['error']} "
                          f"| - | - |")
             continue
-        speedup = (f"{row['speedup']:.2f}x" if row["speedup"] > 0 else "-")
-        lines.append(f"| {row['name']} | {speedup} | {row['scale']} "
+        if row.get("headline"):
+            headline = row["headline"].replace("|", "\\|")
+        else:
+            headline = (f"{row['speedup']:.2f}x"
+                        if row["speedup"] > 0 else "-")
+        lines.append(f"| {row['name']} | {headline} | {row['scale']} "
                      f"| {row['date']} |")
     lines.append("")
     return "\n".join(lines)

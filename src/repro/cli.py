@@ -16,6 +16,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli bundle-info tenants/rel-heter
     python -m repro.cli serve --bundle bundle_dir --telemetry s.jsonl --trace
     python -m repro.cli obs-report s.jsonl
+    python -m repro.cli clk-encode --catalog REL-HETER --salt-file key \
+        --out clk_dir
+    python -m repro.cli serve --bundle bundle_dir --blocker clk \
+        --clk-catalog clk_dir
 
 The ``repro`` console script (``[project.scripts]`` in pyproject.toml)
 maps to :func:`main`, so ``repro serve ...`` works after installation.
@@ -316,6 +320,52 @@ def _load_catalog(spec: str) -> List:
     return list(dataset.left_table) + list(dataset.right_table)
 
 
+def _read_salt(literal: Optional[str], path: Optional[str]):
+    """Resolve the CLK secret salt from a literal flag or a key file."""
+    if literal and path:
+        raise SystemExit("pass either a literal salt or a salt file, not both")
+    if path:
+        with open(path, "rb") as f:
+            data = f.read().strip()
+        if not data:
+            raise SystemExit(f"salt file {path!r} is empty")
+        return data
+    return literal.encode("utf-8") if literal else None
+
+
+def _cmd_clk_encode(args: argparse.Namespace) -> int:
+    """Encode a plaintext catalog into a CLK catalog directory: the
+    artifact one party ships for privacy-preserving matching (ids +
+    packed Bloom filters, never raw values, never the salt)."""
+    from .privacy import ClkCatalog, ClkConfig, ClkEncoder
+
+    salt = _read_salt(args.salt, args.salt_file)
+    if salt is None:
+        raise SystemExit("clk-encode needs --salt or --salt-file "
+                         "(both parties must share it out of band)")
+    config = ClkConfig(nbits=args.nbits, num_hashes=args.hashes,
+                       qgram=args.qgram, hardening=args.harden)
+    records = _load_catalog(args.catalog)
+    if not records:
+        raise SystemExit(f"catalog {args.catalog!r} holds no records")
+    encoder = ClkEncoder(salt, config)
+    with _telemetry(args):
+        started = time.perf_counter()
+        catalog = ClkCatalog.from_records(encoder, records)
+        elapsed = time.perf_counter() - started
+    catalog.save(args.out)
+    stats = catalog.stats()
+    print(f"encoded {stats['count']} records from {args.catalog} "
+          f"in {elapsed:.2f}s -> {args.out}")
+    print(f"filter: {stats['encoded_nbits']} bits on the wire "
+          f"({config.num_hashes} hashes per {config.qgram}-gram, "
+          f"hardening {config.hardening}), "
+          f"mean fill {stats['mean_fill']:.3f}")
+    print(f"salt fingerprint: {stats['salt_digest']} (the catalog never "
+          "contains the salt; keep it offline)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
     import signal
@@ -351,6 +401,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         encoder = RecordEncoder(model_name=args.encoder_model)
 
+    # CLK (privacy-preserving) candidate layer: a pre-encoded catalog, a
+    # salt (single-party mode: the server may encode plaintext itself),
+    # or both -- either fixes the filter shape
+    clk_encoder = None
+    clk_catalog = None
+    clk_words = None
+    clk_salt = _read_salt(args.clk_salt, args.clk_salt_file)
+    if clk_salt is not None or args.clk_catalog or args.blocker == "clk":
+        from .privacy import ClkCatalog, ClkConfig, ClkEncoder
+
+        if clk_salt is not None:
+            clk_encoder = ClkEncoder(clk_salt, ClkConfig(
+                nbits=args.clk_nbits, num_hashes=args.clk_hashes,
+                qgram=args.clk_qgram, hardening=args.clk_harden))
+            clk_words = clk_encoder.config.words
+        if args.clk_catalog:
+            clk_catalog = ClkCatalog.load(args.clk_catalog)
+            if clk_encoder is not None:
+                clk_catalog.compatible_with(clk_encoder.params())
+            clk_words = int(clk_catalog.params.get(
+                "words", clk_catalog.filters.shape[1]))
+        if not clk_words:
+            raise SystemExit("--blocker clk needs --clk-catalog and/or "
+                             "--clk-salt to fix the filter shape")
+
     from .obs.serving import (
         DriftConfig, DriftMonitor, SloObjectives, SloTracker,
     )
@@ -373,10 +448,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                        tenant_capacity=args.tenant_capacity),
             encoder=encoder, dense_kind=args.ann or "ivf",
             dense_seed=args.seed, candidate_mode=args.blocker,
+            clk_words=clk_words, clk_encoder=clk_encoder,
+            clk_threshold=args.clk_threshold,
             slo=slo, drift=drift)
         if args.catalog:
             added = server.catalog_add(_load_catalog(args.catalog))
             print(f"indexed {added} catalog records from {args.catalog} "
+                  f"across {server.config.shards} shards", file=sys.stderr)
+        if clk_catalog is not None:
+            added = server.catalog_add_clk(clk_catalog.entries())
+            print(f"seeded {added} clk filters from {args.clk_catalog} "
                   f"across {server.config.shards} shards", file=sys.stderr)
     else:
         index = ServingIndex(default_k=args.top_k)
@@ -385,16 +466,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             dense_index = DenseCandidateIndex(
                 encoder, kind=args.ann or "ivf", default_k=args.top_k,
                 seed=args.seed)
+        clk_index = None
+        if clk_words:
+            from .privacy import ClkCandidateIndex
+
+            clk_index = ClkCandidateIndex(words=clk_words,
+                                          encoder=clk_encoder,
+                                          default_k=args.top_k)
+            if clk_catalog is not None:
+                seeded = clk_index.add_clk_many(clk_catalog.entries())
+                print(f"seeded {seeded} clk filters from "
+                      f"{args.clk_catalog}", file=sys.stderr)
         if args.catalog:
             records = _load_catalog(args.catalog)
             added = index.add_many(records)
             if dense_index is not None:
                 dense_index.add_many(records)
                 dense_index.train()
+            if clk_index is not None and clk_index.encoder is not None:
+                clk_index.add_many(records)
             print(f"indexed {added} catalog records from {args.catalog}",
                   file=sys.stderr)
         server = MatchServer(bundle, config, index=index,
                              dense_index=dense_index,
+                             clk_index=clk_index,
+                             clk_threshold=args.clk_threshold,
                              candidate_mode=args.blocker,
                              tenants=tenants, slo=slo, drift=drift)
 
@@ -652,15 +748,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-capacity", type=int, default=8192)
     serve.add_argument("--top-k", type=int, default=5,
                        help="candidates returned by /match")
-    serve.add_argument("--blocker", choices=["sparse", "dense"],
+    serve.add_argument("--blocker", choices=["sparse", "dense", "clk"],
                        default="sparse",
                        help="candidate generator for /match: token overlap "
-                            "(sparse) or ANN over embeddings (dense); "
-                            "flippable at runtime via POST /admin/candidates")
+                            "(sparse), ANN over embeddings (dense), or "
+                            "privacy-preserving Bloom-filter Dice (clk, "
+                            "served via /clk/match); flippable at runtime "
+                            "via POST /admin/candidates")
     serve.add_argument("--ann", choices=["ivf", "lsh"], default=None,
                        help="also build a dense ANN index of this kind even "
                             "when starting in sparse mode (default ivf when "
                             "--blocker dense)")
+    serve.add_argument("--clk-catalog", metavar="DIR", default=None,
+                       help="pre-encoded CLK catalog directory (written by "
+                            "repro clk-encode) to seed the privacy-"
+                            "preserving candidate index; the server only "
+                            "ever sees filter bytes + ids")
+    serve.add_argument("--clk-salt", default=None,
+                       help="CLK secret salt (single-party mode: lets the "
+                            "server encode plaintext catalog adds itself; "
+                            "omit for cross-party filters-only serving)")
+    serve.add_argument("--clk-salt-file", metavar="PATH", default=None,
+                       help="read the CLK salt from this file instead of "
+                            "the command line")
+    serve.add_argument("--clk-threshold", type=float, default=0.8,
+                       help="Dice score at or above which a /clk/match "
+                            "candidate is flagged as a match")
+    serve.add_argument("--clk-nbits", type=int, default=1024,
+                       help="CLK filter bits before hardening (with "
+                            "--clk-salt; must match the peer's encoding)")
+    serve.add_argument("--clk-hashes", type=int, default=30,
+                       help="bits set per q-gram (with --clk-salt)")
+    serve.add_argument("--clk-qgram", type=int, default=2,
+                       help="q-gram length (with --clk-salt)")
+    serve.add_argument("--clk-harden", choices=["none", "balance", "fold"],
+                       default="none",
+                       help="CLK hardening mode (with --clk-salt); see "
+                            "docs/PRIVACY.md for the trade-offs")
     serve.add_argument("--encoder-model", default="minilm-base",
                        help="checkpoint for the frozen bi-encoder behind the "
                             "dense index")
@@ -759,6 +883,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="encoder truncation length")
     _add_telemetry_flags(ann)
 
+    clk = sub.add_parser(
+        "clk-encode",
+        help="encode a catalog as salted Bloom-filter CLKs for privacy-"
+             "preserving matching: ship the output directory, keep the "
+             "salt secret")
+    clk.add_argument("--catalog", required=True, metavar="PATH_OR_NAME",
+                     help="records to encode: a record JSONL, a dataset "
+                          "bundle JSON, or a benchmark name")
+    clk.add_argument("--out", required=True, metavar="DIR",
+                     help="directory to write the CLK catalog "
+                          "(clk.json + clks.npy + ids.json)")
+    clk.add_argument("--salt", default=None,
+                     help="shared secret salt as a literal string")
+    clk.add_argument("--salt-file", metavar="PATH", default=None,
+                     help="read the salt from this file (recommended: "
+                          "keeps the key out of shell history)")
+    clk.add_argument("--nbits", type=int, default=1024,
+                     help="filter bits before hardening (multiple of 64)")
+    clk.add_argument("--hashes", type=int, default=30,
+                     help="bits set per q-gram (double hashing)")
+    clk.add_argument("--qgram", type=int, default=2,
+                     help="q-gram length over normalized tokens")
+    clk.add_argument("--harden", choices=["none", "balance", "fold"],
+                     default="none",
+                     help="hardening: balance (constant Hamming weight, "
+                          "2x length) or fold (XOR halves, half length)")
+    _add_telemetry_flags(clk)
+
     report = sub.add_parser(
         "obs-report",
         help="summarize a --telemetry JSONL: loss curves and span trees "
@@ -782,6 +934,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "serve": _cmd_serve,
     "ann-index": _cmd_ann_index,
+    "clk-encode": _cmd_clk_encode,
     "tune": _cmd_tune,
     "bundle-info": _cmd_bundle_info,
     "obs-report": _cmd_obs_report,

@@ -1,0 +1,179 @@
+"""Schema-versioned on-disk store of CLK encodings.
+
+A :class:`ClkCatalog` is what one party ships to the matching server in
+the cross-party scenario: record ids plus packed filters, *never* raw
+attribute values and *never* the salt.  The manifest pins the encoding
+shape (``nbits``/``num_hashes``/``qgram``/``hardening``) and the salt
+*fingerprint*, so the server can refuse to mix catalogs encoded under
+different keys or shapes without ever holding the key itself.
+
+Layout (directory, mirroring the model/delta bundle idiom)::
+
+    clk.json   -- manifest: schema_version, kind, encoding params,
+                  salt_digest, count
+    clks.npy   -- (N, words) uint64, row i is ids[i]'s filter
+    ids.json   -- record ids, row-aligned with clks.npy
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..data.records import EntityRecord
+
+PathLike = Union[str, Path]
+
+CLK_SCHEMA_VERSION = 1
+
+_MANIFEST_FILE = "clk.json"
+_FILTERS_FILE = "clks.npy"
+_IDS_FILE = "ids.json"
+
+
+class ClkCatalogError(ValueError):
+    """Raised on malformed, incompatible, or wrong-schema CLK catalogs."""
+
+
+class ClkCatalog:
+    """Immutable id -> packed-filter mapping with save/load round-trip."""
+
+    def __init__(self, ids: List[str], filters: np.ndarray,
+                 params: Dict[str, object]) -> None:
+        filters = np.asarray(filters, dtype=np.uint64)
+        if filters.ndim != 2:
+            raise ClkCatalogError(
+                f"filters must be (N, words), got shape {filters.shape}")
+        if len(ids) != filters.shape[0]:
+            raise ClkCatalogError(
+                f"{len(ids)} ids vs {filters.shape[0]} filter rows")
+        if len(set(ids)) != len(ids):
+            raise ClkCatalogError("duplicate record ids in catalog")
+        words = int(params.get("words", filters.shape[1] or 0))
+        if filters.shape[0] and filters.shape[1] != words:
+            raise ClkCatalogError(
+                f"filters have {filters.shape[1]} words, params say {words}")
+        self.ids = list(ids)
+        self.filters = filters
+        self.params = dict(params)
+        self._rows = {record_id: row for row, record_id in enumerate(self.ids)}
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_records(cls, encoder, records: Iterable[EntityRecord]
+                     ) -> "ClkCatalog":
+        """Encode an owned plaintext catalog (this party's side of PPRL)."""
+        records = list(records)
+        filters = encoder.encode_records(records)
+        return cls([r.record_id for r in records], filters, encoder.params())
+
+    # -- mapping -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._rows
+
+    def get(self, record_id: str) -> Optional[np.ndarray]:
+        row = self._rows.get(record_id)
+        return None if row is None else self.filters[row]
+
+    def entries(self) -> Iterator[Tuple[str, np.ndarray]]:
+        for row, record_id in enumerate(self.ids):
+            yield record_id, self.filters[row]
+
+    # -- compatibility -------------------------------------------------
+    _SHAPE_KEYS = ("nbits", "num_hashes", "qgram", "hardening")
+
+    def compatible_with(self, other_params: Dict[str, object],
+                        check_salt: bool = True) -> None:
+        """Raise unless ``other_params`` describes comparable filters.
+
+        Dice over CLKs is only meaningful when both sides used the same
+        shape *and* the same salt; a shape match with a different salt
+        produces independent bit patterns that score like noise, so salt
+        digests are checked by default.
+        """
+        for key in self._SHAPE_KEYS:
+            mine, theirs = self.params.get(key), other_params.get(key)
+            if mine != theirs:
+                raise ClkCatalogError(
+                    f"clk {key} mismatch: catalog has {mine!r}, "
+                    f"peer has {theirs!r}")
+        if check_salt:
+            mine = self.params.get("salt_digest")
+            theirs = other_params.get("salt_digest")
+            if mine and theirs and mine != theirs:
+                raise ClkCatalogError(
+                    f"salt fingerprint mismatch ({mine} vs {theirs}); "
+                    "both parties must encode under the same secret salt")
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "schema_version": CLK_SCHEMA_VERSION,
+            "kind": "clk-catalog",
+            "count": len(self.ids),
+        }
+        manifest.update({k: self.params[k] for k in sorted(self.params)})
+        np.save(path / _FILTERS_FILE,
+                np.ascontiguousarray(self.filters, dtype="<u8"))
+        with open(path / _IDS_FILE, "w") as f:
+            json.dump(self.ids, f)
+        with open(path / _MANIFEST_FILE, "w") as f:
+            json.dump(manifest, f, indent=2, sort_keys=True)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ClkCatalog":
+        path = Path(path)
+        manifest_path = path / _MANIFEST_FILE
+        if not manifest_path.exists():
+            raise ClkCatalogError(
+                f"{path} is not a clk catalog (no {_MANIFEST_FILE})")
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+        schema = manifest.get("schema_version")
+        kind = manifest.get("kind")
+        if schema != CLK_SCHEMA_VERSION or kind != "clk-catalog":
+            raise ClkCatalogError(
+                f"clk catalog schema {schema!r} (kind {kind!r}) is not "
+                f"supported; this build reads kind 'clk-catalog' at "
+                f"schema {CLK_SCHEMA_VERSION}")
+        filters_path = path / _FILTERS_FILE
+        ids_path = path / _IDS_FILE
+        if not filters_path.exists() or not ids_path.exists():
+            raise ClkCatalogError(
+                f"{path} is missing {_FILTERS_FILE} or {_IDS_FILE}")
+        filters = np.load(filters_path).astype(np.uint64)
+        with open(ids_path) as f:
+            ids = json.load(f)
+        params = {k: v for k, v in manifest.items()
+                  if k not in ("schema_version", "kind", "count")}
+        catalog = cls(ids, filters, params)
+        if manifest.get("count") != len(catalog):
+            raise ClkCatalogError(
+                f"manifest count {manifest.get('count')} does not match "
+                f"{len(catalog)} stored filters")
+        return catalog
+
+    def stats(self) -> Dict[str, object]:
+        """Size + fill diagnostics (never the salt, never raw values)."""
+        from .kernels import popcount
+
+        words = int(self.params.get("words", 0)) or (
+            self.filters.shape[1] if self.filters.ndim == 2 else 0)
+        nbits = words * 64
+        pops = popcount(self.filters) if len(self.ids) else np.zeros(0)
+        return {
+            "count": len(self.ids),
+            "encoded_nbits": nbits,
+            "params": {k: self.params.get(k) for k in self._SHAPE_KEYS},
+            "salt_digest": self.params.get("salt_digest"),
+            "mean_fill": float(pops.mean() / nbits) if len(pops) and nbits else 0.0,
+        }

@@ -24,6 +24,11 @@ service (the deployment form real EM systems take):
 * :mod:`repro.serve.http` -- a stdlib HTTP front end plus a socket-free
   JSONL request driver; both drive a server or a pool interchangeably.
 
+The privacy-preserving path (``candidate_mode="clk"``) plugs a
+:class:`repro.privacy.ClkCandidateIndex` into the same surfaces: catalog
+adds, match queries, and responses carry only packed Bloom-filter bytes
+and record ids -- see ``docs/PRIVACY.md``.
+
 See ``docs/SERVING.md`` for the bundle format, scheduler knobs,
 backpressure semantics, and the hot-swap contract.
 """
@@ -35,8 +40,9 @@ from .http import (
 )
 from .index import ServingIndex
 from .server import (
-    MatchCandidate, MatchResponse, MatchServer, Overloaded, PendingMatch,
-    PendingResponse, ScoreResponse, ServerConfig,
+    ClkCandidate, ClkMatchResponse, MatchCandidate, MatchResponse,
+    MatchServer, Overloaded, PendingMatch, PendingResponse, ScoreResponse,
+    ServerConfig,
 )
 from .shard import ShardedServingIndex, merge_topk, shard_of
 from .weights import SharedBundleWeights
@@ -51,6 +57,7 @@ __all__ = [
     "MatchServer", "ServerConfig", "Overloaded",
     "ServingPool", "PoolConfig", "SharedBundleWeights",
     "ScoreResponse", "MatchResponse", "MatchCandidate",
+    "ClkMatchResponse", "ClkCandidate",
     "PendingResponse", "PendingMatch",
     "MatchHTTPServer", "serve_requests", "handle_request", "read_jsonl",
     "ProtocolError",

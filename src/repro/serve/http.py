@@ -15,10 +15,17 @@ Two transports over one JSON protocol:
     server carries a :class:`~repro.serve.tenants.TenantRegistry`
   - ``POST /match``  ``{"record": <record>, "k": 5}`` (same optional
     ``tenant`` field)
+  - ``POST /clk/match``  ``{"id": "<query id>", "clk": "<base64 filter
+    bytes>", "k": 5}`` -- privacy-preserving Dice top-k over the CLK
+    catalog; request and response carry only ids, filter bytes, and
+    scores (see ``docs/PRIVACY.md``)
   - ``POST /admin/swap``  ``{"bundle": "<bundle dir>"}``
   - ``POST /admin/catalog``  ``{"add": [<record>...], "remove": [<id>...]}``
     (applied to the sparse token index *and* the dense ANN index when one
     is configured, so the two catalogs stay hot-add consistent)
+  - ``POST /admin/clk-catalog``  ``{"add": [{"id", "clk": <base64>}...],
+    "remove": [<id>...]}`` -- the cross-party ingest path: pre-encoded
+    filters only, never raw attribute values
   - ``POST /admin/candidates``  ``{"mode": "sparse" | "dense"}`` -- flip
     the candidate generator match queries use (pool-wide when serving a
     :class:`~repro.serve.pool.ServingPool`)
@@ -53,6 +60,7 @@ replacement to the network.
 
 from __future__ import annotations
 
+import base64
 import hmac
 import json
 import time
@@ -63,8 +71,11 @@ from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 from ..data.dataset import CandidatePair
 from ..data.io import _record_from_dict, _record_to_dict
 from ..obs import get_telemetry
+from ..privacy.encoder import clk_from_bytes
 from .bundle import ModelBundle
-from .server import MatchResponse, MatchServer, Overloaded, ScoreResponse
+from .server import (
+    ClkMatchResponse, MatchResponse, MatchServer, Overloaded, ScoreResponse,
+)
 
 
 class ProtocolError(ValueError):
@@ -108,6 +119,28 @@ def match_response_to_dict(response: MatchResponse) -> dict:
     }
 
 
+def clk_match_response_to_dict(response: ClkMatchResponse) -> dict:
+    return {
+        "status": "ok",
+        "op": "clk_match",
+        "record_id": response.record_id,
+        "threshold": response.threshold,
+        "candidates": [{
+            "id": candidate.record_id,
+            "score": candidate.score,
+            "is_match": candidate.is_match,
+        } for candidate in response.candidates],
+    }
+
+
+def _clk_from_request(request: dict):
+    """Decode the base64 ``clk`` field of a request dict to packed uint64."""
+    encoded = request.get("clk")
+    if not isinstance(encoded, str) or not encoded:
+        raise ProtocolError("clk_match request needs a base64 clk field")
+    return clk_from_bytes(base64.b64decode(encoded))
+
+
 def overloaded_to_dict(error: Overloaded) -> dict:
     return {"status": "overloaded", "detail": str(error),
             "queue_depth": error.queue_depth}
@@ -135,6 +168,13 @@ def handle_request(server: MatchServer, request: dict,
             k = request.get("k")
             return match_response_to_dict(
                 server.match(record, k=k, timeout=timeout, tenant=tenant))
+        if op == "clk_match":
+            # synchronous: a popcount kernel answers without touching the
+            # model queue, so there is no admission to shed
+            clk = _clk_from_request(request)
+            return clk_match_response_to_dict(
+                server.clk_match(request.get("id", ""), clk,
+                                 k=request.get("k")))
         raise ProtocolError(f"unknown op {op!r}")
     except Overloaded as error:
         return overloaded_to_dict(error)
@@ -196,6 +236,13 @@ def serve_requests(server: MatchServer, requests: Iterable[dict],
 
             def submit(r=record, k=k, t=tenant):
                 return "match", server.submit_match(r, k=k, tenant=t)
+        elif op == "clk_match":
+            # answered inline (no queue); drain pending first so the
+            # one-response-per-request order is preserved
+            while pending:
+                yield collect()
+            yield handle_request(server, request, timeout=timeout)
+            continue
         else:
             raise ProtocolError(f"unknown op {op!r}")
         while True:
@@ -326,6 +373,10 @@ class _Handler(BaseHTTPRequestHandler):
                 response = handle_request(
                     self.match_server, {**payload, "op": "match"},
                     timeout=self.request_timeout)
+            elif self.path == "/clk/match":
+                response = handle_request(
+                    self.match_server, {**payload, "op": "clk_match"},
+                    timeout=self.request_timeout)
             elif self.path == "/admin/swap":
                 bundle = ModelBundle.load(payload["bundle"])
                 version = self.match_server.swap(bundle)
@@ -339,6 +390,17 @@ class _Handler(BaseHTTPRequestHandler):
                 response = {"status": "ok", "added": added,
                             "removed": removed,
                             "size": self.match_server.catalog_size()}
+            elif self.path == "/admin/clk-catalog":
+                entries = [(str(entry["id"]),
+                            clk_from_bytes(base64.b64decode(entry["clk"])))
+                           for entry in payload.get("add", [])]
+                added = self.match_server.catalog_add_clk(entries) \
+                    if entries else 0
+                removed = self.match_server.catalog_remove(
+                    payload.get("remove", []))
+                response = {"status": "ok", "added": added,
+                            "removed": removed,
+                            "size": self.match_server.clk_catalog_size()}
             elif self.path == "/admin/candidates":
                 mode = self.match_server.set_candidate_mode(
                     payload.get("mode", ""))

@@ -287,7 +287,8 @@ def _replica_main(conn, replica: int, bundle: ModelBundle,
                   store: SharedBundleWeights, config: ServerConfig,
                   pool_config: PoolConfig, journal: Sequence[dict],
                   encoder, dense_spec: Optional[dict],
-                  candidate_mode: str) -> None:
+                  candidate_mode: str, clk_spec: Optional[dict] = None,
+                  clk_journal: Optional[Sequence[dict]] = None) -> None:
     """Worker entry point (fork start method: arguments arrive by
     inheritance, nothing is pickled).
 
@@ -349,6 +350,19 @@ def _replica_main(conn, replica: int, bundle: ModelBundle,
             if dense_spec.get("train") and len(dindex):
                 dindex.train()
             dense[shard] = dindex
+    clk: Dict[int, object] = {}
+    if clk_spec is not None:
+        from ..privacy import ClkCandidateIndex
+
+        # filter-only shards: the replica never holds the salt or any
+        # plaintext for the CLK catalog -- entries arrive (and are
+        # rebuilt on respawn) as packed uint64 filters + ids
+        for shard in owned:
+            cindex = ClkCandidateIndex(words=clk_spec["words"],
+                                       default_k=config.default_top_k)
+            if clk_journal is not None:
+                cindex.add_clk_many(clk_journal[shard].items())
+            clk[shard] = cindex
     mode = candidate_mode
 
     send_lock = threading.Lock()
@@ -453,7 +467,27 @@ def _replica_main(conn, replica: int, bundle: ModelBundle,
                             removed += 1
                         if shard in dense:
                             dense[shard].remove(record_id)
+                        if shard in clk:
+                            clk[shard].remove(record_id)
                 send(("reply", qid, removed))
+            elif kind == "clk_add":
+                _, qid, per_shard = message
+                fresh = 0
+                for shard, entries in per_shard.items():
+                    if shard in clk:
+                        fresh += clk[shard].add_clk_many(entries)
+                send(("reply", qid, fresh))
+            elif kind == "clk_match":
+                _, qid, query_clk, k = message
+                try:
+                    partials = [clk[shard].search(query_clk, k)
+                                for shard in owned if shard in clk]
+                    merged = sorted(
+                        (pair for partial in partials for pair in partial),
+                        key=lambda item: (-item[1], item[0]))[:k]
+                    send(("reply", qid, merged))
+                except Exception as error:
+                    send(("reply", qid, {"error": repr(error)}))
             elif kind == "candidate_mode":
                 mode = message[1]
             elif kind == "stats":
@@ -508,6 +542,9 @@ class ServingPool:
                  encoder=None, dense_kind: str = "ivf", dense_seed: int = 0,
                  dense_kwargs: Optional[dict] = None,
                  dense_train: bool = True,
+                 clk_words: Optional[int] = None,
+                 clk_encoder=None,
+                 clk_threshold: float = 0.8,
                  candidate_mode: str = "sparse",
                  slo: Optional[SloTracker] = None,
                  drift: Optional[DriftMonitor] = None) -> None:
@@ -517,10 +554,30 @@ class ServingPool:
         self._dense_spec = None if encoder is None else {
             "kind": dense_kind, "seed": dense_seed,
             "kwargs": dict(dense_kwargs or {}), "train": dense_train}
-        if candidate_mode not in ("sparse", "dense"):
-            raise ValueError("candidate_mode must be 'sparse' or 'dense'")
+        #: CLK (PPRL) serving: ``clk_encoder`` enables the single-party
+        #: shape (the router encodes its own plaintext catalog adds);
+        #: ``clk_words`` alone enables cross-party mode, where the pool
+        #: only ever handles pre-encoded filters + ids. Either way the
+        #: replicas hold filter-only shards -- no salt, no plaintext.
+        self._clk_encoder = clk_encoder
+        if clk_encoder is not None:
+            clk_inferred = clk_encoder.config.words
+            if clk_words is not None and clk_words != clk_inferred:
+                raise ValueError(
+                    f"clk_words={clk_words} conflicts with clk_encoder "
+                    f"({clk_inferred} words)")
+            clk_words = clk_inferred
+        self._clk_spec = None if clk_words is None else {
+            "words": int(clk_words)}
+        self.clk_threshold = clk_threshold
+        if candidate_mode not in ("sparse", "dense", "clk"):
+            raise ValueError(
+                "candidate_mode must be 'sparse', 'dense', or 'clk'")
         if candidate_mode == "dense" and encoder is None:
             raise ValueError("dense candidate_mode needs an encoder")
+        if candidate_mode == "clk" and self._clk_spec is None:
+            raise ValueError(
+                "clk candidate_mode needs clk_words or a clk_encoder")
         self._candidate_mode = candidate_mode
 
         # router-side tenant registry: in forked mode it only validates
@@ -538,6 +595,12 @@ class ServingPool:
         #: rebuild their shards from (the postings/ANN structures
         #: themselves live only inside the owning replica)
         self._catalog: List[Dict[str, EntityRecord]] = [
+            {} for _ in range(self.config.shards)]
+        #: per-shard journal of packed CLK filters (same role as
+        #: ``_catalog`` for the filter-only path: respawned replicas
+        #: rebuild their CLK shards from it); guarded by the same lock so
+        #: a fork snapshots both journals consistently
+        self._clk_catalog: List[Dict[str, object]] = [
             {} for _ in range(self.config.shards)]
         self._catalog_lock = threading.RLock()
 
@@ -626,8 +689,21 @@ class ServingPool:
                 self._encoder, self.config.shards, kind=spec["kind"],
                 default_k=self.config.server.default_top_k,
                 seed=spec["seed"], **spec["kwargs"])
+        clk_index = None
+        if self._clk_spec is not None:
+            from ..privacy import ClkCandidateIndex
+
+            clk_index = ClkCandidateIndex(
+                words=self._clk_spec["words"], encoder=self._clk_encoder,
+                default_k=self.config.server.default_top_k)
+            with self._catalog_lock:
+                entries = [(rid, filt) for shard in self._clk_catalog
+                           for rid, filt in shard.items()]
+            clk_index.add_clk_many(entries)
         self._server = MatchServer(self._bundle, self.config.server,
                                    index=index, dense_index=dense_index,
+                                   clk_index=clk_index,
+                                   clk_threshold=self.clk_threshold,
                                    candidate_mode=self._candidate_mode,
                                    tenants=self._tenants,
                                    slo=self._slo, drift=self._drift)
@@ -660,7 +736,8 @@ class ServingPool:
                 target=_replica_main,
                 args=(child_conn, index, self._bundle, self._store,
                       self.config.server, self.config, self._catalog,
-                      self._encoder, self._dense_spec, self._candidate_mode),
+                      self._encoder, self._dense_spec, self._candidate_mode,
+                      self._clk_spec, self._clk_catalog),
                 daemon=True, name=f"repro-pool-replica-{index}")
             proc.start()
         child_conn.close()
@@ -872,6 +949,12 @@ class ServingPool:
         """Scatter the candidate query across every replica's shards,
         merge the per-shard top-k, then admit one score request per
         candidate (atomically, like the single server)."""
+        if self._candidate_mode == "clk":
+            # the pool-level privacy pin: in CLK mode no plaintext record
+            # may enter the serving path, in serial and forked mode alike
+            raise ValueError(
+                "clk candidate mode serves clk_match queries only; "
+                "plaintext match needs candidate_mode sparse or dense")
         if self._serial:
             return self._server.submit_match(record, k, tenant=tenant)
         k = self.config.server.default_top_k if k is None else int(k)
@@ -885,6 +968,50 @@ class ServingPool:
                    for (candidate, score), pending in zip(candidates,
                                                           pendings)]
         return PendingMatch(record.record_id, entries)
+
+    def clk_match(self, record_id: str, clk, k: Optional[int] = None):
+        """Dice top-k over the pool's CLK shards for one pre-encoded
+        query filter: scatter the filter, merge per-shard ``(id, score)``
+        partials with the deterministic ``(-score, id)`` rule, flag
+        matches at ``clk_threshold``.  Requests and replies carry only
+        filter bytes, ids, and scores."""
+        from .server import ClkCandidate, ClkMatchResponse
+
+        if self._clk_spec is None:
+            raise ValueError("no clk index configured")
+        if self._serial:
+            return self._server.clk_match(record_id, clk, k)
+        k = self.config.server.default_top_k if k is None else int(k)
+        started = time.perf_counter()
+        clk = np.asarray(clk, dtype=np.uint64)
+        replies = self._scatter_control(
+            ("clk_match", None, clk, k),
+            timeout=self.config.gather_timeout_s)
+        partials = [payload for payload in replies.values()
+                    if isinstance(payload, list)]
+        if len(partials) < len(replies) or not replies:
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.metrics.counter("pool.partial_gathers").inc()
+        merged = sorted(
+            ((str(rid), float(score))
+             for partial in partials for rid, score in partial),
+            key=lambda item: (-item[1], item[0]))[:k]
+        self.request_count += 1
+        self.response_count += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("privacy.clk.requests").inc()
+            tel.metrics.quantiles("privacy.clk.match_seconds").observe(
+                time.perf_counter() - started)
+            tel.metrics.histogram("privacy.clk.candidates").observe(
+                len(merged))
+        return ClkMatchResponse(
+            record_id=record_id,
+            candidates=[ClkCandidate(rid, score,
+                                     score >= self.clk_threshold)
+                        for rid, score in merged],
+            threshold=self.clk_threshold)
 
     def _gather_candidates(self, record: EntityRecord, k: int
                            ) -> List[Tuple[EntityRecord, float]]:
@@ -1165,10 +1292,13 @@ class ServingPool:
     def set_candidate_mode(self, mode: str) -> str:
         """Flip the candidate generator pool-wide; replicas adopt it for
         every subsequent scatter (in-flight gathers finish on the old)."""
-        if mode not in ("sparse", "dense"):
-            raise ValueError("candidate_mode must be 'sparse' or 'dense'")
+        if mode not in ("sparse", "dense", "clk"):
+            raise ValueError(
+                "candidate_mode must be 'sparse', 'dense', or 'clk'")
         if mode == "dense" and self._encoder is None:
             raise ValueError("no dense index configured")
+        if mode == "clk" and self._clk_spec is None:
+            raise ValueError("no clk index configured")
         if self._serial:
             self._server.set_candidate_mode(mode)
             self._candidate_mode = mode
@@ -1192,22 +1322,67 @@ class ServingPool:
 
     def catalog_add(self, records) -> int:
         """Route records to their owning shards (journal + live replica);
-        returns the number of ids new to the catalog."""
+        returns the number of ids new to the catalog.
+
+        With a ``clk_encoder`` configured (single-party mode) each record
+        is also encoded *here, once, router-side* and the filter routed to
+        the owning CLK shard -- replicas never need the salt."""
         records = list(records)
+        clk_per_shard: Dict[int, list] = {}
+        if self._clk_encoder is not None and records:
+            filters = self._clk_encoder.encode_records(records)
         per_shard: Dict[int, List[EntityRecord]] = {}
         fresh = 0
         with self._catalog_lock:
-            for record in records:
+            for i, record in enumerate(records):
                 shard = shard_of(record.record_id, self.config.shards)
                 if record.record_id not in self._catalog[shard]:
                     fresh += 1
                 self._catalog[shard][record.record_id] = record
                 per_shard.setdefault(shard, []).append(record)
+                if self._clk_encoder is not None:
+                    self._clk_catalog[shard][record.record_id] = filters[i]
+                    clk_per_shard.setdefault(shard, []).append(
+                        (record.record_id, filters[i]))
         if self._serial and self._server is not None:
             self._server.catalog_add(records)
         elif self._started:
             self._route_catalog("catalog_add", per_shard)
+            if clk_per_shard:
+                self._route_catalog("clk_add", clk_per_shard)
         return fresh
+
+    def catalog_add_clk(self, entries) -> int:
+        """Route pre-encoded ``(record_id, packed filter)`` entries to
+        their owning CLK shards (journal + live replica); returns the
+        number of new ids.  The cross-party ingest path: no plaintext
+        exists anywhere in this flow."""
+        if self._clk_spec is None:
+            raise ValueError("no clk index configured")
+        entries = [(str(rid), np.asarray(filt, dtype=np.uint64))
+                   for rid, filt in entries]
+        per_shard: Dict[int, list] = {}
+        fresh = 0
+        with self._catalog_lock:
+            for record_id, filt in entries:
+                shard = shard_of(record_id, self.config.shards)
+                if record_id not in self._clk_catalog[shard]:
+                    fresh += 1
+                self._clk_catalog[shard][record_id] = filt
+                per_shard.setdefault(shard, []).append((record_id, filt))
+        if self._serial and self._server is not None:
+            self._server.catalog_add_clk(
+                pair for pairs in per_shard.values() for pair in pairs)
+        elif self._started:
+            self._route_catalog("clk_add", per_shard)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("privacy.clk.catalog_adds").inc()
+        return fresh
+
+    def clk_catalog_size(self) -> int:
+        with self._catalog_lock:
+            return sum(len(shard) for shard in self._clk_catalog)
 
     def catalog_remove(self, record_ids) -> int:
         removed = 0
@@ -1215,7 +1390,10 @@ class ServingPool:
         with self._catalog_lock:
             for record_id in record_ids:
                 shard = shard_of(record_id, self.config.shards)
-                if self._catalog[shard].pop(record_id, None) is not None:
+                plain = self._catalog[shard].pop(record_id, None) is not None
+                filt = self._clk_catalog[shard].pop(record_id,
+                                                    None) is not None
+                if plain or filt:
                     removed += 1
                 per_shard.setdefault(shard, []).append(record_id)
         if self._serial and self._server is not None:
@@ -1328,6 +1506,8 @@ class ServingPool:
             "model_version": self.version,
             "bundle": self._bundle.name,
             "catalog_size": self.catalog_size(),
+            "candidate_mode": self.candidate_mode,
+            "candidate_index": self._candidate_index_kind(),
             "queue_depth": depth,
             "replicas": {
                 "configured": self.config.replicas,
@@ -1337,6 +1517,8 @@ class ServingPool:
                 "respawns": self.respawn_count,
             },
         }
+        if self._clk_spec is not None:
+            payload["clk_catalog_size"] = self.clk_catalog_size()
         if self._tenants is not None:
             tstats = self._tenants.stats()
             payload["tenants"] = {
@@ -1345,6 +1527,17 @@ class ServingPool:
                 "capacity": tstats["capacity"],
             }
         return payload
+
+    def _candidate_index_kind(self) -> str:
+        """Human-readable kind of the index behind ``candidate_mode``
+        (lock-free, mirrors ``MatchServer._candidate_index_kind``)."""
+        mode = self.candidate_mode
+        if mode == "dense":
+            kind = self._dense_spec["kind"] if self._dense_spec else "?"
+            return f"dense:{kind}"
+        if mode == "clk":
+            return "clk"
+        return "sparse:token-overlap"
 
     def slo_snapshot(self) -> dict:
         """Per-tenant SLO compliance plus drift state for ``GET /slo``."""
@@ -1412,6 +1605,9 @@ class ServingPool:
             "respawns": self.respawn_count,
             "catalog_records": self.catalog_size(),
         }
+        if self._clk_spec is not None:
+            stats["clk_catalog_records"] = self.clk_catalog_size()
+            stats["clk_threshold"] = self.clk_threshold
         if self._serial and self._server is not None:
             stats["server"] = self._server.stats()
             stats["requests"] = self._server.request_count

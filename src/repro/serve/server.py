@@ -169,6 +169,34 @@ class MatchResponse:
         return [c for c in self.candidates if c.is_match]
 
 
+@dataclass
+class ClkCandidate:
+    """One ranked candidate of a CLK match query.
+
+    Deliberately carries *no* :class:`EntityRecord` -- in cross-party mode
+    the server never holds one, and the response must not either."""
+
+    record_id: str
+    score: float                 # Dice similarity over packed filters
+    is_match: bool               # score >= the server's clk_threshold
+
+
+@dataclass
+class ClkMatchResponse:
+    """Ranked CLK candidates for one query filter (ids + scores only)."""
+
+    record_id: str
+    candidates: List[ClkCandidate] = field(default_factory=list)
+    threshold: float = 0.8
+
+    @property
+    def best(self) -> Optional[ClkCandidate]:
+        return self.candidates[0] if self.candidates else None
+
+    def matches(self) -> List[ClkCandidate]:
+        return [c for c in self.candidates if c.is_match]
+
+
 class PendingResponse:
     """A one-shot future for a queued request.
 
@@ -266,6 +294,8 @@ class MatchServer:
                  config: Optional[ServerConfig] = None,
                  index: Optional[ServingIndex] = None,
                  dense_index=None,
+                 clk_index=None,
+                 clk_threshold: float = 0.8,
                  candidate_mode: str = "sparse",
                  tenants=None,
                  slo: Optional[SloTracker] = None,
@@ -302,6 +332,15 @@ class MatchServer:
         #: catalog helpers keep it in lockstep with the sparse index and
         #: ``candidate_mode`` selects which one answers match queries
         self.dense_index = dense_index
+        #: optional repro.privacy.ClkCandidateIndex; the PPRL catalog of
+        #: packed Bloom filters. With an encoder attached (single-party
+        #: mode) it tracks the plaintext catalog and can answer regular
+        #: match queries; without one (cross-party mode) it only ever sees
+        #: filter bytes + ids, and Dice scoring via :meth:`clk_match` is
+        #: the sole query path -- the server holds nothing reversible
+        self.clk_index = clk_index
+        #: Dice score at or above which a CLK candidate counts as a match
+        self.clk_threshold = clk_threshold
         self._candidate_mode = "sparse"
         self.set_candidate_mode(candidate_mode)
         self._swap_lock = threading.Lock()
@@ -363,13 +402,17 @@ class MatchServer:
 
     def set_candidate_mode(self, mode: str) -> str:
         """Select the candidate generator for match queries: ``"sparse"``
-        (token overlap, always available) or ``"dense"`` (ANN over
-        embeddings; requires a ``dense_index``). Admin-flippable at
-        runtime -- in-flight queries finish on the index they probed."""
-        if mode not in ("sparse", "dense"):
-            raise ValueError("candidate_mode must be 'sparse' or 'dense'")
+        (token overlap, always available), ``"dense"`` (ANN over
+        embeddings; requires a ``dense_index``), or ``"clk"`` (Dice over
+        packed Bloom filters; requires a ``clk_index``). Admin-flippable
+        at runtime -- in-flight queries finish on the index they probed."""
+        if mode not in ("sparse", "dense", "clk"):
+            raise ValueError(
+                "candidate_mode must be 'sparse', 'dense', or 'clk'")
         if mode == "dense" and self.dense_index is None:
             raise ValueError("no dense index configured")
+        if mode == "clk" and self.clk_index is None:
+            raise ValueError("no clk index configured")
         self._candidate_mode = mode
         tel = get_telemetry()
         if tel.enabled:
@@ -377,17 +420,37 @@ class MatchServer:
         return mode
 
     def _candidate_index(self):
-        return self.dense_index if self._candidate_mode == "dense" \
-            else self.index
+        if self._candidate_mode == "dense":
+            return self.dense_index
+        if self._candidate_mode == "clk":
+            return self.clk_index
+        return self.index
+
+    def _candidate_index_kind(self) -> str:
+        """Human-readable kind of the index behind ``candidate_mode``
+        (lock-free: healthz includes it on every probe)."""
+        if self._candidate_mode == "dense":
+            ann = type(self.dense_index.index).__name__ \
+                if self.dense_index is not None else "?"
+            return f"dense:{ann.replace('Index', '').lower()}"
+        if self._candidate_mode == "clk":
+            return "clk"
+        return "sparse:token-overlap"
 
     def catalog_add(self, records) -> int:
         """Add records to every configured candidate index (sparse always,
-        dense when present), keeping the two catalogs hot-add consistent.
-        Returns the number of ids new to the sparse index."""
+        dense when present, clk when it can encode), keeping the catalogs
+        hot-add consistent. Returns the number of ids new to the sparse
+        index."""
         records = list(records)
         fresh = self.index.add_many(records)
         if self.dense_index is not None:
             self.dense_index.add_many(records)
+        if self.clk_index is not None and self.clk_index.encoder is not None:
+            # single-party mode only: a cross-party clk index holds no
+            # salt, so plaintext adds cannot reach it -- filters arrive
+            # pre-encoded via catalog_add_clk instead
+            self.clk_index.add_many(records)
         return fresh
 
     def catalog_size(self) -> int:
@@ -397,14 +460,74 @@ class MatchServer:
 
     def catalog_remove(self, record_ids) -> int:
         """Remove ids from every configured candidate index; returns how
-        many the sparse index actually dropped."""
+        many held the id somewhere (sparse or clk -- in a filters-only
+        deployment the sparse index is empty, mirroring the pool's
+        plain-or-filter accounting)."""
         removed = 0
         for record_id in record_ids:
-            if self.index.remove(record_id):
-                removed += 1
+            dropped = self.index.remove(record_id)
             if self.dense_index is not None:
                 self.dense_index.remove(record_id)
+            if self.clk_index is not None:
+                dropped = self.clk_index.remove(record_id) or dropped
+            if dropped:
+                removed += 1
         return removed
+
+    # ------------------------------------------------------------------
+    # CLK-only path (cross-party PPRL; see docs/PRIVACY.md)
+    # ------------------------------------------------------------------
+    def catalog_add_clk(self, entries) -> int:
+        """Add pre-encoded ``(record_id, packed filter)`` entries.
+
+        The cross-party ingest path: nothing here touches the sparse or
+        dense indexes (there is no plaintext to give them), and in a
+        filters-only deployment this is the *only* write path -- which is
+        what the no-plaintext serving test leans on. Returns the number
+        of new ids (re-adds replace in place)."""
+        if self.clk_index is None:
+            raise ValueError("no clk index configured")
+        fresh = self.clk_index.add_clk_many(entries)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("privacy.clk.catalog_adds").inc()
+        return fresh
+
+    def clk_catalog_size(self) -> int:
+        """Filters in the CLK catalog (transport symmetry with
+        :meth:`catalog_size`; a pool exposes the same method)."""
+        if self.clk_index is None:
+            raise ValueError("no clk index configured")
+        return len(self.clk_index)
+
+    def clk_match(self, record_id: str, clk, k: Optional[int] = None
+                  ) -> "ClkMatchResponse":
+        """Dice top-k over the CLK catalog for one pre-encoded query.
+
+        This is the CLK-only *scoring* mode: the similarity itself is the
+        score (no model forward, no queue -- a popcount kernel answers in
+        microseconds), and candidates at or above ``clk_threshold`` are
+        flagged as matches. Request and response carry only ids, filter
+        bytes, and scores."""
+        if self.clk_index is None:
+            raise ValueError("no clk index configured")
+        k = self.config.default_top_k if k is None else k
+        started = time.perf_counter()
+        found = self.clk_index.search(np.asarray(clk, dtype=np.uint64), k)
+        candidates = [
+            ClkCandidate(rid, score, score >= self.clk_threshold)
+            for rid, score in found]
+        self.request_count += 1
+        self.response_count += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("privacy.clk.requests").inc()
+            tel.metrics.quantiles("privacy.clk.match_seconds").observe(
+                time.perf_counter() - started)
+            tel.metrics.histogram("privacy.clk.candidates").observe(
+                len(candidates))
+        return ClkMatchResponse(record_id=record_id, candidates=candidates,
+                                threshold=self.clk_threshold)
 
     # ------------------------------------------------------------------
     # Admission
@@ -887,9 +1010,13 @@ class MatchServer:
             "model_version": version,
             "bundle": bundle.name,
             "catalog_size": len(self.index),
+            "candidate_mode": self._candidate_mode,
+            "candidate_index": self._candidate_index_kind(),
             "queue_depth": depth,
             "scheduler_running": self.is_running,
         }
+        if self.clk_index is not None:
+            payload["clk_catalog_size"] = len(self.clk_index)
         if self.tenants is not None:
             tstats = self.tenants.stats()
             payload["tenants"] = {
@@ -935,6 +1062,8 @@ class MatchServer:
         }
         if self.dense_index is not None:
             stats["dense_index"] = self.dense_index.stats()
+        if self.clk_index is not None:
+            stats["clk_index"] = self.clk_index.stats()
         if self.tenants is not None:
             stats["tenants"] = self.tenants.stats()
         return stats

@@ -1,0 +1,31 @@
+"""Shared helpers for the privacy tests: distinct-word records (the
+tokenizer drops single characters, so numeric suffixes would collapse
+otherwise-distinct records into identical token sets)."""
+
+from repro.data.records import EntityRecord, Table
+
+WORDS = ("alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+         "hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+         "oscar", "papa", "quebec", "romeo", "sierra", "tango")
+
+# disjoint list for the "high digit" of i, so token sets stay unique
+# even past len(WORDS) records (base-20 pairs never collide across lists)
+MAKERS = ("uniform", "victor", "whiskey", "xray", "yankee", "zulu",
+          "anchor", "beacon", "copper", "dagger")
+
+
+def make_record(i, kind="relational", extra=""):
+    """A record whose token set is unique per ``i`` (distinct words)."""
+    name = f"{WORDS[i % len(WORDS)]} {WORDS[(i * 7 + 3) % len(WORDS)]}"
+    maker = f"{MAKERS[(i // len(WORDS)) % len(MAKERS)]} " \
+            f"{WORDS[(i * 3 + 1) % len(WORDS)]}"
+    values = {"title": (name + " " + extra).strip(), "maker": maker}
+    return EntityRecord(record_id=f"r{i}", kind=kind, values=values)
+
+
+def make_records(n, **kwargs):
+    return [make_record(i, **kwargs) for i in range(n)]
+
+
+def make_table(n, name="left", **kwargs):
+    return Table(name, "relational", make_records(n, **kwargs))

@@ -1,0 +1,89 @@
+"""PrivateBlocker tests: BlockingResult contract, the recall_at_k == 1.0
+kernel-exactness canary, min_score, and degenerate tables."""
+
+import pytest
+
+from repro.data.blocking import BlockingResult
+from repro.privacy import ClkConfig, ClkEncoder, PrivateBlocker
+
+from .conftest import make_record, make_table
+
+SALT = "blocker-secret"
+
+
+def blocker(**kwargs):
+    return PrivateBlocker(
+        ClkEncoder(SALT, ClkConfig(nbits=256, num_hashes=8)), **kwargs)
+
+
+class TestContract:
+    def test_blocking_result_shape(self):
+        left, right = make_table(6), make_table(10, name="right")
+        result = blocker(k=3).block(left, right)
+        assert isinstance(result, BlockingResult)
+        assert result.total_pairs == 60
+        assert result.recall_at_k is None  # not measured unless asked
+        assert 0 < len(result.candidates) <= 6 * 3
+        for pair in result.candidates:
+            left_record, right_record = pair
+            assert left_record.record_id.startswith("r")
+            assert right_record.record_id.startswith("r")
+
+    def test_self_match_always_retained(self):
+        # identical tables: each left record's own twin scores Dice 1.0
+        left, right = make_table(8), make_table(8, name="right")
+        result = blocker(k=2).block(left, right)
+        kept = {(l.record_id, r.record_id) for l, r in result.candidates}
+        for i in range(8):
+            assert (f"r{i}", f"r{i}") in kept
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            blocker(k=0)
+
+
+class TestRecallCanary:
+    def test_kernel_matches_reference_exactly(self):
+        # recall_at_k here compares the packed kernel's top-k to the
+        # pure-Python bin().count() ranking: 1.0 or the kernel is wrong
+        left, right = make_table(10), make_table(15, name="right")
+        result = blocker(k=4).block(left, right, measure_recall=True)
+        assert result.recall_at_k == 1.0
+
+    def test_recall_with_min_score(self):
+        # exactness is measured pre-threshold, so a tight floor cannot
+        # masquerade as kernel loss
+        left, right = make_table(6), make_table(9, name="right")
+        result = blocker(k=3, min_score=0.99).block(
+            left, right, measure_recall=True)
+        assert result.recall_at_k == 1.0
+        kept = {(l.record_id, r.record_id) for l, r in result.candidates}
+        assert kept == {(f"r{i}", f"r{i}") for i in range(6)}
+
+
+class TestEdges:
+    def test_empty_left(self):
+        result = blocker().block(make_table(0), make_table(5, name="right"),
+                                 measure_recall=True)
+        assert result.candidates == []
+        assert result.total_pairs == 0
+        assert result.recall_at_k == 1.0
+
+    def test_empty_right(self):
+        result = blocker().block(make_table(5), make_table(0, name="right"))
+        assert result.candidates == []
+        assert result.recall_at_k is None
+
+    def test_k_larger_than_right(self):
+        left, right = make_table(3), make_table(2, name="right")
+        result = blocker(k=50).block(left, right, measure_recall=True)
+        assert len(result.candidates) == 6  # every pair survives
+        assert result.recall_at_k == 1.0
+
+    def test_deterministic(self):
+        left, right = make_table(7), make_table(7, name="right")
+        a = blocker(k=2).block(left, right)
+        b = blocker(k=2).block(left, right)
+        pairs = lambda res: [(l.record_id, r.record_id)
+                             for l, r in res.candidates]
+        assert pairs(a) == pairs(b)

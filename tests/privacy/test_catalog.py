@@ -1,0 +1,149 @@
+"""ClkCatalog tests: bit-identical save/load round-trip, schema and
+compatibility rejection, and the never-holds-plaintext contract."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.privacy import (
+    CLK_SCHEMA_VERSION, ClkCatalog, ClkCatalogError, ClkConfig, ClkEncoder,
+)
+
+from .conftest import make_records
+
+SALT = "catalog-secret"
+
+
+def build_catalog(n=6, **config_kwargs):
+    encoder = ClkEncoder(SALT, ClkConfig(**config_kwargs))
+    return ClkCatalog.from_records(encoder, make_records(n)), encoder
+
+
+class TestRoundTrip:
+    def test_bit_identical(self, tmp_path):
+        catalog, _ = build_catalog()
+        catalog.save(tmp_path / "clk")
+        loaded = ClkCatalog.load(tmp_path / "clk")
+        assert loaded.ids == catalog.ids
+        np.testing.assert_array_equal(loaded.filters, catalog.filters)
+        assert loaded.params == catalog.params
+
+    def test_manifest_contents(self, tmp_path):
+        catalog, encoder = build_catalog(nbits=256)
+        catalog.save(tmp_path / "clk")
+        manifest = json.loads((tmp_path / "clk" / "clk.json").read_text())
+        assert manifest["schema_version"] == CLK_SCHEMA_VERSION
+        assert manifest["kind"] == "clk-catalog"
+        assert manifest["count"] == len(catalog)
+        assert manifest["salt_digest"] == encoder.salt_digest
+
+    def test_no_plaintext_on_disk(self, tmp_path):
+        # the whole point: nothing in the artifact reveals record values
+        records = make_records(4)
+        encoder = ClkEncoder(SALT)
+        catalog = ClkCatalog.from_records(encoder, records)
+        catalog.save(tmp_path / "clk")
+        on_disk = b"".join(p.read_bytes()
+                           for p in (tmp_path / "clk").iterdir())
+        for record in records:
+            for value in record.values.values():
+                assert value.encode() not in on_disk
+        assert SALT.encode() not in on_disk
+
+    def test_lookup(self):
+        catalog, encoder = build_catalog(3)
+        assert len(catalog) == 3 and "r1" in catalog
+        np.testing.assert_array_equal(
+            catalog.get("r1"), encoder.encode_record(make_records(2)[1]))
+        assert catalog.get("nope") is None
+        assert dict(catalog.entries()).keys() == {"r0", "r1", "r2"}
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self):
+        filters = np.zeros((2, 4), dtype=np.uint64)
+        with pytest.raises(ClkCatalogError):
+            ClkCatalog(["a", "a"], filters, {"words": 4})
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ClkCatalogError):
+            ClkCatalog(["a"], np.zeros((1, 4), dtype=np.uint64),
+                       {"words": 8})
+        with pytest.raises(ClkCatalogError):
+            ClkCatalog(["a", "b"], np.zeros((1, 4), dtype=np.uint64),
+                       {"words": 4})
+
+    def test_wrong_schema_version(self, tmp_path):
+        catalog, _ = build_catalog()
+        catalog.save(tmp_path / "clk")
+        manifest_path = tmp_path / "clk" / "clk.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = CLK_SCHEMA_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ClkCatalogError) as err:
+            ClkCatalog.load(tmp_path / "clk")
+        # found-vs-supported phrasing: both versions appear in the error
+        assert str(CLK_SCHEMA_VERSION + 1) in str(err.value)
+        assert str(CLK_SCHEMA_VERSION) in str(err.value)
+
+    def test_not_a_catalog_dir(self, tmp_path):
+        with pytest.raises(ClkCatalogError):
+            ClkCatalog.load(tmp_path)
+
+    def test_count_mismatch(self, tmp_path):
+        catalog, _ = build_catalog()
+        catalog.save(tmp_path / "clk")
+        manifest_path = tmp_path / "clk" / "clk.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["count"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ClkCatalogError):
+            ClkCatalog.load(tmp_path / "clk")
+
+
+class TestCompatibility:
+    def test_same_encoder_compatible(self):
+        catalog, encoder = build_catalog()
+        catalog.compatible_with(encoder.params())  # no raise
+
+    def test_shape_mismatch(self):
+        catalog, _ = build_catalog(nbits=256)
+        other = ClkEncoder(SALT, ClkConfig(nbits=512))
+        with pytest.raises(ClkCatalogError) as err:
+            catalog.compatible_with(other.params())
+        assert "nbits" in str(err.value)
+
+    def test_salt_mismatch(self):
+        catalog, _ = build_catalog()
+        other = ClkEncoder("a-different-secret")
+        with pytest.raises(ClkCatalogError) as err:
+            catalog.compatible_with(other.params())
+        assert "salt" in str(err.value)
+
+    def test_salt_mismatch_ignorable(self):
+        catalog, _ = build_catalog()
+        other = ClkEncoder("a-different-secret")
+        catalog.compatible_with(other.params(), check_salt=False)
+
+    def test_hardening_mismatch(self):
+        catalog, _ = build_catalog(nbits=256)
+        other = ClkEncoder(SALT, ClkConfig(nbits=256, hardening="balance"))
+        with pytest.raises(ClkCatalogError):
+            catalog.compatible_with(other.params())
+
+
+class TestStats:
+    def test_stats_shape(self):
+        catalog, _ = build_catalog(5, nbits=256)
+        stats = catalog.stats()
+        assert stats["count"] == 5
+        assert stats["encoded_nbits"] == 256
+        assert 0.0 < stats["mean_fill"] < 1.0
+        assert stats["params"]["hardening"] == "none"
+
+    def test_empty_catalog(self):
+        catalog = ClkCatalog([], np.zeros((0, 4), dtype=np.uint64),
+                             {"words": 4})
+        assert len(catalog) == 0
+        assert catalog.stats()["mean_fill"] == 0.0

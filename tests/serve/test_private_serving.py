@@ -1,0 +1,405 @@
+"""Cross-party CLK serving: filters-only catalogs, Dice scoring through
+server / pool / HTTP, and the acceptance pin of this mode -- NO raw
+attribute value ever crosses the frontend or a replica pipe.
+
+The sentinel construction: every catalog record carries globally unique
+marker words as its attribute values.  The test then records ``repr`` of
+every payload that crosses a process or wire boundary (replica pipe
+sends, collector receipts, worker spawn journals, HTTP request/response
+bodies) while driving real CLK traffic, and asserts no sentinel -- and
+no salt -- appears anywhere.  CLK encoding is keyed hashing, so if a
+sentinel shows up the plaintext leaked around the encoder, not through
+it.
+"""
+
+import base64
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CandidatePair
+from repro.data.records import EntityRecord
+from repro.parallel.pool import force_serial, fork_available
+from repro.privacy import ClkCandidateIndex, ClkConfig, ClkEncoder, \
+    clk_to_bytes
+from repro.serve import (
+    MatchHTTPServer, MatchServer, ServerConfig, handle_request,
+    serve_requests,
+)
+from repro.serve.pool import PoolConfig, ServingPool, _Replica
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="fork start method unavailable")
+
+#: the shared secret; must never appear on any wire or pipe
+SALT = "cross-party-secret-salt"
+
+#: globally unique marker words -- these are the attribute VALUES of the
+#: sentinel catalog, and the strings the leak check greps every payload
+#: for (record *ids* are allowed on the wire; values are not)
+SENTINELS = ("xylophone", "quixotic", "zanzibar", "marzipan", "obsidian",
+             "juggernaut", "palindrome", "kaleidoscope", "labyrinth",
+             "hurricane", "telescope", "catamaran")
+
+
+def sentinel_records(n=6):
+    records = []
+    for i in range(n):
+        records.append(EntityRecord(
+            record_id=f"s{i}", kind="relational",
+            values={"title": f"{SENTINELS[2 * i]} {SENTINELS[2 * i + 1]}",
+                    "maker": SENTINELS[(2 * i + 3) % len(SENTINELS)]}))
+    return records
+
+
+@pytest.fixture(scope="module")
+def party_encoder():
+    """The data party's encoder -- lives in the TEST, never in a server."""
+    return ClkEncoder(SALT, ClkConfig(nbits=256, num_hashes=8))
+
+
+@pytest.fixture(scope="module")
+def catalog_entries(party_encoder):
+    records = sentinel_records()
+    return records, [(r.record_id, party_encoder.encode_record(r))
+                     for r in records]
+
+
+def assert_no_plaintext(payloads, records):
+    """No sentinel value, no salt, in the repr of any payload."""
+    assert payloads, "leak check ran over zero payloads"
+    for text in payloads:
+        for record in records:
+            for value in record.values.values():
+                for word in value.split():
+                    assert word not in text, \
+                        f"plaintext {word!r} leaked in payload: {text[:200]}"
+        assert SALT not in text
+
+
+# ----------------------------------------------------------------------
+# MatchServer, cross-party (filters only, no encoder server-side)
+# ----------------------------------------------------------------------
+class TestServerCrossParty:
+    def make_server(self, bundle, entries):
+        server = MatchServer(bundle, clk_index=ClkCandidateIndex(words=4),
+                             clk_threshold=0.6, candidate_mode="clk")
+        server.catalog_add_clk(entries)
+        return server
+
+    def test_clk_match_ranks_by_dice(self, bundle, catalog_entries):
+        records, entries = catalog_entries
+        server = self.make_server(bundle, entries)
+        response = server.clk_match("query-0", entries[0][1], k=3)
+        assert response.record_id == "query-0"
+        assert response.best.record_id == "s0"
+        assert response.best.score == 1.0 and response.best.is_match
+        scores = [c.score for c in response.candidates]
+        assert scores == sorted(scores, reverse=True)
+        assert response.threshold == 0.6
+        assert all((c.score >= 0.6) == c.is_match
+                   for c in response.candidates)
+        assert response.best in response.matches()
+
+    def test_candidates_carry_no_records(self, bundle, catalog_entries):
+        # ClkCandidate deliberately has no record slot: in cross-party
+        # mode the server holds none, so the response type cannot either
+        _, entries = catalog_entries
+        server = self.make_server(bundle, entries)
+        candidate = server.clk_match("q", entries[1][1], k=1).best
+        assert not hasattr(candidate, "record")
+        assert set(vars(candidate)) == {"record_id", "score", "is_match"}
+
+    def test_plaintext_match_rejected(self, bundle, catalog_entries):
+        records, entries = catalog_entries
+        server = self.make_server(bundle, entries)
+        with pytest.raises(ValueError):
+            server.submit_match(records[0], k=2)
+
+    def test_clk_mode_requires_index(self, bundle):
+        with pytest.raises(ValueError):
+            MatchServer(bundle, candidate_mode="clk")
+        server = MatchServer(bundle)
+        with pytest.raises(ValueError):
+            server.set_candidate_mode("clk")
+        with pytest.raises(ValueError):
+            server.clk_match("q", np.zeros(4, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            server.clk_catalog_size()
+
+    def test_health_and_stats_expose_clk(self, bundle, catalog_entries):
+        _, entries = catalog_entries
+        server = self.make_server(bundle, entries)
+        health = server.health()
+        assert health["candidate_mode"] == "clk"
+        assert health["candidate_index"] == "clk"
+        assert health["clk_catalog_size"] == len(entries)
+        assert health["catalog_size"] == 0  # sparse stays empty
+        stats = server.stats()
+        assert stats["clk_index"]["has_encoder"] is False
+        assert stats["clk_index"]["plaintext_records"] == 0
+
+    def test_catalog_remove_counts_filter_only_ids(self, bundle,
+                                                   catalog_entries):
+        _, entries = catalog_entries
+        server = self.make_server(bundle, entries)
+        assert server.catalog_remove(["s0", "nope"]) == 1
+        assert server.clk_catalog_size() == len(entries) - 1
+        found = server.clk_match("q", entries[0][1], k=len(entries))
+        assert "s0" not in [c.record_id for c in found.candidates]
+
+    def test_readd_replaces_not_grows(self, bundle, catalog_entries):
+        _, entries = catalog_entries
+        server = self.make_server(bundle, entries)
+        assert server.catalog_add_clk(entries[:2]) == 0  # replacements
+        assert server.clk_catalog_size() == len(entries)
+
+
+# ----------------------------------------------------------------------
+# MatchServer, single-party (encoder attached; CLK generates, LM scores)
+# ----------------------------------------------------------------------
+class TestServerSingleParty:
+    def make_server(self, bundle):
+        encoder = ClkEncoder(SALT, ClkConfig(nbits=256, num_hashes=8))
+        index = ClkCandidateIndex(encoder=encoder, default_k=3)
+        server = MatchServer(bundle, ServerConfig(max_batch_pairs=4),
+                             clk_index=index, candidate_mode="clk")
+        server.catalog_add(sentinel_records())
+        return server
+
+    def test_catalogs_stay_in_lockstep(self, bundle):
+        server = self.make_server(bundle)
+        assert server.catalog_size() == 6       # sparse got the records
+        assert server.clk_catalog_size() == 6   # clk encoded them too
+        assert server.stats()["clk_index"]["plaintext_records"] == 6
+
+    def test_match_scores_clk_candidates_with_model(self, bundle):
+        # candidate generation is Dice over filters; scoring is the full
+        # LM path -- the single-party shape the trade-off bench measures
+        server = self.make_server(bundle)
+        query = sentinel_records()[2]
+        response = server.match(query, k=3)
+        assert response.candidates
+        ids = [c.record.record_id for c in response.candidates]
+        assert "s2" in ids  # its own twin survives CLK blocking
+        for candidate in response.candidates:
+            assert 0.0 <= candidate.probability <= 1.0
+            assert candidate.block_score > 0.0  # the Dice score
+
+    def test_clk_match_also_served(self, bundle):
+        server = self.make_server(bundle)
+        query = server.clk_index.encoder.encode_record(
+            sentinel_records()[1])
+        assert server.clk_match("q", query, k=1).best.record_id == "s1"
+
+
+# ----------------------------------------------------------------------
+# ServingPool: serial fallback and forked replicas
+# ----------------------------------------------------------------------
+def make_pool(bundle, **kwargs):
+    kwargs.setdefault("clk_words", 4)
+    kwargs.setdefault("clk_threshold", 0.6)
+    kwargs.setdefault("candidate_mode", "clk")
+    return ServingPool(bundle, PoolConfig(replicas=2, shards=3), **kwargs)
+
+
+class TestPoolSerial:
+    def test_clk_match_and_rejection(self, bundle, catalog_entries):
+        records, entries = catalog_entries
+        pool = make_pool(bundle)
+        with force_serial():
+            with pool:
+                assert pool.catalog_add_clk(entries) == len(entries)
+                assert pool.clk_catalog_size() == len(entries)
+                response = pool.clk_match("q", entries[3][1], k=2)
+                assert response.best.record_id == "s3"
+                assert response.best.score == 1.0
+                with pytest.raises(ValueError):
+                    pool.submit_match(records[0], k=2)
+                health = pool.health()
+                assert health["mode"] == "serial"
+                assert health["candidate_index"] == "clk"
+                assert health["clk_catalog_size"] == len(entries)
+
+    def test_clk_mode_requires_shape(self, bundle):
+        with pytest.raises(ValueError):
+            ServingPool(bundle, PoolConfig(replicas=1),
+                        candidate_mode="clk")
+
+
+@needs_fork
+class TestPoolForked:
+    @pytest.fixture()
+    def pool(self, bundle, catalog_entries):
+        _, entries = catalog_entries
+        pool = make_pool(bundle)
+        with pool:
+            pool.catalog_add_clk(entries)
+            yield pool
+
+    def test_clk_match_merges_shards(self, pool, catalog_entries):
+        # shards=3 over replicas=2: every query is a scatter/gather whose
+        # merged ranking must match the single-index answer
+        _, entries = catalog_entries
+        reference = ClkCandidateIndex(words=4)
+        reference.add_clk_many(entries)
+        for rid, clk in entries:
+            response = pool.clk_match("q", clk, k=3)
+            got = [(c.record_id, round(c.score, 12))
+                   for c in response.candidates]
+            expected = [(rid2, round(score, 12))
+                        for rid2, score in reference.search(clk, k=3)]
+            assert got == expected
+            assert response.best.record_id == rid
+
+    def test_remove_propagates_to_replicas(self, pool, catalog_entries):
+        _, entries = catalog_entries
+        assert pool.catalog_remove(["s4"]) == 1
+        found = pool.clk_match("q", entries[4][1], k=len(entries))
+        assert "s4" not in [c.record_id for c in found.candidates]
+        assert pool.clk_catalog_size() == len(entries) - 1
+        pool.catalog_add_clk([entries[4]])  # restore for other tests
+
+    def test_health_and_rejection(self, pool, catalog_entries):
+        records, _ = catalog_entries
+        health = pool.health()
+        assert health["mode"] == "pool"
+        assert health["candidate_mode"] == "clk"
+        assert health["clk_catalog_size"] == len(sentinel_records())
+        assert health["catalog_size"] == 0
+        with pytest.raises(ValueError):
+            pool.submit_match(records[0], k=2)
+
+
+# ----------------------------------------------------------------------
+# HTTP / JSONL transport
+# ----------------------------------------------------------------------
+def clk_request(record_id, clk, k=3):
+    return {"op": "clk_match", "id": record_id,
+            "clk": base64.b64encode(clk_to_bytes(clk)).decode(), "k": k}
+
+
+class TestTransport:
+    def make_server(self, bundle, entries):
+        server = MatchServer(bundle, clk_index=ClkCandidateIndex(words=4),
+                             clk_threshold=0.6, candidate_mode="clk")
+        server.catalog_add_clk(entries)
+        return server
+
+    def test_jsonl_clk_match(self, bundle, catalog_entries):
+        _, entries = catalog_entries
+        server = self.make_server(bundle, entries)
+        responses = list(serve_requests(
+            server, [clk_request(rid, clk) for rid, clk in entries[:3]]))
+        for (rid, _), response in zip(entries, responses):
+            json.dumps(response)  # wire-serializable
+            assert response["status"] == "ok"
+            assert response["op"] == "clk_match"
+            assert response["candidates"][0]["id"] == rid
+            assert response["candidates"][0]["is_match"] is True
+
+    def test_malformed_clk_is_protocol_error(self, bundle, catalog_entries):
+        from repro.serve import ProtocolError
+
+        _, entries = catalog_entries
+        server = self.make_server(bundle, entries)
+        with pytest.raises(ProtocolError):
+            handle_request(server, {"op": "clk_match", "id": "q"})
+        with pytest.raises(ValueError):
+            handle_request(server, {"op": "clk_match", "id": "q",
+                                    "clk": "!!!not-base64!!!"})
+
+    def test_http_routes(self, bundle, catalog_entries):
+        _, entries = catalog_entries
+        server = self.make_server(bundle, entries[:3])
+        try:
+            wrapper = MatchHTTPServer(server, port=0)
+        except OSError as error:  # pragma: no cover - sandboxed CI
+            pytest.skip(f"cannot bind a local socket: {error}")
+        with wrapper:
+            status, body = self._post(wrapper, "/clk/match",
+                                      clk_request(*entries[0]))
+            assert status == 200 and body["candidates"][0]["id"] == "s0"
+            status, body = self._post(wrapper, "/admin/clk-catalog", {
+                "add": [{"id": rid,
+                         "clk": base64.b64encode(
+                             clk_to_bytes(clk)).decode()}
+                        for rid, clk in entries[3:]],
+                "remove": ["s0"]})
+            assert status == 200
+            assert body["added"] == len(entries) - 3
+            assert body["removed"] == 1
+            assert body["size"] == len(entries) - 1
+            with urllib.request.urlopen(wrapper.address + "/healthz",
+                                        timeout=10) as reply:
+                health = json.loads(reply.read())
+            assert health["candidate_mode"] == "clk"
+            assert health["clk_catalog_size"] == len(entries) - 1
+
+    def _post(self, http, path, payload):
+        request = urllib.request.Request(
+            http.address + path, data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"}, method="POST")
+        try:
+            with urllib.request.urlopen(request, timeout=30) as reply:
+                return reply.status, json.loads(reply.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+
+# ----------------------------------------------------------------------
+# ACCEPTANCE: no plaintext on any frontend or replica pipe in CLK mode
+# ----------------------------------------------------------------------
+@needs_fork
+class TestNoPlaintextOnWire:
+    def test_pipes_and_frontend_carry_filters_only(self, bundle,
+                                                   catalog_entries,
+                                                   monkeypatch):
+        records, entries = catalog_entries
+        payloads = []
+
+        # replica pipes, both directions: every router->replica send and
+        # every replica->router receipt is recorded before delivery
+        original_send = _Replica.send
+
+        def recording_send(self, message):
+            payloads.append(repr(message))
+            original_send(self, message)
+
+        monkeypatch.setattr(_Replica, "send", recording_send)
+
+        pool = make_pool(bundle)
+        original_handle = pool._handle_message
+        pool._handle_message = lambda replica, message: (
+            payloads.append(repr(message)), original_handle(replica,
+                                                            message))
+        with pool:
+            pool.catalog_add_clk(entries)
+            # the spawn-time journal a respawned replica would rebuild
+            # from: CLK shards only, and the plaintext journal is empty
+            payloads.append(repr(pool._clk_catalog))
+            assert all(not shard for shard in pool._catalog)
+            for rid, clk in entries:
+                response = pool.clk_match(rid, clk, k=3)
+                assert response.best.record_id == rid  # real traffic
+            pool.catalog_remove(["s5"])
+
+            # frontend: the HTTP/JSONL bodies are these dicts, serialized
+            request = clk_request("s1", entries[1][1])
+            payloads.append(json.dumps(request))
+            payloads.append(json.dumps(handle_request(pool, request)))
+            payloads.append(json.dumps(pool.health()))
+
+        assert len(payloads) > 10
+        assert_no_plaintext(payloads, records)
+
+    def test_sentinels_would_be_caught(self, catalog_entries):
+        # the leak check itself must be live: a payload that DOES carry a
+        # record value must fail it
+        records, _ = catalog_entries
+        leaky = [repr(("score", 1, records[0], None))]
+        with pytest.raises(AssertionError):
+            assert_no_plaintext(leaky, records)
